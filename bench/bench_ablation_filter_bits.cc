@@ -1,0 +1,69 @@
+// Ablation: Algorithm 4's fixed bit-vector length. The paper argues the
+// fixed length bounds communication while "smaller search space can speed up
+// evaluating" — this bench sweeps the length and reports the trade-off
+// between candidate shipment (grows linearly with bits) and the LPM
+// population the filter leaves behind (shrinks, then saturates once the
+// false-positive rate is negligible). Expected shape: LPM counts drop
+// steeply up to a few KB per vector and flatten; shipment keeps growing.
+
+#include <cstdio>
+#include <vector>
+
+#include "core/candidate_exchange.h"
+#include "core/local_partial_match.h"
+#include "partition/partitioners.h"
+#include "workload/lubm.h"
+
+using namespace gstored;  // NOLINT — bench-local convenience
+
+int main() {
+  Workload w = MakeLubmWorkload(LubmScale(1));
+  Partitioning p = HashPartitioner().Partition(*w.dataset, 6);
+  std::vector<std::unique_ptr<LocalStore>> stores;
+  std::vector<const LocalStore*> store_ptrs;
+  for (const Fragment& f : p.fragments()) {
+    stores.push_back(std::make_unique<LocalStore>(&f.graph()));
+    store_ptrs.push_back(stores.back().get());
+  }
+
+  std::printf("=== Ablation: Alg. 4 bit-vector length (LUBM-style, LQ7) ===\n");
+  std::printf("%-12s | %14s | %10s | %12s\n", "bits/vector", "shipment KB",
+              "#lpm", "fill ratio");
+
+  const QueryGraph& query = w.queries[6].query;  // LQ7
+  ResolvedQuery rq = ResolveQuery(query, w.dataset->dict());
+
+  // Baseline without any filter.
+  size_t unfiltered = 0;
+  for (size_t s = 0; s < stores.size(); ++s) {
+    unfiltered += EnumerateLocalPartialMatches(p.fragments()[s], *stores[s],
+                                               rq).size();
+  }
+  std::printf("%-12s | %14s | %10zu | %12s\n", "none", "0.0", unfiltered,
+              "-");
+
+  for (size_t bits : {1u << 8, 1u << 10, 1u << 12, 1u << 14, 1u << 16,
+                      1u << 18}) {
+    SimulatedCluster cluster(static_cast<int>(p.num_fragments()));
+    CandidateExchange exchange =
+        ExchangeInternalCandidates(p, store_ptrs, rq, cluster, bits);
+    EnumerateOptions options;
+    options.extended_filter = [&](QVertexId v, TermId u) {
+      if (!query.vertex(v).is_variable) return true;
+      return exchange.filters[v].MayContain(u);
+    };
+    size_t lpms = 0;
+    for (size_t s = 0; s < stores.size(); ++s) {
+      lpms += EnumerateLocalPartialMatches(p.fragments()[s], *stores[s], rq,
+                                           options).size();
+    }
+    double max_fill = 0;
+    for (const auto& f : exchange.filters) {
+      max_fill = std::max(max_fill, f.FillRatio());
+    }
+    std::printf("%-12zu | %14.1f | %10zu | %12.3f\n", bits,
+                static_cast<double>(exchange.shipment_bytes) / 1024.0, lpms,
+                max_fill);
+  }
+  return 0;
+}

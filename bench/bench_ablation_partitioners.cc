@@ -1,0 +1,48 @@
+// Ablation: partitioner quality vs. cost. Contrasts the single-level
+// METIS-like partitioner with the true multilevel one (heavy-edge-matching
+// coarsening + refinement) and the two hash strategies: edge cut, cost-model
+// score, partitioning wall-clock, and full-engine time on the non-star LUBM
+// queries. Expected shape: multilevel cuts the fewest edges; hash is the
+// cheapest to compute; query time tracks the crossing-edge count.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "partition/multilevel.h"
+#include "util/stopwatch.h"
+#include "workload/lubm.h"
+
+using namespace gstored;  // NOLINT — bench-local convenience
+
+int main() {
+  Workload w = MakeLubmWorkload(LubmScale(1));
+  std::printf("=== Ablation: partitioner quality (LUBM-style, 6 sites) ===\n");
+  std::printf("%-14s | %10s | %12s | %12s | %16s\n", "strategy", "|Ec|",
+              "Cost(F)", "build ms", "non-star query ms");
+
+  std::vector<std::unique_ptr<Partitioner>> partitioners;
+  partitioners.push_back(std::make_unique<HashPartitioner>());
+  partitioners.push_back(std::make_unique<SemanticHashPartitioner>());
+  partitioners.push_back(std::make_unique<MetisLikePartitioner>());
+  partitioners.push_back(std::make_unique<MultilevelPartitioner>());
+
+  for (const auto& partitioner : partitioners) {
+    Stopwatch build_watch;
+    Partitioning p = partitioner->Partition(*w.dataset, 6);
+    double build_ms = build_watch.ElapsedMillis();
+    PartitioningCost cost = ComputePartitioningCost(p);
+
+    DistributedEngine engine(&p);
+    Stopwatch query_watch;
+    for (const BenchmarkQuery& bq : w.queries) {
+      if (bq.query.IsStar()) continue;
+      engine.Execute(bq.query, EngineMode::kFull);
+    }
+    std::printf("%-14s | %10zu | %12.3e | %12.1f | %16.1f\n",
+                partitioner->name().c_str(), p.num_crossing_edges(),
+                cost.total, build_ms, query_watch.ElapsedMillis());
+  }
+  return 0;
+}

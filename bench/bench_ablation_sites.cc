@@ -1,0 +1,32 @@
+// Ablation: number of sites. The paper fixes 12 machines; this sweep varies
+// the fragment count under hash partitioning and reports crossing edges, LPM
+// volume and response time for the representative complex query LQ7 and the
+// star LQ2. Expected shape: crossing edges (and with them LPMs, shipment and
+// time) grow with the fragment count — the cost of finer administrative
+// fragmentation — while star queries stay flat.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "workload/lubm.h"
+
+using namespace gstored;  // NOLINT — bench-local convenience
+
+int main() {
+  Workload w = MakeLubmWorkload(LubmScale(1));
+  std::printf("=== Ablation: fragment count (LUBM-style, hash) ===\n");
+  std::printf("%-6s | %12s | %10s | %12s | %12s\n", "sites", "crossing",
+              "LQ7 #lpm", "LQ7 ms", "LQ2 ms (star)");
+  for (int sites : {2, 4, 6, 8, 12, 16}) {
+    Partitioning p = HashPartitioner().Partition(*w.dataset, sites);
+    DistributedEngine engine(&p);
+    QueryStats lq7;
+    engine.Execute(w.queries[6].query, EngineMode::kFull, &lq7);
+    QueryStats lq2;
+    engine.Execute(w.queries[1].query, EngineMode::kFull, &lq2);
+    std::printf("%-6d | %12zu | %10zu | %12.1f | %12.1f\n", sites,
+                p.num_crossing_edges(), lq7.num_lpms, lq7.total_time_ms,
+                lq2.total_time_ms);
+  }
+  return 0;
+}

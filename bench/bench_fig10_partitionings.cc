@@ -1,0 +1,57 @@
+// Reproduces Fig. 10: gStoreD's per-query cost under the three partitioning
+// strategies — (a) evaluation time on LUBM-style data, (b) LEC feature
+// shipment on YAGO2-style data. Expected shape: semantic hash wins on
+// LUBM-style data (fewer crossing edges => fewer LEC features); on
+// YAGO2-style data semantic hash tracks plain hash and METIS-like is no
+// better (and often worse) despite its smaller edge cut.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "workload/lubm.h"
+#include "workload/yago.h"
+
+namespace {
+
+void RunStrategies(const char* title, const gstored::Workload& workload,
+                   int num_sites) {
+  std::printf("\n=== %s ===\n", title);
+  std::vector<gstored::Partitioning> partitionings =
+      gstored::bench::BuildStudiedPartitionings(*workload.dataset, num_sites);
+  std::printf("%-5s", "query");
+  for (const auto& p : partitionings) {
+    std::printf(" | %13s ms %13s KB", p.strategy_name().c_str(),
+                p.strategy_name().c_str());
+  }
+  std::printf("\n");
+  for (const gstored::BenchmarkQuery& bq : workload.queries) {
+    if (bq.query.IsStar()) continue;
+    std::printf("%-5s", bq.name.c_str());
+    for (const auto& p : partitionings) {
+      gstored::DistributedEngine engine(&p);
+      gstored::QueryStats stats;
+      engine.Execute(bq.query, gstored::EngineMode::kFull, &stats);
+      std::printf(" | %13.1f    %13s   ", stats.total_time_ms,
+                  gstored::bench::Kb(stats.lec_shipment_bytes).c_str());
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  {
+    gstored::Workload w = gstored::MakeLubmWorkload(gstored::LubmScale(2));
+    RunStrategies("Fig. 10(a): partitioning strategies on LUBM-style data", w,
+                  6);
+  }
+  {
+    gstored::YagoConfig config;
+    config.persons = 1500;
+    gstored::Workload w = gstored::MakeYagoWorkload(config);
+    RunStrategies("Fig. 10(b): partitioning strategies on YAGO2-style data",
+                  w, 6);
+  }
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Reproduces Fig. 11: scalability of gStoreD with dataset size on the
+// LUBM-style generator at three scales (the paper uses 100M/500M/1B; we use
+// 1x/2x/4x of the laptop-scale generator). Expected shape: star-query times
+// stay low and grow mildly; non-star query times grow roughly with the data
+// (the number of crossing edges — and hence LPMs — grows linearly).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "workload/lubm.h"
+
+int main() {
+  const std::vector<int> scales = {1, 2, 4};
+  std::printf("=== Fig. 11: scalability on LUBM-style data ===\n");
+  std::printf("%-6s", "query");
+  for (int s : scales) std::printf(" | scale %dx (ms)", s);
+  std::printf("\n");
+
+  // Generate all workloads up front so all scales share query definitions.
+  std::vector<gstored::Workload> workloads;
+  std::vector<gstored::Partitioning> partitionings;
+  for (int s : scales) {
+    workloads.push_back(gstored::MakeLubmWorkload(gstored::LubmScale(s)));
+    partitionings.push_back(gstored::HashPartitioner().Partition(
+        *workloads.back().dataset, 12));
+  }
+  for (size_t qi = 0; qi < workloads[0].queries.size(); ++qi) {
+    std::printf("%-6s", workloads[0].queries[qi].name.c_str());
+    for (size_t si = 0; si < scales.size(); ++si) {
+      gstored::DistributedEngine engine(&partitionings[si]);
+      double ms = gstored::bench::MedianQueryMillis(
+          engine, workloads[si].queries[qi].query, gstored::EngineMode::kFull,
+          3);
+      std::printf(" | %12.1f", ms);
+    }
+    bool star = workloads[0].queries[qi].query.IsStar();
+    std::printf("   (%s)\n", star ? "star" : "other");
+  }
+  std::printf("\ntriples per scale:");
+  for (size_t si = 0; si < scales.size(); ++si) {
+    std::printf(" %dx=%zu", scales[si],
+                workloads[si].dataset->graph().num_triples());
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Reproduces Fig. 9: the optimization ablation gStoreD-Basic / gStoreD-LA /
+// gStoreD-LO / gStoreD on the non-star LUBM and YAGO2 queries. Expected
+// shape: response time and join attempts fall monotonically from Basic to
+// the full engine, with order-of-magnitude join-space reductions once the
+// LEC feature pruning (LO) kicks in, and a further drop from the candidate
+// exchange (full gStoreD) on selective queries.
+
+#include "bench/bench_common.h"
+#include "workload/lubm.h"
+#include "workload/yago.h"
+
+int main() {
+  {
+    gstored::Workload workload =
+        gstored::MakeLubmWorkload(gstored::LubmScale(1));
+    gstored::bench::RunOptimizationAblation(
+        "Fig. 9(a): optimization ablation on LUBM-style data", workload,
+        /*num_sites=*/6);
+  }
+  {
+    gstored::YagoConfig config;
+    config.persons = 1200;
+    gstored::Workload workload = gstored::MakeYagoWorkload(config);
+    gstored::bench::RunOptimizationAblation(
+        "Fig. 9(b): optimization ablation on YAGO2-style data", workload,
+        /*num_sites=*/6);
+  }
+  return 0;
+}

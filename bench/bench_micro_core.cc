@@ -1,0 +1,176 @@
+// Google-benchmark microbenchmarks of the core building blocks: SPARQL
+// parsing, candidate computation, local matching, LPM enumeration, LEC
+// feature computation, pruning, assembly, relational joins and the
+// candidate bit vector. These are the per-operation costs behind the
+// table/figure harnesses.
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/relational.h"
+#include "core/assembly.h"
+#include "core/engine.h"
+#include "core/lec_feature.h"
+#include "core/local_partial_match.h"
+#include "core/pruning.h"
+#include "partition/partitioners.h"
+#include "sparql/parser.h"
+#include "store/matcher.h"
+#include "util/bitvector_filter.h"
+#include "workload/lubm.h"
+
+namespace gstored {
+namespace {
+
+/// Shared fixture: a LUBM-style dataset, a 4-way hash partitioning, and the
+/// LQ7 query (the heaviest non-star shape). Built once.
+struct MicroFixture {
+  MicroFixture()
+      : workload(MakeLubmWorkload([] {
+          LubmConfig config;
+          config.universities = 3;
+          return config;
+        }())),
+        partitioning(HashPartitioner().Partition(*workload.dataset, 4)),
+        oracle_store(&workload.dataset->graph()),
+        query(workload.queries[6].query),  // LQ7
+        rq(ResolveQuery(query, workload.dataset->dict())) {
+    for (const Fragment& f : partitioning.fragments()) {
+      stores.push_back(std::make_unique<LocalStore>(&f.graph()));
+      auto fragment_lpms =
+          EnumerateLocalPartialMatches(f, *stores.back(), rq);
+      lpms.insert(lpms.end(), fragment_lpms.begin(), fragment_lpms.end());
+    }
+    features = ComputeLecFeatures(lpms);
+  }
+
+  Workload workload;
+  Partitioning partitioning;
+  LocalStore oracle_store;
+  QueryGraph query;
+  ResolvedQuery rq;
+  std::vector<std::unique_ptr<LocalStore>> stores;
+  std::vector<LocalPartialMatch> lpms;
+  LecFeatureSet features;
+};
+
+MicroFixture& Fixture() {
+  static MicroFixture* fixture = new MicroFixture();
+  return *fixture;
+}
+
+void BM_ParseSparql(benchmark::State& state) {
+  const std::string text =
+      "SELECT ?s ?c ?p WHERE { ?s <http://lubm.org/ont#takesCourse> ?c . "
+      "?p <http://lubm.org/ont#teacherOf> ?c . "
+      "?s <http://lubm.org/ont#advisor> ?p . }";
+  for (auto _ : state) {
+    auto result = ParseSparql(text);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_ParseSparql);
+
+void BM_CandidateComputation(benchmark::State& state) {
+  MicroFixture& f = Fixture();
+  for (auto _ : state) {
+    for (QVertexId v = 0; v < f.query.num_vertices(); ++v) {
+      auto candidates = f.oracle_store.Candidates(f.rq, v);
+      benchmark::DoNotOptimize(candidates);
+    }
+  }
+}
+BENCHMARK(BM_CandidateComputation);
+
+void BM_CentralizedMatch(benchmark::State& state) {
+  MicroFixture& f = Fixture();
+  for (auto _ : state) {
+    auto matches = MatchQuery(f.oracle_store, f.rq);
+    benchmark::DoNotOptimize(matches);
+  }
+}
+BENCHMARK(BM_CentralizedMatch);
+
+void BM_EnumerateLpms(benchmark::State& state) {
+  MicroFixture& f = Fixture();
+  const Fragment& fragment = f.partitioning.fragments()[0];
+  for (auto _ : state) {
+    auto lpms = EnumerateLocalPartialMatches(fragment, *f.stores[0], f.rq);
+    benchmark::DoNotOptimize(lpms);
+  }
+}
+BENCHMARK(BM_EnumerateLpms);
+
+void BM_ComputeLecFeatures(benchmark::State& state) {
+  MicroFixture& f = Fixture();
+  for (auto _ : state) {
+    auto features = ComputeLecFeatures(f.lpms);
+    benchmark::DoNotOptimize(features);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(f.lpms.size()));
+}
+BENCHMARK(BM_ComputeLecFeatures);
+
+void BM_LecFeaturePruning(benchmark::State& state) {
+  MicroFixture& f = Fixture();
+  for (auto _ : state) {
+    auto prune =
+        LecFeaturePruning(f.features.features, f.query.num_vertices());
+    benchmark::DoNotOptimize(prune);
+  }
+}
+BENCHMARK(BM_LecFeaturePruning);
+
+void BM_LecAssembly(benchmark::State& state) {
+  MicroFixture& f = Fixture();
+  for (auto _ : state) {
+    auto matches = LecAssembly(f.lpms, f.query.num_vertices());
+    benchmark::DoNotOptimize(matches);
+  }
+}
+BENCHMARK(BM_LecAssembly);
+
+void BM_BasicAssembly(benchmark::State& state) {
+  MicroFixture& f = Fixture();
+  for (auto _ : state) {
+    auto matches = BasicAssembly(f.lpms, f.query.num_vertices());
+    benchmark::DoNotOptimize(matches);
+  }
+}
+BENCHMARK(BM_BasicAssembly);
+
+void BM_PatternScanAndJoin(benchmark::State& state) {
+  MicroFixture& f = Fixture();
+  for (auto _ : state) {
+    Relation a = ScanPattern(f.oracle_store, f.rq, 0);
+    Relation b = ScanPattern(f.oracle_store, f.rq, 1);
+    Relation joined = HashJoin(a, b);
+    benchmark::DoNotOptimize(joined);
+  }
+}
+BENCHMARK(BM_PatternScanAndJoin);
+
+void BM_BitvectorFilter(benchmark::State& state) {
+  BitvectorFilter filter;
+  for (uint64_t i = 0; i < 10000; ++i) filter.Insert(i * 2654435761u);
+  uint64_t probe = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.MayContain(probe++));
+  }
+}
+BENCHMARK(BM_BitvectorFilter);
+
+void BM_FullEngineExecute(benchmark::State& state) {
+  MicroFixture& f = Fixture();
+  DistributedEngine engine(&f.partitioning);
+  for (auto _ : state) {
+    auto matches = engine.Execute(f.query, EngineMode::kFull);
+    benchmark::DoNotOptimize(matches);
+  }
+}
+BENCHMARK(BM_FullEngineExecute);
+
+}  // namespace
+}  // namespace gstored
+
+BENCHMARK_MAIN();

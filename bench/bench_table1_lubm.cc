@@ -1,0 +1,16 @@
+// Reproduces Table I: per-stage evaluation of gStoreD on the LUBM-style
+// dataset (paper: LUBM 100M on 12 machines; here: the scaled generator on a
+// 12-site simulated cluster). Expected shape: star queries (LQ2, LQ4, LQ5)
+// finish locally with zero shipment and zero LPMs; selective queries are far
+// cheaper than unselective ones; LQ1/LQ7 dominate LPM counts.
+
+#include "bench/bench_common.h"
+#include "workload/lubm.h"
+
+int main() {
+  gstored::Workload workload = gstored::MakeLubmWorkload(gstored::LubmScale(3));
+  gstored::bench::RunPerStageTable(
+      "Table I: per-stage evaluation on LUBM-style data", workload,
+      /*num_sites=*/12);
+  return 0;
+}

@@ -1,0 +1,19 @@
+// Reproduces Table II: per-stage evaluation of gStoreD on the YAGO2-style
+// dataset. Expected shape: YQ2 ships features but yields zero matches; YQ3
+// (the unselective two-hop influence query) dominates every column; YQ1 and
+// YQ4 are selective and cheap.
+
+#include "bench/bench_common.h"
+#include "workload/yago.h"
+
+int main() {
+  gstored::YagoConfig config;
+  config.persons = 2500;
+  config.movies = 500;
+  config.cities = 150;
+  gstored::Workload workload = gstored::MakeYagoWorkload(config);
+  gstored::bench::RunPerStageTable(
+      "Table II: per-stage evaluation on YAGO2-style data", workload,
+      /*num_sites=*/12);
+  return 0;
+}

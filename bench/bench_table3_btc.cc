@@ -1,0 +1,19 @@
+// Reproduces Table III: per-stage evaluation of gStoreD on the BTC-style
+// multi-publisher dataset. Expected shape: the selective stars BQ1-BQ3
+// finish locally in milliseconds; BQ4/BQ5 produce few matches despite real
+// partial-evaluation work; the cyclic BQ6/BQ7 generate LPMs but zero
+// matches (the paper's zero-result rows).
+
+#include "bench/bench_common.h"
+#include "workload/btc.h"
+
+int main() {
+  gstored::BtcConfig config;
+  config.domains = 6;
+  config.entities_per_domain = 1500;
+  gstored::Workload workload = gstored::MakeBtcWorkload(config);
+  gstored::bench::RunPerStageTable(
+      "Table III: per-stage evaluation on BTC-style data", workload,
+      /*num_sites=*/12);
+  return 0;
+}

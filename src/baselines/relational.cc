@@ -1,0 +1,149 @@
+#include "baselines/relational.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace gstored {
+
+Relation ScanPattern(const LocalStore& store, const ResolvedQuery& rq,
+                     QEdgeId pattern) {
+  const QueryGraph& q = *rq.query;
+  const QueryEdge& e = q.edge(pattern);
+  TermId s_const = rq.vertex_term[e.from];
+  TermId o_const = rq.vertex_term[e.to];
+  TermId pred = rq.edge_pred[pattern];
+
+  Relation rel;
+  bool s_var = (s_const == kNullTerm);
+  bool o_var = (o_const == kNullTerm);
+  bool same_var = s_var && o_var && e.from == e.to;
+  if (s_var) rel.columns.push_back(e.from);
+  if (o_var && !same_var) rel.columns.push_back(e.to);
+
+  auto emit = [&](TermId s, TermId o) {
+    if (!s_var && s != s_const) return;
+    if (!o_var && o != o_const) return;
+    if (same_var && s != o) return;
+    std::vector<TermId> row;
+    if (s_var) row.push_back(s);
+    if (o_var && !same_var) row.push_back(o);
+    rel.rows.push_back(std::move(row));
+  };
+
+  if (pred != kNullTerm) {
+    for (const auto& [s, o] : store.SubjectsOf(pred)) emit(s, o);
+  } else {
+    for (const Triple& t : store.graph().triples()) emit(t.subject, t.object);
+  }
+  // Constant-constant patterns act as existence filters: one empty row when
+  // satisfied, none otherwise.
+  if (rel.columns.empty()) {
+    if (!rel.rows.empty()) {
+      rel.rows.clear();
+      rel.rows.push_back({});
+    }
+    return rel;
+  }
+  std::sort(rel.rows.begin(), rel.rows.end());
+  rel.rows.erase(std::unique(rel.rows.begin(), rel.rows.end()),
+                 rel.rows.end());
+  return rel;
+}
+
+Relation HashJoin(const Relation& a, const Relation& b) {
+  // Identify shared columns and b's private columns.
+  std::vector<size_t> a_key;
+  std::vector<size_t> b_key;
+  std::vector<size_t> b_private;
+  for (size_t j = 0; j < b.columns.size(); ++j) {
+    auto it = std::find(a.columns.begin(), a.columns.end(), b.columns[j]);
+    if (it != a.columns.end()) {
+      a_key.push_back(static_cast<size_t>(it - a.columns.begin()));
+      b_key.push_back(j);
+    } else {
+      b_private.push_back(j);
+    }
+  }
+
+  Relation out;
+  out.columns = a.columns;
+  for (size_t j : b_private) out.columns.push_back(b.columns[j]);
+
+  // Build on the smaller input.
+  const bool build_a = a.rows.size() <= b.rows.size();
+  const Relation& build = build_a ? a : b;
+  const Relation& probe = build_a ? b : a;
+  const std::vector<size_t>& build_key = build_a ? a_key : b_key;
+  const std::vector<size_t>& probe_key = build_a ? b_key : a_key;
+
+  std::unordered_map<uint64_t, std::vector<size_t>> table;
+  auto key_hash = [](const std::vector<TermId>& row,
+                     const std::vector<size_t>& key) {
+    uint64_t h = 0x42ULL;
+    for (size_t k : key) h = HashCombine(h, row[k]);
+    return h;
+  };
+  for (size_t i = 0; i < build.rows.size(); ++i) {
+    table[key_hash(build.rows[i], build_key)].push_back(i);
+  }
+  // Compares an a-row and a b-row on the shared key columns.
+  auto keys_equal = [&](const std::vector<TermId>& ra,
+                        const std::vector<TermId>& rb) {
+    for (size_t k = 0; k < a_key.size(); ++k) {
+      if (ra[a_key[k]] != rb[b_key[k]]) return false;
+    }
+    return true;
+  };
+
+  for (const std::vector<TermId>& probe_row : probe.rows) {
+    auto it = table.find(key_hash(probe_row, probe_key));
+    if (it == table.end()) continue;
+    for (size_t build_idx : it->second) {
+      const std::vector<TermId>& build_row = build.rows[build_idx];
+      const std::vector<TermId>& row_a = build_a ? build_row : probe_row;
+      const std::vector<TermId>& row_b = build_a ? probe_row : build_row;
+      if (!keys_equal(row_a, row_b)) continue;
+      std::vector<TermId> merged = row_a;
+      for (size_t j : b_private) merged.push_back(row_b[j]);
+      out.rows.push_back(std::move(merged));
+    }
+  }
+  std::sort(out.rows.begin(), out.rows.end());
+  out.rows.erase(std::unique(out.rows.begin(), out.rows.end()),
+                 out.rows.end());
+  return out;
+}
+
+std::vector<Binding> RelationToBindings(const Relation& rel,
+                                        const ResolvedQuery& rq) {
+  const QueryGraph& q = *rq.query;
+  size_t n = q.num_vertices();
+  std::vector<size_t> column_of(n, static_cast<size_t>(-1));
+  for (size_t j = 0; j < rel.columns.size(); ++j) {
+    column_of[rel.columns[j]] = j;
+  }
+  for (QVertexId v = 0; v < n; ++v) {
+    if (q.vertex(v).is_variable) {
+      GSTORED_CHECK_MSG(column_of[v] != static_cast<size_t>(-1),
+                        "relation does not cover all variables");
+    }
+  }
+  std::vector<Binding> bindings;
+  bindings.reserve(rel.rows.size());
+  for (const std::vector<TermId>& row : rel.rows) {
+    Binding b(n, kNullTerm);
+    for (QVertexId v = 0; v < n; ++v) {
+      b[v] = q.vertex(v).is_variable ? row[column_of[v]] : rq.vertex_term[v];
+    }
+    bindings.push_back(std::move(b));
+  }
+  std::sort(bindings.begin(), bindings.end());
+  bindings.erase(std::unique(bindings.begin(), bindings.end()),
+                 bindings.end());
+  return bindings;
+}
+
+}  // namespace gstored

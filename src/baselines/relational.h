@@ -1,0 +1,44 @@
+#ifndef GSTORED_BASELINES_RELATIONAL_H_
+#define GSTORED_BASELINES_RELATIONAL_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "store/local_store.h"
+#include "store/matcher.h"
+
+namespace gstored {
+
+/// A flat relation over query-vertex columns — the intermediate-result
+/// format shared by the baseline system analogues (DREAM's subquery results,
+/// S2RDF's SQL tables, CliqueSquare's star outputs).
+struct Relation {
+  std::vector<QVertexId> columns;
+  std::vector<std::vector<TermId>> rows;
+
+  /// Serialized size (ids only), used for shuffle/shipment accounting.
+  size_t ByteSize() const {
+    return rows.size() * columns.size() * sizeof(TermId);
+  }
+};
+
+/// Scans one triple pattern into a relation. Variable endpoints become
+/// columns (deduplicated — a pattern like ?x p ?x yields one column);
+/// constant endpoints and constant predicates filter the scan. A variable
+/// predicate scans all triples.
+Relation ScanPattern(const LocalStore& store, const ResolvedQuery& rq,
+                     QEdgeId pattern);
+
+/// Hash-joins two relations on their shared columns (natural join). With no
+/// shared columns this is the cartesian product.
+Relation HashJoin(const Relation& a, const Relation& b);
+
+/// Converts a relation covering every variable of the query into full
+/// bindings (constants are filled in from the resolved query). Rows are
+/// deduplicated. Check-fails if a variable column is missing.
+std::vector<Binding> RelationToBindings(const Relation& rel,
+                                        const ResolvedQuery& rq);
+
+}  // namespace gstored
+
+#endif  // GSTORED_BASELINES_RELATIONAL_H_

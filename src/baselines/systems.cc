@@ -1,0 +1,298 @@
+#include "baselines/systems.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace gstored {
+namespace {
+
+/// Evaluates a group of patterns as a chain of hash joins over their scans,
+/// cheapest scan first. Adds each intermediate's size to `stats`.
+Relation JoinPatternGroup(const LocalStore& store, const ResolvedQuery& rq,
+                          std::vector<QEdgeId> patterns,
+                          BaselineStats* stats) {
+  std::vector<Relation> scans;
+  scans.reserve(patterns.size());
+  for (QEdgeId e : patterns) scans.push_back(ScanPattern(store, rq, e));
+  std::sort(scans.begin(), scans.end(),
+            [](const Relation& a, const Relation& b) {
+              return a.rows.size() < b.rows.size();
+            });
+  Relation acc = std::move(scans.front());
+  for (size_t i = 1; i < scans.size(); ++i) {
+    acc = HashJoin(acc, scans[i]);
+    stats->intermediate_rows += acc.rows.size();
+  }
+  return acc;
+}
+
+/// Final verification pass: relational joins do not enforce Def. 3's
+/// injective parallel-edge condition, so filter through VerifyMatch.
+std::vector<Binding> VerifyAll(const RdfGraph& graph, const ResolvedQuery& rq,
+                               std::vector<Binding> bindings) {
+  std::vector<Binding> out;
+  out.reserve(bindings.size());
+  for (Binding& b : bindings) {
+    if (VerifyMatch(graph, rq, b)) out.push_back(std::move(b));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::vector<QEdgeId>> StarDecomposition(const QueryGraph& query) {
+  std::vector<bool> covered(query.num_edges(), false);
+  size_t remaining = query.num_edges();
+  std::vector<std::vector<QEdgeId>> stars;
+  while (remaining > 0) {
+    // Pick the vertex covering the most uncovered edges.
+    QVertexId best = 0;
+    size_t best_count = 0;
+    for (QVertexId v = 0; v < query.num_vertices(); ++v) {
+      size_t count = 0;
+      for (QEdgeId e : query.IncidentEdges(v)) {
+        if (!covered[e]) ++count;
+      }
+      if (count > best_count) {
+        best_count = count;
+        best = v;
+      }
+    }
+    GSTORED_CHECK_GT(best_count, 0u);
+    std::vector<QEdgeId> star;
+    for (QEdgeId e : query.IncidentEdges(best)) {
+      if (!covered[e]) {
+        covered[e] = true;
+        star.push_back(e);
+        --remaining;
+      }
+    }
+    stars.push_back(std::move(star));
+  }
+  return stars;
+}
+
+// --------------------------------------------------------------------------
+// DREAM
+
+DreamAnalog::DreamAnalog(const Dataset* dataset)
+    : dataset_(dataset), store_(&dataset->graph()) {}
+
+std::vector<Binding> DreamAnalog::Execute(const QueryGraph& query,
+                                          BaselineStats* stats) {
+  BaselineStats local;
+  if (stats == nullptr) stats = &local;
+  *stats = BaselineStats();
+  Stopwatch watch;
+  ResolvedQuery rq = ResolveQuery(query, dataset_->dict());
+  std::vector<Binding> result;
+  if (!rq.impossible) {
+    std::vector<std::vector<QEdgeId>> stars = StarDecomposition(query);
+    stats->num_stages = stars.size();
+    // Each star subquery runs at one replica site; results are shipped to
+    // the coordinator (full replication means no other traffic).
+    std::vector<Relation> star_results;
+    star_results.reserve(stars.size());
+    for (const auto& star : stars) {
+      Relation rel = JoinPatternGroup(store_, rq, star, stats);
+      stats->shipment_bytes += rel.ByteSize();
+      star_results.push_back(std::move(rel));
+    }
+    Relation acc = std::move(star_results.front());
+    for (size_t i = 1; i < star_results.size(); ++i) {
+      acc = HashJoin(acc, star_results[i]);
+      stats->intermediate_rows += acc.rows.size();
+    }
+    result = VerifyAll(dataset_->graph(), rq,
+                       RelationToBindings(acc, rq));
+  }
+  stats->exec_time_ms = watch.ElapsedMillis();
+  stats->simulated_overhead_ms =
+      kDreamSubqueryOverheadMs * static_cast<double>(stats->num_stages);
+  stats->reported_time_ms = stats->exec_time_ms + stats->simulated_overhead_ms;
+  return result;
+}
+
+// --------------------------------------------------------------------------
+// S2RDF
+
+S2RdfAnalog::S2RdfAnalog(const Dataset* dataset)
+    : dataset_(dataset), store_(&dataset->graph()) {}
+
+std::vector<Binding> S2RdfAnalog::Execute(const QueryGraph& query,
+                                          BaselineStats* stats) {
+  BaselineStats local;
+  if (stats == nullptr) stats = &local;
+  *stats = BaselineStats();
+  Stopwatch watch;
+  ResolvedQuery rq = ResolveQuery(query, dataset_->dict());
+  std::vector<Binding> result;
+  if (!rq.impossible) {
+    // One table scan per triple pattern, then a left-deep chain of Spark
+    // stages; every stage shuffles both of its inputs.
+    std::vector<Relation> scans;
+    for (QEdgeId e = 0; e < query.num_edges(); ++e) {
+      scans.push_back(ScanPattern(store_, rq, e));
+    }
+    std::sort(scans.begin(), scans.end(),
+              [](const Relation& a, const Relation& b) {
+                return a.rows.size() < b.rows.size();
+              });
+    stats->num_stages = 1;  // the scan stage
+    Relation acc = std::move(scans.front());
+    for (size_t i = 1; i < scans.size(); ++i) {
+      stats->shipment_bytes += acc.ByteSize() + scans[i].ByteSize();
+      acc = HashJoin(acc, scans[i]);
+      stats->intermediate_rows += acc.rows.size();
+      ++stats->num_stages;
+    }
+    result = VerifyAll(dataset_->graph(), rq, RelationToBindings(acc, rq));
+  }
+  stats->exec_time_ms = watch.ElapsedMillis();
+  stats->simulated_overhead_ms =
+      kS2RdfStageOverheadMs * static_cast<double>(stats->num_stages);
+  stats->reported_time_ms = stats->exec_time_ms + stats->simulated_overhead_ms;
+  return result;
+}
+
+// --------------------------------------------------------------------------
+// CliqueSquare
+
+CliqueSquareAnalog::CliqueSquareAnalog(const Dataset* dataset)
+    : dataset_(dataset), store_(&dataset->graph()) {}
+
+std::vector<Binding> CliqueSquareAnalog::Execute(const QueryGraph& query,
+                                                 BaselineStats* stats) {
+  BaselineStats local;
+  if (stats == nullptr) stats = &local;
+  *stats = BaselineStats();
+  Stopwatch watch;
+  ResolvedQuery rq = ResolveQuery(query, dataset_->dict());
+  std::vector<Binding> result;
+  if (!rq.impossible) {
+    // Stage 1 (one MapReduce job): evaluate all stars.
+    std::vector<std::vector<QEdgeId>> stars = StarDecomposition(query);
+    std::vector<Relation> star_results;
+    for (const auto& star : stars) {
+      Relation rel = JoinPatternGroup(store_, rq, star, stats);
+      stats->shipment_bytes += rel.ByteSize();
+      star_results.push_back(std::move(rel));
+    }
+    stats->num_stages = 1;
+    // Flat plan: n-ary join rounds, pairing relations per round, so the
+    // number of jobs is logarithmic in the number of stars.
+    while (star_results.size() > 1) {
+      std::vector<Relation> next;
+      for (size_t i = 0; i + 1 < star_results.size(); i += 2) {
+        stats->shipment_bytes +=
+            star_results[i].ByteSize() + star_results[i + 1].ByteSize();
+        Relation joined = HashJoin(star_results[i], star_results[i + 1]);
+        stats->intermediate_rows += joined.rows.size();
+        next.push_back(std::move(joined));
+      }
+      if (star_results.size() % 2 == 1) {
+        next.push_back(std::move(star_results.back()));
+      }
+      star_results = std::move(next);
+      ++stats->num_stages;
+    }
+    result = VerifyAll(dataset_->graph(), rq,
+                       RelationToBindings(star_results.front(), rq));
+  }
+  stats->exec_time_ms = watch.ElapsedMillis();
+  stats->simulated_overhead_ms =
+      kCliqueSquareStageOverheadMs * static_cast<double>(stats->num_stages);
+  stats->reported_time_ms = stats->exec_time_ms + stats->simulated_overhead_ms;
+  return result;
+}
+
+// --------------------------------------------------------------------------
+// S2X
+
+S2xAnalog::S2xAnalog(const Dataset* dataset)
+    : dataset_(dataset), store_(&dataset->graph()) {}
+
+std::vector<Binding> S2xAnalog::Execute(const QueryGraph& query,
+                                        BaselineStats* stats) {
+  BaselineStats local;
+  if (stats == nullptr) stats = &local;
+  *stats = BaselineStats();
+  Stopwatch watch;
+  ResolvedQuery rq = ResolveQuery(query, dataset_->dict());
+  std::vector<Binding> result;
+  if (!rq.impossible) {
+    // Per-pattern candidate relations (triple candidacy in S2X terms).
+    std::vector<Relation> relations;
+    for (QEdgeId e = 0; e < query.num_edges(); ++e) {
+      relations.push_back(ScanPattern(store_, rq, e));
+    }
+    // Vertex-centric supersteps: semi-join every pattern against its
+    // neighbours until no relation shrinks. Every superstep exchanges the
+    // candidate sets as messages.
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      ++stats->num_stages;
+      for (size_t i = 0; i < relations.size(); ++i) {
+        for (size_t j = 0; j < relations.size(); ++j) {
+          if (i == j) continue;
+          // Semi-join: keep rows of i that agree with some row of j on the
+          // shared columns (if any).
+          bool shares = false;
+          for (QVertexId c : relations[i].columns) {
+            if (std::find(relations[j].columns.begin(),
+                          relations[j].columns.end(),
+                          c) != relations[j].columns.end()) {
+              shares = true;
+              break;
+            }
+          }
+          if (!shares) continue;
+          size_t before = relations[i].rows.size();
+          Relation semi = HashJoin(relations[i], relations[j]);
+          // Project back to i's columns.
+          Relation projected;
+          projected.columns = relations[i].columns;
+          for (const auto& row : semi.rows) {
+            std::vector<TermId> kept;
+            for (QVertexId c : relations[i].columns) {
+              size_t idx = static_cast<size_t>(
+                  std::find(semi.columns.begin(), semi.columns.end(), c) -
+                  semi.columns.begin());
+              kept.push_back(row[idx]);
+            }
+            projected.rows.push_back(std::move(kept));
+          }
+          std::sort(projected.rows.begin(), projected.rows.end());
+          projected.rows.erase(
+              std::unique(projected.rows.begin(), projected.rows.end()),
+              projected.rows.end());
+          stats->shipment_bytes += projected.ByteSize();
+          if (projected.rows.size() < before) changed = true;
+          relations[i] = std::move(projected);
+        }
+      }
+    }
+    // Collect phase: join the refined relations.
+    std::sort(relations.begin(), relations.end(),
+              [](const Relation& a, const Relation& b) {
+                return a.rows.size() < b.rows.size();
+              });
+    Relation acc = std::move(relations.front());
+    for (size_t i = 1; i < relations.size(); ++i) {
+      acc = HashJoin(acc, relations[i]);
+      stats->intermediate_rows += acc.rows.size();
+    }
+    stats->shipment_bytes += acc.ByteSize();
+    result = VerifyAll(dataset_->graph(), rq, RelationToBindings(acc, rq));
+  }
+  stats->exec_time_ms = watch.ElapsedMillis();
+  stats->simulated_overhead_ms =
+      kS2xSuperstepOverheadMs * static_cast<double>(stats->num_stages);
+  stats->reported_time_ms = stats->exec_time_ms + stats->simulated_overhead_ms;
+  return result;
+}
+
+}  // namespace gstored

@@ -1,0 +1,116 @@
+#ifndef GSTORED_BASELINES_SYSTEMS_H_
+#define GSTORED_BASELINES_SYSTEMS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/relational.h"
+#include "rdf/dataset.h"
+#include "sparql/query_graph.h"
+#include "store/local_store.h"
+#include "store/matcher.h"
+
+namespace gstored {
+
+/// Per-query statistics of a baseline run. `reported_time_ms` is the number
+/// plotted in the Fig. 12 comparison: the measured execution time plus the
+/// architecture's simulated fixed per-stage overheads (Hadoop/Spark job
+/// launch, GraphX supersteps, RDF-3X subquery startup). The overheads model
+/// what the paper attributes to "the expensive overhead of scans and joins
+/// in the cloud"; they are constants documented below, not measurements.
+struct BaselineStats {
+  double exec_time_ms = 0.0;
+  double simulated_overhead_ms = 0.0;
+  double reported_time_ms = 0.0;
+  size_t shipment_bytes = 0;
+  size_t num_stages = 0;
+  size_t intermediate_rows = 0;
+};
+
+/// Simulated per-stage overheads (milliseconds).
+inline constexpr double kDreamSubqueryOverheadMs = 25.0;   // RDF-3X startup
+inline constexpr double kS2RdfStageOverheadMs = 120.0;     // Spark SQL stage
+inline constexpr double kCliqueSquareStageOverheadMs = 300.0;  // Hadoop job
+inline constexpr double kS2xSuperstepOverheadMs = 100.0;   // GraphX superstep
+
+/// Interface of the comparison systems. All implementations are exact: they
+/// return the same match set as the centralized oracle (verified in tests),
+/// and differ in join structure, shipment and overhead accounting.
+class BaselineSystem {
+ public:
+  virtual ~BaselineSystem() = default;
+  virtual std::string name() const = 0;
+  virtual std::vector<Binding> Execute(const QueryGraph& query,
+                                       BaselineStats* stats) = 0;
+};
+
+/// DREAM analogue: every site holds the whole dataset; the query is
+/// decomposed into star subqueries, each evaluated at one site over the full
+/// graph; subquery results are shipped to the coordinator and hash-joined.
+/// Strong on selective queries; complex queries produce large subquery
+/// results whose shipment and joins dominate — the paper's observation.
+class DreamAnalog : public BaselineSystem {
+ public:
+  explicit DreamAnalog(const Dataset* dataset);
+  std::string name() const override { return "DREAM"; }
+  std::vector<Binding> Execute(const QueryGraph& query,
+                               BaselineStats* stats) override;
+
+ private:
+  const Dataset* dataset_;
+  LocalStore store_;
+};
+
+/// S2RDF analogue: vertical partitioning (one table per predicate) with
+/// left-deep hash joins, each join a Spark stage that shuffles both inputs.
+class S2RdfAnalog : public BaselineSystem {
+ public:
+  explicit S2RdfAnalog(const Dataset* dataset);
+  std::string name() const override { return "S2RDF"; }
+  std::vector<Binding> Execute(const QueryGraph& query,
+                               BaselineStats* stats) override;
+
+ private:
+  const Dataset* dataset_;
+  LocalStore store_;
+};
+
+/// CliqueSquare analogue: star (clique) decomposition evaluated in one
+/// MapReduce stage, followed by a flat plan of n-ary joins — few stages
+/// (CliqueSquare's selling point) but heavyweight ones.
+class CliqueSquareAnalog : public BaselineSystem {
+ public:
+  explicit CliqueSquareAnalog(const Dataset* dataset);
+  std::string name() const override { return "CliqueSquare"; }
+  std::vector<Binding> Execute(const QueryGraph& query,
+                               BaselineStats* stats) override;
+
+ private:
+  const Dataset* dataset_;
+  LocalStore store_;
+};
+
+/// S2X analogue: GraphX-style vertex-centric evaluation — per-pattern
+/// candidate relations refined by semi-join supersteps until fixpoint, then
+/// collected and joined. Supersteps dominate the cost profile.
+class S2xAnalog : public BaselineSystem {
+ public:
+  explicit S2xAnalog(const Dataset* dataset);
+  std::string name() const override { return "S2X"; }
+  std::vector<Binding> Execute(const QueryGraph& query,
+                               BaselineStats* stats) override;
+
+ private:
+  const Dataset* dataset_;
+  LocalStore store_;
+};
+
+/// Decomposes a query into star groups (edge sets sharing one center),
+/// greedily covering all edges — used by DREAM and CliqueSquare. Exposed
+/// for testing.
+std::vector<std::vector<QEdgeId>> StarDecomposition(const QueryGraph& query);
+
+}  // namespace gstored
+
+#endif  // GSTORED_BASELINES_SYSTEMS_H_

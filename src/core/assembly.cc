@@ -1,0 +1,308 @@
+#include "core/assembly.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace gstored {
+namespace {
+
+/// An in-flight joined partial result (the PM_k of Alg. 3).
+struct PartialJoin {
+  Bitset sign;
+  std::vector<CrossingPairMap> crossing;
+  Binding binding;
+};
+
+uint64_t PartialKey(const Bitset& sign, const Binding& binding) {
+  return HashCombine(sign.Hash(),
+                     HashRange(binding.begin(), binding.end()));
+}
+
+uint64_t BindingKey(const Binding& binding) {
+  return HashRange(binding.begin(), binding.end());
+}
+
+/// Collects complete bindings with deduplication.
+class ResultSink {
+ public:
+  void Add(const Binding& binding) {
+    uint64_t key = BindingKey(binding);
+    auto [it, inserted] = buckets_.try_emplace(key);
+    for (size_t i : it->second) {
+      if (results_[i] == binding) return;
+    }
+    it->second.push_back(results_.size());
+    results_.push_back(binding);
+  }
+
+  std::vector<Binding> Take() { return std::move(results_); }
+
+ private:
+  std::unordered_map<uint64_t, std::vector<size_t>> buckets_;
+  std::vector<Binding> results_;
+};
+
+/// Attempts the join of a partial with an LPM; returns true and fills `out`
+/// when the features are joinable and the bindings agree.
+bool TryJoin(const PartialJoin& partial, const LocalPartialMatch& pm,
+             AssemblyStats* stats, PartialJoin* out) {
+  ++stats->join_attempts;
+  if (!FeaturesJoinable(partial.sign, partial.crossing, pm.sign,
+                        pm.crossing)) {
+    return false;
+  }
+  Binding merged;
+  if (!MergeBindings(partial.binding, pm.binding, &merged)) {
+    // Thm. 3 says feature-joinability implies binding compatibility for
+    // well-formed LPMs; count it so the property tests can assert zero.
+    ++stats->binding_conflicts;
+    return false;
+  }
+  out->sign = partial.sign | pm.sign;
+  out->crossing = MergeCrossing(partial.crossing, pm.crossing);
+  out->binding = std::move(merged);
+  return true;
+}
+
+/// Shared context for the LEC-grouped DFS assembly.
+struct AssemblyContext {
+  const std::vector<LocalPartialMatch>* lpms;
+  std::vector<std::vector<uint32_t>> groups;
+  std::vector<std::vector<uint32_t>> adjacency;
+  std::vector<bool> active;
+  AssemblyStats* stats;
+  ResultSink* sink;
+  // Global dedup of materialized partials, so revisiting the same partial
+  // through a different group order does not re-expand it.
+  std::unordered_map<uint64_t, std::vector<PartialJoin>> seen;
+
+  bool AlreadySeen(const PartialJoin& pj) {
+    uint64_t key = PartialKey(pj.sign, pj.binding);
+    auto& bucket = seen[key];
+    for (const PartialJoin& old : bucket) {
+      if (old.sign == pj.sign && old.binding == pj.binding) return true;
+    }
+    bucket.push_back(pj);
+    ++stats->intermediate_results;
+    return false;
+  }
+};
+
+void ComParJoin(AssemblyContext& ctx, std::vector<bool>& visited,
+                const std::vector<PartialJoin>& frontier) {
+  for (uint32_t g = 0; g < ctx.groups.size(); ++g) {
+    if (!ctx.active[g] || visited[g]) continue;
+    bool adjacent = false;
+    for (uint32_t nb : ctx.adjacency[g]) {
+      if (visited[nb]) {
+        adjacent = true;
+        break;
+      }
+    }
+    if (!adjacent) continue;
+
+    std::vector<PartialJoin> next;
+    for (const PartialJoin& pj : frontier) {
+      for (uint32_t pm_idx : ctx.groups[g]) {
+        PartialJoin joined;
+        if (!TryJoin(pj, (*ctx.lpms)[pm_idx], ctx.stats, &joined)) continue;
+        if (joined.sign.All()) {
+          ctx.sink->Add(joined.binding);
+          continue;
+        }
+        if (!ctx.AlreadySeen(joined)) next.push_back(std::move(joined));
+      }
+    }
+    if (!next.empty()) {
+      visited[g] = true;
+      ComParJoin(ctx, visited, next);
+      visited[g] = false;
+    }
+  }
+}
+
+}  // namespace
+
+bool MergeBindings(const Binding& a, const Binding& b, Binding* out) {
+  GSTORED_CHECK_EQ(a.size(), b.size());
+  out->resize(a.size());
+  for (size_t v = 0; v < a.size(); ++v) {
+    if (a[v] == kNullTerm) {
+      (*out)[v] = b[v];
+    } else if (b[v] == kNullTerm || b[v] == a[v]) {
+      (*out)[v] = a[v];
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<Binding> LecAssembly(const std::vector<LocalPartialMatch>& lpms,
+                                 size_t num_query_vertices,
+                                 AssemblyStats* stats) {
+  AssemblyStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  ResultSink sink;
+  if (lpms.empty()) return sink.Take();
+
+  AssemblyContext ctx;
+  ctx.lpms = &lpms;
+  ctx.stats = stats;
+  ctx.sink = &sink;
+
+  // Def. 11: group LPMs by LECSign.
+  std::unordered_map<uint64_t, std::vector<uint32_t>> sign_buckets;
+  std::vector<Bitset> group_signs;
+  for (uint32_t i = 0; i < lpms.size(); ++i) {
+    GSTORED_CHECK_EQ(lpms[i].sign.size(), num_query_vertices);
+    uint64_t h = lpms[i].sign.Hash();
+    bool placed = false;
+    for (uint32_t g : sign_buckets[h]) {
+      if (group_signs[g] == lpms[i].sign) {
+        ctx.groups[g].push_back(i);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      sign_buckets[h].push_back(static_cast<uint32_t>(ctx.groups.size()));
+      group_signs.push_back(lpms[i].sign);
+      ctx.groups.push_back({i});
+    }
+  }
+  stats->num_groups = ctx.groups.size();
+
+  // Group join graph: edge when some cross-group LPM pair has joinable
+  // features (signature test only — binding agreement is checked during
+  // the actual joins).
+  size_t num_groups = ctx.groups.size();
+  ctx.adjacency.assign(num_groups, {});
+  for (uint32_t a = 0; a < num_groups; ++a) {
+    for (uint32_t b = a + 1; b < num_groups; ++b) {
+      bool joinable = false;
+      for (uint32_t pa : ctx.groups[a]) {
+        for (uint32_t pb : ctx.groups[b]) {
+          ++stats->join_attempts;
+          if (FeaturesJoinable(lpms[pa].sign, lpms[pa].crossing,
+                               lpms[pb].sign, lpms[pb].crossing)) {
+            joinable = true;
+            break;
+          }
+        }
+        if (joinable) break;
+      }
+      if (joinable) {
+        ctx.adjacency[a].push_back(b);
+        ctx.adjacency[b].push_back(a);
+        ++stats->num_join_graph_edges;
+      }
+    }
+  }
+
+  ctx.active.assign(num_groups, true);
+  auto remove_outliers = [&] {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (uint32_t g = 0; g < num_groups; ++g) {
+        if (!ctx.active[g]) continue;
+        bool has_neighbor = false;
+        for (uint32_t nb : ctx.adjacency[g]) {
+          if (ctx.active[nb]) {
+            has_neighbor = true;
+            break;
+          }
+        }
+        if (!has_neighbor) {
+          ctx.active[g] = false;
+          changed = true;
+        }
+      }
+    }
+  };
+  remove_outliers();
+
+  while (true) {
+    uint32_t vmin = static_cast<uint32_t>(-1);
+    size_t vmin_size = static_cast<size_t>(-1);
+    for (uint32_t g = 0; g < num_groups; ++g) {
+      if (ctx.active[g] && ctx.groups[g].size() < vmin_size) {
+        vmin = g;
+        vmin_size = ctx.groups[g].size();
+      }
+    }
+    if (vmin == static_cast<uint32_t>(-1)) break;
+
+    std::vector<PartialJoin> seeds;
+    seeds.reserve(ctx.groups[vmin].size());
+    for (uint32_t pm_idx : ctx.groups[vmin]) {
+      const LocalPartialMatch& pm = lpms[pm_idx];
+      seeds.push_back({pm.sign, pm.crossing, pm.binding});
+    }
+    std::vector<bool> visited(num_groups, false);
+    visited[vmin] = true;
+    ComParJoin(ctx, visited, seeds);
+
+    ctx.active[vmin] = false;
+    remove_outliers();
+  }
+  return sink.Take();
+}
+
+std::vector<Binding> BasicAssembly(const std::vector<LocalPartialMatch>& lpms,
+                                   size_t num_query_vertices,
+                                   AssemblyStats* stats) {
+  AssemblyStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  ResultSink sink;
+  if (lpms.empty()) return sink.Take();
+  for (const LocalPartialMatch& pm : lpms) {
+    GSTORED_CHECK_EQ(pm.sign.size(), num_query_vertices);
+  }
+
+  // Worklist join without any grouping: every unique partial is expanded
+  // against every LPM. Dedup guarantees termination (signs grow monotonically
+  // and there are finitely many (sign, binding) pairs).
+  std::unordered_map<uint64_t, std::vector<PartialJoin>> seen;
+  auto already_seen = [&](const PartialJoin& pj) {
+    uint64_t key = PartialKey(pj.sign, pj.binding);
+    auto& bucket = seen[key];
+    for (const PartialJoin& old : bucket) {
+      if (old.sign == pj.sign && old.binding == pj.binding) return true;
+    }
+    bucket.push_back(pj);
+    ++stats->intermediate_results;
+    return false;
+  };
+
+  std::vector<PartialJoin> frontier;
+  frontier.reserve(lpms.size());
+  for (const LocalPartialMatch& pm : lpms) {
+    PartialJoin pj{pm.sign, pm.crossing, pm.binding};
+    if (!already_seen(pj)) frontier.push_back(std::move(pj));
+  }
+
+  while (!frontier.empty()) {
+    std::vector<PartialJoin> next;
+    for (const PartialJoin& pj : frontier) {
+      for (const LocalPartialMatch& pm : lpms) {
+        PartialJoin joined;
+        if (!TryJoin(pj, pm, stats, &joined)) continue;
+        if (joined.sign.All()) {
+          sink.Add(joined.binding);
+          continue;
+        }
+        if (!already_seen(joined)) next.push_back(std::move(joined));
+      }
+    }
+    frontier = std::move(next);
+  }
+  return sink.Take();
+}
+
+}  // namespace gstored

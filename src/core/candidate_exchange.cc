@@ -1,0 +1,53 @@
+#include "core/candidate_exchange.h"
+
+#include "util/logging.h"
+
+namespace gstored {
+
+CandidateExchange ExchangeInternalCandidates(
+    const Partitioning& partitioning,
+    const std::vector<const LocalStore*>& stores, const ResolvedQuery& rq,
+    SimulatedCluster& cluster, size_t filter_bits) {
+  const QueryGraph& q = *rq.query;
+  size_t n = q.num_vertices();
+  int num_sites = cluster.num_sites();
+  GSTORED_CHECK_EQ(static_cast<size_t>(num_sites), stores.size());
+  GSTORED_CHECK_EQ(static_cast<size_t>(num_sites),
+                   partitioning.num_fragments());
+
+  CandidateExchange result;
+  result.filters.assign(n, BitvectorFilter(filter_bits));
+
+  // Site side of Alg. 4 (lines 10-15): compute internal candidates per
+  // variable and fold them into the site's bit vectors.
+  std::vector<std::vector<BitvectorFilter>> site_filters(
+      num_sites, std::vector<BitvectorFilter>(n, BitvectorFilter(filter_bits)));
+  StageRun run = cluster.RunStage([&](int site) {
+    const Fragment& fragment = partitioning.fragments()[site];
+    for (QVertexId v = 0; v < n; ++v) {
+      if (!q.vertex(v).is_variable) continue;
+      for (TermId u : stores[site]->Candidates(rq, v)) {
+        if (fragment.IsInternal(u)) site_filters[site][v].Insert(u);
+      }
+    }
+  });
+  result.stage_millis = run.max_millis;
+
+  // Coordinator side (lines 1-8): union the vectors and broadcast.
+  size_t variable_count = 0;
+  for (QVertexId v = 0; v < n; ++v) {
+    if (!q.vertex(v).is_variable) continue;
+    ++variable_count;
+    for (int site = 0; site < num_sites; ++site) {
+      result.filters[v].UnionWith(site_filters[site][v]);
+    }
+  }
+  size_t per_vector = BitvectorFilter(filter_bits).ByteSize();
+  // Upload (sites -> coordinator) plus broadcast (coordinator -> sites).
+  result.shipment_bytes =
+      2 * static_cast<size_t>(num_sites) * variable_count * per_vector;
+  cluster.ledger().Add(kCandidateStage, result.shipment_bytes);
+  return result;
+}
+
+}  // namespace gstored

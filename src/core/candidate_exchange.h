@@ -1,0 +1,45 @@
+#ifndef GSTORED_CORE_CANDIDATE_EXCHANGE_H_
+#define GSTORED_CORE_CANDIDATE_EXCHANGE_H_
+
+#include <vector>
+
+#include "net/cluster.h"
+#include "partition/partitioning.h"
+#include "sparql/query_graph.h"
+#include "store/local_store.h"
+#include "util/bitvector_filter.h"
+
+namespace gstored {
+
+/// Ledger stage label under which Alg. 4 traffic is recorded.
+inline constexpr char kCandidateStage[] = "candidates";
+
+/// Result of Algorithm 4 ("assembling variables' internal candidates").
+struct CandidateExchange {
+  /// One OR-ed filter per query vertex (meaningful for variables; constants
+  /// keep an empty filter that is never consulted).
+  std::vector<BitvectorFilter> filters;
+  /// Bytes shipped: every site uploads one bit vector per variable and the
+  /// coordinator broadcasts the unions back.
+  size_t shipment_bytes = 0;
+  /// Response time of the stage (slowest site).
+  double stage_millis = 0.0;
+};
+
+/// Runs Algorithm 4 over the cluster: each site computes the internal
+/// candidates C(Q, v) of every variable, compresses them into a fixed-length
+/// hashed bit vector, and ships it to the coordinator; the coordinator ORs
+/// the per-site vectors and broadcasts the result. The returned filters have
+/// one-sided error: any vertex appearing in a final match is guaranteed to
+/// pass, so using them to restrict extended-vertex assignments is safe.
+///
+/// `stores[i]` must be the LocalStore of fragment i.
+CandidateExchange ExchangeInternalCandidates(
+    const Partitioning& partitioning,
+    const std::vector<const LocalStore*>& stores, const ResolvedQuery& rq,
+    SimulatedCluster& cluster,
+    size_t filter_bits = BitvectorFilter::kDefaultBits);
+
+}  // namespace gstored
+
+#endif  // GSTORED_CORE_CANDIDATE_EXCHANGE_H_

@@ -1,0 +1,161 @@
+#include "core/engine.h"
+
+#include <algorithm>
+
+#include "core/lec_feature.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace gstored {
+
+const char* EngineModeName(EngineMode mode) {
+  switch (mode) {
+    case EngineMode::kBasic: return "gStoreD-Basic";
+    case EngineMode::kLecAssembly: return "gStoreD-LA";
+    case EngineMode::kLecPruning: return "gStoreD-LO";
+    case EngineMode::kFull: return "gStoreD";
+  }
+  return "unknown";
+}
+
+void DedupBindings(std::vector<Binding>* bindings) {
+  std::sort(bindings->begin(), bindings->end());
+  bindings->erase(std::unique(bindings->begin(), bindings->end()),
+                  bindings->end());
+}
+
+DistributedEngine::DistributedEngine(const Partitioning* partitioning)
+    : partitioning_(partitioning),
+      cluster_(static_cast<int>(partitioning->num_fragments())) {
+  GSTORED_CHECK(partitioning != nullptr);
+  stores_.reserve(partitioning_->num_fragments());
+  for (const Fragment& fragment : partitioning_->fragments()) {
+    stores_.push_back(std::make_unique<LocalStore>(&fragment.graph()));
+  }
+}
+
+std::vector<Binding> DistributedEngine::Execute(const QueryGraph& query,
+                                                EngineMode mode,
+                                                QueryStats* stats) {
+  QueryStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  *stats = QueryStats();
+  stats->selective = query.HasSelectiveTriple();
+  cluster_.ledger().Reset();
+
+  Stopwatch total_watch;
+  const size_t num_sites = partitioning_->num_fragments();
+  const ResolvedQuery rq = ResolveQuery(query, partitioning_->dataset().dict());
+  const size_t n = query.num_vertices();
+
+  const bool star = query.IsStar();
+  stats->star_shortcut = star;
+
+  // ---- Stage A (kFull, non-star): assemble variables' internal candidates.
+  CandidateExchange exchange;
+  bool use_filter = false;
+  if (!star && mode == EngineMode::kFull) {
+    std::vector<const LocalStore*> store_ptrs;
+    store_ptrs.reserve(num_sites);
+    for (const auto& s : stores_) store_ptrs.push_back(s.get());
+    exchange = ExchangeInternalCandidates(*partitioning_, store_ptrs, rq,
+                                          cluster_);
+    stats->candidate_time_ms = exchange.stage_millis;
+    stats->candidate_shipment_bytes = exchange.shipment_bytes;
+    use_filter = true;
+  }
+
+  // ---- Stage B: partial evaluation. Every site computes its complete local
+  // matches; non-star queries additionally enumerate local partial matches
+  // and fold them into LEC features (Alg. 1 runs on the fly per site).
+  std::vector<std::vector<Binding>> site_matches(num_sites);
+  std::vector<std::vector<LocalPartialMatch>> site_lpms(num_sites);
+
+  EnumerateOptions enum_options;
+  if (use_filter) {
+    enum_options.extended_filter = [&](QVertexId v, TermId u) {
+      if (!query.vertex(v).is_variable) return true;
+      return exchange.filters[v].MayContain(u);
+    };
+  }
+
+  StageRun partial_run = cluster_.RunStage([&](int site) {
+    site_matches[site] = MatchQuery(*stores_[site], rq);
+    if (!star) {
+      site_lpms[site] = EnumerateLocalPartialMatches(
+          partitioning_->fragments()[site], *stores_[site], rq, enum_options);
+    }
+  });
+  stats->partial_eval_time_ms = partial_run.max_millis;
+
+  std::vector<Binding> matches;
+  for (auto& m : site_matches) {
+    matches.insert(matches.end(), m.begin(), m.end());
+  }
+  DedupBindings(&matches);
+  stats->num_local_matches = matches.size();
+
+  if (star) {
+    stats->num_matches = matches.size();
+    stats->total_time_ms = total_watch.ElapsedMillis();
+    return matches;
+  }
+
+  std::vector<LocalPartialMatch> lpms;
+  for (auto& pm : site_lpms) {
+    lpms.insert(lpms.end(), std::make_move_iterator(pm.begin()),
+                std::make_move_iterator(pm.end()));
+  }
+  stats->num_lpms = lpms.size();
+
+  // ---- Stage C (kLecPruning and up): ship LEC features, prune globally.
+  std::vector<LocalPartialMatch> surviving;
+  if (mode == EngineMode::kLecPruning || mode == EngineMode::kFull) {
+    Stopwatch lec_watch;
+    LecFeatureSet feature_set = ComputeLecFeatures(lpms);
+    stats->num_features = feature_set.features.size();
+    size_t feature_bytes = 0;
+    for (const LecFeature& f : feature_set.features) {
+      feature_bytes += f.ByteSize();
+    }
+    cluster_.ledger().Add(kLecFeatureStage, feature_bytes);
+    stats->lec_shipment_bytes = feature_bytes;
+
+    PruneResult prune = LecFeaturePruning(feature_set.features, n);
+    stats->num_surviving_features = prune.surviving_features;
+    stats->prune_bailed_out = prune.bailed_out;
+
+    surviving.reserve(lpms.size());
+    for (size_t i = 0; i < lpms.size(); ++i) {
+      if (prune.survives[feature_set.feature_of_lpm[i]]) {
+        surviving.push_back(std::move(lpms[i]));
+      }
+    }
+    stats->lec_prune_time_ms = lec_watch.ElapsedMillis();
+  } else {
+    surviving = std::move(lpms);
+  }
+  stats->num_lpms_shipped = surviving.size();
+
+  // ---- Stage D: ship the surviving LPMs to the coordinator and assemble.
+  Stopwatch assembly_watch;
+  size_t lpm_bytes = 0;
+  for (const LocalPartialMatch& pm : surviving) lpm_bytes += pm.ByteSize();
+  cluster_.ledger().Add(kLpmShipmentStage, lpm_bytes);
+  stats->lpm_shipment_bytes = lpm_bytes;
+
+  std::vector<Binding> crossing =
+      mode == EngineMode::kBasic
+          ? BasicAssembly(surviving, n, &stats->assembly)
+          : LecAssembly(surviving, n, &stats->assembly);
+  stats->num_crossing_matches = crossing.size();
+  stats->assembly_time_ms = assembly_watch.ElapsedMillis();
+
+  matches.insert(matches.end(), crossing.begin(), crossing.end());
+  DedupBindings(&matches);
+  stats->num_matches = matches.size();
+  stats->total_time_ms = total_watch.ElapsedMillis();
+  return matches;
+}
+
+}  // namespace gstored

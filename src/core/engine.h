@@ -1,0 +1,97 @@
+#ifndef GSTORED_CORE_ENGINE_H_
+#define GSTORED_CORE_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/assembly.h"
+#include "core/candidate_exchange.h"
+#include "core/local_partial_match.h"
+#include "core/pruning.h"
+#include "net/cluster.h"
+#include "partition/partitioning.h"
+#include "sparql/query_graph.h"
+#include "store/local_store.h"
+#include "store/matcher.h"
+
+namespace gstored {
+
+/// The optimization levels of the Fig. 9 ablation:
+///  * kBasic       — "gStoreD-Basic": plain partial evaluation and assembly,
+///                   no LEC machinery (the [18] baseline).
+///  * kLecAssembly — "gStoreD-LA": LEC feature-based assembly only (Alg. 3).
+///  * kLecPruning  — "gStoreD-LO": LA plus LEC feature-based pruning
+///                   (Alg. 1-2) before assembly.
+///  * kFull        — "gStoreD": LO plus assembling variables' internal
+///                   candidates (Alg. 4).
+enum class EngineMode { kBasic, kLecAssembly, kLecPruning, kFull };
+
+/// Short printable name ("gStoreD-Basic", ..., "gStoreD").
+const char* EngineModeName(EngineMode mode);
+
+/// Ledger stage labels.
+inline constexpr char kLecFeatureStage[] = "lec_features";
+inline constexpr char kLpmShipmentStage[] = "lpm_shipment";
+
+/// Per-query statistics — the columns of Tables I-III.
+struct QueryStats {
+  bool star_shortcut = false;  ///< star query answered locally, no shipment
+  bool selective = false;      ///< query has a selective triple pattern
+
+  double candidate_time_ms = 0.0;     ///< Alg. 4 stage (kFull only)
+  double partial_eval_time_ms = 0.0;  ///< local matches + LPM enumeration
+  double lec_prune_time_ms = 0.0;     ///< Alg. 1-2 (feature ship + join)
+  double assembly_time_ms = 0.0;      ///< Alg. 3 / basic assembly
+  double total_time_ms = 0.0;
+
+  size_t candidate_shipment_bytes = 0;  ///< Alg. 4 bit vectors
+  size_t lec_shipment_bytes = 0;        ///< LEC features to the coordinator
+  size_t lpm_shipment_bytes = 0;        ///< surviving LPMs to the coordinator
+
+  size_t num_lpms = 0;             ///< local partial matches found
+  size_t num_lpms_shipped = 0;     ///< after LEC pruning
+  size_t num_features = 0;         ///< distinct LEC features (|Ψ|)
+  size_t num_surviving_features = 0;
+  size_t num_local_matches = 0;    ///< complete matches found inside sites
+  size_t num_crossing_matches = 0; ///< matches produced by assembly
+  size_t num_matches = 0;          ///< final deduplicated result count
+
+  bool prune_bailed_out = false;
+  AssemblyStats assembly;
+};
+
+/// The distributed SPARQL engine over a simulated cluster: one site per
+/// fragment, a coordinator, and the four optimization levels above.
+///
+/// The partitioning (and the dataset behind it) must outlive the engine.
+class DistributedEngine {
+ public:
+  explicit DistributedEngine(const Partitioning* partitioning);
+
+  DistributedEngine(const DistributedEngine&) = delete;
+  DistributedEngine& operator=(const DistributedEngine&) = delete;
+
+  /// Evaluates a BGP query and returns all matches (deduplicated full
+  /// bindings over the query's vertices). Star queries take the local-only
+  /// fast path regardless of mode (Sec. VIII-B). When `stats` is non-null
+  /// it is filled with the per-stage breakdown.
+  std::vector<Binding> Execute(const QueryGraph& query, EngineMode mode,
+                               QueryStats* stats = nullptr);
+
+  const Partitioning& partitioning() const { return *partitioning_; }
+  const LocalStore& store(int site) const { return *stores_[site]; }
+  SimulatedCluster& cluster() { return cluster_; }
+
+ private:
+  const Partitioning* partitioning_;
+  std::vector<std::unique_ptr<LocalStore>> stores_;
+  SimulatedCluster cluster_;
+};
+
+/// Deduplicates a set of bindings in place (sort + unique).
+void DedupBindings(std::vector<Binding>* bindings);
+
+}  // namespace gstored
+
+#endif  // GSTORED_CORE_ENGINE_H_

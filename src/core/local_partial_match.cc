@@ -1,0 +1,280 @@
+#include "core/local_partial_match.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/logging.h"
+
+namespace gstored {
+namespace {
+
+/// Backtracking state for one island mask.
+struct IslandSearch {
+  const Fragment* fragment;
+  const LocalStore* store;
+  const ResolvedQuery* rq;
+  const EnumerateOptions* options;
+  uint32_t island_mask;
+  std::vector<QVertexId> order;  // island vertices first, then boundary
+  size_t island_count;
+  std::vector<bool> in_island;
+  std::vector<bool> in_matched;
+  std::vector<bool> assigned;
+  Binding binding;
+  std::vector<LocalPartialMatch>* out;
+};
+
+/// True when the vertices of `mask` are weakly connected within the query
+/// graph using only mask vertices (Def. 5 condition 6).
+bool MaskConnected(const QueryGraph& q, uint32_t mask) {
+  if (mask == 0) return false;
+  uint32_t start_bit = mask & (~mask + 1);
+  QVertexId start = static_cast<QVertexId>(__builtin_ctz(start_bit));
+  uint32_t seen = start_bit;
+  std::vector<QVertexId> stack = {start};
+  while (!stack.empty()) {
+    QVertexId v = stack.back();
+    stack.pop_back();
+    for (QVertexId nb : q.Neighbors(v)) {
+      uint32_t bit = uint32_t{1} << nb;
+      if ((mask & bit) && !(seen & bit)) {
+        seen |= bit;
+        stack.push_back(nb);
+      }
+    }
+  }
+  return seen == mask;
+}
+
+/// An edge participates in the partial match iff at least one endpoint is in
+/// the island (condition 5); edges between two boundary vertices stay
+/// unmatched (condition 3's "both extended" escape).
+bool EdgeRelevant(const IslandSearch& ctx, const QueryEdge& e) {
+  return ctx.in_island[e.from] || ctx.in_island[e.to];
+}
+
+bool ConsistentWithAssigned(const IslandSearch& ctx, QVertexId v, TermId u) {
+  const QueryGraph& q = *ctx.rq->query;
+  auto image = [&](QVertexId w) -> TermId {
+    return w == v ? u : ctx.binding[w];
+  };
+  // Group relevant incident edges by directed query pair; both endpoints
+  // must be assigned for the check to run now.
+  std::unordered_map<uint64_t, std::vector<QEdgeId>> groups;
+  for (QEdgeId eid : q.IncidentEdges(v)) {
+    const QueryEdge& e = q.edge(eid);
+    if (!EdgeRelevant(ctx, e)) continue;
+    QVertexId other = e.from == v ? e.to : e.from;
+    if (other != v && !ctx.assigned[other]) continue;
+    groups[(static_cast<uint64_t>(e.from) << 32) | e.to].push_back(eid);
+  }
+  for (const auto& [key, group] : groups) {
+    QVertexId from = static_cast<QVertexId>(key >> 32);
+    QVertexId to = static_cast<QVertexId>(key & 0xffffffffu);
+    if (!ParallelEdgesSatisfiable(ctx.store->graph(), *ctx.rq, group,
+                                  image(from), image(to))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Candidate domain for the vertex at `depth` in the search order.
+std::vector<TermId> DomainFor(const IslandSearch& ctx, size_t depth) {
+  const QueryGraph& q = *ctx.rq->query;
+  const RdfGraph& g = ctx.store->graph();
+  QVertexId v = ctx.order[depth];
+  bool island = ctx.in_island[v];
+
+  auto admissible = [&](TermId u) {
+    if (island) {
+      if (!ctx.fragment->IsInternal(u)) return false;
+    } else {
+      if (!ctx.fragment->IsExtended(u)) return false;
+      if (ctx.options->extended_filter && !ctx.options->extended_filter(v, u)) {
+        return false;
+      }
+    }
+    TermId constant = ctx.rq->vertex_term[v];
+    return constant == kNullTerm || constant == u;
+  };
+
+  TermId constant = ctx.rq->vertex_term[v];
+  std::vector<TermId> domain;
+  if (constant != kNullTerm) {
+    if (g.HasVertex(constant) && admissible(constant)) {
+      domain.push_back(constant);
+    }
+    return domain;
+  }
+
+  // Pivot on an assigned neighbour through a relevant edge, preferring
+  // constant predicates.
+  QEdgeId pivot = static_cast<QEdgeId>(-1);
+  bool pivot_constant = false;
+  for (QEdgeId eid : q.IncidentEdges(v)) {
+    const QueryEdge& e = q.edge(eid);
+    if (!EdgeRelevant(ctx, e)) continue;
+    QVertexId other = e.from == v ? e.to : e.from;
+    if (other == v || !ctx.assigned[other]) continue;
+    bool has_const = ctx.rq->edge_pred[eid] != kNullTerm;
+    if (pivot == static_cast<QEdgeId>(-1) || (has_const && !pivot_constant)) {
+      pivot = eid;
+      pivot_constant = has_const;
+    }
+  }
+
+  if (pivot == static_cast<QEdgeId>(-1)) {
+    // First vertex of the island: seed from the store's candidates.
+    GSTORED_CHECK(island);
+    for (TermId u : ctx.store->Candidates(*ctx.rq, v)) {
+      if (admissible(u)) domain.push_back(u);
+    }
+    return domain;
+  }
+
+  const QueryEdge& e = q.edge(pivot);
+  TermId pred = ctx.rq->edge_pred[pivot];
+  bool v_is_subject = (e.from == v);
+  TermId anchor = ctx.binding[v_is_subject ? e.to : e.from];
+  auto half_edges = v_is_subject ? g.InEdges(anchor) : g.OutEdges(anchor);
+  for (const HalfEdge& h : half_edges) {
+    if (pred != kNullTerm && h.predicate != pred) continue;
+    if (admissible(h.neighbor)) domain.push_back(h.neighbor);
+  }
+  std::sort(domain.begin(), domain.end());
+  domain.erase(std::unique(domain.begin(), domain.end()), domain.end());
+  return domain;
+}
+
+void EmitMatch(IslandSearch& ctx) {
+  const QueryGraph& q = *ctx.rq->query;
+  LocalPartialMatch pm;
+  pm.fragment = ctx.fragment->id();
+  pm.binding = ctx.binding;
+  pm.sign = Bitset(q.num_vertices());
+  for (QVertexId v = 0; v < q.num_vertices(); ++v) {
+    if (ctx.in_island[v]) pm.sign.Set(v);
+  }
+  for (const QueryEdge& e : q.edges()) {
+    bool from_island = ctx.in_island[e.from];
+    bool to_island = ctx.in_island[e.to];
+    if (from_island == to_island) continue;  // internal or unmatched edge
+    pm.crossing.push_back({e.from, e.to, ctx.binding[e.from],
+                           ctx.binding[e.to]});
+  }
+  std::sort(pm.crossing.begin(), pm.crossing.end());
+  pm.crossing.erase(std::unique(pm.crossing.begin(), pm.crossing.end()),
+                    pm.crossing.end());
+  // Condition 4: at least one crossing edge.
+  GSTORED_CHECK(!pm.crossing.empty());
+  ctx.out->push_back(std::move(pm));
+}
+
+void Extend(IslandSearch& ctx, size_t depth) {
+  if (ctx.out->size() >= ctx.options->max_results) return;
+  if (depth == ctx.order.size()) {
+    EmitMatch(ctx);
+    return;
+  }
+  QVertexId v = ctx.order[depth];
+  for (TermId u : DomainFor(ctx, depth)) {
+    if (ctx.out->size() >= ctx.options->max_results) return;
+    if (!ConsistentWithAssigned(ctx, v, u)) continue;
+    ctx.binding[v] = u;
+    ctx.assigned[v] = true;
+    Extend(ctx, depth + 1);
+    ctx.assigned[v] = false;
+    ctx.binding[v] = kNullTerm;
+  }
+}
+
+/// Builds the search order for one island mask: island vertices in a
+/// BFS-through-island order (so each has an assigned island pivot), then the
+/// boundary vertices (each adjacent to the island by construction).
+std::vector<QVertexId> BuildOrder(const QueryGraph& q, uint32_t island_mask,
+                                  uint32_t boundary_mask) {
+  std::vector<QVertexId> order;
+  uint32_t start_bit = island_mask & (~island_mask + 1);
+  QVertexId start = static_cast<QVertexId>(__builtin_ctz(start_bit));
+  uint32_t placed = 0;
+  order.push_back(start);
+  placed |= uint32_t{1} << start;
+  for (size_t i = 0; i < order.size(); ++i) {
+    for (QVertexId nb : q.Neighbors(order[i])) {
+      uint32_t bit = uint32_t{1} << nb;
+      if ((island_mask & bit) && !(placed & bit)) {
+        placed |= bit;
+        order.push_back(nb);
+      }
+    }
+  }
+  for (QVertexId v = 0; v < q.num_vertices(); ++v) {
+    if (boundary_mask & (uint32_t{1} << v)) order.push_back(v);
+  }
+  return order;
+}
+
+}  // namespace
+
+std::string LocalPartialMatch::ToString(const TermDict& dict) const {
+  std::string out = "[";
+  for (size_t v = 0; v < binding.size(); ++v) {
+    if (v > 0) out += ",";
+    out += binding[v] == kNullTerm ? "NULL" : dict.lexical(binding[v]);
+  }
+  out += "]";
+  return out;
+}
+
+std::vector<LocalPartialMatch> EnumerateLocalPartialMatches(
+    const Fragment& fragment, const LocalStore& store, const ResolvedQuery& rq,
+    const EnumerateOptions& options) {
+  std::vector<LocalPartialMatch> results;
+  if (rq.impossible) return results;
+  const QueryGraph& q = *rq.query;
+  size_t n = q.num_vertices();
+  GSTORED_CHECK_MSG(n >= 1 && n <= 20,
+                    "query size outside the supported 1..20 vertex range");
+
+  for (uint32_t island_mask = 1; island_mask < (uint32_t{1} << n);
+       ++island_mask) {
+    if (!MaskConnected(q, island_mask)) continue;
+
+    uint32_t boundary_mask = 0;
+    for (QVertexId v = 0; v < n; ++v) {
+      if (!(island_mask & (uint32_t{1} << v))) continue;
+      for (QVertexId nb : q.Neighbors(v)) {
+        uint32_t bit = uint32_t{1} << nb;
+        if (!(island_mask & bit)) boundary_mask |= bit;
+      }
+    }
+    // An island covering a whole connected component has no crossing edge
+    // and is a complete local match, not a partial one (condition 4).
+    if (boundary_mask == 0) continue;
+
+    IslandSearch ctx;
+    ctx.fragment = &fragment;
+    ctx.store = &store;
+    ctx.rq = &rq;
+    ctx.options = &options;
+    ctx.island_mask = island_mask;
+    ctx.in_island.assign(n, false);
+    ctx.in_matched.assign(n, false);
+    for (QVertexId v = 0; v < n; ++v) {
+      uint32_t bit = uint32_t{1} << v;
+      ctx.in_island[v] = (island_mask & bit) != 0;
+      ctx.in_matched[v] = ((island_mask | boundary_mask) & bit) != 0;
+    }
+    ctx.order = BuildOrder(q, island_mask, boundary_mask);
+    ctx.island_count = static_cast<size_t>(__builtin_popcount(island_mask));
+    ctx.assigned.assign(n, false);
+    ctx.binding.assign(n, kNullTerm);
+    ctx.out = &results;
+    Extend(ctx, 0);
+    if (results.size() >= options.max_results) break;
+  }
+  return results;
+}
+
+}  // namespace gstored

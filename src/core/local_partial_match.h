@@ -1,0 +1,84 @@
+#ifndef GSTORED_CORE_LOCAL_PARTIAL_MATCH_H_
+#define GSTORED_CORE_LOCAL_PARTIAL_MATCH_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "partition/fragment.h"
+#include "rdf/term_dict.h"
+#include "store/local_store.h"
+#include "store/matcher.h"
+#include "util/bitset.h"
+
+namespace gstored {
+
+/// One crossing-edge mapping of a local partial match: the query edge's
+/// directed vertex pair together with the data vertex pair it maps to.
+/// This is the pair-level view of the function g of Def. 8 — sufficient
+/// because f is a function on vertices, so the data pair determines the
+/// mapping of both endpoints.
+struct CrossingPairMap {
+  QVertexId q_from = 0;
+  QVertexId q_to = 0;
+  TermId d_from = kNullTerm;
+  TermId d_to = kNullTerm;
+
+  friend bool operator==(const CrossingPairMap&, const CrossingPairMap&) =
+      default;
+  friend auto operator<=>(const CrossingPairMap&, const CrossingPairMap&) =
+      default;
+};
+
+/// A local partial match (Def. 5): the overlap of a (potential) crossing
+/// match with one fragment. `binding[v]` is f(v), kNullTerm where v is
+/// unmatched; `sign` has bit v set when f(v) is an internal vertex of the
+/// fragment (the LECSign of Def. 8); `crossing` lists the crossing-edge
+/// mappings, sorted and deduplicated.
+struct LocalPartialMatch {
+  FragmentId fragment = -1;
+  Binding binding;
+  Bitset sign;
+  std::vector<CrossingPairMap> crossing;
+
+  /// Serialized size in bytes, used for data-shipment accounting: one id per
+  /// query vertex, four ids per crossing mapping, plus the signature words.
+  size_t ByteSize() const {
+    return binding.size() * sizeof(TermId) +
+           crossing.size() * 4 * sizeof(TermId) + sign.ByteSize() +
+           sizeof(FragmentId);
+  }
+
+  /// Serialization in the paper's notation, e.g. "[006,NULL,001,NULL,003]".
+  std::string ToString(const TermDict& dict) const;
+};
+
+/// Options for the partial-match enumerator.
+struct EnumerateOptions {
+  /// Optional filter on extended-vertex assignments — Algorithm 4's
+  /// candidate bit vectors. A boundary assignment f(v)=u (u extended) is
+  /// only allowed when filter(v, u) is true. Internal assignments are never
+  /// filtered (they are always sound).
+  std::function<bool(QVertexId, TermId)> extended_filter;
+
+  /// Safety valve for pathological inputs (SIZE_MAX = unlimited).
+  size_t max_results = static_cast<size_t>(-1);
+};
+
+/// Enumerates every local partial match of the resolved query in `fragment`
+/// (Def. 5). The enumeration is island-driven: condition 6 forces the
+/// internally-matched query vertices to form one weakly-connected set I
+/// ("island"); condition 5 then forces exactly the query edges incident to I
+/// to be matched, with the non-island endpoints ("boundary") mapped to
+/// extended vertices via crossing edges. The function enumerates every
+/// connected island with a non-empty boundary and backtracks over
+/// label-consistent assignments.
+///
+/// `store` must be a LocalStore built over `fragment.graph()`.
+std::vector<LocalPartialMatch> EnumerateLocalPartialMatches(
+    const Fragment& fragment, const LocalStore& store,
+    const ResolvedQuery& rq, const EnumerateOptions& options = {});
+
+}  // namespace gstored
+
+#endif  // GSTORED_CORE_LOCAL_PARTIAL_MATCH_H_

@@ -1,0 +1,249 @@
+#include "core/pruning.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace gstored {
+namespace {
+
+/// An in-flight chain of joined LEC features (the LF_k of Alg. 2).
+struct JoinedFeature {
+  Bitset sign;
+  std::vector<CrossingPairMap> crossing;
+  std::vector<uint32_t> contributors;  // sorted base feature indices
+};
+
+uint64_t JoinedKey(const Bitset& sign,
+                   const std::vector<CrossingPairMap>& crossing) {
+  uint64_t h = sign.Hash();
+  for (const CrossingPairMap& c : crossing) {
+    h = HashCombine(h, (static_cast<uint64_t>(c.q_from) << 32) | c.q_to);
+    h = HashCombine(h, (static_cast<uint64_t>(c.d_from) << 32) | c.d_to);
+  }
+  return h;
+}
+
+void MergeContributors(std::vector<uint32_t>* into,
+                       const std::vector<uint32_t>& from) {
+  std::vector<uint32_t> merged;
+  merged.reserve(into->size() + from.size());
+  std::merge(into->begin(), into->end(), from.begin(), from.end(),
+             std::back_inserter(merged));
+  merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+  *into = std::move(merged);
+}
+
+struct PruneContext {
+  const std::vector<LecFeature>* features;
+  const PruneOptions* options;
+  std::vector<std::vector<uint32_t>> groups;     // feature indices per group
+  std::vector<std::vector<uint32_t>> adjacency;  // group join graph
+  std::vector<bool> active;                      // per group
+  PruneResult* result;
+  size_t joined_budget;  // remaining joined features before bail-out
+  bool exhausted = false;
+};
+
+void MarkSurvivors(PruneContext& ctx, const std::vector<uint32_t>& members) {
+  for (uint32_t f : members) {
+    if (!ctx.result->survives[f]) {
+      ctx.result->survives[f] = true;
+    }
+  }
+}
+
+/// The recursive expansion of Alg. 2's ComLECFJoin: joins the chains in
+/// `frontier` with every feature of every active group adjacent to the
+/// visited set, marking contributors of all-ones chains.
+void ComLecFJoin(PruneContext& ctx, std::vector<bool>& visited,
+                 const std::vector<JoinedFeature>& frontier) {
+  if (ctx.exhausted) return;
+  // Candidate groups: active, unvisited, adjacent to some visited group.
+  std::vector<uint32_t> expansion_groups;
+  for (uint32_t g = 0; g < ctx.groups.size(); ++g) {
+    if (!ctx.active[g] || visited[g]) continue;
+    bool adjacent = false;
+    for (uint32_t nb : ctx.adjacency[g]) {
+      if (visited[nb]) {
+        adjacent = true;
+        break;
+      }
+    }
+    if (adjacent) expansion_groups.push_back(g);
+  }
+
+  for (uint32_t g : expansion_groups) {
+    if (ctx.exhausted) return;
+    std::unordered_map<uint64_t, std::vector<size_t>> dedup;
+    std::vector<JoinedFeature> next;
+    for (const JoinedFeature& jf : frontier) {
+      for (uint32_t f_idx : ctx.groups[g]) {
+        const LecFeature& f = (*ctx.features)[f_idx];
+        ++ctx.result->join_attempts;
+        if (!FeaturesJoinable(jf.sign, jf.crossing, f.sign, f.crossing)) {
+          continue;
+        }
+        Bitset sign = jf.sign | f.sign;
+        std::vector<CrossingPairMap> crossing =
+            MergeCrossing(jf.crossing, f.crossing);
+        std::vector<uint32_t> contributors = jf.contributors;
+        MergeContributors(&contributors, {f_idx});
+        if (sign.All()) {
+          MarkSurvivors(ctx, contributors);
+          continue;  // a complete chain cannot be extended further
+        }
+        uint64_t key = JoinedKey(sign, crossing);
+        bool merged = false;
+        for (size_t slot : dedup[key]) {
+          if (next[slot].sign == sign && next[slot].crossing == crossing) {
+            MergeContributors(&next[slot].contributors, contributors);
+            merged = true;
+            break;
+          }
+        }
+        if (!merged) {
+          if (ctx.joined_budget == 0) {
+            ctx.exhausted = true;
+            return;
+          }
+          --ctx.joined_budget;
+          dedup[key].push_back(next.size());
+          next.push_back(
+              {std::move(sign), std::move(crossing), std::move(contributors)});
+        }
+      }
+    }
+    if (!next.empty()) {
+      visited[g] = true;
+      ComLecFJoin(ctx, visited, next);
+      visited[g] = false;
+    }
+  }
+}
+
+}  // namespace
+
+PruneResult LecFeaturePruning(const std::vector<LecFeature>& features,
+                              size_t num_query_vertices,
+                              const PruneOptions& options) {
+  PruneResult result;
+  result.survives.assign(features.size(), false);
+  if (features.empty()) return result;
+
+  PruneContext ctx;
+  ctx.features = &features;
+  ctx.options = &options;
+  ctx.result = &result;
+  ctx.joined_budget = options.max_joined_features;
+
+  // Def. 10: group features by LECSign.
+  std::unordered_map<uint64_t, std::vector<uint32_t>> sign_buckets;
+  std::vector<Bitset> group_signs;
+  for (uint32_t i = 0; i < features.size(); ++i) {
+    GSTORED_CHECK_EQ(features[i].sign.size(), num_query_vertices);
+    uint64_t h = features[i].sign.Hash();
+    bool placed = false;
+    for (uint32_t g : sign_buckets[h]) {
+      if (group_signs[g] == features[i].sign) {
+        ctx.groups[g].push_back(i);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      sign_buckets[h].push_back(static_cast<uint32_t>(ctx.groups.size()));
+      group_signs.push_back(features[i].sign);
+      ctx.groups.push_back({i});
+    }
+  }
+  result.num_groups = ctx.groups.size();
+
+  // Group join graph: an edge when some cross-group feature pair is
+  // joinable (two same-sign features never are — Thm. 5).
+  size_t num_groups = ctx.groups.size();
+  ctx.adjacency.assign(num_groups, {});
+  for (uint32_t a = 0; a < num_groups; ++a) {
+    for (uint32_t b = a + 1; b < num_groups; ++b) {
+      bool joinable = false;
+      for (uint32_t fa : ctx.groups[a]) {
+        for (uint32_t fb : ctx.groups[b]) {
+          ++result.join_attempts;
+          if (FeaturesJoinable(features[fa], features[fb])) {
+            joinable = true;
+            break;
+          }
+        }
+        if (joinable) break;
+      }
+      if (joinable) {
+        ctx.adjacency[a].push_back(b);
+        ctx.adjacency[b].push_back(a);
+        ++result.num_join_graph_edges;
+      }
+    }
+  }
+
+  ctx.active.assign(num_groups, true);
+  auto remove_outliers = [&] {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (uint32_t g = 0; g < num_groups; ++g) {
+        if (!ctx.active[g]) continue;
+        bool has_neighbor = false;
+        for (uint32_t nb : ctx.adjacency[g]) {
+          if (ctx.active[nb]) {
+            has_neighbor = true;
+            break;
+          }
+        }
+        if (!has_neighbor) {
+          ctx.active[g] = false;
+          changed = true;
+        }
+      }
+    }
+  };
+  remove_outliers();
+
+  // Main loop of Alg. 2: repeatedly expand chains from the smallest active
+  // group, then retire it.
+  while (!ctx.exhausted) {
+    uint32_t vmin = static_cast<uint32_t>(-1);
+    size_t vmin_size = static_cast<size_t>(-1);
+    for (uint32_t g = 0; g < num_groups; ++g) {
+      if (ctx.active[g] && ctx.groups[g].size() < vmin_size) {
+        vmin = g;
+        vmin_size = ctx.groups[g].size();
+      }
+    }
+    if (vmin == static_cast<uint32_t>(-1)) break;
+
+    std::vector<JoinedFeature> seeds;
+    seeds.reserve(ctx.groups[vmin].size());
+    for (uint32_t f_idx : ctx.groups[vmin]) {
+      const LecFeature& f = features[f_idx];
+      seeds.push_back({f.sign, f.crossing, {f_idx}});
+    }
+    std::vector<bool> visited(num_groups, false);
+    visited[vmin] = true;
+    ComLecFJoin(ctx, visited, seeds);
+
+    ctx.active[vmin] = false;
+    remove_outliers();
+  }
+
+  if (ctx.exhausted) {
+    // Safe fallback: pruning found too large a join space; keep everything.
+    result.bailed_out = true;
+    std::fill(result.survives.begin(), result.survives.end(), true);
+  }
+  result.surviving_features = static_cast<size_t>(
+      std::count(result.survives.begin(), result.survives.end(), true));
+  return result;
+}
+
+}  // namespace gstored

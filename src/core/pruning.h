@@ -1,0 +1,55 @@
+#ifndef GSTORED_CORE_PRUNING_H_
+#define GSTORED_CORE_PRUNING_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/lec_feature.h"
+
+namespace gstored {
+
+/// Outcome of the LEC feature-based pruning (Algorithm 2).
+struct PruneResult {
+  /// survives[i] is true when feature i can participate in some chain of
+  /// joinable features whose combined LECSign is all ones (Thm. 4) — i.e.
+  /// its LPMs may contribute to a complete crossing match.
+  std::vector<bool> survives;
+
+  // Statistics for the evaluation tables.
+  size_t num_groups = 0;            ///< LECSign-based feature groups (Def. 10)
+  size_t num_join_graph_edges = 0;  ///< edges of the group join graph
+  size_t join_attempts = 0;         ///< pairwise feature joins evaluated
+  size_t surviving_features = 0;
+
+  /// True when the join space exceeded `max_joined_features` and pruning
+  /// fell back to keeping everything (always safe — pruning is an
+  /// optimization, never a correctness requirement).
+  bool bailed_out = false;
+};
+
+/// Tuning knobs for LecFeaturePruning.
+struct PruneOptions {
+  /// Upper bound on materialized intermediate joined features before the
+  /// safe bail-out triggers.
+  size_t max_joined_features = 1u << 21;
+};
+
+/// Algorithm 2: groups features by LECSign (Def. 10 / Thm. 5), builds the
+/// group join graph, and DFS-explores joinable chains from the smallest
+/// group outward. Whenever a chain's combined sign reaches all ones, every
+/// base feature that contributed to the chain is marked as surviving.
+///
+/// This refines the paper's pseudocode slightly: line 8 of ComLECFJoin
+/// inserts whole groups into the result set, whereas we track the exact
+/// contributing features per joined chain — strictly more precise and still
+/// safe, because every complete match corresponds to some all-ones chain
+/// whose members all get marked.
+///
+/// `num_query_vertices` is |VQ| (the LECSign width).
+PruneResult LecFeaturePruning(const std::vector<LecFeature>& features,
+                              size_t num_query_vertices,
+                              const PruneOptions& options = {});
+
+}  // namespace gstored
+
+#endif  // GSTORED_CORE_PRUNING_H_

@@ -1,0 +1,62 @@
+#include "net/cluster.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace gstored {
+
+void ShipmentLedger::Add(const std::string& stage, size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  bytes_by_stage_[stage] += bytes;
+}
+
+size_t ShipmentLedger::StageBytes(const std::string& stage) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = bytes_by_stage_.find(stage);
+  return it == bytes_by_stage_.end() ? 0 : it->second;
+}
+
+size_t ShipmentLedger::TotalBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t total = 0;
+  for (const auto& [stage, bytes] : bytes_by_stage_) total += bytes;
+  return total;
+}
+
+std::vector<std::pair<std::string, size_t>> ShipmentLedger::Breakdown() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {bytes_by_stage_.begin(), bytes_by_stage_.end()};
+}
+
+void ShipmentLedger::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  bytes_by_stage_.clear();
+}
+
+SimulatedCluster::SimulatedCluster(int num_sites) : num_sites_(num_sites) {
+  GSTORED_CHECK_GT(num_sites, 0);
+}
+
+StageRun SimulatedCluster::RunStage(
+    const std::function<void(int site)>& task) const {
+  StageRun run;
+  run.site_millis.assign(num_sites_, 0.0);
+  std::vector<std::thread> threads;
+  threads.reserve(num_sites_);
+  for (int site = 0; site < num_sites_; ++site) {
+    threads.emplace_back([&, site] {
+      Stopwatch watch;
+      task(site);
+      run.site_millis[site] = watch.ElapsedMillis();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  run.max_millis =
+      *std::max_element(run.site_millis.begin(), run.site_millis.end());
+  return run;
+}
+
+}  // namespace gstored

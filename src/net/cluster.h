@@ -1,0 +1,71 @@
+#ifndef GSTORED_NET_CLUSTER_H_
+#define GSTORED_NET_CLUSTER_H_
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace gstored {
+
+/// Thread-safe ledger of simulated network traffic, the stand-in for the
+/// paper's MPI layer. Every byte a site would put on the wire is recorded
+/// here under a stage label ("candidates", "lec_features", "lpm_shipment"),
+/// which is exactly the "Data Shipment" column of Tables I-III.
+class ShipmentLedger {
+ public:
+  /// Records `bytes` of traffic attributed to `stage`.
+  void Add(const std::string& stage, size_t bytes);
+
+  /// Total bytes recorded for one stage.
+  size_t StageBytes(const std::string& stage) const;
+
+  /// Total bytes across all stages.
+  size_t TotalBytes() const;
+
+  /// All (stage, bytes) pairs, sorted by stage name.
+  std::vector<std::pair<std::string, size_t>> Breakdown() const;
+
+  /// Clears all counters (between queries).
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, size_t> bytes_by_stage_;
+};
+
+/// Result of running one distributed stage across all sites in parallel.
+struct StageRun {
+  /// Per-site wall-clock in milliseconds.
+  std::vector<double> site_millis;
+  /// Response time of the stage — the slowest site, matching the paper's
+  /// "evaluate at different sites in parallel" cost semantics.
+  double max_millis = 0.0;
+};
+
+/// The simulated cluster: a fixed number of sites plus a coordinator.
+/// RunStage executes `task(site_id)` for every site concurrently on real
+/// threads and reports per-site and max wall-clock. Tasks communicate only
+/// through values they return / shared structures guarded by the caller, and
+/// account traffic through the ledger.
+class SimulatedCluster {
+ public:
+  explicit SimulatedCluster(int num_sites);
+
+  int num_sites() const { return num_sites_; }
+
+  ShipmentLedger& ledger() { return ledger_; }
+  const ShipmentLedger& ledger() const { return ledger_; }
+
+  /// Runs `task` once per site, in parallel, and times each.
+  StageRun RunStage(const std::function<void(int site)>& task) const;
+
+ private:
+  int num_sites_;
+  ShipmentLedger ledger_;
+};
+
+}  // namespace gstored
+
+#endif  // GSTORED_NET_CLUSTER_H_

@@ -1,0 +1,34 @@
+#include "partition/fragment.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace gstored {
+
+Fragment::Fragment(FragmentId id, RdfGraph graph,
+                   std::unordered_set<TermId> internal_vertices,
+                   std::unordered_set<TermId> extended_vertices,
+                   std::vector<Triple> crossing_edges)
+    : id_(id),
+      graph_(std::move(graph)),
+      internal_(std::move(internal_vertices)),
+      extended_(std::move(extended_vertices)),
+      crossing_(std::move(crossing_edges)) {
+  graph_.Finalize();
+  std::sort(crossing_.begin(), crossing_.end());
+  crossing_.erase(std::unique(crossing_.begin(), crossing_.end()),
+                  crossing_.end());
+  // Vertex-disjointness: a vertex cannot be both internal and extended.
+  for (TermId v : extended_) {
+    GSTORED_CHECK_MSG(internal_.count(v) == 0,
+                      "vertex is both internal and extended");
+  }
+}
+
+bool Fragment::IsCrossingTriple(TermId s, TermId p, TermId o) const {
+  return std::binary_search(crossing_.begin(), crossing_.end(),
+                            Triple{s, p, o});
+}
+
+}  // namespace gstored

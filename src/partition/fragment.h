@@ -1,0 +1,76 @@
+#ifndef GSTORED_PARTITION_FRAGMENT_H_
+#define GSTORED_PARTITION_FRAGMENT_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "rdf/graph.h"
+
+namespace gstored {
+
+/// Id of a fragment (== the id of the site hosting it).
+using FragmentId = int;
+
+/// One fragment F_i of a vertex-disjoint partitioned RDF graph (Def. 1):
+/// internal vertices V_i, extended vertices V_i^e (endpoints of crossing
+/// edges owned by other fragments), internal edges E_i, and replicated
+/// crossing edges E_i^c. The fragment's RdfGraph holds E_i ∪ E_i^c, so a
+/// site can evaluate queries locally over it.
+class Fragment {
+ public:
+  Fragment(FragmentId id, RdfGraph graph,
+           std::unordered_set<TermId> internal_vertices,
+           std::unordered_set<TermId> extended_vertices,
+           std::vector<Triple> crossing_edges);
+
+  Fragment(const Fragment&) = delete;
+  Fragment& operator=(const Fragment&) = delete;
+  Fragment(Fragment&&) = default;
+  Fragment& operator=(Fragment&&) = default;
+
+  FragmentId id() const { return id_; }
+
+  /// The local graph E_i ∪ E_i^c (finalized).
+  const RdfGraph& graph() const { return graph_; }
+
+  /// V_i — vertices owned by this fragment.
+  const std::unordered_set<TermId>& internal_vertices() const {
+    return internal_;
+  }
+
+  /// V_i^e — endpoints of crossing edges that live in other fragments.
+  const std::unordered_set<TermId>& extended_vertices() const {
+    return extended_;
+  }
+
+  bool IsInternal(TermId v) const { return internal_.count(v) > 0; }
+  bool IsExtended(TermId v) const { return extended_.count(v) > 0; }
+
+  /// E_i^c — crossing edges incident to this fragment, sorted.
+  const std::vector<Triple>& crossing_edges() const { return crossing_; }
+
+  /// True if (s,p,o) is one of this fragment's crossing edges.
+  bool IsCrossingTriple(TermId s, TermId p, TermId o) const;
+
+  /// True if any edge s -> o (regardless of predicate) is crossing, i.e. at
+  /// least one endpoint is extended. Since partitioning is vertex-disjoint,
+  /// an edge is crossing exactly when its endpoints are owned by different
+  /// fragments.
+  bool IsCrossingPair(TermId s, TermId o) const {
+    return IsExtended(s) || IsExtended(o);
+  }
+
+  /// |E_i ∪ E_i^c| — the edge count used by the Sec. VII balance term.
+  size_t num_edges() const { return graph_.num_triples(); }
+
+ private:
+  FragmentId id_;
+  RdfGraph graph_;
+  std::unordered_set<TermId> internal_;
+  std::unordered_set<TermId> extended_;
+  std::vector<Triple> crossing_;
+};
+
+}  // namespace gstored
+
+#endif  // GSTORED_PARTITION_FRAGMENT_H_

@@ -1,0 +1,238 @@
+#include "partition/multilevel.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+#include <vector>
+
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace gstored {
+namespace {
+
+/// One level of the multilevel hierarchy: an undirected weighted graph.
+struct Level {
+  /// adj[v] = (neighbour, edge weight), weights of parallel/antiparallel
+  /// edges merged. Self-loops are dropped (they never contribute to a cut).
+  std::vector<std::vector<std::pair<int, int>>> adj;
+  std::vector<int> vertex_weight;  // number of original vertices contracted
+  std::vector<int> parent;         // this level's vertex -> coarser vertex
+};
+
+size_t NumVertices(const Level& level) { return level.adj.size(); }
+
+/// Heavy-edge matching: every unmatched vertex pairs with its heaviest
+/// unmatched neighbour. Returns the coarser level and fills level.parent.
+Level Coarsen(Level& level) {
+  size_t n = NumVertices(level);
+  std::vector<int> match(n, -1);
+  // Visit in degree-ascending order: low-degree vertices have fewer options,
+  // so give them first pick (a standard HEM heuristic).
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return level.adj[a].size() < level.adj[b].size();
+  });
+  for (int v : order) {
+    if (match[v] != -1) continue;
+    int best = -1;
+    int best_weight = 0;
+    for (const auto& [nb, w] : level.adj[v]) {
+      if (match[nb] == -1 && nb != v && w > best_weight) {
+        best = nb;
+        best_weight = w;
+      }
+    }
+    if (best != -1) {
+      match[v] = best;
+      match[best] = v;
+    } else {
+      match[v] = v;  // stays single
+    }
+  }
+
+  level.parent.assign(n, -1);
+  int coarse_count = 0;
+  for (size_t v = 0; v < n; ++v) {
+    if (level.parent[v] != -1) continue;
+    int mate = match[v];
+    level.parent[v] = coarse_count;
+    if (mate != static_cast<int>(v)) level.parent[mate] = coarse_count;
+    ++coarse_count;
+  }
+
+  Level coarse;
+  coarse.adj.assign(coarse_count, {});
+  coarse.vertex_weight.assign(coarse_count, 0);
+  for (size_t v = 0; v < n; ++v) {
+    coarse.vertex_weight[level.parent[v]] += level.vertex_weight[v];
+  }
+  std::vector<std::unordered_map<int, int>> merged(coarse_count);
+  for (size_t v = 0; v < n; ++v) {
+    int cv = level.parent[v];
+    for (const auto& [nb, w] : level.adj[v]) {
+      int cn = level.parent[nb];
+      if (cn == cv) continue;  // contracted or self edge
+      merged[cv][cn] += w;
+    }
+  }
+  for (int cv = 0; cv < coarse_count; ++cv) {
+    coarse.adj[cv].assign(merged[cv].begin(), merged[cv].end());
+  }
+  return coarse;
+}
+
+/// Greedy weighted BFS k-way partitioning of the coarsest level.
+std::vector<int> PartitionCoarsest(const Level& level, int k,
+                                   int total_weight, double balance_factor) {
+  size_t n = NumVertices(level);
+  std::vector<int> part(n, -1);
+  const double target = static_cast<double>(total_weight) / k;
+  const double cap = balance_factor * target;
+  std::vector<double> part_weight(k, 0.0);
+
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return level.vertex_weight[a] > level.vertex_weight[b];
+  });
+  size_t cursor = 0;
+  for (int p = 0; p < k; ++p) {
+    while (cursor < n && part[order[cursor]] != -1) ++cursor;
+    if (cursor >= n) break;
+    std::vector<int> frontier = {order[cursor]};
+    part[order[cursor]] = p;
+    part_weight[p] += level.vertex_weight[order[cursor]];
+    for (size_t i = 0; i < frontier.size() && part_weight[p] < target; ++i) {
+      for (const auto& [nb, w] : level.adj[frontier[i]]) {
+        if (part[nb] != -1 || part_weight[p] >= target) continue;
+        part[nb] = p;
+        part_weight[p] += level.vertex_weight[nb];
+        frontier.push_back(nb);
+      }
+    }
+  }
+  // Leftovers go to the lightest part that has room.
+  for (size_t v = 0; v < n; ++v) {
+    if (part[v] != -1) continue;
+    int lightest = static_cast<int>(
+        std::min_element(part_weight.begin(), part_weight.end()) -
+        part_weight.begin());
+    part[v] = lightest;
+    part_weight[lightest] += level.vertex_weight[v];
+  }
+  (void)cap;
+  return part;
+}
+
+/// Boundary refinement: move vertices to the neighbouring part with the
+/// highest cut gain while respecting the balance cap.
+void Refine(const Level& level, int k, double balance_factor,
+            std::vector<int>* part) {
+  size_t n = NumVertices(level);
+  int total_weight = 0;
+  for (size_t v = 0; v < n; ++v) total_weight += level.vertex_weight[v];
+  const double cap =
+      balance_factor * static_cast<double>(total_weight) / k;
+  std::vector<double> part_weight(k, 0.0);
+  for (size_t v = 0; v < n; ++v) {
+    part_weight[(*part)[v]] += level.vertex_weight[v];
+  }
+
+  for (int pass = 0; pass < 4; ++pass) {
+    bool moved = false;
+    for (size_t v = 0; v < n; ++v) {
+      // Connectivity of v to each part.
+      std::vector<int> link(k, 0);
+      for (const auto& [nb, w] : level.adj[v]) link[(*part)[nb]] += w;
+      int current = (*part)[v];
+      int best = current;
+      int best_gain = 0;
+      for (int p = 0; p < k; ++p) {
+        if (p == current) continue;
+        if (part_weight[p] + level.vertex_weight[v] > cap) continue;
+        int gain = link[p] - link[current];
+        if (gain > best_gain) {
+          best_gain = gain;
+          best = p;
+        }
+      }
+      if (best != current) {
+        part_weight[current] -= level.vertex_weight[v];
+        part_weight[best] += level.vertex_weight[v];
+        (*part)[v] = best;
+        moved = true;
+      }
+    }
+    if (!moved) break;
+  }
+}
+
+}  // namespace
+
+VertexAssignment MultilevelPartitioner::Assign(const Dataset& dataset,
+                                               int k) const {
+  GSTORED_CHECK_GT(k, 0);
+  const RdfGraph& graph = dataset.graph();
+  const std::vector<TermId>& vertices = graph.vertices();
+  VertexAssignment owner;
+  if (vertices.empty()) return owner;
+  if (k == 1) {
+    for (TermId v : vertices) owner[v] = 0;
+    return owner;
+  }
+
+  // Level 0: the undirected weighted view of the RDF graph.
+  std::unordered_map<TermId, int> index_of;
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    index_of[vertices[i]] = static_cast<int>(i);
+  }
+  std::vector<Level> levels(1);
+  Level& base = levels[0];
+  base.adj.assign(vertices.size(), {});
+  base.vertex_weight.assign(vertices.size(), 1);
+  {
+    std::vector<std::unordered_map<int, int>> merged(vertices.size());
+    for (const Triple& t : graph.triples()) {
+      int s = index_of[t.subject];
+      int o = index_of[t.object];
+      if (s == o) continue;
+      merged[s][o] += 1;
+      merged[o][s] += 1;
+    }
+    for (size_t v = 0; v < vertices.size(); ++v) {
+      base.adj[v].assign(merged[v].begin(), merged[v].end());
+    }
+  }
+
+  // Coarsening until small enough or no further contraction possible.
+  const size_t stop = std::max(coarsest_size_, static_cast<size_t>(4 * k));
+  while (NumVertices(levels.back()) > stop) {
+    Level coarse = Coarsen(levels.back());
+    if (NumVertices(coarse) >= NumVertices(levels.back())) break;
+    levels.push_back(std::move(coarse));
+  }
+
+  // Initial partition of the coarsest level, then uncoarsen + refine.
+  int total_weight = static_cast<int>(vertices.size());
+  std::vector<int> part = PartitionCoarsest(levels.back(), k, total_weight,
+                                            balance_factor_);
+  Refine(levels.back(), k, balance_factor_, &part);
+  for (size_t li = levels.size() - 1; li-- > 0;) {
+    const Level& fine = levels[li];
+    std::vector<int> projected(NumVertices(fine));
+    for (size_t v = 0; v < NumVertices(fine); ++v) {
+      projected[v] = part[fine.parent[v]];
+    }
+    part = std::move(projected);
+    Refine(fine, k, balance_factor_, &part);
+  }
+
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    owner[vertices[i]] = part[i];
+  }
+  return owner;
+}
+
+}  // namespace gstored

@@ -1,0 +1,173 @@
+#include "partition/partitioners.h"
+
+#include <algorithm>
+#include <deque>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/term.h"
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace gstored {
+
+Partitioning Partitioner::Partition(const Dataset& dataset, int k) const {
+  return BuildPartitioning(dataset, Assign(dataset, k), k, name());
+}
+
+VertexAssignment HashPartitioner::Assign(const Dataset& dataset,
+                                         int k) const {
+  GSTORED_CHECK_GT(k, 0);
+  VertexAssignment owner;
+  for (TermId v : dataset.graph().vertices()) {
+    uint64_t h = Fnv1a64(dataset.dict().lexical(v));
+    owner[v] = static_cast<FragmentId>(h % static_cast<uint64_t>(k));
+  }
+  return owner;
+}
+
+VertexAssignment SemanticHashPartitioner::Assign(const Dataset& dataset,
+                                                 int k) const {
+  GSTORED_CHECK_GT(k, 0);
+  const RdfGraph& graph = dataset.graph();
+  const TermDict& dict = dataset.dict();
+  VertexAssignment owner;
+
+  // Pass 0: namespace sizes. A namespace too large to fit a balanced
+  // fragment cannot be used as the placement unit — its members fall back
+  // to per-vertex hashing. This is what makes semantic hash degenerate to
+  // plain hash on single-namespace datasets like YAGO2 (Sec. VIII-D) while
+  // cleanly separating publisher domains on LUBM/BTC-like data.
+  std::unordered_map<std::string_view, size_t> namespace_size;
+  size_t num_iris = 0;
+  for (TermId v : graph.vertices()) {
+    if (dict.kind(v) == TermKind::kIri) {
+      ++namespace_size[IriNamespace(dict.lexical(v))];
+      ++num_iris;
+    }
+  }
+  const size_t coarse_cap =
+      std::max<size_t>(1, num_iris / static_cast<size_t>(k));
+
+  // Pass 1: IRIs by namespace hash, unless the namespace is over-coarse.
+  for (TermId v : graph.vertices()) {
+    if (dict.kind(v) == TermKind::kIri) {
+      std::string_view ns = IriNamespace(dict.lexical(v));
+      uint64_t h = namespace_size[ns] > coarse_cap
+                       ? Fnv1a64(dict.lexical(v))
+                       : Fnv1a64(ns);
+      owner[v] = static_cast<FragmentId>(h % static_cast<uint64_t>(k));
+    }
+  }
+  // Pass 2: literals / blanks follow the neighbour majority (their subject's
+  // fragment in the common case of a literal with a single incident edge).
+  for (TermId v : graph.vertices()) {
+    if (owner.count(v) > 0) continue;
+    std::vector<int> votes(k, 0);
+    bool any = false;
+    for (const HalfEdge& h : graph.OutEdges(v)) {
+      auto it = owner.find(h.neighbor);
+      if (it != owner.end()) {
+        ++votes[it->second];
+        any = true;
+      }
+    }
+    for (const HalfEdge& h : graph.InEdges(v)) {
+      auto it = owner.find(h.neighbor);
+      if (it != owner.end()) {
+        ++votes[it->second];
+        any = true;
+      }
+    }
+    if (any) {
+      owner[v] = static_cast<FragmentId>(
+          std::max_element(votes.begin(), votes.end()) - votes.begin());
+    } else {
+      uint64_t h = Fnv1a64(dict.lexical(v));
+      owner[v] = static_cast<FragmentId>(h % static_cast<uint64_t>(k));
+    }
+  }
+  return owner;
+}
+
+VertexAssignment MetisLikePartitioner::Assign(const Dataset& dataset,
+                                              int k) const {
+  GSTORED_CHECK_GT(k, 0);
+  const RdfGraph& graph = dataset.graph();
+  const std::vector<TermId>& vertices = graph.vertices();
+  VertexAssignment owner;
+  if (vertices.empty()) return owner;
+
+  const size_t target =
+      std::max<size_t>(1, (vertices.size() + k - 1) / static_cast<size_t>(k));
+  const size_t cap = std::max<size_t>(
+      target, static_cast<size_t>(balance_factor_ * static_cast<double>(target)));
+
+  // Phase 1: BFS region growing. Seeds are taken in degree-descending order
+  // so dense hubs anchor regions (the multilevel coarsening effect, cheaply).
+  std::vector<TermId> seeds = vertices;
+  std::sort(seeds.begin(), seeds.end(), [&](TermId a, TermId b) {
+    return graph.Degree(a) > graph.Degree(b);
+  });
+  std::vector<size_t> part_size(k, 0);
+  size_t seed_cursor = 0;
+  for (int part = 0; part < k; ++part) {
+    // Find the next unassigned seed.
+    while (seed_cursor < seeds.size() && owner.count(seeds[seed_cursor])) {
+      ++seed_cursor;
+    }
+    if (seed_cursor >= seeds.size()) break;
+    std::deque<TermId> frontier = {seeds[seed_cursor]};
+    owner[seeds[seed_cursor]] = part;
+    ++part_size[part];
+    while (!frontier.empty() && part_size[part] < target) {
+      TermId v = frontier.front();
+      frontier.pop_front();
+      auto visit = [&](TermId n) {
+        if (part_size[part] >= target || owner.count(n)) return;
+        owner[n] = part;
+        ++part_size[part];
+        frontier.push_back(n);
+      };
+      for (const HalfEdge& h : graph.OutEdges(v)) visit(h.neighbor);
+      for (const HalfEdge& h : graph.InEdges(v)) visit(h.neighbor);
+    }
+  }
+  // Any vertex still unassigned (disconnected leftovers) goes to the
+  // currently smallest part.
+  for (TermId v : vertices) {
+    if (owner.count(v)) continue;
+    int smallest = static_cast<int>(
+        std::min_element(part_size.begin(), part_size.end()) -
+        part_size.begin());
+    owner[v] = smallest;
+    ++part_size[smallest];
+  }
+
+  // Phase 2: label-propagation refinement under the balance cap.
+  for (int sweep = 0; sweep < refinement_sweeps_; ++sweep) {
+    bool moved = false;
+    for (TermId v : vertices) {
+      std::vector<int> votes(k, 0);
+      for (const HalfEdge& h : graph.OutEdges(v)) ++votes[owner[h.neighbor]];
+      for (const HalfEdge& h : graph.InEdges(v)) ++votes[owner[h.neighbor]];
+      int current = owner[v];
+      int best = current;
+      for (int part = 0; part < k; ++part) {
+        if (part == current || part_size[part] + 1 > cap) continue;
+        if (votes[part] > votes[best]) best = part;
+      }
+      if (best != current) {
+        owner[v] = best;
+        --part_size[current];
+        ++part_size[best];
+        moved = true;
+      }
+    }
+    if (!moved) break;
+  }
+  return owner;
+}
+
+}  // namespace gstored

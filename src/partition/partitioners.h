@@ -1,0 +1,70 @@
+#ifndef GSTORED_PARTITION_PARTITIONERS_H_
+#define GSTORED_PARTITION_PARTITIONERS_H_
+
+#include <string>
+
+#include "partition/partitioning.h"
+
+namespace gstored {
+
+/// Interface of a vertex-assignment strategy. Strategies only decide vertex
+/// ownership; fragment materialization (edge replication, extended vertices)
+/// is shared and lives in BuildPartitioning.
+class Partitioner {
+ public:
+  virtual ~Partitioner() = default;
+
+  /// Strategy name for reports ("hash", "semantic_hash", "metis_like").
+  virtual std::string name() const = 0;
+
+  /// Assigns every vertex of the dataset graph to a fragment in [0, k).
+  virtual VertexAssignment Assign(const Dataset& dataset, int k) const = 0;
+
+  /// Convenience: Assign + BuildPartitioning.
+  Partitioning Partition(const Dataset& dataset, int k) const;
+};
+
+/// The paper's default: H(v) mod N over the vertex's lexical form, so the
+/// assignment is independent of id-interning order.
+class HashPartitioner : public Partitioner {
+ public:
+  std::string name() const override { return "hash"; }
+  VertexAssignment Assign(const Dataset& dataset, int k) const override;
+};
+
+/// Semantic hash partitioning (Lee & Liu): IRIs are hashed by their
+/// namespace (URI hierarchy prefix), so entities from one publisher/domain
+/// co-locate. Literal and blank vertices are placed with the fragment owning
+/// the majority of their already-assigned neighbours (emulating
+/// subject-co-location), falling back to plain hash when isolated.
+class SemanticHashPartitioner : public Partitioner {
+ public:
+  std::string name() const override { return "semantic_hash"; }
+  VertexAssignment Assign(const Dataset& dataset, int k) const override;
+};
+
+/// A METIS-stand-in min-edge-cut partitioner: BFS region growing to k parts
+/// of roughly |V|/k vertices, followed by bounded label-propagation
+/// refinement sweeps that move boundary vertices to their neighbour-majority
+/// fragment. Produces the "low edge cut but less balanced edge load" regime
+/// the paper observes for METIS.
+class MetisLikePartitioner : public Partitioner {
+ public:
+  /// `refinement_sweeps` bounds the label-propagation passes;
+  /// `balance_factor` caps each part at balance_factor * |V| / k vertices.
+  explicit MetisLikePartitioner(int refinement_sweeps = 4,
+                                double balance_factor = 1.25)
+      : refinement_sweeps_(refinement_sweeps),
+        balance_factor_(balance_factor) {}
+
+  std::string name() const override { return "metis_like"; }
+  VertexAssignment Assign(const Dataset& dataset, int k) const override;
+
+ private:
+  int refinement_sweeps_;
+  double balance_factor_;
+};
+
+}  // namespace gstored
+
+#endif  // GSTORED_PARTITION_PARTITIONERS_H_

@@ -1,0 +1,129 @@
+#include "partition/partitioning.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace gstored {
+
+Partitioning::Partitioning(const Dataset* dataset, std::string strategy_name,
+                           std::vector<Fragment> fragments,
+                           VertexAssignment owner, size_t num_crossing_edges)
+    : dataset_(dataset),
+      strategy_name_(std::move(strategy_name)),
+      fragments_(std::move(fragments)),
+      owner_(std::move(owner)),
+      num_crossing_edges_(num_crossing_edges) {
+  GSTORED_CHECK(dataset_ != nullptr);
+}
+
+FragmentId Partitioning::OwnerOf(TermId v) const {
+  auto it = owner_.find(v);
+  GSTORED_CHECK_MSG(it != owner_.end(), "vertex has no owning fragment");
+  return it->second;
+}
+
+Partitioning BuildPartitioning(const Dataset& dataset,
+                               const VertexAssignment& owner,
+                               int num_fragments, std::string strategy_name) {
+  GSTORED_CHECK_GT(num_fragments, 0);
+  const RdfGraph& graph = dataset.graph();
+  GSTORED_CHECK(graph.finalized());
+  for (TermId v : graph.vertices()) {
+    auto it = owner.find(v);
+    GSTORED_CHECK_MSG(it != owner.end(), "unassigned vertex");
+    GSTORED_CHECK(it->second >= 0 && it->second < num_fragments);
+  }
+
+  struct Pieces {
+    RdfGraph graph;
+    std::unordered_set<TermId> internal;
+    std::unordered_set<TermId> extended;
+    std::vector<Triple> crossing;
+  };
+  std::vector<Pieces> pieces(num_fragments);
+
+  for (TermId v : graph.vertices()) {
+    pieces[owner.at(v)].internal.insert(v);
+  }
+
+  size_t num_crossing = 0;
+  for (const Triple& t : graph.triples()) {
+    FragmentId fs = owner.at(t.subject);
+    FragmentId fo = owner.at(t.object);
+    if (fs == fo) {
+      pieces[fs].graph.AddTriple(t);
+      continue;
+    }
+    ++num_crossing;
+    // Replicate the crossing edge into both endpoint fragments (Def. 1,
+    // conditions 3-4) and mark the foreign endpoint as extended.
+    pieces[fs].graph.AddTriple(t);
+    pieces[fs].crossing.push_back(t);
+    pieces[fs].extended.insert(t.object);
+    pieces[fo].graph.AddTriple(t);
+    pieces[fo].crossing.push_back(t);
+    pieces[fo].extended.insert(t.subject);
+  }
+
+  std::vector<Fragment> fragments;
+  fragments.reserve(num_fragments);
+  for (int i = 0; i < num_fragments; ++i) {
+    fragments.emplace_back(i, std::move(pieces[i].graph),
+                           std::move(pieces[i].internal),
+                           std::move(pieces[i].extended),
+                           std::move(pieces[i].crossing));
+  }
+  return Partitioning(&dataset, std::move(strategy_name),
+                      std::move(fragments), owner, num_crossing);
+}
+
+PartitioningCost ComputePartitioningCost(const Partitioning& partitioning) {
+  PartitioningCost cost;
+  const RdfGraph& graph = partitioning.dataset().graph();
+
+  // Count, per vertex, the crossing edges adjacent to it. Each crossing edge
+  // contributes to both endpoints, so Σ_v count(v) = 2 |Ec| and p_F sums to 1.
+  size_t total_crossing = partitioning.num_crossing_edges();
+  if (total_crossing > 0) {
+    double expectation = 0.0;
+    for (TermId v : graph.vertices()) {
+      size_t incident_crossing = 0;
+      FragmentId own = partitioning.OwnerOf(v);
+      for (const HalfEdge& h : graph.OutEdges(v)) {
+        if (partitioning.OwnerOf(h.neighbor) != own) ++incident_crossing;
+      }
+      for (const HalfEdge& h : graph.InEdges(v)) {
+        if (partitioning.OwnerOf(h.neighbor) != own) ++incident_crossing;
+      }
+      double p = static_cast<double>(incident_crossing) /
+                 (2.0 * static_cast<double>(total_crossing));
+      expectation += static_cast<double>(incident_crossing) * p;
+    }
+    cost.crossing_expectation = expectation;
+  }
+
+  for (const Fragment& f : partitioning.fragments()) {
+    cost.max_fragment_edges = std::max(cost.max_fragment_edges, f.num_edges());
+  }
+  cost.total = cost.crossing_expectation *
+               static_cast<double>(cost.max_fragment_edges);
+  return cost;
+}
+
+size_t SelectBestPartitioning(
+    const std::vector<const Partitioning*>& candidates) {
+  GSTORED_CHECK(!candidates.empty());
+  size_t best = 0;
+  double best_cost = ComputePartitioningCost(*candidates[0]).total;
+  for (size_t i = 1; i < candidates.size(); ++i) {
+    double cost = ComputePartitioningCost(*candidates[i]).total;
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace gstored

@@ -1,0 +1,77 @@
+#ifndef GSTORED_PARTITION_PARTITIONING_H_
+#define GSTORED_PARTITION_PARTITIONING_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "partition/fragment.h"
+#include "rdf/dataset.h"
+
+namespace gstored {
+
+/// An assignment of every graph vertex to a fragment id in [0, k).
+using VertexAssignment = std::unordered_map<TermId, FragmentId>;
+
+/// A complete distributed RDF graph (Def. 1): the fragments plus the global
+/// ownership map and crossing-edge statistics.
+class Partitioning {
+ public:
+  Partitioning(const Dataset* dataset, std::string strategy_name,
+               std::vector<Fragment> fragments, VertexAssignment owner,
+               size_t num_crossing_edges);
+
+  Partitioning(const Partitioning&) = delete;
+  Partitioning& operator=(const Partitioning&) = delete;
+  Partitioning(Partitioning&&) = default;
+  Partitioning& operator=(Partitioning&&) = default;
+
+  const Dataset& dataset() const { return *dataset_; }
+  const std::string& strategy_name() const { return strategy_name_; }
+  const std::vector<Fragment>& fragments() const { return fragments_; }
+  size_t num_fragments() const { return fragments_.size(); }
+
+  /// Fragment id owning vertex v. v must be a vertex of the dataset graph.
+  FragmentId OwnerOf(TermId v) const;
+
+  /// |Ec| — total number of distinct crossing edges, each counted once.
+  size_t num_crossing_edges() const { return num_crossing_edges_; }
+
+ private:
+  const Dataset* dataset_;
+  std::string strategy_name_;
+  std::vector<Fragment> fragments_;
+  VertexAssignment owner_;
+  size_t num_crossing_edges_;
+};
+
+/// Materializes fragments from a vertex assignment, replicating crossing
+/// edges into both endpoint fragments and computing extended-vertex sets
+/// exactly as Def. 1 prescribes. Every vertex of the dataset graph must be
+/// assigned to a fragment in [0, num_fragments).
+Partitioning BuildPartitioning(const Dataset& dataset,
+                               const VertexAssignment& owner,
+                               int num_fragments,
+                               std::string strategy_name);
+
+/// Breakdown of the Sec. VII partitioning cost
+///   Cost(F) = E_F(V) × max_i |E_i ∪ E_i^c|
+/// where E_F(V) = Σ_v |N(v) ∩ Ec| · p_F(v) and
+/// p_F(v) = |N(v) ∩ Ec| / (2 |Ec|).
+struct PartitioningCost {
+  double crossing_expectation = 0.0;  ///< E_F(V)
+  size_t max_fragment_edges = 0;      ///< max_i |E_i ∪ E_i^c|
+  double total = 0.0;                 ///< their product
+};
+
+/// Evaluates the cost model on a partitioning.
+PartitioningCost ComputePartitioningCost(const Partitioning& partitioning);
+
+/// Returns the index of the cheapest partitioning under the cost model —
+/// the paper's "select the best partitioning from the existing strategies".
+size_t SelectBestPartitioning(
+    const std::vector<const Partitioning*>& candidates);
+
+}  // namespace gstored
+
+#endif  // GSTORED_PARTITION_PARTITIONING_H_

@@ -1,0 +1,121 @@
+#include "rdf/dataset.h"
+
+#include <string>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace gstored {
+namespace {
+
+/// Consumes one RDF term from the front of `rest`. Returns the term's
+/// lexical form and advances `rest` past it, or returns an error.
+Result<std::string_view> TakeTerm(std::string_view* rest, int line_no) {
+  std::string_view text = StripWhitespace(*rest);
+  if (text.empty()) {
+    return Status::ParseError("line " + std::to_string(line_no) +
+                              ": expected a term, found end of line");
+  }
+  size_t end = 0;
+  if (text.front() == '<') {
+    end = text.find('>');
+    if (end == std::string_view::npos) {
+      return Status::ParseError("line " + std::to_string(line_no) +
+                                ": unterminated IRI");
+    }
+    ++end;
+  } else if (text.front() == '"') {
+    // Scan to the closing quote, honouring backslash escapes.
+    size_t i = 1;
+    while (i < text.size() && text[i] != '"') {
+      if (text[i] == '\\' && i + 1 < text.size()) ++i;
+      ++i;
+    }
+    if (i >= text.size()) {
+      return Status::ParseError("line " + std::to_string(line_no) +
+                                ": unterminated literal");
+    }
+    end = i + 1;
+    // Optional @lang tag.
+    if (end < text.size() && text[end] == '@') {
+      while (end < text.size() &&
+             !std::isspace(static_cast<unsigned char>(text[end]))) {
+        ++end;
+      }
+    } else if (end + 1 < text.size() && text[end] == '^' &&
+               text[end + 1] == '^') {
+      size_t close = text.find('>', end);
+      if (close == std::string_view::npos) {
+        return Status::ParseError("line " + std::to_string(line_no) +
+                                  ": unterminated datatype IRI");
+      }
+      end = close + 1;
+    }
+  } else if (StartsWith(text, "_:")) {
+    end = 2;
+    while (end < text.size() &&
+           !std::isspace(static_cast<unsigned char>(text[end]))) {
+      ++end;
+    }
+  } else {
+    return Status::ParseError("line " + std::to_string(line_no) +
+                              ": unrecognized term start '" +
+                              std::string(text.substr(0, 1)) + "'");
+  }
+  std::string_view term = text.substr(0, end);
+  *rest = text.substr(end);
+  return term;
+}
+
+}  // namespace
+
+void Dataset::AddTripleLexical(std::string_view subject,
+                               std::string_view predicate,
+                               std::string_view object) {
+  Triple t;
+  t.subject = dict_.Intern(subject);
+  t.predicate = dict_.Intern(predicate);
+  t.object = dict_.Intern(object);
+  graph_.AddTriple(t);
+}
+
+Status ParseNTriples(std::string_view text, Dataset* dataset) {
+  int line_no = 0;
+  for (std::string_view raw_line : SplitString(text, '\n')) {
+    ++line_no;
+    std::string_view line = StripWhitespace(raw_line);
+    if (line.empty() || line.front() == '#') continue;
+
+    std::string_view rest = line;
+    auto subject = TakeTerm(&rest, line_no);
+    if (!subject.ok()) return subject.status();
+    auto predicate = TakeTerm(&rest, line_no);
+    if (!predicate.ok()) return predicate.status();
+    auto object = TakeTerm(&rest, line_no);
+    if (!object.ok()) return object.status();
+
+    std::string_view tail = StripWhitespace(rest);
+    if (tail != ".") {
+      return Status::ParseError("line " + std::to_string(line_no) +
+                                ": statement must end with '.'");
+    }
+    dataset->AddTripleLexical(*subject, *predicate, *object);
+  }
+  return Status::Ok();
+}
+
+std::string WriteNTriples(const Dataset& dataset) {
+  std::string out;
+  const TermDict& dict = dataset.dict();
+  for (const Triple& t : dataset.graph().triples()) {
+    out += dict.lexical(t.subject);
+    out += ' ';
+    out += dict.lexical(t.predicate);
+    out += ' ';
+    out += dict.lexical(t.object);
+    out += " .\n";
+  }
+  return out;
+}
+
+}  // namespace gstored

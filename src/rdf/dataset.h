@@ -1,0 +1,53 @@
+#ifndef GSTORED_RDF_DATASET_H_
+#define GSTORED_RDF_DATASET_H_
+
+#include <string>
+#include <string_view>
+
+#include "rdf/graph.h"
+#include "rdf/term_dict.h"
+#include "util/status.h"
+
+namespace gstored {
+
+/// A term dictionary plus the id-encoded RDF graph over it. This is the unit
+/// that workload generators produce and partitioners consume.
+class Dataset {
+ public:
+  Dataset() = default;
+
+  Dataset(const Dataset&) = delete;
+  Dataset& operator=(const Dataset&) = delete;
+  Dataset(Dataset&&) = default;
+  Dataset& operator=(Dataset&&) = default;
+
+  TermDict& dict() { return dict_; }
+  const TermDict& dict() const { return dict_; }
+
+  RdfGraph& graph() { return graph_; }
+  const RdfGraph& graph() const { return graph_; }
+
+  /// Interns the three lexical forms and appends the triple.
+  void AddTripleLexical(std::string_view subject, std::string_view predicate,
+                        std::string_view object);
+
+  /// Finalizes the underlying graph.
+  void Finalize() { graph_.Finalize(); }
+
+ private:
+  TermDict dict_;
+  RdfGraph graph_;
+};
+
+/// Parses an N-Triples-subset document (one `<s> <p> <o> .` statement per
+/// line; literals may carry `@lang` or `^^<datatype>` suffixes; `#` comment
+/// lines and blank lines are skipped) into `dataset`. Does not finalize.
+Status ParseNTriples(std::string_view text, Dataset* dataset);
+
+/// Serializes the dataset's triples back to N-Triples text, one per line,
+/// in the graph's canonical (s,p,o)-sorted order.
+std::string WriteNTriples(const Dataset& dataset);
+
+}  // namespace gstored
+
+#endif  // GSTORED_RDF_DATASET_H_

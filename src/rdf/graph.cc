@@ -1,0 +1,81 @@
+#include "rdf/graph.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace gstored {
+
+void RdfGraph::AddTriple(Triple t) {
+  GSTORED_CHECK(t.subject != kNullTerm && t.predicate != kNullTerm &&
+                t.object != kNullTerm);
+  finalized_ = false;
+  triples_.push_back(t);
+}
+
+void RdfGraph::Finalize() {
+  if (finalized_) return;
+  std::sort(triples_.begin(), triples_.end());
+  triples_.erase(std::unique(triples_.begin(), triples_.end()),
+                 triples_.end());
+
+  TermId max_id = 0;
+  for (const Triple& t : triples_) {
+    max_id = std::max({max_id, t.subject, t.object});
+  }
+  out_.assign(triples_.empty() ? 0 : max_id + 1, {});
+  in_.assign(triples_.empty() ? 0 : max_id + 1, {});
+
+  vertices_.clear();
+  predicates_.clear();
+  for (const Triple& t : triples_) {
+    out_[t.subject].push_back({t.object, t.predicate});
+    in_[t.object].push_back({t.subject, t.predicate});
+    vertices_.push_back(t.subject);
+    vertices_.push_back(t.object);
+    predicates_.push_back(t.predicate);
+  }
+  auto sort_unique = [](std::vector<TermId>& v) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  };
+  sort_unique(vertices_);
+  sort_unique(predicates_);
+  for (auto& adj : out_) std::sort(adj.begin(), adj.end());
+  for (auto& adj : in_) std::sort(adj.begin(), adj.end());
+  finalized_ = true;
+}
+
+bool RdfGraph::HasVertex(TermId v) const {
+  GSTORED_CHECK(finalized_);
+  return std::binary_search(vertices_.begin(), vertices_.end(), v);
+}
+
+std::span<const HalfEdge> RdfGraph::OutEdges(TermId v) const {
+  GSTORED_CHECK(finalized_);
+  if (v >= out_.size()) return {};
+  return out_[v];
+}
+
+std::span<const HalfEdge> RdfGraph::InEdges(TermId v) const {
+  GSTORED_CHECK(finalized_);
+  if (v >= in_.size()) return {};
+  return in_[v];
+}
+
+bool RdfGraph::HasTriple(TermId s, TermId p, TermId o) const {
+  GSTORED_CHECK(finalized_);
+  if (s >= out_.size()) return false;
+  const auto& adj = out_[s];
+  return std::binary_search(adj.begin(), adj.end(), HalfEdge{o, p});
+}
+
+bool RdfGraph::HasAnyEdge(TermId s, TermId o) const {
+  GSTORED_CHECK(finalized_);
+  if (s >= out_.size()) return false;
+  const auto& adj = out_[s];
+  auto it = std::lower_bound(adj.begin(), adj.end(), HalfEdge{o, 0});
+  return it != adj.end() && it->neighbor == o;
+}
+
+}  // namespace gstored

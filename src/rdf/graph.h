@@ -1,0 +1,102 @@
+#ifndef GSTORED_RDF_GRAPH_H_
+#define GSTORED_RDF_GRAPH_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "rdf/term.h"
+
+namespace gstored {
+
+/// One RDF triple in id space.
+struct Triple {
+  TermId subject = kNullTerm;
+  TermId predicate = kNullTerm;
+  TermId object = kNullTerm;
+
+  friend bool operator==(const Triple& a, const Triple& b) {
+    return a.subject == b.subject && a.predicate == b.predicate &&
+           a.object == b.object;
+  }
+  friend auto operator<=>(const Triple& a, const Triple& b) = default;
+};
+
+/// A directed labelled half-edge: the neighbour vertex plus the predicate of
+/// the connecting triple.
+struct HalfEdge {
+  TermId neighbor = kNullTerm;
+  TermId predicate = kNullTerm;
+
+  friend bool operator==(const HalfEdge& a, const HalfEdge& b) = default;
+  friend auto operator<=>(const HalfEdge& a, const HalfEdge& b) = default;
+};
+
+/// An in-memory RDF graph over id-encoded triples: subjects and objects are
+/// vertices, triples are directed labelled edges (Def. 1's G = {V, E, Σ}).
+///
+/// Build by AddTriple then Finalize; lookups are invalid before Finalize.
+/// Adjacency is stored per vertex, sorted by (neighbor, predicate), so edge
+/// existence tests are logarithmic in the vertex degree.
+class RdfGraph {
+ public:
+  RdfGraph() = default;
+
+  RdfGraph(const RdfGraph&) = delete;
+  RdfGraph& operator=(const RdfGraph&) = delete;
+  RdfGraph(RdfGraph&&) = default;
+  RdfGraph& operator=(RdfGraph&&) = default;
+
+  /// Appends a triple. Duplicate (s,p,o) triples are removed at Finalize.
+  void AddTriple(Triple t);
+
+  /// Sorts and deduplicates triples and builds adjacency. Idempotent.
+  void Finalize();
+
+  bool finalized() const { return finalized_; }
+
+  /// All distinct triples in (s,p,o) order.
+  const std::vector<Triple>& triples() const { return triples_; }
+
+  size_t num_triples() const { return triples_.size(); }
+
+  /// Vertices are term ids occurring as subject or object of some triple.
+  const std::vector<TermId>& vertices() const { return vertices_; }
+
+  size_t num_vertices() const { return vertices_.size(); }
+
+  bool HasVertex(TermId v) const;
+
+  /// Outgoing labelled edges of v (empty if v is not a vertex).
+  std::span<const HalfEdge> OutEdges(TermId v) const;
+
+  /// Incoming labelled edges of v.
+  std::span<const HalfEdge> InEdges(TermId v) const;
+
+  size_t OutDegree(TermId v) const { return OutEdges(v).size(); }
+  size_t InDegree(TermId v) const { return InEdges(v).size(); }
+  size_t Degree(TermId v) const { return OutDegree(v) + InDegree(v); }
+
+  /// True if the triple (s, p, o) is present.
+  bool HasTriple(TermId s, TermId p, TermId o) const;
+
+  /// True if any edge s -> o exists (any predicate).
+  bool HasAnyEdge(TermId s, TermId o) const;
+
+  /// Distinct predicates used by some triple, sorted.
+  const std::vector<TermId>& predicates() const { return predicates_; }
+
+ private:
+  bool finalized_ = false;
+  std::vector<Triple> triples_;
+  std::vector<TermId> vertices_;
+  std::vector<TermId> predicates_;
+  // Adjacency indexed by term id (dense); ids beyond max vertex id map to
+  // empty spans.
+  std::vector<std::vector<HalfEdge>> out_;
+  std::vector<std::vector<HalfEdge>> in_;
+};
+
+}  // namespace gstored
+
+#endif  // GSTORED_RDF_GRAPH_H_

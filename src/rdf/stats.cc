@@ -1,0 +1,88 @@
+#include "rdf/stats.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+#include "rdf/term.h"
+#include "util/logging.h"
+
+namespace gstored {
+
+DatasetStats ComputeDatasetStats(const Dataset& dataset) {
+  const RdfGraph& graph = dataset.graph();
+  const TermDict& dict = dataset.dict();
+  GSTORED_CHECK(graph.finalized());
+
+  DatasetStats stats;
+  stats.num_triples = graph.num_triples();
+  stats.num_vertices = graph.num_vertices();
+  stats.num_predicates = graph.predicates().size();
+
+  std::unordered_map<std::string_view, size_t> namespace_sizes;
+  for (TermId v : graph.vertices()) {
+    switch (dict.kind(v)) {
+      case TermKind::kIri:
+        ++stats.num_iris;
+        ++namespace_sizes[IriNamespace(dict.lexical(v))];
+        break;
+      case TermKind::kLiteral:
+        ++stats.num_literals;
+        break;
+      case TermKind::kBlank:
+        ++stats.num_blanks;
+        break;
+    }
+    stats.max_out_degree = std::max(stats.max_out_degree, graph.OutDegree(v));
+    stats.max_in_degree = std::max(stats.max_in_degree, graph.InDegree(v));
+  }
+  if (stats.num_vertices > 0) {
+    stats.avg_out_degree = static_cast<double>(stats.num_triples) /
+                           static_cast<double>(stats.num_vertices);
+  }
+
+  std::unordered_map<TermId, size_t> pred_counts;
+  for (const Triple& t : graph.triples()) ++pred_counts[t.predicate];
+  std::vector<std::pair<std::string, size_t>> preds;
+  preds.reserve(pred_counts.size());
+  for (const auto& [p, count] : pred_counts) {
+    preds.emplace_back(dict.lexical(p), count);
+  }
+  std::sort(preds.begin(), preds.end(), [](const auto& a, const auto& b) {
+    return a.second > b.second || (a.second == b.second && a.first < b.first);
+  });
+  if (preds.size() > DatasetStats::kTopPredicates) {
+    preds.resize(DatasetStats::kTopPredicates);
+  }
+  stats.top_predicates = std::move(preds);
+
+  stats.num_namespaces = namespace_sizes.size();
+  size_t largest = 0;
+  for (const auto& [ns, count] : namespace_sizes) {
+    largest = std::max(largest, count);
+  }
+  if (stats.num_iris > 0) {
+    stats.largest_namespace_share =
+        static_cast<double>(largest) / static_cast<double>(stats.num_iris);
+  }
+  return stats;
+}
+
+std::string DatasetStats::ToString() const {
+  std::ostringstream out;
+  out << "triples: " << num_triples << ", vertices: " << num_vertices
+      << " (" << num_iris << " IRI, " << num_literals << " literal, "
+      << num_blanks << " blank), predicates: " << num_predicates << "\n";
+  out << "avg out-degree: " << avg_out_degree
+      << ", max out/in degree: " << max_out_degree << "/" << max_in_degree
+      << "\n";
+  out << "IRI namespaces: " << num_namespaces
+      << ", largest namespace share: " << largest_namespace_share << "\n";
+  out << "top predicates:\n";
+  for (const auto& [p, count] : top_predicates) {
+    out << "  " << p << "  x" << count << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace gstored

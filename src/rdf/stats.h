@@ -1,0 +1,45 @@
+#ifndef GSTORED_RDF_STATS_H_
+#define GSTORED_RDF_STATS_H_
+
+#include <string>
+#include <vector>
+
+#include "rdf/dataset.h"
+
+namespace gstored {
+
+/// Summary statistics of a dataset — used by the shell, the benches'
+/// preambles, and as a quick sanity check on generated workloads.
+struct DatasetStats {
+  size_t num_triples = 0;
+  size_t num_vertices = 0;
+  size_t num_predicates = 0;
+  size_t num_iris = 0;
+  size_t num_literals = 0;
+  size_t num_blanks = 0;
+
+  double avg_out_degree = 0.0;
+  size_t max_out_degree = 0;
+  size_t max_in_degree = 0;
+
+  /// Predicates sorted by descending triple count (top `kTopPredicates`).
+  static constexpr size_t kTopPredicates = 10;
+  std::vector<std::pair<std::string, size_t>> top_predicates;
+
+  /// Distinct IRI namespaces (IriNamespace groups) among vertices — the
+  /// granularity semantic hash partitioning works at.
+  size_t num_namespaces = 0;
+  /// Size of the largest namespace as a fraction of all IRI vertices; close
+  /// to 1.0 means semantic hash degenerates to plain hash (YAGO2 regime).
+  double largest_namespace_share = 0.0;
+
+  /// Renders a multi-line human-readable report.
+  std::string ToString() const;
+};
+
+/// Computes statistics over a finalized dataset.
+DatasetStats ComputeDatasetStats(const Dataset& dataset);
+
+}  // namespace gstored
+
+#endif  // GSTORED_RDF_STATS_H_

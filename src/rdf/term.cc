@@ -1,0 +1,61 @@
+#include "rdf/term.h"
+
+#include "util/string_util.h"
+
+namespace gstored {
+
+Term MakeIri(std::string_view iri) {
+  Term t;
+  t.kind = TermKind::kIri;
+  if (StartsWith(iri, "<")) {
+    t.lexical = std::string(iri);
+  } else {
+    t.lexical = "<" + std::string(iri) + ">";
+  }
+  return t;
+}
+
+Term MakeLiteral(std::string_view value, std::string_view lang_or_datatype) {
+  Term t;
+  t.kind = TermKind::kLiteral;
+  t.lexical = "\"" + std::string(value) + "\"";
+  if (!lang_or_datatype.empty()) {
+    if (StartsWith(lang_or_datatype, "@") ||
+        StartsWith(lang_or_datatype, "^^")) {
+      t.lexical += std::string(lang_or_datatype);
+    } else {
+      t.lexical += "@" + std::string(lang_or_datatype);
+    }
+  }
+  return t;
+}
+
+Term MakeBlank(std::string_view label) {
+  Term t;
+  t.kind = TermKind::kBlank;
+  if (StartsWith(label, "_:")) {
+    t.lexical = std::string(label);
+  } else {
+    t.lexical = "_:" + std::string(label);
+  }
+  return t;
+}
+
+TermKind ClassifyLexical(std::string_view lexical) {
+  if (!lexical.empty() && lexical.front() == '"') return TermKind::kLiteral;
+  if (StartsWith(lexical, "_:")) return TermKind::kBlank;
+  return TermKind::kIri;
+}
+
+std::string_view IriNamespace(std::string_view lexical) {
+  if (lexical.size() < 2 || lexical.front() != '<') return lexical;
+  // Scan the IRI body (between the angle brackets) for the last '/' or '#'.
+  size_t cut = std::string_view::npos;
+  for (size_t i = 1; i + 1 < lexical.size(); ++i) {
+    if (lexical[i] == '/' || lexical[i] == '#') cut = i;
+  }
+  if (cut == std::string_view::npos) return lexical;
+  return lexical.substr(0, cut + 1);
+}
+
+}  // namespace gstored

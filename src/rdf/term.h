@@ -1,0 +1,52 @@
+#ifndef GSTORED_RDF_TERM_H_
+#define GSTORED_RDF_TERM_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace gstored {
+
+/// Integer id of an RDF term inside a TermDict. Subjects, predicates and
+/// objects share one id space, so a term used both as a vertex and as an edge
+/// label has a single id.
+using TermId = uint32_t;
+
+/// Sentinel meaning "no term" / the NULL assignment of Definition 5.
+inline constexpr TermId kNullTerm = static_cast<TermId>(-1);
+
+/// Kind of an RDF term.
+enum class TermKind : uint8_t {
+  kIri = 0,      ///< `<http://example.org/x>`
+  kLiteral = 1,  ///< `"text"`, `"text"@en`, `"1"^^<xsd:int>`
+  kBlank = 2,    ///< `_:b0`
+};
+
+/// A parsed RDF term: its kind plus the canonical N-Triples lexical form
+/// (including the angle brackets / quotes / prefix that disambiguate kinds).
+struct Term {
+  TermKind kind = TermKind::kIri;
+  std::string lexical;
+
+  friend bool operator==(const Term& a, const Term& b) {
+    return a.kind == b.kind && a.lexical == b.lexical;
+  }
+};
+
+/// Convenience constructors for the three kinds.
+Term MakeIri(std::string_view iri);
+Term MakeLiteral(std::string_view value, std::string_view lang_or_datatype = "");
+Term MakeBlank(std::string_view label);
+
+/// Classifies a canonical lexical form: leading '<' → IRI, '"' → literal,
+/// "_:" → blank node.
+TermKind ClassifyLexical(std::string_view lexical);
+
+/// For IRIs, returns the namespace portion (everything up to and including
+/// the last '/' or '#' inside the brackets); used by semantic hash
+/// partitioning. Returns the whole lexical form for non-IRIs.
+std::string_view IriNamespace(std::string_view lexical);
+
+}  // namespace gstored
+
+#endif  // GSTORED_RDF_TERM_H_

@@ -1,0 +1,33 @@
+#include "rdf/term_dict.h"
+
+#include "util/logging.h"
+
+namespace gstored {
+
+TermId TermDict::Intern(std::string_view lexical) {
+  auto it = ids_.find(std::string(lexical));
+  if (it != ids_.end()) return it->second;
+  TermId id = static_cast<TermId>(lexicals_.size());
+  lexicals_.emplace_back(lexical);
+  kinds_.push_back(ClassifyLexical(lexical));
+  ids_.emplace(lexicals_.back(), id);
+  return id;
+}
+
+TermId TermDict::Lookup(std::string_view lexical) const {
+  auto it = ids_.find(std::string(lexical));
+  if (it == ids_.end()) return kNullTerm;
+  return it->second;
+}
+
+const std::string& TermDict::lexical(TermId id) const {
+  GSTORED_CHECK_LT(id, lexicals_.size());
+  return lexicals_[id];
+}
+
+TermKind TermDict::kind(TermId id) const {
+  GSTORED_CHECK_LT(id, kinds_.size());
+  return kinds_[id];
+}
+
+}  // namespace gstored

@@ -1,0 +1,50 @@
+#ifndef GSTORED_RDF_TERM_DICT_H_
+#define GSTORED_RDF_TERM_DICT_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/term.h"
+
+namespace gstored {
+
+/// Bidirectional mapping between term lexical forms and dense TermIds.
+/// IDs are assigned in first-seen order, so a dataset loaded in a fixed order
+/// always produces the same encoding (important for reproducible hashes).
+class TermDict {
+ public:
+  TermDict() = default;
+
+  // Movable but not copyable: dictionaries can be large, and accidental
+  // copies would silently fork the id space.
+  TermDict(const TermDict&) = delete;
+  TermDict& operator=(const TermDict&) = delete;
+  TermDict(TermDict&&) = default;
+  TermDict& operator=(TermDict&&) = default;
+
+  /// Interns `lexical`, returning its id (existing or freshly assigned).
+  TermId Intern(std::string_view lexical);
+
+  /// Returns the id of `lexical`, or kNullTerm if not interned.
+  TermId Lookup(std::string_view lexical) const;
+
+  /// Lexical form of an id. Id must be valid.
+  const std::string& lexical(TermId id) const;
+
+  /// Kind of an id. Id must be valid.
+  TermKind kind(TermId id) const;
+
+  /// Number of interned terms (== the smallest unassigned id).
+  size_t size() const { return lexicals_.size(); }
+
+ private:
+  std::unordered_map<std::string, TermId> ids_;
+  std::vector<std::string> lexicals_;
+  std::vector<TermKind> kinds_;
+};
+
+}  // namespace gstored
+
+#endif  // GSTORED_RDF_TERM_DICT_H_

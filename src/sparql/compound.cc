@@ -1,0 +1,155 @@
+#include "sparql/compound.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "sparql/parser.h"
+#include "util/string_util.h"
+
+namespace gstored {
+namespace {
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Reads the next whitespace-delimited word (or a brace) without consuming
+/// brace-group contents.
+std::string_view NextWord(std::string_view text, size_t* pos) {
+  while (*pos < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[*pos]))) {
+    ++(*pos);
+  }
+  if (*pos >= text.size()) return {};
+  size_t start = *pos;
+  if (text[*pos] == '{' || text[*pos] == '}') {
+    ++(*pos);
+    return text.substr(start, 1);
+  }
+  while (*pos < text.size() &&
+         !std::isspace(static_cast<unsigned char>(text[*pos])) &&
+         text[*pos] != '{' && text[*pos] != '}') {
+    ++(*pos);
+  }
+  return text.substr(start, *pos - start);
+}
+
+/// Extracts a brace-delimited group body starting at the '{' at *pos.
+Result<std::string_view> TakeGroup(std::string_view text, size_t* pos) {
+  while (*pos < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[*pos]))) {
+    ++(*pos);
+  }
+  if (*pos >= text.size() || text[*pos] != '{') {
+    return Status::ParseError("expected '{' starting a group pattern");
+  }
+  size_t open = *pos;
+  int depth = 0;
+  bool in_literal = false;
+  for (size_t i = open; i < text.size(); ++i) {
+    char c = text[i];
+    if (in_literal) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_literal = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_literal = true;
+    } else if (c == '{') {
+      ++depth;
+    } else if (c == '}') {
+      --depth;
+      if (depth == 0) {
+        *pos = i + 1;
+        return text.substr(open + 1, i - open - 1);
+      }
+    }
+  }
+  return Status::ParseError("unterminated group pattern");
+}
+
+}  // namespace
+
+Result<CompoundQuery> ParseCompoundSparql(std::string_view text) {
+  CompoundQuery query;
+  size_t pos = 0;
+
+  std::string_view word = NextWord(text, &pos);
+  if (!EqualsIgnoreCase(word, "SELECT")) {
+    return Status::ParseError("query must start with SELECT");
+  }
+
+  // Projection list with optional DISTINCT.
+  bool saw_where_or_brace = false;
+  while (!saw_where_or_brace) {
+    size_t before = pos;
+    word = NextWord(text, &pos);
+    if (word.empty()) return Status::ParseError("unexpected end of query");
+    if (EqualsIgnoreCase(word, "DISTINCT")) {
+      query.distinct = true;
+    } else if (word == "*") {
+      continue;
+    } else if (EqualsIgnoreCase(word, "WHERE")) {
+      saw_where_or_brace = true;
+    } else if (word == "{") {
+      pos = before;  // the group itself starts here
+      saw_where_or_brace = true;
+    } else if (word.front() == '?' || word.front() == '$') {
+      query.select_vars.emplace_back(word);
+    } else {
+      return Status::ParseError("unexpected token '" + std::string(word) +
+                                "' in SELECT clause");
+    }
+  }
+
+  // First group, then any number of UNION groups.
+  while (true) {
+    Result<std::string_view> group = TakeGroup(text, &pos);
+    if (!group.ok()) return group.status();
+    Result<QueryGraph> branch =
+        ParseSparql("SELECT * WHERE { " + std::string(*group) + " }");
+    if (!branch.ok()) return branch.status();
+    query.branches.push_back(std::move(*branch));
+
+    size_t before = pos;
+    word = NextWord(text, &pos);
+    if (word.empty()) break;
+    if (EqualsIgnoreCase(word, "UNION")) continue;
+    pos = before;
+    break;
+  }
+
+  // Optional LIMIT n.
+  word = NextWord(text, &pos);
+  if (!word.empty()) {
+    if (!EqualsIgnoreCase(word, "LIMIT")) {
+      return Status::ParseError("unexpected trailing token '" +
+                                std::string(word) + "'");
+    }
+    word = NextWord(text, &pos);
+    if (word.empty() ||
+        !std::all_of(word.begin(), word.end(), [](char c) {
+          return std::isdigit(static_cast<unsigned char>(c));
+        })) {
+      return Status::ParseError("LIMIT requires a number");
+    }
+    query.limit = std::stoull(std::string(word));
+    word = NextWord(text, &pos);
+    if (!word.empty()) {
+      return Status::ParseError("unexpected token after LIMIT");
+    }
+  }
+  return query;
+}
+
+}  // namespace gstored

@@ -1,0 +1,36 @@
+#ifndef GSTORED_SPARQL_COMPOUND_H_
+#define GSTORED_SPARQL_COMPOUND_H_
+
+#include <string>
+#include <vector>
+
+#include "sparql/query_graph.h"
+#include "util/status.h"
+
+namespace gstored {
+
+/// An extension beyond the paper's BGP core: a compound SPARQL query —
+/// a UNION of BGP branches with optional DISTINCT and LIMIT modifiers.
+/// Each branch is evaluated independently by the distributed engine and the
+/// results are merged (SPARQL UNION semantics: a variable missing from a
+/// branch is unbound in that branch's rows).
+struct CompoundQuery {
+  std::vector<QueryGraph> branches;
+  /// Projection variables in declaration order; empty means the union of
+  /// all variables across branches (SELECT *).
+  std::vector<std::string> select_vars;
+  bool distinct = false;
+  size_t limit = static_cast<size_t>(-1);
+};
+
+/// Parses the compound subset:
+///
+///   SELECT [DISTINCT] (?v... | *) WHERE { bgp } [UNION { bgp }]...
+///       [LIMIT n]
+///
+/// Each `{ bgp }` group uses the same triple-pattern grammar as ParseSparql.
+Result<CompoundQuery> ParseCompoundSparql(std::string_view text);
+
+}  // namespace gstored
+
+#endif  // GSTORED_SPARQL_COMPOUND_H_

@@ -1,0 +1,148 @@
+#include "sparql/query_graph.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace gstored {
+namespace {
+
+bool IsVariableLabel(std::string_view label) {
+  return !label.empty() && (label.front() == '?' || label.front() == '$');
+}
+
+}  // namespace
+
+QVertexId QueryGraph::AddVertex(std::string_view label) {
+  for (QVertexId v = 0; v < vertices_.size(); ++v) {
+    if (vertices_[v].label == label) return v;
+  }
+  QueryVertex qv;
+  qv.is_variable = IsVariableLabel(label);
+  qv.label = std::string(label);
+  vertices_.push_back(std::move(qv));
+  incident_.emplace_back();
+  return static_cast<QVertexId>(vertices_.size() - 1);
+}
+
+QEdgeId QueryGraph::AddEdge(std::string_view subject,
+                            std::string_view pred_label,
+                            std::string_view object) {
+  QVertexId from = AddVertex(subject);
+  QVertexId to = AddVertex(object);
+  QueryEdge qe;
+  qe.from = from;
+  qe.to = to;
+  qe.pred_is_variable = IsVariableLabel(pred_label);
+  qe.pred_label = std::string(pred_label);
+  edges_.push_back(std::move(qe));
+  QEdgeId id = static_cast<QEdgeId>(edges_.size() - 1);
+  incident_[from].push_back(id);
+  if (to != from) incident_[to].push_back(id);
+  return id;
+}
+
+std::vector<QVertexId> QueryGraph::Neighbors(QVertexId v) const {
+  std::vector<QVertexId> out;
+  for (QEdgeId e : incident_[v]) {
+    QVertexId other = edges_[e].from == v ? edges_[e].to : edges_[e].from;
+    if (other != v) out.push_back(other);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+bool QueryGraph::IsConnected() const {
+  if (vertices_.empty()) return true;
+  std::vector<bool> seen(vertices_.size(), false);
+  std::vector<QVertexId> stack = {0};
+  seen[0] = true;
+  size_t reached = 1;
+  while (!stack.empty()) {
+    QVertexId v = stack.back();
+    stack.pop_back();
+    for (QVertexId n : Neighbors(v)) {
+      if (!seen[n]) {
+        seen[n] = true;
+        ++reached;
+        stack.push_back(n);
+      }
+    }
+  }
+  return reached == vertices_.size();
+}
+
+bool QueryGraph::IsStar() const {
+  if (edges_.empty()) return false;
+  for (QVertexId center = 0; center < vertices_.size(); ++center) {
+    bool all_incident = true;
+    for (const QueryEdge& e : edges_) {
+      if (e.from != center && e.to != center) {
+        all_incident = false;
+        break;
+      }
+    }
+    if (all_incident) return true;
+  }
+  return false;
+}
+
+bool QueryGraph::HasSelectiveTriple() const {
+  for (const QueryEdge& e : edges_) {
+    if (!vertices_[e.from].is_variable) return true;
+    if (!vertices_[e.to].is_variable) {
+      // A constant object of an rdf:type-style predicate is a class, which
+      // matches a large entity population — not selective in the paper's
+      // sense. Any other constant object is.
+      if (!EndsWith(e.pred_label, "#type>") &&
+          !EndsWith(e.pred_label, "/type>")) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+std::string QueryGraph::ToString() const {
+  std::string out = "BGP{";
+  for (size_t i = 0; i < edges_.size(); ++i) {
+    if (i > 0) out += " . ";
+    const QueryEdge& e = edges_[i];
+    out += vertices_[e.from].label + " " + e.pred_label + " " +
+           vertices_[e.to].label;
+  }
+  out += "}";
+  return out;
+}
+
+ResolvedQuery ResolveQuery(const QueryGraph& query, const TermDict& dict) {
+  ResolvedQuery resolved;
+  resolved.query = &query;
+  resolved.vertex_term.assign(query.num_vertices(), kNullTerm);
+  resolved.edge_pred.assign(query.num_edges(), kNullTerm);
+  for (QVertexId v = 0; v < query.num_vertices(); ++v) {
+    const QueryVertex& qv = query.vertex(v);
+    if (qv.is_variable) continue;
+    TermId id = dict.Lookup(qv.label);
+    if (id == kNullTerm) {
+      resolved.impossible = true;
+    } else {
+      resolved.vertex_term[v] = id;
+    }
+  }
+  for (QEdgeId e = 0; e < query.num_edges(); ++e) {
+    const QueryEdge& qe = query.edge(e);
+    if (qe.pred_is_variable) continue;
+    TermId id = dict.Lookup(qe.pred_label);
+    if (id == kNullTerm) {
+      resolved.impossible = true;
+    } else {
+      resolved.edge_pred[e] = id;
+    }
+  }
+  return resolved;
+}
+
+}  // namespace gstored

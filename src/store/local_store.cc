@@ -1,0 +1,199 @@
+#include "store/local_store.h"
+
+#include <algorithm>
+
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace gstored {
+
+LocalStore::LocalStore(const RdfGraph* graph) : graph_(graph) {
+  GSTORED_CHECK(graph != nullptr);
+  GSTORED_CHECK(graph->finalized());
+
+  for (const Triple& t : graph_->triples()) {
+    pred_subjects_[t.predicate].emplace_back(t.subject, t.object);
+    pred_objects_[t.predicate].emplace_back(t.object, t.subject);
+  }
+  for (auto& [p, rows] : pred_subjects_) std::sort(rows.begin(), rows.end());
+  for (auto& [p, rows] : pred_objects_) std::sort(rows.begin(), rows.end());
+
+  size_t max_id = 0;
+  for (TermId v : graph_->vertices()) {
+    max_id = std::max<size_t>(max_id, v);
+  }
+  signatures_.assign(graph_->vertices().empty() ? 0 : max_id + 1, 0);
+  for (TermId v : graph_->vertices()) {
+    uint64_t sig = 0;
+    for (const HalfEdge& e : graph_->OutEdges(v)) {
+      sig |= SignatureBit(e.predicate, /*outgoing=*/true);
+    }
+    for (const HalfEdge& e : graph_->InEdges(v)) {
+      sig |= SignatureBit(e.predicate, /*outgoing=*/false);
+    }
+    signatures_[v] = sig;
+  }
+}
+
+size_t LocalStore::PredicateCount(TermId p) const {
+  auto it = pred_subjects_.find(p);
+  return it == pred_subjects_.end() ? 0 : it->second.size();
+}
+
+std::span<const std::pair<TermId, TermId>> LocalStore::SubjectsOf(
+    TermId p) const {
+  auto it = pred_subjects_.find(p);
+  if (it == pred_subjects_.end()) return {};
+  return it->second;
+}
+
+std::span<const std::pair<TermId, TermId>> LocalStore::ObjectsOf(
+    TermId p) const {
+  auto it = pred_objects_.find(p);
+  if (it == pred_objects_.end()) return {};
+  return it->second;
+}
+
+uint64_t LocalStore::VertexSignature(TermId v) const {
+  if (v >= signatures_.size()) return 0;
+  return signatures_[v];
+}
+
+uint64_t LocalStore::SignatureBit(TermId predicate, bool outgoing) {
+  uint64_t h = MixU64((static_cast<uint64_t>(predicate) << 1) |
+                      (outgoing ? 1u : 0u));
+  return uint64_t{1} << (h & 63);
+}
+
+bool LocalStore::PassesLocalConstraints(const ResolvedQuery& rq, QVertexId v,
+                                        TermId u) const {
+  const QueryGraph& q = *rq.query;
+  // Signature pre-filter: every constant-predicate incident edge demands a
+  // signature bit.
+  uint64_t required = 0;
+  for (QEdgeId eid : q.IncidentEdges(v)) {
+    const QueryEdge& e = q.edge(eid);
+    TermId pred = rq.edge_pred[eid];
+    if (pred == kNullTerm) continue;
+    // Self-loops contribute both directions.
+    if (e.from == v) required |= SignatureBit(pred, /*outgoing=*/true);
+    if (e.to == v) required |= SignatureBit(pred, /*outgoing=*/false);
+  }
+  if ((VertexSignature(u) & required) != required) return false;
+
+  // Exact adjacency checks for constant predicates and constant neighbours.
+  for (QEdgeId eid : q.IncidentEdges(v)) {
+    const QueryEdge& e = q.edge(eid);
+    TermId pred = rq.edge_pred[eid];
+    // Consider both roles (covers self-loops).
+    if (e.from == v) {
+      TermId other = rq.vertex_term[e.to];
+      if (other != kNullTerm && e.to != v) {
+        // u must have an edge u -> other with `pred` (or any, if variable).
+        if (pred != kNullTerm) {
+          if (!graph_->HasTriple(u, pred, other)) return false;
+        } else if (!graph_->HasAnyEdge(u, other)) {
+          return false;
+        }
+      } else if (pred != kNullTerm) {
+        // u must have some outgoing `pred` edge.
+        auto adj = graph_->OutEdges(u);
+        bool found = std::any_of(adj.begin(), adj.end(), [&](const HalfEdge& h) {
+          return h.predicate == pred;
+        });
+        if (!found) return false;
+      } else if (graph_->OutDegree(u) == 0) {
+        return false;
+      }
+    }
+    if (e.to == v) {
+      TermId other = rq.vertex_term[e.from];
+      if (other != kNullTerm && e.from != v) {
+        if (pred != kNullTerm) {
+          if (!graph_->HasTriple(other, pred, u)) return false;
+        } else if (!graph_->HasAnyEdge(other, u)) {
+          return false;
+        }
+      } else if (pred != kNullTerm) {
+        auto adj = graph_->InEdges(u);
+        bool found = std::any_of(adj.begin(), adj.end(), [&](const HalfEdge& h) {
+          return h.predicate == pred;
+        });
+        if (!found) return false;
+      } else if (graph_->InDegree(u) == 0) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::vector<TermId> LocalStore::Candidates(const ResolvedQuery& rq,
+                                           QVertexId v) const {
+  const QueryGraph& q = *rq.query;
+  std::vector<TermId> out;
+  if (rq.impossible) return out;
+
+  TermId constant = rq.vertex_term[v];
+  if (constant != kNullTerm) {
+    if (graph_->HasVertex(constant) &&
+        PassesLocalConstraints(rq, v, constant)) {
+      out.push_back(constant);
+    }
+    return out;
+  }
+
+  // Seed with the cheapest incident constant-predicate pattern, falling back
+  // to the full vertex list.
+  TermId best_pred = kNullTerm;
+  bool best_as_subject = true;
+  size_t best_count = graph_->num_vertices();
+  for (QEdgeId eid : q.IncidentEdges(v)) {
+    const QueryEdge& e = q.edge(eid);
+    TermId pred = rq.edge_pred[eid];
+    if (pred == kNullTerm) continue;
+    size_t count = PredicateCount(pred);
+    if (count < best_count) {
+      best_count = count;
+      best_pred = pred;
+      best_as_subject = (e.from == v);
+    }
+  }
+
+  if (best_pred != kNullTerm) {
+    auto rows = best_as_subject ? SubjectsOf(best_pred) : ObjectsOf(best_pred);
+    TermId prev = kNullTerm;
+    for (const auto& [endpoint, other] : rows) {
+      if (endpoint == prev) continue;  // rows sorted by endpoint
+      prev = endpoint;
+      if (PassesLocalConstraints(rq, v, endpoint)) out.push_back(endpoint);
+    }
+  } else {
+    for (TermId u : graph_->vertices()) {
+      if (PassesLocalConstraints(rq, v, u)) out.push_back(u);
+    }
+  }
+  return out;
+}
+
+size_t LocalStore::EstimateCandidates(const ResolvedQuery& rq,
+                                      QVertexId v) const {
+  if (rq.vertex_term[v] != kNullTerm) return 1;
+  const QueryGraph& q = *rq.query;
+  size_t best = graph_->num_vertices();
+  for (QEdgeId eid : q.IncidentEdges(v)) {
+    TermId pred = rq.edge_pred[eid];
+    if (pred == kNullTerm) continue;
+    best = std::min(best, PredicateCount(pred));
+    // A constant neighbour bounds the candidates by its degree.
+    const QueryEdge& e = q.edge(eid);
+    QVertexId other = e.from == v ? e.to : e.from;
+    TermId other_term = rq.vertex_term[other];
+    if (other_term != kNullTerm) {
+      best = std::min(best, graph_->Degree(other_term));
+    }
+  }
+  return best;
+}
+
+}  // namespace gstored

@@ -1,0 +1,78 @@
+#ifndef GSTORED_STORE_LOCAL_STORE_H_
+#define GSTORED_STORE_LOCAL_STORE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/graph.h"
+#include "sparql/query_graph.h"
+
+namespace gstored {
+
+/// Per-site storage and indexing layer over an RdfGraph — the stand-in for
+/// the centralized gStore engine that the paper installs at every site.
+///
+/// On top of the graph's sorted adjacency it maintains:
+///  * a predicate index (predicate -> (subject, object) pairs), used to seed
+///    candidate enumeration with the rarest triple pattern;
+///  * per-vertex predicate signatures (a 64-bit Bloom mask of the incident
+///    (direction, predicate) pairs), gStore's VS-tree idea reduced to one
+///    level, used to discard candidate vertices before touching adjacency.
+///
+/// The store borrows the graph; the graph must stay alive and must already
+/// be finalized.
+class LocalStore {
+ public:
+  explicit LocalStore(const RdfGraph* graph);
+
+  LocalStore(const LocalStore&) = delete;
+  LocalStore& operator=(const LocalStore&) = delete;
+  LocalStore(LocalStore&&) = default;
+
+  const RdfGraph& graph() const { return *graph_; }
+
+  /// Number of triples whose predicate is `p`.
+  size_t PredicateCount(TermId p) const;
+
+  /// Subjects / objects of all triples with predicate `p` (each with the
+  /// other endpoint), sorted by this endpoint's id. Empty span if unused.
+  std::span<const std::pair<TermId, TermId>> SubjectsOf(TermId p) const;
+  std::span<const std::pair<TermId, TermId>> ObjectsOf(TermId p) const;
+
+  /// 64-bit signature of vertex v's incident (direction, predicate) pairs.
+  uint64_t VertexSignature(TermId v) const;
+
+  /// Signature bit for an outgoing/incoming predicate, for building query-
+  /// side requirement masks.
+  static uint64_t SignatureBit(TermId predicate, bool outgoing);
+
+  /// Computes the candidate set C(Q, v) for query vertex `v`: every graph
+  /// vertex that passes the signature filter and has, for each incident
+  /// triple pattern with a constant predicate (and, when the pattern's other
+  /// endpoint is a constant, that exact neighbour), a matching edge.
+  /// For a constant query vertex this is the vertex itself or empty.
+  /// Candidates are sorted by id.
+  std::vector<TermId> Candidates(const ResolvedQuery& rq, QVertexId v) const;
+
+  /// Cheap upper-bound estimate of |Candidates(rq, v)|, used by the matcher
+  /// to pick a variable ordering without materializing candidate sets.
+  size_t EstimateCandidates(const ResolvedQuery& rq, QVertexId v) const;
+
+ private:
+  /// True if vertex u satisfies all local (edge-existence) constraints of
+  /// query vertex v that involve only constants.
+  bool PassesLocalConstraints(const ResolvedQuery& rq, QVertexId v,
+                              TermId u) const;
+
+  const RdfGraph* graph_;
+  std::unordered_map<TermId, std::vector<std::pair<TermId, TermId>>>
+      pred_subjects_;  // predicate -> (subject, object), sorted by subject
+  std::unordered_map<TermId, std::vector<std::pair<TermId, TermId>>>
+      pred_objects_;  // predicate -> (object, subject), sorted by object
+  std::vector<uint64_t> signatures_;  // indexed by term id
+};
+
+}  // namespace gstored
+
+#endif  // GSTORED_STORE_LOCAL_STORE_H_

@@ -1,0 +1,252 @@
+#include "store/matcher.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/logging.h"
+
+namespace gstored {
+namespace {
+
+/// Recursive backtracking state shared across levels.
+struct SearchContext {
+  const LocalStore* store;
+  const ResolvedQuery* rq;
+  const MatchOptions* options;
+  std::vector<QVertexId> order;
+  std::vector<bool> assigned;  // indexed by query vertex
+  Binding binding;             // current partial assignment
+  std::vector<Binding>* results;
+};
+
+/// True if assigning u to v is consistent with all already-assigned
+/// neighbours of v (edge existence plus parallel-edge injectivity).
+bool ConsistentWithAssigned(const SearchContext& ctx, QVertexId v, TermId u) {
+  const QueryGraph& q = *ctx.rq->query;
+  const RdfGraph& g = ctx.store->graph();
+
+  if (ctx.options->candidate_filter &&
+      !ctx.options->candidate_filter(v, u)) {
+    return false;
+  }
+
+  // Group incident edges by the directed assigned pair they induce.
+  // Key: (from_vertex, to_vertex) in query space; both endpoints assigned
+  // (v counts as assigned-to-u for this check).
+  std::unordered_map<uint64_t, std::vector<QEdgeId>> groups;
+  auto image = [&](QVertexId w) -> TermId {
+    return w == v ? u : ctx.binding[w];
+  };
+  for (QEdgeId eid : q.IncidentEdges(v)) {
+    const QueryEdge& e = q.edge(eid);
+    QVertexId other = e.from == v ? e.to : e.from;
+    if (other != v && !ctx.assigned[other]) continue;
+    uint64_t key = (static_cast<uint64_t>(e.from) << 32) | e.to;
+    groups[key].push_back(eid);
+  }
+  for (const auto& [key, group] : groups) {
+    QVertexId from = static_cast<QVertexId>(key >> 32);
+    QVertexId to = static_cast<QVertexId>(key & 0xffffffffu);
+    if (!ParallelEdgesSatisfiable(g, *ctx.rq, group, image(from), image(to))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Enumerates the candidate domain for the next query vertex `v`, using the
+/// cheapest already-assigned neighbour as a pivot when possible.
+std::vector<TermId> DomainFor(const SearchContext& ctx, QVertexId v) {
+  const QueryGraph& q = *ctx.rq->query;
+  const RdfGraph& g = ctx.store->graph();
+
+  TermId constant = ctx.rq->vertex_term[v];
+  if (constant != kNullTerm) {
+    if (g.HasVertex(constant)) return {constant};
+    return {};
+  }
+
+  // Find a pivot edge to an assigned neighbour; prefer constant predicates.
+  QEdgeId pivot = static_cast<QEdgeId>(-1);
+  bool pivot_constant_pred = false;
+  for (QEdgeId eid : q.IncidentEdges(v)) {
+    const QueryEdge& e = q.edge(eid);
+    QVertexId other = e.from == v ? e.to : e.from;
+    if (other == v || !ctx.assigned[other]) continue;
+    bool has_const_pred = ctx.rq->edge_pred[eid] != kNullTerm;
+    if (pivot == static_cast<QEdgeId>(-1) ||
+        (has_const_pred && !pivot_constant_pred)) {
+      pivot = eid;
+      pivot_constant_pred = has_const_pred;
+    }
+  }
+
+  std::vector<TermId> domain;
+  if (pivot == static_cast<QEdgeId>(-1)) {
+    // No assigned neighbour: this is the start vertex.
+    return ctx.store->Candidates(*ctx.rq, v);
+  }
+  const QueryEdge& e = q.edge(pivot);
+  TermId pred = ctx.rq->edge_pred[pivot];
+  bool v_is_subject = (e.from == v);
+  TermId anchor = ctx.binding[v_is_subject ? e.to : e.from];
+  auto half_edges = v_is_subject ? g.InEdges(anchor) : g.OutEdges(anchor);
+  for (const HalfEdge& h : half_edges) {
+    if (pred != kNullTerm && h.predicate != pred) continue;
+    domain.push_back(h.neighbor);
+  }
+  std::sort(domain.begin(), domain.end());
+  domain.erase(std::unique(domain.begin(), domain.end()), domain.end());
+  return domain;
+}
+
+void Extend(SearchContext& ctx, size_t depth) {
+  if (ctx.results->size() >= ctx.options->limit) return;
+  if (depth == ctx.order.size()) {
+    ctx.results->push_back(ctx.binding);
+    return;
+  }
+  QVertexId v = ctx.order[depth];
+  for (TermId u : DomainFor(ctx, v)) {
+    if (ctx.results->size() >= ctx.options->limit) return;
+    if (!ConsistentWithAssigned(ctx, v, u)) continue;
+    ctx.binding[v] = u;
+    ctx.assigned[v] = true;
+    Extend(ctx, depth + 1);
+    ctx.assigned[v] = false;
+    ctx.binding[v] = kNullTerm;
+  }
+}
+
+}  // namespace
+
+bool ParallelEdgesSatisfiable(const RdfGraph& graph, const ResolvedQuery& rq,
+                              const std::vector<QEdgeId>& group, TermId a,
+                              TermId b) {
+  // Collect the set of data predicates on edges a -> b. The graph stores
+  // deduplicated triples, so this is a set (no repeated labels).
+  std::vector<TermId> data_labels;
+  for (const HalfEdge& h : graph.OutEdges(a)) {
+    if (h.neighbor == b) data_labels.push_back(h.predicate);
+  }
+  if (data_labels.empty()) return false;
+
+  std::vector<TermId> constants;
+  size_t variable_count = 0;
+  for (QEdgeId eid : group) {
+    TermId pred = rq.edge_pred[eid];
+    if (pred == kNullTerm) {
+      ++variable_count;
+    } else {
+      constants.push_back(pred);
+    }
+  }
+  std::sort(constants.begin(), constants.end());
+  // Duplicate constant labels can never map injectively into a label set.
+  if (std::adjacent_find(constants.begin(), constants.end()) !=
+      constants.end()) {
+    return false;
+  }
+  for (TermId c : constants) {
+    if (std::find(data_labels.begin(), data_labels.end(), c) ==
+        data_labels.end()) {
+      return false;
+    }
+  }
+  return variable_count + constants.size() <= data_labels.size();
+}
+
+bool VerifyMatch(const RdfGraph& graph, const ResolvedQuery& rq,
+                 const Binding& binding) {
+  const QueryGraph& q = *rq.query;
+  if (binding.size() != q.num_vertices()) return false;
+  for (QVertexId v = 0; v < q.num_vertices(); ++v) {
+    if (binding[v] == kNullTerm) return false;
+    TermId constant = rq.vertex_term[v];
+    if (constant != kNullTerm && binding[v] != constant) return false;
+  }
+  // Group parallel edges by directed pair and check label injectivity.
+  std::unordered_map<uint64_t, std::vector<QEdgeId>> groups;
+  for (QEdgeId e = 0; e < q.num_edges(); ++e) {
+    const QueryEdge& edge = q.edge(e);
+    groups[(static_cast<uint64_t>(edge.from) << 32) | edge.to].push_back(e);
+  }
+  for (const auto& [key, group] : groups) {
+    QVertexId from = static_cast<QVertexId>(key >> 32);
+    QVertexId to = static_cast<QVertexId>(key & 0xffffffffu);
+    if (!ParallelEdgesSatisfiable(graph, rq, group, binding[from],
+                                  binding[to])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<QVertexId> MatchingOrder(const LocalStore& store,
+                                     const ResolvedQuery& rq) {
+  const QueryGraph& q = *rq.query;
+  size_t n = q.num_vertices();
+  std::vector<QVertexId> order;
+  std::vector<bool> placed(n, false);
+
+  // Start at the most selective vertex.
+  QVertexId start = 0;
+  size_t best = static_cast<size_t>(-1);
+  for (QVertexId v = 0; v < n; ++v) {
+    size_t est = store.EstimateCandidates(rq, v);
+    if (est < best) {
+      best = est;
+      start = v;
+    }
+  }
+  order.push_back(start);
+  placed[start] = true;
+
+  while (order.size() < n) {
+    QVertexId next = static_cast<QVertexId>(-1);
+    size_t next_est = static_cast<size_t>(-1);
+    for (QVertexId v = 0; v < n; ++v) {
+      if (placed[v]) continue;
+      bool adjacent = false;
+      for (QVertexId nb : q.Neighbors(v)) {
+        if (placed[nb]) {
+          adjacent = true;
+          break;
+        }
+      }
+      if (!adjacent) continue;
+      size_t est = store.EstimateCandidates(rq, v);
+      if (est < next_est) {
+        next_est = est;
+        next = v;
+      }
+    }
+    // The paper assumes connected queries; a disconnected vertex would never
+    // become adjacent, which is a caller error.
+    GSTORED_CHECK_MSG(next != static_cast<QVertexId>(-1),
+                      "query graph must be connected");
+    order.push_back(next);
+    placed[next] = true;
+  }
+  return order;
+}
+
+std::vector<Binding> MatchQuery(const LocalStore& store,
+                                const ResolvedQuery& rq,
+                                const MatchOptions& options) {
+  std::vector<Binding> results;
+  if (rq.impossible || rq.query->num_vertices() == 0) return results;
+
+  SearchContext ctx;
+  ctx.store = &store;
+  ctx.rq = &rq;
+  ctx.options = &options;
+  ctx.order = MatchingOrder(store, rq);
+  ctx.assigned.assign(rq.query->num_vertices(), false);
+  ctx.binding.assign(rq.query->num_vertices(), kNullTerm);
+  ctx.results = &results;
+  Extend(ctx, 0);
+  return results;
+}
+
+}  // namespace gstored

@@ -1,0 +1,63 @@
+#ifndef GSTORED_STORE_MATCHER_H_
+#define GSTORED_STORE_MATCHER_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "store/local_store.h"
+
+namespace gstored {
+
+/// A total assignment of graph vertices to query vertices: binding[v] is the
+/// image f(v) of query vertex v (Def. 3). Never contains kNullTerm.
+using Binding = std::vector<TermId>;
+
+/// Options for MatchQuery.
+struct MatchOptions {
+  /// Stop after this many matches (SIZE_MAX = all).
+  size_t limit = static_cast<size_t>(-1);
+
+  /// Optional per-vertex candidate filter. When set, a graph vertex u is only
+  /// considered for query vertex v if filter(v, u) returns true. Used by the
+  /// engine to apply Algorithm 4's candidate bit vectors.
+  std::function<bool(QVertexId, TermId)> candidate_filter;
+};
+
+/// Finds all homomorphic matches (Def. 3) of the resolved query over the
+/// store's graph, including the injective multi-edge label condition for
+/// parallel triple patterns. Matches are returned as full bindings.
+///
+/// This is both the centralized oracle (run on the whole graph) and the
+/// per-site "complete local match" evaluator (run on a fragment's graph).
+std::vector<Binding> MatchQuery(const LocalStore& store,
+                                const ResolvedQuery& rq,
+                                const MatchOptions& options = {});
+
+/// Checks Def. 3's injective edge-label condition for the group of parallel
+/// query edges `group` (all with f(from)=a, f(to)=b): the constant labels
+/// must be distinct and present on data edges a->b, with enough remaining
+/// distinct data labels for the variable-predicate patterns. Exposed for
+/// reuse by the partial-match enumerator and for direct unit testing.
+bool ParallelEdgesSatisfiable(const RdfGraph& graph,
+                              const ResolvedQuery& rq,
+                              const std::vector<QEdgeId>& group, TermId a,
+                              TermId b);
+
+/// Verifies that a full binding is a genuine match of the query per Def. 3:
+/// constants agree, every edge's image exists, and parallel query edges map
+/// injectively onto distinct data edge labels. Used by the baseline system
+/// analogues to re-check relational join outputs (plain relational joins do
+/// not enforce the injective multi-edge condition).
+bool VerifyMatch(const RdfGraph& graph, const ResolvedQuery& rq,
+                 const Binding& binding);
+
+/// Computes a query-vertex elimination order: starts from the vertex with
+/// the fewest estimated candidates and repeatedly appends the cheapest
+/// unordered vertex adjacent to the ordered prefix. Exposed for testing.
+std::vector<QVertexId> MatchingOrder(const LocalStore& store,
+                                     const ResolvedQuery& rq);
+
+}  // namespace gstored
+
+#endif  // GSTORED_STORE_MATCHER_H_

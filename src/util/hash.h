@@ -1,0 +1,48 @@
+#ifndef GSTORED_UTIL_HASH_H_
+#define GSTORED_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace gstored {
+
+/// 64-bit FNV-1a over a byte string. Deterministic across platforms, which
+/// keeps partitioning assignments and candidate bit vectors reproducible.
+inline uint64_t Fnv1a64(std::string_view bytes) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// SplitMix64 finalizer; a cheap strong mix for integer keys.
+inline uint64_t MixU64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Order-dependent combination of two hash values (boost::hash_combine-like).
+inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  return seed ^ (MixU64(value) + 0x9e3779b97f4a7c15ULL + (seed << 6) +
+                 (seed >> 2));
+}
+
+/// Hashes a contiguous range of integer ids; used for deduplicating match
+/// serialization vectors.
+template <typename It>
+uint64_t HashRange(It first, It last) {
+  uint64_t h = 0x9ae16a3b2f90404fULL;
+  for (It it = first; it != last; ++it) {
+    h = HashCombine(h, static_cast<uint64_t>(*it));
+  }
+  return h;
+}
+
+}  // namespace gstored
+
+#endif  // GSTORED_UTIL_HASH_H_

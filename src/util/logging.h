@@ -1,0 +1,51 @@
+#ifndef GSTORED_UTIL_LOGGING_H_
+#define GSTORED_UTIL_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace gstored {
+namespace internal_logging {
+
+/// Aborts the process after printing `msg` with source location context.
+/// Used by the GSTORED_CHECK family for invariant violations; these indicate
+/// programming errors, not recoverable conditions.
+[[noreturn]] inline void DieBecause(const char* file, int line,
+                                    const std::string& msg) {
+  std::fprintf(stderr, "[gstored fatal] %s:%d: %s\n", file, line, msg.c_str());
+  std::abort();
+}
+
+}  // namespace internal_logging
+}  // namespace gstored
+
+/// Aborts with a message when `cond` does not hold. Always on (benchmarks
+/// included): the checked conditions are cheap structural invariants.
+#define GSTORED_CHECK(cond)                                              \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::gstored::internal_logging::DieBecause(__FILE__, __LINE__,        \
+                                              "check failed: " #cond);  \
+    }                                                                    \
+  } while (0)
+
+#define GSTORED_CHECK_MSG(cond, msg)                                        \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::ostringstream oss_;                                              \
+      oss_ << "check failed: " #cond << " — " << msg;                       \
+      ::gstored::internal_logging::DieBecause(__FILE__, __LINE__,           \
+                                              oss_.str());                  \
+    }                                                                       \
+  } while (0)
+
+#define GSTORED_CHECK_EQ(a, b) GSTORED_CHECK((a) == (b))
+#define GSTORED_CHECK_NE(a, b) GSTORED_CHECK((a) != (b))
+#define GSTORED_CHECK_LT(a, b) GSTORED_CHECK((a) < (b))
+#define GSTORED_CHECK_LE(a, b) GSTORED_CHECK((a) <= (b))
+#define GSTORED_CHECK_GT(a, b) GSTORED_CHECK((a) > (b))
+#define GSTORED_CHECK_GE(a, b) GSTORED_CHECK((a) >= (b))
+
+#endif  // GSTORED_UTIL_LOGGING_H_

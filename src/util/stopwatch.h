@@ -1,0 +1,36 @@
+#ifndef GSTORED_UTIL_STOPWATCH_H_
+#define GSTORED_UTIL_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace gstored {
+
+/// Wall-clock stopwatch used for per-stage timing in the simulated cluster.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or the last Restart, in microseconds.
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+  /// Elapsed time in milliseconds (floating point, for reporting).
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedMicros()) / 1000.0;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace gstored
+
+#endif  // GSTORED_UTIL_STOPWATCH_H_

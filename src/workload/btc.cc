@@ -1,0 +1,133 @@
+#include "workload/btc.h"
+
+#include <string>
+#include <vector>
+
+#include "sparql/parser.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace gstored {
+namespace {
+
+constexpr const char* kSameAs = "<http://www.w3.org/2002/07/owl#sameAs>";
+constexpr const char* kSeeAlso =
+    "<http://www.w3.org/2000/01/rdf-schema#seeAlso>";
+constexpr const char* kLabel =
+    "<http://www.w3.org/2000/01/rdf-schema#label>";
+constexpr const char* kType =
+    "<http://www.w3.org/1999/02/22-rdf-syntax-ns#type>";
+
+std::string DomainEntity(int domain, int index) {
+  return "<http://domain" + std::to_string(domain) + ".org/resource/e" +
+         std::to_string(index) + ">";
+}
+
+std::string DomainClass(int domain) {
+  return "<http://domain" + std::to_string(domain) + ".org/ont#Thing>";
+}
+
+std::string DomainLink(int domain) {
+  return "<http://domain" + std::to_string(domain) + ".org/ont#link>";
+}
+
+QueryGraph MustParse(const std::string& text) {
+  Result<QueryGraph> parsed = ParseSparql(text);
+  GSTORED_CHECK_MSG(parsed.ok(), parsed.status().ToString());
+  return std::move(parsed).value();
+}
+
+}  // namespace
+
+Workload MakeBtcWorkload(const BtcConfig& config) {
+  GSTORED_CHECK_GE(config.domains, 4);
+  Workload workload;
+  workload.name = "btc";
+  workload.dataset = std::make_unique<Dataset>();
+  Dataset& data = *workload.dataset;
+  Rng rng(config.seed);
+
+  const int domains = config.domains;
+  const int per_domain = config.entities_per_domain;
+  for (int d = 0; d < domains; ++d) {
+    for (int e = 0; e < per_domain; ++e) {
+      std::string entity = DomainEntity(d, e);
+      data.AddTripleLexical(entity, kType, DomainClass(d));
+      data.AddTripleLexical(
+          entity, kLabel,
+          "\"Entity " + std::to_string(e) + " of domain " +
+              std::to_string(d) + "\"");
+      // Intra-domain links with a hub skew (web-crawl degree distribution).
+      int fanout = 1 + static_cast<int>(rng.Uniform(4));
+      for (int j = 0; j < fanout; ++j) {
+        int target = static_cast<int>(rng.Uniform((e + 7) / 8 + 1));
+        if (target != e) {
+          data.AddTripleLexical(entity, DomainLink(d),
+                                DomainEntity(d, target));
+        }
+      }
+      // The index-aligned one-directional sameAs ring: d -> d+1 (mod D).
+      // Low indexes always participate so the fixed-anchor queries (BQ2,
+      // BQ4) are guaranteed non-empty; the rest join with probability 0.6.
+      if (e < 64 || rng.Chance(0.6)) {
+        data.AddTripleLexical(entity, kSameAs,
+                              DomainEntity((d + 1) % domains, e));
+      }
+      // Random cross-domain seeAlso noise.
+      if (rng.Chance(0.2)) {
+        int other = static_cast<int>(rng.Uniform(domains));
+        if (other != d) {
+          data.AddTripleLexical(
+              entity, kSeeAlso,
+              DomainEntity(other, static_cast<int>(rng.Uniform(per_domain))));
+        }
+      }
+    }
+  }
+  data.Finalize();
+
+  auto P = [](const char* iri) { return std::string(iri); };
+  const std::string anchor5 = DomainEntity(0, 5);
+  const std::string anchor3 = DomainEntity(1, 3);
+  const std::string anchor10 = DomainEntity(2, 10);
+
+  // BQ1: selective star — label and type of one entity.
+  workload.queries.push_back(
+      {"BQ1", MustParse("SELECT ?l ?t WHERE { " + anchor5 + " " + P(kLabel) +
+                        " ?l . " + anchor5 + " " + P(kType) + " ?t . }")});
+  // BQ2: selective star — who is sameAs-aligned to domain1's e3.
+  workload.queries.push_back(
+      {"BQ2", MustParse("SELECT ?x ?l WHERE { ?x " + P(kSameAs) + " " +
+                        anchor3 + " . ?x " + P(kLabel) + " ?l . }")});
+  // BQ3: selective star with zero results — nothing sameAs-points into
+  // domain 0 from itself and the label is fixed to a non-existent value.
+  workload.queries.push_back(
+      {"BQ3", MustParse("SELECT ?x WHERE { ?x " + P(kSameAs) + " " + anchor5 +
+                        " . ?x " + P(kLabel) +
+                        " \"No entity bears this label\" . }")});
+  // BQ4: selective cross-domain path through the sameAs ring.
+  workload.queries.push_back(
+      {"BQ4", MustParse("SELECT ?x ?y ?z WHERE { " + anchor5 + " " +
+                        P(kSameAs) + " ?x . ?x " + DomainLink(1) +
+                        " ?y . ?y " + P(kSameAs) + " ?z . }")});
+  // BQ5: selective path ending at a fixed entity.
+  workload.queries.push_back(
+      {"BQ5", MustParse("SELECT ?x ?y ?l WHERE { ?x " + DomainLink(2) + " " +
+                        anchor10 + " . ?x " + P(kSameAs) + " ?y . ?y " +
+                        P(kLabel) + " ?l . }")});
+  // BQ6: unselective cycle, provably empty — two sameAs hops advance two
+  // domains along the ring, but link edges never leave a domain.
+  workload.queries.push_back(
+      {"BQ6", MustParse("SELECT ?x ?y ?z WHERE { ?x " + P(kSameAs) +
+                        " ?y . ?y " + P(kSameAs) + " ?z . ?z " +
+                        DomainLink(0) + " ?x . }")});
+  // BQ7: unselective 4-cycle, also provably empty for >= 4 domains.
+  workload.queries.push_back(
+      {"BQ7", MustParse("SELECT ?x ?y ?z ?w WHERE { ?x " + DomainLink(1) +
+                        " ?y . ?y " + P(kSameAs) + " ?z . ?z " +
+                        DomainLink(2) + " ?w . ?w " + P(kSameAs) +
+                        " ?x . }")});
+  return workload;
+}
+
+}  // namespace gstored

@@ -1,0 +1,32 @@
+#ifndef GSTORED_WORKLOAD_BTC_H_
+#define GSTORED_WORKLOAD_BTC_H_
+
+#include <cstdint>
+
+#include "workload/workload.h"
+
+namespace gstored {
+
+/// Scale parameters of the BTC-style generator: a Billion-Triples-Challenge
+/// flavoured multi-publisher web crawl. Each publisher domain has its own
+/// URI namespace, entity classes and intra-domain link predicate; domains
+/// are stitched together by one-directional owl:sameAs rings and random
+/// rdfs:seeAlso links. The sameAs ring is index-aligned across domains,
+/// which makes the BQ6/BQ7 cyclic patterns provably empty (matching the
+/// zero-result rows of Table III) while still generating many local partial
+/// matches.
+struct BtcConfig {
+  int domains = 5;                ///< publisher domains (>= 4 for BQ6/BQ7)
+  int entities_per_domain = 700;
+  uint64_t seed = 3;
+};
+
+/// Generates the BTC-style dataset and the BQ1-BQ7 query set:
+///  * BQ1 / BQ2 / BQ3 — selective stars (BQ3 has zero results);
+///  * BQ4 / BQ5 — selective cross-domain paths through sameAs links;
+///  * BQ6 / BQ7 — unselective cyclic patterns with zero results.
+Workload MakeBtcWorkload(const BtcConfig& config);
+
+}  // namespace gstored
+
+#endif  // GSTORED_WORKLOAD_BTC_H_

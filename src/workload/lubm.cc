@@ -1,0 +1,221 @@
+#include "workload/lubm.h"
+
+#include <string>
+#include <vector>
+
+#include "sparql/parser.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace gstored {
+namespace {
+
+// Ontology IRIs.
+constexpr const char* kType = "<http://lubm.org/ont#type>";
+constexpr const char* kWorksFor = "<http://lubm.org/ont#worksFor>";
+constexpr const char* kHeadOf = "<http://lubm.org/ont#headOf>";
+constexpr const char* kSubOrgOf = "<http://lubm.org/ont#subOrganizationOf>";
+constexpr const char* kTeacherOf = "<http://lubm.org/ont#teacherOf>";
+constexpr const char* kTakesCourse = "<http://lubm.org/ont#takesCourse>";
+constexpr const char* kAdvisor = "<http://lubm.org/ont#advisor>";
+constexpr const char* kUgDegreeFrom =
+    "<http://lubm.org/ont#undergraduateDegreeFrom>";
+constexpr const char* kPhdDegreeFrom =
+    "<http://lubm.org/ont#doctoralDegreeFrom>";
+constexpr const char* kMemberOf = "<http://lubm.org/ont#memberOf>";
+constexpr const char* kName = "<http://lubm.org/ont#name>";
+constexpr const char* kEmail = "<http://lubm.org/ont#emailAddress>";
+constexpr const char* kPubAuthor = "<http://lubm.org/ont#publicationAuthor>";
+
+constexpr const char* kFullProfessor = "<http://lubm.org/ont#FullProfessor>";
+constexpr const char* kAssociateProfessor =
+    "<http://lubm.org/ont#AssociateProfessor>";
+constexpr const char* kLecturer = "<http://lubm.org/ont#Lecturer>";
+constexpr const char* kCourse = "<http://lubm.org/ont#Course>";
+constexpr const char* kUndergrad =
+    "<http://lubm.org/ont#UndergraduateStudent>";
+constexpr const char* kGradStudent = "<http://lubm.org/ont#GraduateStudent>";
+constexpr const char* kPublication = "<http://lubm.org/ont#Publication>";
+constexpr const char* kDepartment = "<http://lubm.org/ont#Department>";
+
+std::string UniversityIri(int u) {
+  return "<http://www.univ" + std::to_string(u) + ".edu/univ>";
+}
+
+/// Department-scoped entity IRI; the namespace prefix (everything up to '#')
+/// is what semantic hash partitioning groups by.
+std::string DeptEntity(int u, int d, const std::string& local) {
+  return "<http://www.univ" + std::to_string(u) + ".edu/dept" +
+         std::to_string(d) + "#" + local + ">";
+}
+
+QueryGraph MustParse(const std::string& text) {
+  Result<QueryGraph> parsed = ParseSparql(text);
+  GSTORED_CHECK_MSG(parsed.ok(), parsed.status().ToString());
+  return std::move(parsed).value();
+}
+
+}  // namespace
+
+LubmConfig LubmScale(int scale, uint64_t seed) {
+  GSTORED_CHECK_GE(scale, 1);
+  LubmConfig config;
+  config.universities = 8 * scale;
+  config.depts_per_university = 4;
+  config.seed = seed;
+  return config;
+}
+
+Workload MakeLubmWorkload(const LubmConfig& config) {
+  Workload workload;
+  workload.name = "lubm";
+  workload.dataset = std::make_unique<Dataset>();
+  Dataset& data = *workload.dataset;
+  Rng rng(config.seed);
+
+  const int num_univ = config.universities;
+  for (int u = 0; u < num_univ; ++u) {
+    for (int d = 0; d < config.depts_per_university; ++d) {
+      std::string dept = DeptEntity(u, d, "dept");
+      data.AddTripleLexical(dept, kType, kDepartment);
+      data.AddTripleLexical(dept, kSubOrgOf, UniversityIri(u));
+
+      std::vector<std::string> professors;
+      std::vector<std::string> courses;
+      auto add_faculty = [&](const char* klass, const char* label,
+                             int count) {
+        for (int i = 0; i < count; ++i) {
+          std::string person =
+              DeptEntity(u, d, std::string(label) + std::to_string(i));
+          data.AddTripleLexical(person, kType, klass);
+          data.AddTripleLexical(person, kWorksFor, dept);
+          data.AddTripleLexical(
+              person, kName,
+              "\"" + std::string(label) + std::to_string(i) + " of univ" +
+                  std::to_string(u) + " dept" + std::to_string(d) + "\"");
+          data.AddTripleLexical(
+              person, kEmail,
+              "\"" + std::string(label) + std::to_string(i) + "@univ" +
+                  std::to_string(u) + ".edu\"");
+          // Faculty earned their doctorate somewhere, often elsewhere —
+          // these are the long-range crossing edges of the dataset.
+          data.AddTripleLexical(
+              person, kPhdDegreeFrom,
+              UniversityIri(static_cast<int>(rng.Uniform(num_univ))));
+          professors.push_back(person);
+        }
+      };
+      add_faculty(kFullProfessor, "FullProfessor",
+                  config.full_professors_per_dept);
+      add_faculty(kAssociateProfessor, "AssociateProfessor",
+                  config.associate_professors_per_dept);
+      add_faculty(kLecturer, "Lecturer", config.lecturers_per_dept);
+      data.AddTripleLexical(professors[0], kHeadOf, dept);
+
+      for (int c = 0; c < config.courses_per_dept; ++c) {
+        std::string course = DeptEntity(u, d, "Course" + std::to_string(c));
+        data.AddTripleLexical(course, kType, kCourse);
+        courses.push_back(course);
+        const std::string& teacher =
+            professors[rng.Uniform(professors.size())];
+        data.AddTripleLexical(teacher, kTeacherOf, course);
+      }
+
+      for (int s = 0; s < config.undergrad_students_per_dept; ++s) {
+        std::string student =
+            DeptEntity(u, d, "UndergraduateStudent" + std::to_string(s));
+        data.AddTripleLexical(student, kType, kUndergrad);
+        data.AddTripleLexical(student, kMemberOf, dept);
+        int num_courses = 2 + static_cast<int>(rng.Uniform(2));
+        for (int c = 0; c < num_courses; ++c) {
+          data.AddTripleLexical(student, kTakesCourse,
+                                courses[rng.Uniform(courses.size())]);
+        }
+        if (rng.Chance(0.3)) {
+          data.AddTripleLexical(student, kAdvisor,
+                                professors[rng.Uniform(professors.size())]);
+        }
+      }
+
+      for (int s = 0; s < config.grad_students_per_dept; ++s) {
+        std::string student =
+            DeptEntity(u, d, "GraduateStudent" + std::to_string(s));
+        data.AddTripleLexical(student, kType, kGradStudent);
+        data.AddTripleLexical(student, kMemberOf, dept);
+        const std::string& advisor =
+            professors[rng.Uniform(professors.size())];
+        data.AddTripleLexical(student, kAdvisor, advisor);
+        int num_courses = 1 + static_cast<int>(rng.Uniform(3));
+        for (int c = 0; c < num_courses; ++c) {
+          data.AddTripleLexical(student, kTakesCourse,
+                                courses[rng.Uniform(courses.size())]);
+        }
+        // ~1/3 of graduate students stayed at their own university — these
+        // close the LQ1 triangle; the rest earned the degree elsewhere.
+        int degree_univ = rng.Chance(0.34)
+                              ? u
+                              : static_cast<int>(rng.Uniform(num_univ));
+        data.AddTripleLexical(student, kUgDegreeFrom,
+                              UniversityIri(degree_univ));
+        if (rng.Chance(0.5)) {
+          std::string pub =
+              DeptEntity(u, d, "Publication_g" + std::to_string(s));
+          data.AddTripleLexical(pub, kType, kPublication);
+          data.AddTripleLexical(pub, kPubAuthor, student);
+          data.AddTripleLexical(pub, kPubAuthor, advisor);
+        }
+      }
+    }
+  }
+  data.Finalize();
+
+  auto P = [](const char* iri) { return std::string(iri); };
+  const std::string dept0 = DeptEntity(0, 0, "dept");
+  const std::string prof0 = DeptEntity(0, 0, "FullProfessor0");
+
+  // LQ1: unselective triangle — graduate students whose undergraduate
+  // university is the one their department belongs to (LUBM Q2's shape).
+  workload.queries.push_back(
+      {"LQ1", MustParse("SELECT ?x ?y ?z WHERE { ?x " + P(kType) + " " +
+                        P(kGradStudent) + " . ?x " + P(kUgDegreeFrom) +
+                        " ?y . ?x " + P(kMemberOf) + " ?z . ?z " +
+                        P(kSubOrgOf) + " ?y . }")});
+  // LQ2: unselective star with a large result set.
+  workload.queries.push_back(
+      {"LQ2", MustParse("SELECT ?x ?c WHERE { ?x " + P(kType) + " " +
+                        P(kUndergrad) + " . ?x " + P(kTakesCourse) +
+                        " ?c . }")});
+  // LQ3: selective triangle anchored at one professor.
+  workload.queries.push_back(
+      {"LQ3", MustParse("SELECT ?s ?c WHERE { ?s " + P(kAdvisor) + " " +
+                        prof0 + " . ?s " + P(kTakesCourse) + " ?c . " +
+                        prof0 + " " + P(kTeacherOf) + " ?c . }")});
+  // LQ4: selective star — full professors of one department.
+  workload.queries.push_back(
+      {"LQ4", MustParse("SELECT ?x ?n ?e WHERE { ?x " + P(kWorksFor) + " " +
+                        dept0 + " . ?x " + P(kType) + " " + P(kFullProfessor) +
+                        " . ?x " + P(kName) + " ?n . ?x " + P(kEmail) +
+                        " ?e . }")});
+  // LQ5: selective star — undergraduates of one department.
+  workload.queries.push_back(
+      {"LQ5", MustParse("SELECT ?x ?n WHERE { ?x " + P(kMemberOf) + " " +
+                        dept0 + " . ?x " + P(kType) + " " + P(kUndergrad) +
+                        " . }")});
+  // LQ6: selective tree across fragments — students advised by someone who
+  // earned a doctorate at univ1.
+  workload.queries.push_back(
+      {"LQ6", MustParse("SELECT ?x ?p ?c WHERE { ?x " + P(kAdvisor) +
+                        " ?p . ?p " + P(kPhdDegreeFrom) + " " +
+                        UniversityIri(1) + " . ?x " + P(kTakesCourse) +
+                        " ?c . }")});
+  // LQ7: unselective complex shape — students taking a course taught by
+  // their own advisor (triangle plus the advisor's department).
+  workload.queries.push_back(
+      {"LQ7", MustParse("SELECT ?s ?c ?p ?d WHERE { ?s " + P(kTakesCourse) +
+                        " ?c . ?p " + P(kTeacherOf) + " ?c . ?s " +
+                        P(kAdvisor) + " ?p . ?p " + P(kWorksFor) +
+                        " ?d . }")});
+  return workload;
+}
+
+}  // namespace gstored

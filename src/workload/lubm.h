@@ -1,0 +1,45 @@
+#ifndef GSTORED_WORKLOAD_LUBM_H_
+#define GSTORED_WORKLOAD_LUBM_H_
+
+#include <cstdint>
+
+#include "workload/workload.h"
+
+namespace gstored {
+
+/// Scale parameters of the LUBM-style university generator. The paper uses
+/// LUBM at 100M-1B triples; this generator reproduces the same schema and
+/// link structure at laptop scale. Triples ≈ universities × depts × ~55 ×
+/// (people per dept scale).
+struct LubmConfig {
+  int universities = 8;
+  int depts_per_university = 4;
+  int full_professors_per_dept = 3;
+  int associate_professors_per_dept = 4;
+  int lecturers_per_dept = 3;
+  int courses_per_dept = 12;
+  int undergrad_students_per_dept = 40;
+  int grad_students_per_dept = 12;
+  uint64_t seed = 1;
+};
+
+/// Convenience: a config whose triple count scales roughly linearly with
+/// `scale` (scale=1 ≈ 25k triples). Used by the Fig. 11 scalability sweep.
+LubmConfig LubmScale(int scale, uint64_t seed = 1);
+
+/// Generates the LUBM-style dataset and the LQ1-LQ7 benchmark query set.
+///
+/// The query shapes mirror the benchmark suite of Abdelaziz et al. [1] used
+/// by the paper:
+///  * LQ1 — complex unselective snowflake (grad students / courses /
+///    advisors across departments);
+///  * LQ2 — unselective star (many results, evaluated locally);
+///  * LQ3 — selective non-star (triangle-like, constant anchor);
+///  * LQ4 / LQ5 — selective stars (professor / lecturer of one department);
+///  * LQ6 — selective path across fragments;
+///  * LQ7 — unselective complex shape (largest intermediate result sets).
+Workload MakeLubmWorkload(const LubmConfig& config);
+
+}  // namespace gstored
+
+#endif  // GSTORED_WORKLOAD_LUBM_H_

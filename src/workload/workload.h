@@ -1,0 +1,30 @@
+#ifndef GSTORED_WORKLOAD_WORKLOAD_H_
+#define GSTORED_WORKLOAD_WORKLOAD_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "rdf/dataset.h"
+#include "sparql/query_graph.h"
+
+namespace gstored {
+
+/// A named benchmark query.
+struct BenchmarkQuery {
+  std::string name;   ///< e.g. "LQ1"
+  QueryGraph query;
+};
+
+/// A generated dataset together with its benchmark query set — the unit all
+/// experiment harnesses consume.
+struct Workload {
+  std::string name;  ///< "lubm", "yago2", "btc"
+  std::unique_ptr<Dataset> dataset;
+  std::vector<BenchmarkQuery> queries;
+};
+
+}  // namespace gstored
+
+#endif  // GSTORED_WORKLOAD_WORKLOAD_H_

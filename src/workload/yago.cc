@@ -1,0 +1,150 @@
+#include "workload/yago.h"
+
+#include <string>
+#include <vector>
+
+#include "sparql/parser.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace gstored {
+namespace {
+
+constexpr const char* kType = "<http://yago.org/ont#type>";
+constexpr const char* kHasName = "<http://yago.org/ont#hasName>";
+constexpr const char* kWasBornIn = "<http://yago.org/ont#wasBornIn>";
+constexpr const char* kLivesIn = "<http://yago.org/ont#livesIn>";
+constexpr const char* kIsLocatedIn = "<http://yago.org/ont#isLocatedIn>";
+constexpr const char* kActedIn = "<http://yago.org/ont#actedIn>";
+constexpr const char* kInfluences = "<http://yago.org/ont#influences>";
+constexpr const char* kHasWonPrize = "<http://yago.org/ont#hasWonPrize>";
+constexpr const char* kWorksAt = "<http://yago.org/ont#worksAt>";
+constexpr const char* kIsMarriedTo = "<http://yago.org/ont#isMarriedTo>";
+
+constexpr const char* kPersonClass = "<http://yago.org/ont#Person>";
+constexpr const char* kCityClass = "<http://yago.org/ont#City>";
+constexpr const char* kCountryClass = "<http://yago.org/ont#Country>";
+constexpr const char* kMovieClass = "<http://yago.org/ont#Movie>";
+constexpr const char* kOrgClass = "<http://yago.org/ont#Organization>";
+constexpr const char* kPrizeClass = "<http://yago.org/ont#Prize>";
+
+/// All YAGO entities share one namespace (the YAGO2 property the paper's
+/// Sec. VIII-D leans on).
+std::string Entity(const std::string& local) {
+  return "<http://yago-knowledge.org/resource/" + local + ">";
+}
+
+QueryGraph MustParse(const std::string& text) {
+  Result<QueryGraph> parsed = ParseSparql(text);
+  GSTORED_CHECK_MSG(parsed.ok(), parsed.status().ToString());
+  return std::move(parsed).value();
+}
+
+}  // namespace
+
+Workload MakeYagoWorkload(const YagoConfig& config) {
+  Workload workload;
+  workload.name = "yago2";
+  workload.dataset = std::make_unique<Dataset>();
+  Dataset& data = *workload.dataset;
+  Rng rng(config.seed);
+
+  std::vector<std::string> countries, cities, persons, movies, orgs, prizes;
+  for (int i = 0; i < config.countries; ++i) {
+    countries.push_back(Entity("country" + std::to_string(i)));
+    data.AddTripleLexical(countries.back(), kType, kCountryClass);
+    data.AddTripleLexical(countries.back(), kHasName,
+                          "\"Country " + std::to_string(i) + "\"");
+  }
+  for (int i = 0; i < config.cities; ++i) {
+    cities.push_back(Entity("city" + std::to_string(i)));
+    data.AddTripleLexical(cities.back(), kType, kCityClass);
+    data.AddTripleLexical(cities.back(), kIsLocatedIn,
+                          countries[rng.Uniform(countries.size())]);
+    data.AddTripleLexical(cities.back(), kHasName,
+                          "\"City " + std::to_string(i) + "\"");
+  }
+  for (int i = 0; i < config.organizations; ++i) {
+    orgs.push_back(Entity("org" + std::to_string(i)));
+    data.AddTripleLexical(orgs.back(), kType, kOrgClass);
+    data.AddTripleLexical(orgs.back(), kIsLocatedIn,
+                          cities[rng.Uniform(cities.size())]);
+  }
+  for (int i = 0; i < config.prizes; ++i) {
+    prizes.push_back(Entity("prize" + std::to_string(i)));
+    data.AddTripleLexical(prizes.back(), kType, kPrizeClass);
+  }
+  for (int i = 0; i < config.movies; ++i) {
+    movies.push_back(Entity("movie" + std::to_string(i)));
+    data.AddTripleLexical(movies.back(), kType, kMovieClass);
+    data.AddTripleLexical(movies.back(), kHasName,
+                          "\"Movie " + std::to_string(i) + "\"");
+  }
+  for (int i = 0; i < config.persons; ++i) {
+    persons.push_back(Entity("person" + std::to_string(i)));
+    const std::string& person = persons.back();
+    data.AddTripleLexical(person, kType, kPersonClass);
+    data.AddTripleLexical(person, kHasName,
+                          "\"Person " + std::to_string(i) + "\"");
+    data.AddTripleLexical(person, kWasBornIn,
+                          cities[rng.Uniform(cities.size())]);
+    if (rng.Chance(0.8)) {
+      data.AddTripleLexical(person, kLivesIn,
+                            cities[rng.Uniform(cities.size())]);
+    }
+    if (rng.Chance(0.4)) {
+      data.AddTripleLexical(person, kWorksAt, orgs[rng.Uniform(orgs.size())]);
+    }
+    if (rng.Chance(0.25)) {
+      data.AddTripleLexical(person, kActedIn,
+                            movies[rng.Uniform(movies.size())]);
+    }
+    if (rng.Chance(0.12)) {
+      data.AddTripleLexical(person, kHasWonPrize,
+                            prizes[rng.Uniform(prizes.size())]);
+    }
+    if (i > 0 && rng.Chance(0.3)) {
+      data.AddTripleLexical(person, kIsMarriedTo,
+                            persons[rng.Uniform(persons.size() - 1)]);
+    }
+    // Influence edges with a hub bias: earlier persons influence later ones
+    // (a crude preferential-attachment skew, like YAGO's famous-people hubs).
+    if (i > 0) {
+      int fanin = 1 + static_cast<int>(rng.Uniform(3));
+      for (int j = 0; j < fanin; ++j) {
+        size_t idol = rng.Uniform((i + 3) / 4 + 1);  // biased to low ids
+        data.AddTripleLexical(persons[idol], kInfluences, person);
+      }
+    }
+  }
+  data.Finalize();
+
+  auto P = [](const char* iri) { return std::string(iri); };
+  const std::string city0 = Entity("city0");
+  const std::string country0 = Entity("country0");
+
+  // YQ1: selective path — people born in city0 who influence an actor.
+  workload.queries.push_back(
+      {"YQ1", MustParse("SELECT ?x ?y ?m WHERE { ?x " + P(kWasBornIn) + " " +
+                        city0 + " . ?x " + P(kInfluences) + " ?y . ?y " +
+                        P(kActedIn) + " ?m . }")});
+  // YQ2: zero results — movies never have isLocatedIn edges.
+  workload.queries.push_back(
+      {"YQ2", MustParse("SELECT ?x ?m ?c WHERE { ?x " + P(kActedIn) +
+                        " ?m . ?m " + P(kIsLocatedIn) + " ?c . ?c " +
+                        P(kType) + " " + P(kCountryClass) + " . }")});
+  // YQ3: unselective two-hop influence chain — the huge-result query.
+  workload.queries.push_back(
+      {"YQ3", MustParse("SELECT ?x ?y ?z WHERE { ?x " + P(kInfluences) +
+                        " ?y . ?y " + P(kInfluences) + " ?z . ?z " +
+                        P(kActedIn) + " ?m . }")});
+  // YQ4: selective tree — people living in a city of country0 and where
+  // they work.
+  workload.queries.push_back(
+      {"YQ4", MustParse("SELECT ?x ?c ?o WHERE { ?x " + P(kLivesIn) +
+                        " ?c . ?c " + P(kIsLocatedIn) + " " + country0 +
+                        " . ?x " + P(kWorksAt) + " ?o . }")});
+  return workload;
+}
+
+}  // namespace gstored

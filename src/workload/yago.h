@@ -1,0 +1,34 @@
+#ifndef GSTORED_WORKLOAD_YAGO_H_
+#define GSTORED_WORKLOAD_YAGO_H_
+
+#include <cstdint>
+
+#include "workload/workload.h"
+
+namespace gstored {
+
+/// Scale parameters of the YAGO2-style generator: a single-namespace entity
+/// graph (persons, cities, countries, movies, organizations, prizes) with
+/// Wikipedia-like heterogeneous links. Because every entity shares one URI
+/// namespace, semantic hash partitioning degenerates to plain hash on this
+/// dataset — exactly the effect the paper reports for YAGO2.
+struct YagoConfig {
+  int countries = 8;
+  int cities = 60;
+  int persons = 900;
+  int movies = 200;
+  int organizations = 80;
+  int prizes = 25;
+  uint64_t seed = 2;
+};
+
+/// Generates the YAGO2-style dataset and the YQ1-YQ4 query set:
+///  * YQ1 — selective path (born in a given city -> influences -> acted in);
+///  * YQ2 — selective pattern with zero results (predicates never co-occur);
+///  * YQ3 — unselective two-hop influence pattern (very large result set);
+///  * YQ4 — selective tree (lives in a city of a given country, works at).
+Workload MakeYagoWorkload(const YagoConfig& config);
+
+}  // namespace gstored
+
+#endif  // GSTORED_WORKLOAD_YAGO_H_

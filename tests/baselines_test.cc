@@ -1,0 +1,147 @@
+// Correctness tests of the comparison-system analogues: every baseline must
+// return exactly the centralized oracle's matches, on the paper example, on
+// random graphs, and on the benchmark workloads at test scale.
+
+#include <gtest/gtest.h>
+
+#include "baselines/relational.h"
+#include "baselines/systems.h"
+#include "core/engine.h"
+#include "tests/test_fixtures.h"
+#include "workload/lubm.h"
+#include "workload/yago.h"
+
+namespace gstored {
+namespace {
+
+std::vector<Binding> Oracle(const Dataset& dataset, const QueryGraph& query) {
+  LocalStore store(&dataset.graph());
+  ResolvedQuery rq = ResolveQuery(query, dataset.dict());
+  std::vector<Binding> matches = MatchQuery(store, rq);
+  DedupBindings(&matches);
+  return matches;
+}
+
+std::vector<std::unique_ptr<BaselineSystem>> AllBaselines(
+    const Dataset* dataset) {
+  std::vector<std::unique_ptr<BaselineSystem>> systems;
+  systems.push_back(std::make_unique<DreamAnalog>(dataset));
+  systems.push_back(std::make_unique<S2RdfAnalog>(dataset));
+  systems.push_back(std::make_unique<CliqueSquareAnalog>(dataset));
+  systems.push_back(std::make_unique<S2xAnalog>(dataset));
+  return systems;
+}
+
+TEST(RelationalTest, ScanPatternBindsVariablesAndFiltersConstants) {
+  auto dataset = testing::BuildPaperDataset();
+  LocalStore store(&dataset->graph());
+  QueryGraph q;
+  q.AddEdge("?x", testing::kInfluencedBy, "?y");
+  ResolvedQuery rq = ResolveQuery(q, dataset->dict());
+  Relation rel = ScanPattern(store, rq, 0);
+  EXPECT_EQ(rel.columns.size(), 2u);
+  EXPECT_EQ(rel.rows.size(), 2u);  // Phi1->Phi2, Phi1->Phi3
+
+  QueryGraph q2;
+  q2.AddEdge(testing::kPhi1, testing::kInfluencedBy, "?y");
+  ResolvedQuery rq2 = ResolveQuery(q2, dataset->dict());
+  Relation rel2 = ScanPattern(store, rq2, 0);
+  EXPECT_EQ(rel2.columns.size(), 1u);
+  EXPECT_EQ(rel2.rows.size(), 2u);
+}
+
+TEST(RelationalTest, HashJoinNaturalJoinSemantics) {
+  Relation a;
+  a.columns = {0, 1};
+  a.rows = {{10, 20}, {11, 21}, {12, 20}};
+  Relation b;
+  b.columns = {1, 2};
+  b.rows = {{20, 30}, {20, 31}, {22, 32}};
+  Relation joined = HashJoin(a, b);
+  ASSERT_EQ(joined.columns.size(), 3u);
+  EXPECT_EQ(joined.rows.size(), 4u);  // (10,20)x2 + (12,20)x2
+
+  // Cartesian product when no shared columns.
+  Relation c;
+  c.columns = {5};
+  c.rows = {{1}, {2}};
+  Relation cart = HashJoin(a, c);
+  EXPECT_EQ(cart.rows.size(), a.rows.size() * c.rows.size());
+}
+
+TEST(StarDecompositionTest, CoversAllEdgesWithStars) {
+  QueryGraph q = testing::BuildPaperQuery();
+  auto stars = StarDecomposition(q);
+  size_t covered = 0;
+  for (const auto& star : stars) covered += star.size();
+  EXPECT_EQ(covered, q.num_edges());
+  // Every star's edges share a common vertex.
+  for (const auto& star : stars) {
+    bool has_center = false;
+    for (QVertexId v = 0; v < q.num_vertices(); ++v) {
+      bool all = true;
+      for (QEdgeId e : star) {
+        if (q.edge(e).from != v && q.edge(e).to != v) all = false;
+      }
+      if (all) has_center = true;
+    }
+    EXPECT_TRUE(has_center);
+  }
+}
+
+TEST(BaselinesTest, AgreeWithOracleOnPaperExample) {
+  auto dataset = testing::BuildPaperDataset();
+  QueryGraph query = testing::BuildPaperQuery();
+  std::vector<Binding> oracle = Oracle(*dataset, query);
+  ASSERT_EQ(oracle.size(), 4u);
+  for (auto& system : AllBaselines(dataset.get())) {
+    BaselineStats stats;
+    std::vector<Binding> result = system->Execute(query, &stats);
+    EXPECT_EQ(result, oracle) << system->name();
+    EXPECT_GT(stats.num_stages, 0u) << system->name();
+    EXPECT_GT(stats.reported_time_ms, stats.exec_time_ms) << system->name();
+  }
+}
+
+class BaselineRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BaselineRandomTest, AgreeWithOracleOnRandomData) {
+  Rng rng(GetParam());
+  auto dataset = testing::RandomDataset(rng, 40, 150, 5);
+  for (int i = 0; i < 3; ++i) {
+    QueryGraph query = testing::RandomConnectedQuery(rng, *dataset, 3 + i % 2,
+                                                     3 + i % 2);
+    std::vector<Binding> oracle = Oracle(*dataset, query);
+    for (auto& system : AllBaselines(dataset.get())) {
+      BaselineStats stats;
+      std::vector<Binding> result = system->Execute(query, &stats);
+      EXPECT_EQ(result, oracle)
+          << system->name() << " seed=" << GetParam()
+          << " query=" << query.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BaselineRandomTest,
+                         ::testing::Values(101u, 202u, 303u, 404u, 505u,
+                                           606u));
+
+TEST(BaselinesTest, AgreeWithEngineOnLubmQueries) {
+  LubmConfig config;
+  config.universities = 2;
+  config.undergrad_students_per_dept = 10;
+  Workload w = MakeLubmWorkload(config);
+  Partitioning p = HashPartitioner().Partition(*w.dataset, 3);
+  DistributedEngine engine(&p);
+  auto systems = AllBaselines(w.dataset.get());
+  for (const auto& bq : w.queries) {
+    std::vector<Binding> expected = engine.Execute(bq.query, EngineMode::kFull);
+    for (auto& system : systems) {
+      EXPECT_EQ(system->Execute(bq.query, nullptr), expected)
+          << system->name() << " on " << bq.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gstored

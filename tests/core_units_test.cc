@@ -1,0 +1,335 @@
+// Focused unit tests of the core building blocks: LEC features and
+// joinability (including the cyclic-query endpoint-consistency regression),
+// crossing-map merging, binding merges, Algorithm 1's dedup, Algorithm 2's
+// edge cases (empty input, outlier removal, bail-out), assembly edge cases,
+// and Algorithm 4's one-sided-error guarantee.
+
+#include <gtest/gtest.h>
+
+#include "core/assembly.h"
+#include "core/candidate_exchange.h"
+#include "core/engine.h"
+#include "core/lec_feature.h"
+#include "core/local_partial_match.h"
+#include "core/pruning.h"
+#include "tests/test_fixtures.h"
+
+namespace gstored {
+namespace {
+
+Bitset Sign(std::initializer_list<int> bits, size_t n = 5) {
+  Bitset s(n);
+  for (int b : bits) s.Set(static_cast<size_t>(b));
+  return s;
+}
+
+CrossingPairMap Map(QVertexId qf, QVertexId qt, TermId df, TermId dt) {
+  return {qf, qt, df, dt};
+}
+
+TEST(FeaturesJoinableTest, RequiresSharedMapping) {
+  Bitset a = Sign({0});
+  Bitset b = Sign({1});
+  // No shared crossing mapping at all.
+  EXPECT_FALSE(FeaturesJoinable(a, {Map(0, 1, 10, 11)}, b,
+                                {Map(1, 2, 11, 12)}));
+  // Exact shared mapping.
+  EXPECT_TRUE(FeaturesJoinable(a, {Map(0, 1, 10, 11)}, b,
+                               {Map(0, 1, 10, 11)}));
+  // Same query pair, different data pair: conflict.
+  EXPECT_FALSE(FeaturesJoinable(a, {Map(0, 1, 10, 11)}, b,
+                                {Map(0, 1, 10, 99)}));
+}
+
+TEST(FeaturesJoinableTest, SignOverlapBlocksJoin) {
+  Bitset a = Sign({0, 2});
+  Bitset b = Sign({2, 3});
+  EXPECT_FALSE(FeaturesJoinable(a, {Map(0, 1, 10, 11)}, b,
+                                {Map(0, 1, 10, 11)}));
+}
+
+TEST(FeaturesJoinableTest, EndpointConflictOnThirdVertexRejected) {
+  // The cyclic-query regression (see FeaturesJoinable's doc): both features
+  // share mapping (v0,v1)->(10,11), but bind v2 — an endpoint of different
+  // crossing edges — to different data vertices. The paper's literal
+  // edge-level condition 3 would accept this; the endpoint-level check must
+  // reject it.
+  Bitset a = Sign({0});
+  Bitset b = Sign({1});
+  std::vector<CrossingPairMap> cross_a = {Map(0, 1, 10, 11),
+                                          Map(0, 2, 10, 20)};
+  std::vector<CrossingPairMap> cross_b = {Map(0, 1, 10, 11),
+                                          Map(1, 2, 11, 21)};  // v2 -> 21 != 20
+  std::sort(cross_a.begin(), cross_a.end());
+  std::sort(cross_b.begin(), cross_b.end());
+  EXPECT_FALSE(FeaturesJoinable(a, cross_a, b, cross_b));
+
+  // With agreeing v2 endpoints the join is allowed.
+  std::vector<CrossingPairMap> cross_b_ok = {Map(0, 1, 10, 11),
+                                             Map(1, 2, 11, 20)};
+  std::sort(cross_b_ok.begin(), cross_b_ok.end());
+  EXPECT_TRUE(FeaturesJoinable(a, cross_a, b, cross_b_ok));
+}
+
+TEST(MergeCrossingTest, SortedUnionWithDedup) {
+  std::vector<CrossingPairMap> a = {Map(0, 1, 10, 11), Map(1, 2, 11, 12)};
+  std::vector<CrossingPairMap> b = {Map(0, 1, 10, 11), Map(2, 3, 12, 13)};
+  auto merged = MergeCrossing(a, b);
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(merged.begin(), merged.end()));
+}
+
+TEST(MergeBindingsTest, NullFillAndConflicts) {
+  Binding a = {1, kNullTerm, 3};
+  Binding b = {kNullTerm, 2, 3};
+  Binding out;
+  ASSERT_TRUE(MergeBindings(a, b, &out));
+  EXPECT_EQ(out, (Binding{1, 2, 3}));
+
+  Binding conflicting = {9, 2, kNullTerm};
+  EXPECT_FALSE(MergeBindings(a, conflicting, &out));
+}
+
+TEST(ComputeLecFeaturesTest, DedupAndMapping) {
+  LocalPartialMatch pm1;
+  pm1.fragment = 0;
+  pm1.binding = {10, kNullTerm, kNullTerm, kNullTerm, kNullTerm};
+  pm1.sign = Sign({0});
+  pm1.crossing = {Map(0, 1, 10, 11)};
+  LocalPartialMatch pm2 = pm1;
+  pm2.binding = {10, kNullTerm, kNullTerm, kNullTerm, 50};  // same feature
+  LocalPartialMatch pm3 = pm1;
+  pm3.fragment = 1;  // different fragment => different feature
+
+  LecFeatureSet set = ComputeLecFeatures({pm1, pm2, pm3});
+  EXPECT_EQ(set.features.size(), 2u);
+  EXPECT_EQ(set.feature_of_lpm[0], set.feature_of_lpm[1]);
+  EXPECT_NE(set.feature_of_lpm[0], set.feature_of_lpm[2]);
+  EXPECT_TRUE(ComputeLecFeatures({}).features.empty());
+}
+
+TEST(LecFeatureTest, ByteSizeScalesWithQueryNotData) {
+  LecFeature small;
+  small.fragment = 0;
+  small.sign = Bitset(5);
+  small.crossing = {Map(0, 1, 10, 11)};
+  LecFeature larger = small;
+  larger.crossing.push_back(Map(1, 2, 11, 12));
+  EXPECT_GT(larger.ByteSize(), small.ByteSize());
+  // Sec. IV-D: O(|EQ| + |VQ|) per feature — 4 ids per mapping + sign words.
+  EXPECT_EQ(larger.ByteSize() - small.ByteSize(), 4 * sizeof(TermId));
+}
+
+TEST(PruningTest, EmptyAndSingletonInputs) {
+  PruneResult empty = LecFeaturePruning({}, 5);
+  EXPECT_TRUE(empty.survives.empty());
+  EXPECT_EQ(empty.surviving_features, 0u);
+
+  // A lone feature can never complete an all-ones chain (its own sign can't
+  // be all ones — that would mean no crossing edges) => pruned.
+  LecFeature lone;
+  lone.fragment = 0;
+  lone.sign = Sign({0, 1});
+  lone.crossing = {Map(0, 2, 10, 20)};
+  PruneResult result = LecFeaturePruning({lone}, 5);
+  EXPECT_EQ(result.surviving_features, 0u);
+}
+
+TEST(PruningTest, TwoComplementaryFeaturesSurvive) {
+  size_t n = 2;
+  LecFeature a;
+  a.fragment = 0;
+  a.sign = Sign({0}, n);
+  a.crossing = {Map(0, 1, 10, 11)};
+  LecFeature b;
+  b.fragment = 1;
+  b.sign = Sign({1}, n);
+  b.crossing = {Map(0, 1, 10, 11)};
+  PruneResult result = LecFeaturePruning({a, b}, n);
+  EXPECT_EQ(result.surviving_features, 2u);
+  EXPECT_FALSE(result.bailed_out);
+  EXPECT_EQ(result.num_groups, 2u);
+  EXPECT_EQ(result.num_join_graph_edges, 1u);
+}
+
+TEST(PruningTest, OutlierGroupsArePruned) {
+  size_t n = 2;
+  LecFeature a;
+  a.fragment = 0;
+  a.sign = Sign({0}, n);
+  a.crossing = {Map(0, 1, 10, 11)};
+  LecFeature b;
+  b.fragment = 1;
+  b.sign = Sign({1}, n);
+  b.crossing = {Map(0, 1, 10, 11)};
+  // c shares no mapping with anyone: an outlier in the join graph.
+  LecFeature c;
+  c.fragment = 2;
+  c.sign = Sign({1}, n);
+  c.crossing = {Map(0, 1, 77, 78)};
+  PruneResult result = LecFeaturePruning({a, b, c}, n);
+  EXPECT_TRUE(result.survives[0]);
+  EXPECT_TRUE(result.survives[1]);
+  EXPECT_FALSE(result.survives[2]);
+}
+
+TEST(PruningTest, BailOutKeepsEverything) {
+  // Force the bail-out with a tiny joined-feature budget on real data.
+  auto dataset = testing::BuildPaperDataset();
+  Partitioning partitioning = testing::BuildPaperPartitioning(*dataset);
+  QueryGraph query = testing::BuildPaperQuery();
+  ResolvedQuery rq = ResolveQuery(query, dataset->dict());
+  std::vector<LocalPartialMatch> all;
+  for (const Fragment& f : partitioning.fragments()) {
+    LocalStore store(&f.graph());
+    auto lpms = EnumerateLocalPartialMatches(f, store, rq);
+    all.insert(all.end(), lpms.begin(), lpms.end());
+  }
+  LecFeatureSet set = ComputeLecFeatures(all);
+  PruneOptions options;
+  options.max_joined_features = 0;
+  PruneResult result =
+      LecFeaturePruning(set.features, query.num_vertices(), options);
+  EXPECT_TRUE(result.bailed_out);
+  EXPECT_EQ(result.surviving_features, set.features.size());
+}
+
+TEST(AssemblyTest, EmptyAndUnjoinableInputs) {
+  EXPECT_TRUE(LecAssembly({}, 3).empty());
+  EXPECT_TRUE(BasicAssembly({}, 3).empty());
+
+  LocalPartialMatch pm;
+  pm.fragment = 0;
+  pm.binding = {10, 11, kNullTerm};
+  pm.sign = Sign({0}, 3);
+  pm.crossing = {Map(0, 1, 10, 11)};
+  // A single LPM cannot form a complete match.
+  EXPECT_TRUE(LecAssembly({pm}, 3).empty());
+  EXPECT_TRUE(BasicAssembly({pm}, 3).empty());
+}
+
+TEST(AssemblyTest, ThreeWayChainAssembles) {
+  // Path query v0-v1-v2 split over three fragments: each LPM owns one
+  // vertex; the complete match needs a 3-way chain.
+  size_t n = 3;
+  LocalPartialMatch a;
+  a.fragment = 0;
+  a.binding = {100, 101, kNullTerm};
+  a.sign = Sign({0}, n);
+  a.crossing = {Map(0, 1, 100, 101)};
+  LocalPartialMatch b;
+  b.fragment = 1;
+  b.binding = {100, 101, 102};
+  b.sign = Sign({1}, n);
+  b.crossing = {Map(0, 1, 100, 101), Map(1, 2, 101, 102)};
+  LocalPartialMatch c;
+  c.fragment = 2;
+  c.binding = {kNullTerm, 101, 102};
+  c.sign = Sign({2}, n);
+  c.crossing = {Map(1, 2, 101, 102)};
+  for (auto* pm : {&a, &b, &c}) {
+    std::sort(pm->crossing.begin(), pm->crossing.end());
+  }
+  AssemblyStats stats;
+  std::vector<Binding> matches = LecAssembly({a, b, c}, n, &stats);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0], (Binding{100, 101, 102}));
+  EXPECT_EQ(stats.binding_conflicts, 0u);
+  EXPECT_EQ(BasicAssembly({a, b, c}, n), matches);
+}
+
+TEST(CandidateExchangeTest, FiltersAreSoundOverSites) {
+  auto dataset = testing::BuildPaperDataset();
+  Partitioning partitioning = testing::BuildPaperPartitioning(*dataset);
+  QueryGraph query = testing::BuildPaperQuery();
+  ResolvedQuery rq = ResolveQuery(query, dataset->dict());
+
+  std::vector<std::unique_ptr<LocalStore>> stores;
+  std::vector<const LocalStore*> store_ptrs;
+  for (const Fragment& f : partitioning.fragments()) {
+    stores.push_back(std::make_unique<LocalStore>(&f.graph()));
+    store_ptrs.push_back(stores.back().get());
+  }
+  SimulatedCluster cluster(3);
+  CandidateExchange exchange = ExchangeInternalCandidates(
+      partitioning, store_ptrs, rq, cluster);
+
+  // One-sided error: every vertex of every true match passes its variable's
+  // OR-ed filter.
+  LocalStore oracle(&dataset->graph());
+  for (const Binding& m : MatchQuery(oracle, rq)) {
+    for (QVertexId v = 0; v < query.num_vertices(); ++v) {
+      if (!query.vertex(v).is_variable) continue;
+      EXPECT_TRUE(exchange.filters[v].MayContain(m[v])) << "v=" << v;
+    }
+  }
+  // Shipment: 2 directions x 3 sites x 4 variables x vector bytes.
+  size_t per_vec = BitvectorFilter().ByteSize();
+  EXPECT_EQ(exchange.shipment_bytes, 2u * 3u * 4u * per_vec);
+  EXPECT_EQ(cluster.ledger().StageBytes(kCandidateStage),
+            exchange.shipment_bytes);
+}
+
+TEST(EnumerateLpmsTest, ImpossibleQueryYieldsNothing) {
+  auto dataset = testing::BuildPaperDataset();
+  Partitioning partitioning = testing::BuildPaperPartitioning(*dataset);
+  QueryGraph q;
+  q.AddEdge("?x", "<http://nowhere/p>", "?y");
+  q.AddEdge("?y", "<http://nowhere/q>", "?z");
+  ResolvedQuery rq = ResolveQuery(q, dataset->dict());
+  ASSERT_TRUE(rq.impossible);
+  const Fragment& f = partitioning.fragments()[0];
+  LocalStore store(&f.graph());
+  EXPECT_TRUE(EnumerateLocalPartialMatches(f, store, rq).empty());
+}
+
+TEST(EnumerateLpmsTest, MaxResultsCapsEnumeration) {
+  auto dataset = testing::BuildPaperDataset();
+  Partitioning partitioning = testing::BuildPaperPartitioning(*dataset);
+  QueryGraph query = testing::BuildPaperQuery();
+  ResolvedQuery rq = ResolveQuery(query, dataset->dict());
+  const Fragment& f = partitioning.fragments()[0];
+  LocalStore store(&f.graph());
+  EnumerateOptions options;
+  options.max_results = 2;
+  EXPECT_EQ(EnumerateLocalPartialMatches(f, store, rq, options).size(), 2u);
+}
+
+TEST(EnumerateLpmsTest, EveryLpmSatisfiesDefinition5Invariants) {
+  Rng rng(321);
+  auto dataset = testing::RandomDataset(rng, 30, 110, 4);
+  Partitioning partitioning = BuildPartitioning(
+      *dataset, testing::RandomAssignment(rng, *dataset, 3), 3, "random");
+  QueryGraph query = testing::RandomConnectedQuery(rng, *dataset, 4, 4);
+  ResolvedQuery rq = ResolveQuery(query, dataset->dict());
+  for (const Fragment& f : partitioning.fragments()) {
+    LocalStore store(&f.graph());
+    for (const LocalPartialMatch& pm :
+         EnumerateLocalPartialMatches(f, store, rq)) {
+      EXPECT_EQ(pm.fragment, f.id());
+      EXPECT_FALSE(pm.crossing.empty());   // condition 4
+      EXPECT_TRUE(pm.sign.Any());          // at least one internal vertex
+      EXPECT_FALSE(pm.sign.All());         // boundary exists
+      for (QVertexId v = 0; v < query.num_vertices(); ++v) {
+        if (pm.sign.Test(v)) {
+          ASSERT_NE(pm.binding[v], kNullTerm);
+          EXPECT_TRUE(f.IsInternal(pm.binding[v]));  // sign bit semantics
+          // Condition 5: all neighbours of an internal vertex are matched.
+          for (QVertexId nb : query.Neighbors(v)) {
+            EXPECT_NE(pm.binding[nb], kNullTerm);
+          }
+        } else if (pm.binding[v] != kNullTerm) {
+          EXPECT_TRUE(f.IsExtended(pm.binding[v]));
+        }
+      }
+      // Crossing mappings are consistent with the binding.
+      for (const CrossingPairMap& c : pm.crossing) {
+        EXPECT_EQ(pm.binding[c.q_from], c.d_from);
+        EXPECT_EQ(pm.binding[c.q_to], c.d_to);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gstored

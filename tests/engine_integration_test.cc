@@ -1,0 +1,229 @@
+// Integration tests of the DistributedEngine across modules: workload
+// queries vs the centralized oracle in every mode, statistics consistency
+// invariants, star fast-path behaviour, shipment accounting, impossible
+// queries, and robustness to degenerate partitionings (1 fragment, many
+// fragments).
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "store/matcher.h"
+#include "tests/test_fixtures.h"
+#include "workload/btc.h"
+#include "workload/lubm.h"
+#include "workload/yago.h"
+
+namespace gstored {
+namespace {
+
+std::vector<Binding> Oracle(const Dataset& dataset, const QueryGraph& query) {
+  LocalStore store(&dataset.graph());
+  ResolvedQuery rq = ResolveQuery(query, dataset.dict());
+  std::vector<Binding> matches = MatchQuery(store, rq);
+  DedupBindings(&matches);
+  return matches;
+}
+
+const EngineMode kAllModes[] = {EngineMode::kBasic, EngineMode::kLecAssembly,
+                                EngineMode::kLecPruning, EngineMode::kFull};
+
+TEST(EngineIntegrationTest, LubmAllQueriesAllModes) {
+  LubmConfig config;
+  config.universities = 2;
+  config.undergrad_students_per_dept = 12;
+  Workload w = MakeLubmWorkload(config);
+  Partitioning p = HashPartitioner().Partition(*w.dataset, 4);
+  DistributedEngine engine(&p);
+  for (const BenchmarkQuery& bq : w.queries) {
+    std::vector<Binding> expected = Oracle(*w.dataset, bq.query);
+    for (EngineMode mode : kAllModes) {
+      QueryStats stats;
+      EXPECT_EQ(engine.Execute(bq.query, mode, &stats), expected)
+          << bq.name << " " << EngineModeName(mode);
+      EXPECT_EQ(stats.num_matches, expected.size());
+    }
+  }
+}
+
+TEST(EngineIntegrationTest, YagoAndBtcFullMode) {
+  {
+    YagoConfig config;
+    config.persons = 250;
+    Workload w = MakeYagoWorkload(config);
+    Partitioning p = SemanticHashPartitioner().Partition(*w.dataset, 3);
+    DistributedEngine engine(&p);
+    for (const BenchmarkQuery& bq : w.queries) {
+      EXPECT_EQ(engine.Execute(bq.query, EngineMode::kFull),
+                Oracle(*w.dataset, bq.query))
+          << bq.name;
+    }
+  }
+  {
+    BtcConfig config;
+    config.entities_per_domain = 150;
+    Workload w = MakeBtcWorkload(config);
+    Partitioning p = HashPartitioner().Partition(*w.dataset, 5);
+    DistributedEngine engine(&p);
+    for (const BenchmarkQuery& bq : w.queries) {
+      EXPECT_EQ(engine.Execute(bq.query, EngineMode::kFull),
+                Oracle(*w.dataset, bq.query))
+          << bq.name;
+    }
+  }
+}
+
+TEST(EngineIntegrationTest, StatsInvariants) {
+  auto dataset = testing::BuildPaperDataset();
+  Partitioning p = testing::BuildPaperPartitioning(*dataset);
+  DistributedEngine engine(&p);
+  QueryGraph query = testing::BuildPaperQuery();
+
+  QueryStats stats;
+  engine.Execute(query, EngineMode::kFull, &stats);
+  EXPECT_FALSE(stats.star_shortcut);
+  EXPECT_TRUE(stats.selective);
+  EXPECT_GE(stats.num_lpms, stats.num_lpms_shipped);
+  EXPECT_GE(stats.num_features, stats.num_surviving_features);
+  EXPECT_GE(stats.num_matches, stats.num_local_matches);
+  EXPECT_GT(stats.candidate_shipment_bytes, 0u);
+  EXPECT_GT(stats.lec_shipment_bytes, 0u);
+  EXPECT_GT(stats.lpm_shipment_bytes, 0u);
+  EXPECT_GE(stats.total_time_ms, 0.0);
+  // The ledger agrees with the per-stage stats.
+  EXPECT_EQ(engine.cluster().ledger().StageBytes(kCandidateStage),
+            stats.candidate_shipment_bytes);
+  EXPECT_EQ(engine.cluster().ledger().StageBytes(kLecFeatureStage),
+            stats.lec_shipment_bytes);
+  EXPECT_EQ(engine.cluster().ledger().StageBytes(kLpmShipmentStage),
+            stats.lpm_shipment_bytes);
+}
+
+TEST(EngineIntegrationTest, BasicAndLaShipEverything) {
+  auto dataset = testing::BuildPaperDataset();
+  Partitioning p = testing::BuildPaperPartitioning(*dataset);
+  DistributedEngine engine(&p);
+  QueryGraph query = testing::BuildPaperQuery();
+
+  QueryStats basic;
+  engine.Execute(query, EngineMode::kBasic, &basic);
+  EXPECT_EQ(basic.num_lpms_shipped, basic.num_lpms);
+  EXPECT_EQ(basic.num_features, 0u);            // no Alg. 1/2 in basic mode
+  EXPECT_EQ(basic.lec_shipment_bytes, 0u);
+  EXPECT_EQ(basic.candidate_shipment_bytes, 0u);
+
+  QueryStats lo;
+  engine.Execute(query, EngineMode::kLecPruning, &lo);
+  EXPECT_LT(lo.num_lpms_shipped, lo.num_lpms);  // PM23 pruned
+  EXPECT_LT(lo.lpm_shipment_bytes, basic.lpm_shipment_bytes);
+}
+
+TEST(EngineIntegrationTest, StarShortcutSkipsAllShipment) {
+  LubmConfig config;
+  config.universities = 2;
+  Workload w = MakeLubmWorkload(config);
+  Partitioning p = HashPartitioner().Partition(*w.dataset, 4);
+  DistributedEngine engine(&p);
+  for (const BenchmarkQuery& bq : w.queries) {
+    if (!bq.query.IsStar()) continue;
+    QueryStats stats;
+    std::vector<Binding> result =
+        engine.Execute(bq.query, EngineMode::kFull, &stats);
+    EXPECT_TRUE(stats.star_shortcut) << bq.name;
+    EXPECT_EQ(stats.num_lpms, 0u);
+    EXPECT_EQ(engine.cluster().ledger().TotalBytes(), 0u);
+    EXPECT_EQ(result, Oracle(*w.dataset, bq.query)) << bq.name;
+  }
+}
+
+TEST(EngineIntegrationTest, ImpossibleQueryReturnsEmpty) {
+  auto dataset = testing::BuildPaperDataset();
+  Partitioning p = testing::BuildPaperPartitioning(*dataset);
+  DistributedEngine engine(&p);
+  QueryGraph q;
+  q.AddEdge("?x", "<http://nowhere/p>", "?y");
+  q.AddEdge("?z", "<http://nowhere/q>", "?y");
+  for (EngineMode mode : kAllModes) {
+    QueryStats stats;
+    EXPECT_TRUE(engine.Execute(q, mode, &stats).empty());
+    EXPECT_EQ(stats.num_matches, 0u);
+  }
+}
+
+TEST(EngineIntegrationTest, SingleFragmentDegeneratesToLocal) {
+  auto dataset = testing::BuildPaperDataset();
+  Partitioning p = HashPartitioner().Partition(*dataset, 1);
+  DistributedEngine engine(&p);
+  QueryGraph query = testing::BuildPaperQuery();
+  QueryStats stats;
+  std::vector<Binding> result =
+      engine.Execute(query, EngineMode::kFull, &stats);
+  EXPECT_EQ(result, Oracle(*dataset, query));
+  EXPECT_EQ(stats.num_lpms, 0u);  // no crossing edges => no LPMs
+  EXPECT_EQ(stats.num_local_matches, result.size());
+}
+
+TEST(EngineIntegrationTest, ManyTinyFragments) {
+  // More fragments than natural clusters: every vertex nearly isolated.
+  auto dataset = testing::BuildPaperDataset();
+  Partitioning p = HashPartitioner().Partition(*dataset, 10);
+  DistributedEngine engine(&p);
+  QueryGraph query = testing::BuildPaperQuery();
+  EXPECT_EQ(engine.Execute(query, EngineMode::kFull),
+            Oracle(*dataset, query));
+}
+
+TEST(EngineIntegrationTest, RepeatedExecutionIsDeterministic) {
+  auto dataset = testing::BuildPaperDataset();
+  Partitioning p = testing::BuildPaperPartitioning(*dataset);
+  DistributedEngine engine(&p);
+  QueryGraph query = testing::BuildPaperQuery();
+  auto first = engine.Execute(query, EngineMode::kFull);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(engine.Execute(query, EngineMode::kFull), first);
+  }
+}
+
+TEST(EngineIntegrationTest, AblationJoinSpaceIsMonotone) {
+  // The Fig. 9 regression in deterministic form: the assembly join space
+  // never grows as optimizations are added — Basic >= LA >= LO(joins after
+  // pruning) — and intermediate results shrink alongside.
+  LubmConfig config;
+  config.universities = 2;
+  Workload w = MakeLubmWorkload(config);
+  Partitioning p = HashPartitioner().Partition(*w.dataset, 4);
+  DistributedEngine engine(&p);
+  for (const BenchmarkQuery& bq : w.queries) {
+    if (bq.query.IsStar()) continue;
+    QueryStats basic, la, lo;
+    engine.Execute(bq.query, EngineMode::kBasic, &basic);
+    engine.Execute(bq.query, EngineMode::kLecAssembly, &la);
+    engine.Execute(bq.query, EngineMode::kLecPruning, &lo);
+    EXPECT_GE(basic.assembly.join_attempts, la.assembly.join_attempts)
+        << bq.name;
+    EXPECT_GE(la.assembly.join_attempts, lo.assembly.join_attempts)
+        << bq.name;
+    EXPECT_GE(basic.assembly.intermediate_results,
+              lo.assembly.intermediate_results)
+        << bq.name;
+  }
+}
+
+TEST(EngineIntegrationTest, SelectiveQueriesShipFewerLpms) {
+  // The Alg. 4 filter must reduce (or keep equal) the LPM population
+  // compared to LO mode, never increase it.
+  LubmConfig config;
+  config.universities = 2;
+  Workload w = MakeLubmWorkload(config);
+  Partitioning p = HashPartitioner().Partition(*w.dataset, 4);
+  DistributedEngine engine(&p);
+  for (const BenchmarkQuery& bq : w.queries) {
+    if (bq.query.IsStar()) continue;
+    QueryStats lo, full;
+    engine.Execute(bq.query, EngineMode::kLecPruning, &lo);
+    engine.Execute(bq.query, EngineMode::kFull, &full);
+    EXPECT_LE(full.num_lpms, lo.num_lpms) << bq.name;
+  }
+}
+
+}  // namespace
+}  // namespace gstored

@@ -1,0 +1,76 @@
+// Unit tests for the simulated cluster: shipment ledger accounting (thread
+// safety included) and parallel stage execution semantics.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "net/cluster.h"
+
+namespace gstored {
+namespace {
+
+TEST(ShipmentLedgerTest, AccumulatesPerStage) {
+  ShipmentLedger ledger;
+  ledger.Add("a", 100);
+  ledger.Add("a", 50);
+  ledger.Add("b", 7);
+  EXPECT_EQ(ledger.StageBytes("a"), 150u);
+  EXPECT_EQ(ledger.StageBytes("b"), 7u);
+  EXPECT_EQ(ledger.StageBytes("missing"), 0u);
+  EXPECT_EQ(ledger.TotalBytes(), 157u);
+  auto breakdown = ledger.Breakdown();
+  ASSERT_EQ(breakdown.size(), 2u);
+  EXPECT_EQ(breakdown[0].first, "a");
+  ledger.Reset();
+  EXPECT_EQ(ledger.TotalBytes(), 0u);
+}
+
+TEST(ShipmentLedgerTest, ConcurrentAddsAreLossless) {
+  ShipmentLedger ledger;
+  SimulatedCluster cluster(8);
+  cluster.RunStage([&](int site) {
+    for (int i = 0; i < 1000; ++i) {
+      ledger.Add("stage", 1);
+      ledger.Add("site" + std::to_string(site), 2);
+    }
+  });
+  EXPECT_EQ(ledger.StageBytes("stage"), 8000u);
+  for (int s = 0; s < 8; ++s) {
+    EXPECT_EQ(ledger.StageBytes("site" + std::to_string(s)), 2000u);
+  }
+}
+
+TEST(SimulatedClusterTest, RunsEverySiteExactlyOnce) {
+  SimulatedCluster cluster(5);
+  std::atomic<int> calls{0};
+  std::vector<std::atomic<int>> per_site(5);
+  StageRun run = cluster.RunStage([&](int site) {
+    ++calls;
+    ++per_site[site];
+  });
+  EXPECT_EQ(calls.load(), 5);
+  for (int s = 0; s < 5; ++s) EXPECT_EQ(per_site[s].load(), 1);
+  ASSERT_EQ(run.site_millis.size(), 5u);
+  EXPECT_GE(run.max_millis, 0.0);
+}
+
+TEST(SimulatedClusterTest, MaxMillisIsSlowestSite) {
+  SimulatedCluster cluster(3);
+  StageRun run = cluster.RunStage([&](int site) {
+    // Site 2 does measurable work; others return immediately.
+    if (site == 2) {
+      volatile uint64_t x = 0;
+      for (int i = 0; i < 2000000; ++i) {
+        x = x + static_cast<uint64_t>(i);
+      }
+    }
+  });
+  double max_observed = 0;
+  for (double ms : run.site_millis) max_observed = std::max(max_observed, ms);
+  EXPECT_DOUBLE_EQ(run.max_millis, max_observed);
+  EXPECT_GE(run.site_millis[2], run.site_millis[0]);
+}
+
+}  // namespace
+}  // namespace gstored

@@ -1,0 +1,283 @@
+// Unit and property tests for the partition layer: Def. 1 well-formedness
+// of fragments under every partitioner, the Sec. VII cost model, the
+// semantic-hash co-location behaviour, the METIS-like cut quality, and the
+// best-partitioning selector.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "partition/multilevel.h"
+#include "partition/partitioners.h"
+#include "partition/partitioning.h"
+#include "util/string_util.h"
+#include "tests/test_fixtures.h"
+#include "workload/lubm.h"
+#include "workload/yago.h"
+
+namespace gstored {
+namespace {
+
+/// Checks every Def. 1 condition on a partitioning.
+void CheckWellFormed(const Dataset& dataset, const Partitioning& p) {
+  const RdfGraph& g = dataset.graph();
+
+  // 1. Vertex-disjointness and coverage of internal vertices.
+  std::set<TermId> seen;
+  size_t total_internal = 0;
+  for (const Fragment& f : p.fragments()) {
+    total_internal += f.internal_vertices().size();
+    for (TermId v : f.internal_vertices()) {
+      EXPECT_TRUE(seen.insert(v).second) << "vertex owned twice";
+      EXPECT_EQ(p.OwnerOf(v), f.id());
+    }
+  }
+  EXPECT_EQ(total_internal, g.num_vertices());
+
+  size_t crossing_total = 0;
+  for (const Fragment& f : p.fragments()) {
+    // 2-4. Every local triple is internal-internal or a recorded crossing
+    // replica; extended vertices are exactly crossing-edge endpoints owned
+    // elsewhere.
+    std::set<TermId> crossing_endpoints;
+    for (const Triple& t : f.graph().triples()) {
+      bool s_in = f.IsInternal(t.subject);
+      bool o_in = f.IsInternal(t.object);
+      EXPECT_TRUE(s_in || o_in) << "edge with no internal endpoint";
+      if (s_in && o_in) {
+        EXPECT_FALSE(f.IsCrossingTriple(t.subject, t.predicate, t.object));
+      } else {
+        EXPECT_TRUE(f.IsCrossingTriple(t.subject, t.predicate, t.object));
+        crossing_endpoints.insert(s_in ? t.object : t.subject);
+      }
+    }
+    for (TermId v : f.extended_vertices()) {
+      EXPECT_FALSE(f.IsInternal(v));
+      EXPECT_TRUE(crossing_endpoints.count(v) > 0)
+          << "extended vertex without a crossing edge";
+    }
+    EXPECT_EQ(crossing_endpoints.size(), f.extended_vertices().size());
+    crossing_total += f.crossing_edges().size();
+  }
+  // Each crossing edge is replicated into exactly two fragments.
+  EXPECT_EQ(crossing_total, 2 * p.num_crossing_edges());
+
+  // Every original triple appears in at least one fragment, and fragment
+  // triples never invent edges.
+  size_t fragment_distinct = 0;
+  std::set<Triple> all_fragment_triples;
+  for (const Fragment& f : p.fragments()) {
+    for (const Triple& t : f.graph().triples()) {
+      EXPECT_TRUE(g.HasTriple(t.subject, t.predicate, t.object));
+      all_fragment_triples.insert(t);
+    }
+  }
+  fragment_distinct = all_fragment_triples.size();
+  EXPECT_EQ(fragment_distinct, g.num_triples());
+}
+
+class PartitionerWellFormedSweep
+    : public ::testing::TestWithParam<std::tuple<uint64_t, int>> {};
+
+TEST_P(PartitionerWellFormedSweep, AllPartitionersSatisfyDef1) {
+  auto [seed, k] = GetParam();
+  Rng rng(seed);
+  auto dataset = testing::RandomDataset(rng, 40, 160, 5);
+  CheckWellFormed(*dataset, HashPartitioner().Partition(*dataset, k));
+  CheckWellFormed(*dataset,
+                  SemanticHashPartitioner().Partition(*dataset, k));
+  CheckWellFormed(*dataset, MetisLikePartitioner().Partition(*dataset, k));
+  CheckWellFormed(*dataset, MultilevelPartitioner().Partition(*dataset, k));
+  CheckWellFormed(*dataset,
+                  BuildPartitioning(*dataset,
+                                    testing::RandomAssignment(rng, *dataset, k),
+                                    k, "random"));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PartitionerWellFormedSweep,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u, 4u),
+                       ::testing::Values(1, 2, 3, 5, 8)));
+
+TEST(PartitioningTest, SingleFragmentHasNoCrossingEdges) {
+  auto dataset = testing::BuildPaperDataset();
+  Partitioning p = HashPartitioner().Partition(*dataset, 1);
+  EXPECT_EQ(p.num_crossing_edges(), 0u);
+  EXPECT_TRUE(p.fragments()[0].extended_vertices().empty());
+  EXPECT_EQ(p.fragments()[0].num_edges(), dataset->graph().num_triples());
+}
+
+TEST(PartitioningTest, HashIsDeterministicAndIdOrderIndependent) {
+  auto d1 = testing::BuildPaperDataset();
+  Partitioning p1 = HashPartitioner().Partition(*d1, 4);
+  // Re-load the same triples in a different order: lexical-form hashing must
+  // give every vertex the same owner.
+  auto d2 = std::make_unique<Dataset>();
+  std::string text = WriteNTriples(*d1);
+  auto lines = gstored::SplitString(text, '\n');
+  std::string reversed;
+  for (auto it = lines.rbegin(); it != lines.rend(); ++it) {
+    if (!it->empty()) reversed += std::string(*it) + "\n";
+  }
+  ASSERT_TRUE(ParseNTriples(reversed, d2.get()).ok());
+  d2->Finalize();
+  Partitioning p2 = HashPartitioner().Partition(*d2, 4);
+  for (TermId v : d1->graph().vertices()) {
+    TermId v2 = d2->dict().Lookup(d1->dict().lexical(v));
+    EXPECT_EQ(p1.OwnerOf(v), p2.OwnerOf(v2));
+  }
+}
+
+TEST(SemanticHashTest, CoLocatesNamespacesOnLubm) {
+  LubmConfig config;
+  config.universities = 4;
+  Workload w = MakeLubmWorkload(config);
+  Partitioning semantic = SemanticHashPartitioner().Partition(*w.dataset, 6);
+  Partitioning hash = HashPartitioner().Partition(*w.dataset, 6);
+  // The URI hierarchy separates departments, so the semantic partitioning
+  // must have far fewer crossing edges than plain hash (Sec. VIII-D).
+  EXPECT_LT(semantic.num_crossing_edges(), hash.num_crossing_edges() / 2);
+
+  // Every department's entities land in one fragment.
+  const TermDict& dict = w.dataset->dict();
+  TermId dept_prof = dict.Lookup("<http://www.univ1.edu/dept2#FullProfessor0>");
+  TermId dept_student =
+      dict.Lookup("<http://www.univ1.edu/dept2#UndergraduateStudent0>");
+  ASSERT_NE(dept_prof, kNullTerm);
+  ASSERT_NE(dept_student, kNullTerm);
+  EXPECT_EQ(semantic.OwnerOf(dept_prof), semantic.OwnerOf(dept_student));
+}
+
+TEST(SemanticHashTest, DegeneratesToHashOnSingleNamespace) {
+  YagoConfig config;
+  config.persons = 400;
+  Workload w = MakeYagoWorkload(config);
+  Partitioning semantic = SemanticHashPartitioner().Partition(*w.dataset, 6);
+  Partitioning hash = HashPartitioner().Partition(*w.dataset, 6);
+  // One shared namespace: crossing-edge counts within ~25% of each other
+  // (the paper's "approximately same as the hash partitioning").
+  double ratio = static_cast<double>(semantic.num_crossing_edges()) /
+                 static_cast<double>(hash.num_crossing_edges());
+  EXPECT_GT(ratio, 0.6);
+  EXPECT_LT(ratio, 1.4);
+}
+
+TEST(MetisLikeTest, CutsFewerEdgesThanHash) {
+  Rng rng(99);
+  auto dataset = testing::RandomDataset(rng, 120, 400, 4);
+  Partitioning metis = MetisLikePartitioner().Partition(*dataset, 4);
+  Partitioning hash = HashPartitioner().Partition(*dataset, 4);
+  EXPECT_LT(metis.num_crossing_edges(), hash.num_crossing_edges());
+}
+
+TEST(MultilevelTest, CutsFewerEdgesThanHashOnClusteredData) {
+  // LUBM-style data has strong community structure; the multilevel
+  // partitioner must exploit it.
+  LubmConfig config;
+  config.universities = 3;
+  Workload w = MakeLubmWorkload(config);
+  Partitioning ml = MultilevelPartitioner().Partition(*w.dataset, 4);
+  Partitioning hash = HashPartitioner().Partition(*w.dataset, 4);
+  EXPECT_LT(ml.num_crossing_edges(), hash.num_crossing_edges() / 2);
+}
+
+TEST(MultilevelTest, BalancedWithinFactor) {
+  Rng rng(123);
+  auto dataset = testing::RandomDataset(rng, 200, 700, 4);
+  Partitioning ml = MultilevelPartitioner().Partition(*dataset, 4);
+  size_t total = dataset->graph().num_vertices();
+  for (const Fragment& f : ml.fragments()) {
+    // Each part within 1.6x of the even share (refinement cap is 1.1 but
+    // coarse granularity can overshoot slightly on small graphs).
+    EXPECT_LT(f.internal_vertices().size(), total * 1.6 / 4 + 2);
+  }
+}
+
+TEST(MultilevelTest, SingleFragmentAndTinyGraphs) {
+  Rng rng(7);
+  auto dataset = testing::RandomDataset(rng, 10, 20, 2);
+  Partitioning one = MultilevelPartitioner().Partition(*dataset, 1);
+  EXPECT_EQ(one.num_crossing_edges(), 0u);
+  // More parts than natural clusters still yields a valid partitioning.
+  Partitioning many = MultilevelPartitioner().Partition(*dataset, 6);
+  CheckWellFormed(*dataset, many);
+}
+
+TEST(CostModelTest, DistributionSumsToOne) {
+  // p_F(v) must sum to 1 over all vertices (the paper's 2|Ec| divisor); we
+  // verify via the expectation identity on a concrete partitioning.
+  auto dataset = testing::BuildPaperDataset();
+  Partitioning p = testing::BuildPaperPartitioning(*dataset);
+  // Recompute Σ p_F(v) directly.
+  double sum_p = 0.0;
+  const RdfGraph& g = dataset->graph();
+  for (TermId v : g.vertices()) {
+    size_t c = 0;
+    for (const HalfEdge& h : g.OutEdges(v)) {
+      if (p.OwnerOf(h.neighbor) != p.OwnerOf(v)) ++c;
+    }
+    for (const HalfEdge& h : g.InEdges(v)) {
+      if (p.OwnerOf(h.neighbor) != p.OwnerOf(v)) ++c;
+    }
+    sum_p += static_cast<double>(c) /
+             (2.0 * static_cast<double>(p.num_crossing_edges()));
+  }
+  EXPECT_NEAR(sum_p, 1.0, 1e-9);
+}
+
+TEST(CostModelTest, ZeroCrossingEdgesZeroCost) {
+  auto dataset = testing::BuildPaperDataset();
+  Partitioning p = HashPartitioner().Partition(*dataset, 1);
+  PartitioningCost cost = ComputePartitioningCost(p);
+  EXPECT_EQ(cost.crossing_expectation, 0.0);
+  EXPECT_EQ(cost.total, 0.0);
+  EXPECT_EQ(cost.max_fragment_edges, dataset->graph().num_triples());
+}
+
+TEST(CostModelTest, ConcentrationRaisesCost) {
+  // Two layouts with identical fragments sizes; the one concentrating all
+  // crossing edges on one hub must cost more (the Fig. 8 principle).
+  Dataset hub_data;
+  for (int i = 1; i <= 4; ++i) {
+    hub_data.AddTripleLexical("<h>", "<p>", "<x" + std::to_string(i) + ">");
+  }
+  hub_data.Finalize();
+  VertexAssignment hub_owner;
+  hub_owner[hub_data.dict().Lookup("<h>")] = 0;
+  for (int i = 1; i <= 4; ++i) {
+    hub_owner[hub_data.dict().Lookup("<x" + std::to_string(i) + ">")] = 1;
+  }
+  Partitioning hub = BuildPartitioning(hub_data, hub_owner, 2, "hub");
+
+  Dataset flat_data;
+  for (int i = 1; i <= 4; ++i) {
+    flat_data.AddTripleLexical("<a" + std::to_string(i) + ">", "<p>",
+                               "<b" + std::to_string(i) + ">");
+  }
+  flat_data.Finalize();
+  VertexAssignment flat_owner;
+  for (int i = 1; i <= 4; ++i) {
+    flat_owner[flat_data.dict().Lookup("<a" + std::to_string(i) + ">")] = 0;
+    flat_owner[flat_data.dict().Lookup("<b" + std::to_string(i) + ">")] = 1;
+  }
+  Partitioning flat = BuildPartitioning(flat_data, flat_owner, 2, "flat");
+
+  double hub_cost = ComputePartitioningCost(hub).total;
+  double flat_cost = ComputePartitioningCost(flat).total;
+  EXPECT_GT(hub_cost, flat_cost);
+}
+
+TEST(CostModelTest, SelectBestPicksSmallest) {
+  Rng rng(5);
+  auto dataset = testing::RandomDataset(rng, 60, 220, 4);
+  Partitioning a = HashPartitioner().Partition(*dataset, 4);
+  Partitioning b = MetisLikePartitioner().Partition(*dataset, 4);
+  std::vector<const Partitioning*> candidates = {&a, &b};
+  size_t best = SelectBestPartitioning(candidates);
+  double cost_a = ComputePartitioningCost(a).total;
+  double cost_b = ComputePartitioningCost(b).total;
+  EXPECT_EQ(best, cost_a <= cost_b ? 0u : 1u);
+}
+
+}  // namespace
+}  // namespace gstored

@@ -1,0 +1,209 @@
+// Unit tests for the rdf layer: terms, namespaces, the dictionary, the
+// graph's adjacency and lookups, and N-Triples parsing/writing (including a
+// parse -> write -> parse round-trip property over random datasets).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "rdf/dataset.h"
+#include "util/string_util.h"
+#include "rdf/graph.h"
+#include "rdf/term.h"
+#include "rdf/term_dict.h"
+#include "tests/test_fixtures.h"
+#include "util/rng.h"
+
+namespace gstored {
+namespace {
+
+TEST(TermTest, Constructors) {
+  EXPECT_EQ(MakeIri("http://x.org/a").lexical, "<http://x.org/a>");
+  EXPECT_EQ(MakeIri("<http://x.org/a>").lexical, "<http://x.org/a>");
+  EXPECT_EQ(MakeLiteral("hi").lexical, "\"hi\"");
+  EXPECT_EQ(MakeLiteral("hi", "en").lexical, "\"hi\"@en");
+  EXPECT_EQ(MakeLiteral("hi", "@en").lexical, "\"hi\"@en");
+  EXPECT_EQ(MakeLiteral("1", "^^<http://x/int>").lexical,
+            "\"1\"^^<http://x/int>");
+  EXPECT_EQ(MakeBlank("b0").lexical, "_:b0");
+  EXPECT_EQ(MakeBlank("_:b0").lexical, "_:b0");
+}
+
+TEST(TermTest, ClassifyLexical) {
+  EXPECT_EQ(ClassifyLexical("<http://x>"), TermKind::kIri);
+  EXPECT_EQ(ClassifyLexical("\"lit\"@en"), TermKind::kLiteral);
+  EXPECT_EQ(ClassifyLexical("_:b1"), TermKind::kBlank);
+}
+
+TEST(TermTest, IriNamespace) {
+  EXPECT_EQ(IriNamespace("<http://www.univ0.edu/dept3#prof2>"),
+            "<http://www.univ0.edu/dept3#");
+  EXPECT_EQ(IriNamespace("<http://www.univ0.edu/univ>"),
+            "<http://www.univ0.edu/");
+  EXPECT_EQ(IriNamespace("<nohierarchy>"), "<nohierarchy>");
+  EXPECT_EQ(IriNamespace("\"literal\""), "\"literal\"");
+}
+
+TEST(TermDictTest, InternLookupRoundtrip) {
+  TermDict dict;
+  TermId a = dict.Intern("<http://x/a>");
+  TermId b = dict.Intern("\"lit\"@en");
+  TermId a2 = dict.Intern("<http://x/a>");
+  EXPECT_EQ(a, a2);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(dict.size(), 2u);
+  EXPECT_EQ(dict.lexical(a), "<http://x/a>");
+  EXPECT_EQ(dict.kind(b), TermKind::kLiteral);
+  EXPECT_EQ(dict.Lookup("<http://x/a>"), a);
+  EXPECT_EQ(dict.Lookup("<http://x/missing>"), kNullTerm);
+}
+
+TEST(TermDictTest, IdsAreDenseAndOrdered) {
+  TermDict dict;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(dict.Intern("<http://x/v" + std::to_string(i) + ">"),
+              static_cast<TermId>(i));
+  }
+}
+
+class GraphTest : public ::testing::Test {
+ protected:
+  GraphTest() {
+    data_.AddTripleLexical("<a>", "<p>", "<b>");
+    data_.AddTripleLexical("<a>", "<q>", "<b>");
+    data_.AddTripleLexical("<b>", "<p>", "<c>");
+    data_.AddTripleLexical("<a>", "<p>", "<c>");
+    data_.AddTripleLexical("<a>", "<p>", "<b>");  // duplicate
+    data_.Finalize();
+  }
+  TermId Id(const char* t) { return data_.dict().Lookup(t); }
+  Dataset data_;
+};
+
+TEST_F(GraphTest, DedupAndCounts) {
+  EXPECT_EQ(data_.graph().num_triples(), 4u);  // duplicate removed
+  EXPECT_EQ(data_.graph().num_vertices(), 3u);
+  EXPECT_EQ(data_.graph().predicates().size(), 2u);
+}
+
+TEST_F(GraphTest, AdjacencyAndDegrees) {
+  const RdfGraph& g = data_.graph();
+  EXPECT_EQ(g.OutDegree(Id("<a>")), 3u);
+  EXPECT_EQ(g.InDegree(Id("<a>")), 0u);
+  EXPECT_EQ(g.InDegree(Id("<b>")), 2u);
+  EXPECT_EQ(g.Degree(Id("<b>")), 3u);
+  // Out-edges are sorted by (neighbor, predicate).
+  auto edges = g.OutEdges(Id("<a>"));
+  for (size_t i = 1; i < edges.size(); ++i) {
+    EXPECT_LE(edges[i - 1], edges[i]);
+  }
+}
+
+TEST_F(GraphTest, TripleAndEdgeLookups) {
+  const RdfGraph& g = data_.graph();
+  EXPECT_TRUE(g.HasTriple(Id("<a>"), Id("<p>"), Id("<b>")));
+  EXPECT_TRUE(g.HasTriple(Id("<a>"), Id("<q>"), Id("<b>")));
+  EXPECT_FALSE(g.HasTriple(Id("<b>"), Id("<q>"), Id("<c>")));
+  EXPECT_FALSE(g.HasTriple(Id("<b>"), Id("<p>"), Id("<a>")));  // directed
+  EXPECT_TRUE(g.HasAnyEdge(Id("<a>"), Id("<b>")));
+  EXPECT_FALSE(g.HasAnyEdge(Id("<c>"), Id("<a>")));
+  EXPECT_TRUE(g.HasVertex(Id("<c>")));
+  // Predicates are not vertices unless they appear as subject/object.
+  EXPECT_FALSE(g.HasVertex(Id("<p>")));
+}
+
+TEST(NTriplesTest, ParsesAllTermForms) {
+  const char* text =
+      "<http://x/s> <http://x/p> <http://x/o> .\n"
+      "# a comment line\n"
+      "\n"
+      "<http://x/s> <http://x/name> \"Alice B.\"@en .\n"
+      "<http://x/s> <http://x/age> \"42\"^^<http://x/int> .\n"
+      "_:blank <http://x/p> \"escaped \\\" quote\" .\n";
+  Dataset data;
+  ASSERT_TRUE(ParseNTriples(text, &data).ok());
+  data.Finalize();
+  EXPECT_EQ(data.graph().num_triples(), 4u);
+  EXPECT_NE(data.dict().Lookup("\"Alice B.\"@en"), kNullTerm);
+  EXPECT_NE(data.dict().Lookup("\"42\"^^<http://x/int>"), kNullTerm);
+  EXPECT_NE(data.dict().Lookup("_:blank"), kNullTerm);
+}
+
+TEST(NTriplesTest, RejectsMalformedInput) {
+  Dataset data;
+  EXPECT_FALSE(ParseNTriples("<a> <b> .", &data).ok());         // 2 terms
+  EXPECT_FALSE(ParseNTriples("<a> <b> <c>", &data).ok());       // missing dot
+  EXPECT_FALSE(ParseNTriples("<a <b> <c> .", &data).ok());      // bad IRI
+  EXPECT_FALSE(ParseNTriples("<a> <b> \"unterminated .", &data).ok());
+  EXPECT_FALSE(ParseNTriples("bare <b> <c> .", &data).ok());    // bare word
+  Status status = ParseNTriples("<a> <b> <c> extra .", &data);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kParseError);
+}
+
+/// Serialization order follows term-id order, which depends on intern
+/// order; compare the line sets, which must be identical.
+std::multiset<std::string> TripleLines(const Dataset& dataset) {
+  // Keep the serialized text alive while the views into it are consumed.
+  std::string text = WriteNTriples(dataset);
+  std::multiset<std::string> lines;
+  for (std::string_view line : SplitString(text, '\n')) {
+    if (!line.empty()) lines.insert(std::string(line));
+  }
+  return lines;
+}
+
+TEST(NTriplesTest, WriteParseRoundtripOnPaperGraph) {
+  auto original = testing::BuildPaperDataset();
+  Dataset reparsed;
+  ASSERT_TRUE(ParseNTriples(WriteNTriples(*original), &reparsed).ok());
+  reparsed.Finalize();
+  EXPECT_EQ(reparsed.graph().num_triples(),
+            original->graph().num_triples());
+  EXPECT_EQ(TripleLines(reparsed), TripleLines(*original));
+}
+
+class RoundtripSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RoundtripSweep, RandomDatasetSurvivesRoundtrip) {
+  Rng rng(GetParam());
+  auto dataset = testing::RandomDataset(rng, 30, 120, 5);
+  Dataset reparsed;
+  ASSERT_TRUE(ParseNTriples(WriteNTriples(*dataset), &reparsed).ok());
+  reparsed.Finalize();
+  EXPECT_EQ(TripleLines(reparsed), TripleLines(*dataset));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundtripSweep,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u));
+
+TEST(GraphEdgeCasesTest, EmptyGraph) {
+  RdfGraph g;
+  g.Finalize();
+  EXPECT_EQ(g.num_triples(), 0u);
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_TRUE(g.OutEdges(7).empty());
+  EXPECT_FALSE(g.HasVertex(0));
+}
+
+TEST(GraphEdgeCasesTest, SelfLoop) {
+  Dataset data;
+  data.AddTripleLexical("<a>", "<p>", "<a>");
+  data.Finalize();
+  TermId a = data.dict().Lookup("<a>");
+  EXPECT_EQ(data.graph().num_vertices(), 1u);
+  EXPECT_EQ(data.graph().OutDegree(a), 1u);
+  EXPECT_EQ(data.graph().InDegree(a), 1u);
+  EXPECT_TRUE(data.graph().HasAnyEdge(a, a));
+}
+
+TEST(GraphEdgeCasesTest, FinalizeIsIdempotent) {
+  Dataset data;
+  data.AddTripleLexical("<a>", "<p>", "<b>");
+  data.Finalize();
+  data.Finalize();
+  EXPECT_EQ(data.graph().num_triples(), 1u);
+}
+
+}  // namespace
+}  // namespace gstored

@@ -1,0 +1,178 @@
+// Robustness/failure-injection tests: the parsers must reject (never crash
+// on) mutated and adversarial inputs; dataset statistics stay consistent;
+// and the engine behaves on degenerate datasets (empty, single-triple,
+// literal-heavy).
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/engine.h"
+#include "rdf/dataset.h"
+#include "rdf/stats.h"
+#include "sparql/compound.h"
+#include "sparql/parser.h"
+#include "tests/test_fixtures.h"
+#include "util/rng.h"
+
+namespace gstored {
+namespace {
+
+/// Random single-character mutations of a valid input. Every mutation must
+/// either parse cleanly or fail with a Status — never crash or hang.
+class ParserFuzzSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParserFuzzSweep, SparqlParserNeverCrashesOnMutations) {
+  const std::string base =
+      "SELECT ?a ?b WHERE { ?a <http://x/p> ?b . ?b <http://x/q> \"v\"@en . "
+      "?a <http://x/r> \"1\"^^<http://x/int> . }";
+  Rng rng(GetParam());
+  for (int i = 0; i < 300; ++i) {
+    std::string mutated = base;
+    int edits = 1 + static_cast<int>(rng.Uniform(3));
+    for (int e = 0; e < edits; ++e) {
+      size_t pos = rng.Uniform(mutated.size());
+      switch (rng.Uniform(3)) {
+        case 0: mutated[pos] = static_cast<char>(32 + rng.Uniform(95)); break;
+        case 1: mutated.erase(pos, 1); break;
+        default: mutated.insert(pos, 1,
+                                static_cast<char>(32 + rng.Uniform(95)));
+      }
+    }
+    auto result = ParseSparql(mutated);       // must not crash
+    auto compound = ParseCompoundSparql(mutated);
+    (void)result;
+    (void)compound;
+  }
+}
+
+TEST_P(ParserFuzzSweep, NTriplesParserNeverCrashesOnMutations) {
+  const std::string base =
+      "<http://x/s> <http://x/p> <http://x/o> .\n"
+      "<http://x/s> <http://x/n> \"some text\"@en .\n"
+      "_:b <http://x/p> \"42\"^^<http://x/int> .\n";
+  Rng rng(GetParam() ^ 0x9999);
+  for (int i = 0; i < 300; ++i) {
+    std::string mutated = base;
+    size_t pos = rng.Uniform(mutated.size());
+    mutated[pos] = static_cast<char>(rng.Uniform(256));
+    Dataset data;
+    auto status = ParseNTriples(mutated, &data);  // must not crash
+    (void)status;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzzSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+TEST(ParserAdversarialTest, PathologicalInputsRejectedCleanly) {
+  EXPECT_FALSE(ParseSparql(std::string(10000, '{')).ok());
+  EXPECT_FALSE(ParseSparql("SELECT " + std::string(5000, '?')).ok());
+  EXPECT_FALSE(ParseSparql("SELECT * WHERE { " + std::string(100, '"')).ok());
+  EXPECT_FALSE(ParseCompoundSparql(
+                   "SELECT * WHERE { ?a <p> ?b } UNION").ok());
+  Dataset data;
+  EXPECT_FALSE(ParseNTriples(std::string(2000, '<'), &data).ok());
+  // Deep but balanced compound nesting must terminate.
+  std::string nested = "SELECT * WHERE ";
+  for (int i = 0; i < 50; ++i) nested += "{";
+  nested += " ?a <http://x/p> ?b ";
+  for (int i = 0; i < 50; ++i) nested += "}";
+  auto result = ParseCompoundSparql(nested);
+  (void)result;  // accept or reject, but terminate
+}
+
+TEST(DatasetStatsTest, PaperGraphNumbers) {
+  auto dataset = testing::BuildPaperDataset();
+  DatasetStats stats = ComputeDatasetStats(*dataset);
+  EXPECT_EQ(stats.num_triples, 19u);
+  EXPECT_EQ(stats.num_vertices, 20u);
+  EXPECT_EQ(stats.num_predicates, 6u);
+  EXPECT_EQ(stats.num_iris + stats.num_literals + stats.num_blanks,
+            stats.num_vertices);
+  EXPECT_EQ(stats.num_literals, 11u);
+  EXPECT_GT(stats.max_out_degree, 0u);
+  ASSERT_FALSE(stats.top_predicates.empty());
+  // mainInterest is the most frequent predicate (5 triples).
+  EXPECT_EQ(stats.top_predicates[0].second, 5u);
+  EXPECT_FALSE(stats.ToString().empty());
+}
+
+TEST(DatasetStatsTest, NamespaceShareDistinguishesRegimes) {
+  // LUBM-style: many namespaces, small largest share.
+  Rng rng(1);
+  Dataset multi;
+  for (int ns = 0; ns < 10; ++ns) {
+    for (int i = 0; i < 10; ++i) {
+      multi.AddTripleLexical(
+          "<http://d" + std::to_string(ns) + ".org/e" + std::to_string(i) +
+              ">",
+          "<http://p.org/p>",
+          "<http://d" + std::to_string(ns) + ".org/x" + std::to_string(i) +
+              ">");
+    }
+  }
+  multi.Finalize();
+  DatasetStats multi_stats = ComputeDatasetStats(multi);
+  EXPECT_GE(multi_stats.num_namespaces, 10u);
+  EXPECT_LT(multi_stats.largest_namespace_share, 0.3);
+
+  // YAGO-style: one namespace.
+  Dataset single;
+  for (int i = 0; i < 50; ++i) {
+    single.AddTripleLexical(
+        "<http://y.org/r/e" + std::to_string(i) + ">", "<http://p.org/p>",
+        "<http://y.org/r/e" + std::to_string((i + 1) % 50) + ">");
+  }
+  single.Finalize();
+  DatasetStats single_stats = ComputeDatasetStats(single);
+  EXPECT_EQ(single_stats.largest_namespace_share, 1.0);
+}
+
+TEST(DegenerateDatasetTest, EmptyDatasetQueries) {
+  Dataset empty;
+  empty.Finalize();
+  Partitioning p = HashPartitioner().Partition(empty, 3);
+  DistributedEngine engine(&p);
+  QueryGraph q;
+  q.AddEdge("?a", "<http://x/p>", "?b");
+  EXPECT_TRUE(engine.Execute(q, EngineMode::kFull).empty());
+}
+
+TEST(DegenerateDatasetTest, SingleTripleAcrossFragments) {
+  Dataset data;
+  data.AddTripleLexical("<http://x/a>", "<http://x/p>", "<http://x/b>");
+  data.Finalize();
+  // Force the two endpoints apart.
+  VertexAssignment owner;
+  owner[data.dict().Lookup("<http://x/a>")] = 0;
+  owner[data.dict().Lookup("<http://x/b>")] = 1;
+  Partitioning p = BuildPartitioning(data, owner, 2, "manual");
+  EXPECT_EQ(p.num_crossing_edges(), 1u);
+  DistributedEngine engine(&p);
+  QueryGraph q;
+  q.AddEdge("?a", "<http://x/p>", "?b");
+  // One edge query is a star: answered locally via the replica.
+  QueryStats stats;
+  auto result = engine.Execute(q, EngineMode::kFull, &stats);
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_TRUE(stats.star_shortcut);
+}
+
+TEST(DegenerateDatasetTest, LiteralOnlyObjectsNeverCross) {
+  // Semantic hash co-locates literals with subjects; every edge is internal.
+  Dataset data;
+  for (int i = 0; i < 20; ++i) {
+    data.AddTripleLexical("<http://d.org/e" + std::to_string(i) + ">",
+                          "<http://d.org/label>",
+                          "\"label " + std::to_string(i) + "\"");
+  }
+  data.Finalize();
+  Partitioning p = SemanticHashPartitioner().Partition(data, 4);
+  for (const Fragment& f : p.fragments()) {
+    EXPECT_TRUE(f.crossing_edges().empty());
+  }
+}
+
+}  // namespace
+}  // namespace gstored

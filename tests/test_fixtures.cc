@@ -1,0 +1,176 @@
+#include "tests/test_fixtures.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace gstored::testing {
+namespace {
+
+/// Literals unique to the fixture that are not named in the header.
+constexpr const char* kBirth1942 = "\"1942-12-21\"";            // 002
+constexpr const char* kDummett = "\"Michael Dummett\"";         // 007
+constexpr const char* kWittgenstein =
+    "\"Ludwig Wittgenstein\"@en";                               // 016
+constexpr const char* kBirth1889 = "\"1889-04-26\"";            // 015
+constexpr const char* kCarnap = "\"Rudolf Carnap\"@en";         // 018
+constexpr const char* kRonsdorf = "\"Ronsdorf\"@en";            // 020
+
+}  // namespace
+
+std::unique_ptr<Dataset> BuildPaperDataset() {
+  auto dataset = std::make_unique<Dataset>();
+  // F1 region.
+  dataset->AddTripleLexical(kPhi1, kBirthDate, kBirth1942);
+  dataset->AddTripleLexical(kPhi1, kName, kCrispin);
+  dataset->AddTripleLexical(kInt1, kLabel, kPhilLang);
+  // Crossing edges of F1.
+  dataset->AddTripleLexical(kPhi1, kInfluencedBy, kPhi2);
+  dataset->AddTripleLexical(kPhi2, kMainInterest, kInt1);
+  dataset->AddTripleLexical(kPhi1, kInfluencedBy, kPhi3);
+  // F2 region.
+  dataset->AddTripleLexical(kPhi2, kName, kDummett);
+  dataset->AddTripleLexical(kPhi2, kMainInterest, kInt2);
+  dataset->AddTripleLexical(kInt2, kLabel, kMetaphysics);
+  dataset->AddTripleLexical(kPhi2, kMainInterest, kInt3);
+  dataset->AddTripleLexical(kInt3, kLabel, kPhilLogic);
+  dataset->AddTripleLexical(kPhi4, kName, kCarnap);
+  dataset->AddTripleLexical(kPhi4, kMainInterest, kInt4);
+  dataset->AddTripleLexical(kPhi4, kBirthPlace, kPla1);
+  // F3 region.
+  dataset->AddTripleLexical(kPhi3, kName, kWittgenstein);
+  dataset->AddTripleLexical(kPhi3, kBirthDate, kBirth1889);
+  dataset->AddTripleLexical(kPhi3, kMainInterest, kInt4);
+  dataset->AddTripleLexical(kInt4, kLabel, kLogic);
+  dataset->AddTripleLexical(kPla1, kLabel, kRonsdorf);
+  dataset->Finalize();
+  return dataset;
+}
+
+Partitioning BuildPaperPartitioning(const Dataset& dataset) {
+  const TermDict& dict = dataset.dict();
+  VertexAssignment owner;
+  auto assign = [&](const char* lexical, FragmentId f) {
+    TermId id = dict.Lookup(lexical);
+    GSTORED_CHECK(id != kNullTerm);
+    owner[id] = f;
+  };
+  assign(kPhi1, 0);
+  assign(kBirth1942, 0);
+  assign(kCrispin, 0);
+  assign(kInt1, 0);
+  assign(kPhilLang, 0);
+  assign(kPhi2, 1);
+  assign(kDummett, 1);
+  assign(kInt2, 1);
+  assign(kMetaphysics, 1);
+  assign(kInt3, 1);
+  assign(kPhilLogic, 1);
+  assign(kPhi4, 1);
+  assign(kCarnap, 1);
+  assign(kPhi3, 2);
+  assign(kWittgenstein, 2);
+  assign(kBirth1889, 2);
+  assign(kInt4, 2);
+  assign(kLogic, 2);
+  assign(kPla1, 2);
+  assign(kRonsdorf, 2);
+  return BuildPartitioning(dataset, owner, 3, "paper_fig1");
+}
+
+QueryGraph BuildPaperQuery() {
+  // Vertex creation order fixes ids: v1=?p2 (0), v2=?t (1), v3=?p1 (2),
+  // v4=?l (3), v5=constant (4).
+  QueryGraph q;
+  q.AddVertex("?p2");
+  q.AddVertex("?t");
+  q.AddVertex("?p1");
+  q.AddVertex("?l");
+  q.AddVertex(kCrispin);
+  q.AddEdge("?p1", kInfluencedBy, "?p2");
+  q.AddEdge("?p2", kMainInterest, "?t");
+  q.AddEdge("?t", kLabel, "?l");
+  q.AddEdge("?p1", kName, kCrispin);
+  q.AddSelectVar("?p2");
+  q.AddSelectVar("?l");
+  return q;
+}
+
+std::unique_ptr<Dataset> RandomDataset(Rng& rng, size_t num_vertices,
+                                       size_t num_edges,
+                                       size_t num_predicates) {
+  auto dataset = std::make_unique<Dataset>();
+  GSTORED_CHECK_GE(num_vertices, 2u);
+  GSTORED_CHECK_GE(num_predicates, 1u);
+  auto vertex_name = [](size_t i) {
+    return "<http://rnd.org/v" + std::to_string(i) + ">";
+  };
+  auto pred_name = [](size_t i) {
+    return "<http://rnd.org/p" + std::to_string(i) + ">";
+  };
+  for (size_t i = 0; i < num_edges; ++i) {
+    size_t s = rng.Uniform(num_vertices);
+    size_t o = rng.Uniform(num_vertices);
+    if (s == o) o = (o + 1) % num_vertices;  // few self loops; keep it simple
+    size_t p = rng.Uniform(num_predicates);
+    dataset->AddTripleLexical(vertex_name(s), pred_name(p), vertex_name(o));
+  }
+  dataset->Finalize();
+  return dataset;
+}
+
+QueryGraph RandomConnectedQuery(Rng& rng, const Dataset& dataset,
+                                size_t num_vertices, size_t num_edges,
+                                double constant_prob,
+                                double pred_constant_prob) {
+  GSTORED_CHECK_GE(num_edges, num_vertices - 1);
+  const RdfGraph& graph = dataset.graph();
+  const TermDict& dict = dataset.dict();
+
+  std::vector<std::string> labels;
+  for (size_t i = 0; i < num_vertices; ++i) {
+    if (rng.Chance(constant_prob) && !graph.vertices().empty()) {
+      TermId v = graph.vertices()[rng.Uniform(graph.vertices().size())];
+      labels.push_back(dict.lexical(v));
+    } else {
+      labels.push_back("?x" + std::to_string(i));
+    }
+  }
+  auto pred_label = [&]() -> std::string {
+    if (rng.Chance(pred_constant_prob) && !graph.predicates().empty()) {
+      TermId p = graph.predicates()[rng.Uniform(graph.predicates().size())];
+      return dict.lexical(p);
+    }
+    static int counter = 0;
+    return "?p" + std::to_string(counter++);
+  };
+
+  QueryGraph q;
+  for (const std::string& label : labels) q.AddVertex(label);
+  // Spanning tree first (keeps the query connected), then extra edges.
+  for (size_t i = 1; i < num_vertices; ++i) {
+    size_t anchor = rng.Uniform(i);
+    if (rng.Chance(0.5)) {
+      q.AddEdge(labels[i], pred_label(), labels[anchor]);
+    } else {
+      q.AddEdge(labels[anchor], pred_label(), labels[i]);
+    }
+  }
+  for (size_t e = num_vertices - 1; e < num_edges; ++e) {
+    size_t a = rng.Uniform(num_vertices);
+    size_t b = rng.Uniform(num_vertices);
+    if (a == b) b = (b + 1) % num_vertices;
+    q.AddEdge(labels[a], pred_label(), labels[b]);
+  }
+  return q;
+}
+
+VertexAssignment RandomAssignment(Rng& rng, const Dataset& dataset, int k) {
+  VertexAssignment owner;
+  for (TermId v : dataset.graph().vertices()) {
+    owner[v] = static_cast<FragmentId>(rng.Uniform(k));
+  }
+  return owner;
+}
+
+}  // namespace gstored::testing

@@ -1,0 +1,78 @@
+#ifndef GSTORED_TESTS_TEST_FIXTURES_H_
+#define GSTORED_TESTS_TEST_FIXTURES_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "partition/partitioners.h"
+#include "partition/partitioning.h"
+#include "rdf/dataset.h"
+#include "sparql/parser.h"
+#include "sparql/query_graph.h"
+#include "util/rng.h"
+
+namespace gstored::testing {
+
+/// IRIs used by the paper-example fixture (Fig. 1). The vertex comments give
+/// the paper's numeric ids.
+inline constexpr const char* kPhi1 = "<http://ex.org/s1/Phi1>";  // 001
+inline constexpr const char* kInt1 = "<http://ex.org/s1/Int1>";  // 005
+inline constexpr const char* kPhi2 = "<http://ex.org/s2/Phi2>";  // 006
+inline constexpr const char* kInt2 = "<http://ex.org/s2/Int2>";  // 008
+inline constexpr const char* kInt3 = "<http://ex.org/s2/Int3>";  // 010
+inline constexpr const char* kPhi4 = "<http://ex.org/s2/Phi4>";  // 014
+inline constexpr const char* kPhi3 = "<http://ex.org/s3/Phi3>";  // 012
+inline constexpr const char* kInt4 = "<http://ex.org/s3/Int4>";  // 013
+inline constexpr const char* kPla1 = "<http://ex.org/s3/Pla1>";  // 019
+
+inline constexpr const char* kName = "<http://ex.org/p/name>";
+inline constexpr const char* kLabel = "<http://ex.org/p/label>";
+inline constexpr const char* kInfluencedBy = "<http://ex.org/p/influencedBy>";
+inline constexpr const char* kMainInterest = "<http://ex.org/p/mainInterest>";
+inline constexpr const char* kBirthDate = "<http://ex.org/p/birthDate>";
+inline constexpr const char* kBirthPlace = "<http://ex.org/p/birthPlace>";
+
+inline constexpr const char* kCrispin = "\"Crispin Wright\"@en";        // 003
+inline constexpr const char* kPhilLang =
+    "\"Philosophy of language\"@en";                                    // 004
+inline constexpr const char* kMetaphysics = "\"Metaphysics\"@en";       // 009
+inline constexpr const char* kPhilLogic =
+    "\"Philosophy of logic\"@en";                                       // 011
+inline constexpr const char* kLogic = "\"Logic\"@en";                   // 017
+
+/// Builds the Fig. 1 RDF graph (finalized).
+std::unique_ptr<Dataset> BuildPaperDataset();
+
+/// The Fig. 1 three-way fragmentation: F1 owns the s1 entities and their
+/// literals, F2 the s2 entities, F3 the s3 entities.
+Partitioning BuildPaperPartitioning(const Dataset& dataset);
+
+/// The Fig. 2 query: people influencing Crispin Wright and their interests.
+/// Vertex order is v1=?p2, v2=?t, v3=?p1, v4=?l, v5="Crispin Wright"@en,
+/// matching the paper's serialization vectors.
+QueryGraph BuildPaperQuery();
+
+/// Generates a random RDF dataset: `num_vertices` entity vertices, edges
+/// drawn uniformly with `num_edges` attempts over `num_predicates`
+/// predicates. Suitable for oracle-comparison property tests.
+std::unique_ptr<Dataset> RandomDataset(Rng& rng, size_t num_vertices,
+                                       size_t num_edges,
+                                       size_t num_predicates);
+
+/// Generates a random connected BGP query with `num_vertices` query vertices
+/// and `num_edges >= num_vertices - 1` triple patterns. With probability
+/// `constant_prob`, a query vertex is a constant sampled from the dataset;
+/// predicates are constants with probability `pred_constant_prob` (variables
+/// otherwise).
+QueryGraph RandomConnectedQuery(Rng& rng, const Dataset& dataset,
+                                size_t num_vertices, size_t num_edges,
+                                double constant_prob = 0.3,
+                                double pred_constant_prob = 0.85);
+
+/// Produces a random vertex assignment over `k` fragments.
+VertexAssignment RandomAssignment(Rng& rng, const Dataset& dataset, int k);
+
+}  // namespace gstored::testing
+
+#endif  // GSTORED_TESTS_TEST_FIXTURES_H_

@@ -1,0 +1,127 @@
+// Sanity checks of the three workload generators: dataset shapes, query
+// classifications (star / selective), and expected result regimes (non-zero
+// vs provably-zero result sets), evaluated against the centralized oracle.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/engine.h"
+#include "store/local_store.h"
+#include "store/matcher.h"
+#include "workload/btc.h"
+#include "workload/lubm.h"
+#include "workload/yago.h"
+
+namespace gstored {
+namespace {
+
+std::map<std::string, size_t> OracleCounts(const Workload& workload) {
+  LocalStore store(&workload.dataset->graph());
+  std::map<std::string, size_t> counts;
+  for (const BenchmarkQuery& bq : workload.queries) {
+    ResolvedQuery rq = ResolveQuery(bq.query, workload.dataset->dict());
+    std::vector<Binding> matches = MatchQuery(store, rq);
+    DedupBindings(&matches);
+    counts[bq.name] = matches.size();
+  }
+  return counts;
+}
+
+TEST(LubmWorkloadTest, ShapeAndSelectivityClassification) {
+  LubmConfig config;
+  config.universities = 3;
+  Workload w = MakeLubmWorkload(config);
+  ASSERT_EQ(w.queries.size(), 7u);
+  std::map<std::string, const QueryGraph*> by_name;
+  for (const auto& bq : w.queries) by_name[bq.name] = &bq.query;
+
+  // The paper's star/other split (Sec. VIII-B): LQ2, LQ4, LQ5 are stars.
+  EXPECT_FALSE(by_name["LQ1"]->IsStar());
+  EXPECT_TRUE(by_name["LQ2"]->IsStar());
+  EXPECT_FALSE(by_name["LQ3"]->IsStar());
+  EXPECT_TRUE(by_name["LQ4"]->IsStar());
+  EXPECT_TRUE(by_name["LQ5"]->IsStar());
+  EXPECT_FALSE(by_name["LQ6"]->IsStar());
+  EXPECT_FALSE(by_name["LQ7"]->IsStar());
+
+  // Selective triple patterns (Table I's check marks): LQ4, LQ5, LQ6 carry
+  // constants; LQ3 is anchored at a professor too.
+  EXPECT_TRUE(by_name["LQ3"]->HasSelectiveTriple());
+  EXPECT_TRUE(by_name["LQ4"]->HasSelectiveTriple());
+  EXPECT_TRUE(by_name["LQ5"]->HasSelectiveTriple());
+  EXPECT_TRUE(by_name["LQ6"]->HasSelectiveTriple());
+
+  for (const auto& bq : w.queries) {
+    EXPECT_TRUE(bq.query.IsConnected()) << bq.name;
+  }
+}
+
+TEST(LubmWorkloadTest, ResultRegimes) {
+  LubmConfig config;
+  config.universities = 3;
+  Workload w = MakeLubmWorkload(config);
+  auto counts = OracleCounts(w);
+
+  EXPECT_GT(counts["LQ1"], 0u);  // triangle closes for ~1/3 of grads
+  EXPECT_GT(counts["LQ2"], 500u);  // unselective star: large result set
+  EXPECT_GT(counts["LQ4"], 0u);
+  EXPECT_GT(counts["LQ5"], 0u);
+  EXPECT_GT(counts["LQ7"], 0u);
+  // LQ2 dominates every selective query by a wide margin.
+  EXPECT_GT(counts["LQ2"], 10 * counts["LQ4"]);
+}
+
+TEST(LubmWorkloadTest, ScaleGrowsLinearly) {
+  size_t t1 = MakeLubmWorkload(LubmScale(1)).dataset->graph().num_triples();
+  size_t t2 = MakeLubmWorkload(LubmScale(2)).dataset->graph().num_triples();
+  size_t t4 = MakeLubmWorkload(LubmScale(4)).dataset->graph().num_triples();
+  EXPECT_GT(t1, 10000u);
+  // Within 20% of linear scaling.
+  EXPECT_NEAR(static_cast<double>(t2) / t1, 2.0, 0.4);
+  EXPECT_NEAR(static_cast<double>(t4) / t1, 4.0, 0.8);
+}
+
+TEST(YagoWorkloadTest, ShapeAndResultRegimes) {
+  YagoConfig config;
+  config.persons = 300;
+  Workload w = MakeYagoWorkload(config);
+  ASSERT_EQ(w.queries.size(), 4u);
+  for (const auto& bq : w.queries) {
+    EXPECT_FALSE(bq.query.IsStar()) << bq.name;  // all YQs are non-stars
+    EXPECT_TRUE(bq.query.IsConnected()) << bq.name;
+  }
+  auto counts = OracleCounts(w);
+  EXPECT_GT(counts["YQ1"], 0u);
+  EXPECT_EQ(counts["YQ2"], 0u);  // movies never have isLocatedIn
+  EXPECT_GT(counts["YQ3"], counts["YQ1"]);  // the huge unselective query
+  EXPECT_GT(counts["YQ4"], 0u);
+}
+
+TEST(BtcWorkloadTest, ShapeAndResultRegimes) {
+  BtcConfig config;
+  config.entities_per_domain = 250;
+  Workload w = MakeBtcWorkload(config);
+  ASSERT_EQ(w.queries.size(), 7u);
+  std::map<std::string, const QueryGraph*> by_name;
+  for (const auto& bq : w.queries) by_name[bq.name] = &bq.query;
+
+  EXPECT_TRUE(by_name["BQ1"]->IsStar());
+  EXPECT_TRUE(by_name["BQ2"]->IsStar());
+  EXPECT_TRUE(by_name["BQ3"]->IsStar());
+  EXPECT_FALSE(by_name["BQ4"]->IsStar());
+  EXPECT_FALSE(by_name["BQ5"]->IsStar());
+  EXPECT_FALSE(by_name["BQ6"]->IsStar());
+  EXPECT_FALSE(by_name["BQ7"]->IsStar());
+
+  auto counts = OracleCounts(w);
+  EXPECT_GT(counts["BQ1"], 0u);
+  EXPECT_EQ(counts["BQ3"], 0u);
+  EXPECT_GT(counts["BQ4"], 0u);
+  // The sameAs ring alignment makes the cyclic patterns provably empty.
+  EXPECT_EQ(counts["BQ6"], 0u);
+  EXPECT_EQ(counts["BQ7"], 0u);
+}
+
+}  // namespace
+}  // namespace gstored
