@@ -70,6 +70,93 @@ void BM_ParseSparql(benchmark::State& state) {
 }
 BENCHMARK(BM_ParseSparql);
 
+/// The most frequent predicate of the fixture graph — the pair of expansion
+/// benchmarks below must stress the same, longest ranges.
+TermId MostFrequentPredicate(const MicroFixture& f) {
+  const RdfGraph& g = f.workload.dataset->graph();
+  TermId pred = g.predicates()[0];
+  for (TermId p : g.predicates()) {
+    if (f.oracle_store.PredicateCount(p) >
+        f.oracle_store.PredicateCount(pred)) {
+      pred = p;
+    }
+  }
+  return pred;
+}
+
+/// Predicate-constrained neighbor expansion through the CSR predicate
+/// directory — the matcher's single hottest operation, run over every
+/// vertex of the graph.
+void BM_AdjacencyExpansionByPredicate(benchmark::State& state) {
+  MicroFixture& f = Fixture();
+  const RdfGraph& g = f.workload.dataset->graph();
+  TermId pred = MostFrequentPredicate(f);
+  for (auto _ : state) {
+    uint64_t sum = 0;
+    for (TermId v : g.vertices()) {
+      for (const HalfEdge& h : g.OutEdges(v, pred)) sum += h.neighbor;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(g.num_vertices()));
+}
+BENCHMARK(BM_AdjacencyExpansionByPredicate);
+
+/// The pre-CSR equivalent: scan the full adjacency list and filter by
+/// predicate. Kept as the comparison bar for the predicate directory.
+void BM_AdjacencyExpansionFullScan(benchmark::State& state) {
+  MicroFixture& f = Fixture();
+  const RdfGraph& g = f.workload.dataset->graph();
+  TermId pred = MostFrequentPredicate(f);
+  for (auto _ : state) {
+    uint64_t sum = 0;
+    for (TermId v : g.vertices()) {
+      for (const HalfEdge& h : g.OutEdges(v)) {
+        if (h.predicate == pred) sum += h.neighbor;
+      }
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(g.num_vertices()));
+}
+BENCHMARK(BM_AdjacencyExpansionFullScan);
+
+/// The innermost backtracking check: Def. 3's injective label condition over
+/// one parallel-edge group, evaluated for every data edge of the graph.
+void BM_ParallelEdgesSatisfiable(benchmark::State& state) {
+  MicroFixture& f = Fixture();
+  const RdfGraph& g = f.workload.dataset->graph();
+  // Any constant-predicate query edge forms a singleton group.
+  QEdgeId eid = 0;
+  for (QEdgeId e = 0; e < f.query.num_edges(); ++e) {
+    if (f.rq.edge_pred[e] != kNullTerm) eid = e;
+  }
+  const std::vector<QEdgeId> group = {eid};
+  const auto& triples = g.triples();
+  for (auto _ : state) {
+    size_t hits = 0;
+    for (size_t i = 0; i < triples.size(); i += 7) {
+      hits += ParallelEdgesSatisfiable(g, f.rq, group, triples[i].subject,
+                                       triples[i].object);
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(triples.size() / 7));
+}
+BENCHMARK(BM_ParallelEdgesSatisfiable);
+
+void BM_MatchingOrder(benchmark::State& state) {
+  MicroFixture& f = Fixture();
+  for (auto _ : state) {
+    auto order = MatchingOrder(f.oracle_store, f.rq);
+    benchmark::DoNotOptimize(order);
+  }
+}
+BENCHMARK(BM_MatchingOrder);
+
 void BM_CandidateComputation(benchmark::State& state) {
   MicroFixture& f = Fixture();
   for (auto _ : state) {

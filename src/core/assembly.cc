@@ -1,8 +1,9 @@
 #include "core/assembly.h"
 
 #include <algorithm>
+#include <memory>
 #include <unordered_map>
-#include <unordered_set>
+#include <utility>
 
 #include "util/hash.h"
 #include "util/logging.h"
@@ -68,6 +69,32 @@ bool TryJoin(const PartialJoin& partial, const LocalPartialMatch& pm,
   return true;
 }
 
+/// Dedup set over materialized partials. Equality of a partial join is fully
+/// determined by (sign, binding) — the crossing maps are a function of which
+/// LPMs were merged, which (sign, binding) pins down — so only those two are
+/// stored, not the (much larger) crossing vectors.
+class SeenSet {
+ public:
+  explicit SeenSet(AssemblyStats* stats) : stats_(stats) {}
+
+  /// True if an equal partial was already recorded; records it otherwise.
+  bool CheckAndInsert(const PartialJoin& pj) {
+    uint64_t key = PartialKey(pj.sign, pj.binding);
+    auto& bucket = buckets_[key];
+    for (const auto& [sign, binding] : bucket) {
+      if (sign == pj.sign && binding == pj.binding) return true;
+    }
+    bucket.emplace_back(pj.sign, pj.binding);
+    ++stats_->intermediate_results;
+    return false;
+  }
+
+ private:
+  std::unordered_map<uint64_t, std::vector<std::pair<Bitset, Binding>>>
+      buckets_;
+  AssemblyStats* stats_;
+};
+
 /// Shared context for the LEC-grouped DFS assembly.
 struct AssemblyContext {
   const std::vector<LocalPartialMatch>* lpms;
@@ -78,18 +105,9 @@ struct AssemblyContext {
   ResultSink* sink;
   // Global dedup of materialized partials, so revisiting the same partial
   // through a different group order does not re-expand it.
-  std::unordered_map<uint64_t, std::vector<PartialJoin>> seen;
+  std::unique_ptr<SeenSet> seen;
 
-  bool AlreadySeen(const PartialJoin& pj) {
-    uint64_t key = PartialKey(pj.sign, pj.binding);
-    auto& bucket = seen[key];
-    for (const PartialJoin& old : bucket) {
-      if (old.sign == pj.sign && old.binding == pj.binding) return true;
-    }
-    bucket.push_back(pj);
-    ++stats->intermediate_results;
-    return false;
-  }
+  bool AlreadySeen(const PartialJoin& pj) { return seen->CheckAndInsert(pj); }
 };
 
 void ComParJoin(AssemblyContext& ctx, std::vector<bool>& visited,
@@ -154,6 +172,7 @@ std::vector<Binding> LecAssembly(const std::vector<LocalPartialMatch>& lpms,
   ctx.lpms = &lpms;
   ctx.stats = stats;
   ctx.sink = &sink;
+  ctx.seen = std::make_unique<SeenSet>(stats);
 
   // Def. 11: group LPMs by LECSign.
   std::unordered_map<uint64_t, std::vector<uint32_t>> sign_buckets;
@@ -268,23 +287,13 @@ std::vector<Binding> BasicAssembly(const std::vector<LocalPartialMatch>& lpms,
   // Worklist join without any grouping: every unique partial is expanded
   // against every LPM. Dedup guarantees termination (signs grow monotonically
   // and there are finitely many (sign, binding) pairs).
-  std::unordered_map<uint64_t, std::vector<PartialJoin>> seen;
-  auto already_seen = [&](const PartialJoin& pj) {
-    uint64_t key = PartialKey(pj.sign, pj.binding);
-    auto& bucket = seen[key];
-    for (const PartialJoin& old : bucket) {
-      if (old.sign == pj.sign && old.binding == pj.binding) return true;
-    }
-    bucket.push_back(pj);
-    ++stats->intermediate_results;
-    return false;
-  };
+  SeenSet seen(stats);
 
   std::vector<PartialJoin> frontier;
   frontier.reserve(lpms.size());
   for (const LocalPartialMatch& pm : lpms) {
     PartialJoin pj{pm.sign, pm.crossing, pm.binding};
-    if (!already_seen(pj)) frontier.push_back(std::move(pj));
+    if (!seen.CheckAndInsert(pj)) frontier.push_back(std::move(pj));
   }
 
   while (!frontier.empty()) {
@@ -297,7 +306,7 @@ std::vector<Binding> BasicAssembly(const std::vector<LocalPartialMatch>& lpms,
           sink.Add(joined.binding);
           continue;
         }
-        if (!already_seen(joined)) next.push_back(std::move(joined));
+        if (!seen.CheckAndInsert(joined)) next.push_back(std::move(joined));
       }
     }
     frontier = std::move(next);

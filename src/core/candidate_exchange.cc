@@ -24,9 +24,11 @@ CandidateExchange ExchangeInternalCandidates(
       num_sites, std::vector<BitvectorFilter>(n, BitvectorFilter(filter_bits)));
   StageRun run = cluster.RunStage([&](int site) {
     const Fragment& fragment = partitioning.fragments()[site];
+    std::vector<TermId> candidates;  // reused across the site's variables
     for (QVertexId v = 0; v < n; ++v) {
       if (!q.vertex(v).is_variable) continue;
-      for (TermId u : stores[site]->Candidates(rq, v)) {
+      stores[site]->CandidatesInto(rq, v, &candidates);
+      for (TermId u : candidates) {
         if (fragment.IsInternal(u)) site_filters[site][v].Insert(u);
       }
     }

@@ -1,7 +1,6 @@
 #include "core/local_partial_match.h"
 
 #include <algorithm>
-#include <unordered_map>
 
 #include "util/logging.h"
 
@@ -22,6 +21,12 @@ struct IslandSearch {
   std::vector<bool> assigned;
   Binding binding;
   std::vector<LocalPartialMatch>* out;
+  // Relevant incident edges grouped by directed endpoint pair, precomputed
+  // per island mask so the inner consistency check is map-free.
+  std::vector<std::vector<ParallelEdgeGroup>> groups;
+  // Reused buffers (see matcher.cc's SearchContext).
+  std::vector<std::vector<TermId>> domain_scratch;
+  std::vector<PivotEdge> pivot_scratch;
 };
 
 /// True when the vertices of `mask` are weakly connected within the query
@@ -54,97 +59,65 @@ bool EdgeRelevant(const IslandSearch& ctx, const QueryEdge& e) {
 }
 
 bool ConsistentWithAssigned(const IslandSearch& ctx, QVertexId v, TermId u) {
-  const QueryGraph& q = *ctx.rq->query;
   auto image = [&](QVertexId w) -> TermId {
     return w == v ? u : ctx.binding[w];
   };
-  // Group relevant incident edges by directed query pair; both endpoints
-  // must be assigned for the check to run now.
-  std::unordered_map<uint64_t, std::vector<QEdgeId>> groups;
-  for (QEdgeId eid : q.IncidentEdges(v)) {
-    const QueryEdge& e = q.edge(eid);
-    if (!EdgeRelevant(ctx, e)) continue;
-    QVertexId other = e.from == v ? e.to : e.from;
+  for (const ParallelEdgeGroup& group : ctx.groups[v]) {
+    QVertexId other = group.from == v ? group.to : group.from;
     if (other != v && !ctx.assigned[other]) continue;
-    groups[(static_cast<uint64_t>(e.from) << 32) | e.to].push_back(eid);
-  }
-  for (const auto& [key, group] : groups) {
-    QVertexId from = static_cast<QVertexId>(key >> 32);
-    QVertexId to = static_cast<QVertexId>(key & 0xffffffffu);
-    if (!ParallelEdgesSatisfiable(ctx.store->graph(), *ctx.rq, group,
-                                  image(from), image(to))) {
+    if (!ParallelEdgesSatisfiable(ctx.store->graph(), *ctx.rq, group.edges,
+                                  image(group.from), image(group.to))) {
       return false;
     }
   }
   return true;
 }
 
-/// Candidate domain for the vertex at `depth` in the search order.
-std::vector<TermId> DomainFor(const IslandSearch& ctx, size_t depth) {
+/// Fragment- and filter-level admissibility of assigning u to v, applied
+/// while iterating the domain span (the constant check is handled by
+/// DomainFor).
+bool Admissible(const IslandSearch& ctx, QVertexId v, TermId u) {
+  if (ctx.in_island[v]) {
+    return ctx.fragment->IsInternal(u);
+  }
+  if (!ctx.fragment->IsExtended(u)) return false;
+  return !ctx.options->extended_filter || ctx.options->extended_filter(v, u);
+}
+
+/// Candidate domain for the vertex at `depth` in the search order: the
+/// intersection of the expansions from every assigned neighbour through
+/// relevant edges, straight from the graph's CSR ranges (see matcher.cc).
+std::span<const TermId> DomainFor(IslandSearch& ctx, size_t depth) {
   const QueryGraph& q = *ctx.rq->query;
   const RdfGraph& g = ctx.store->graph();
   QVertexId v = ctx.order[depth];
-  bool island = ctx.in_island[v];
-
-  auto admissible = [&](TermId u) {
-    if (island) {
-      if (!ctx.fragment->IsInternal(u)) return false;
-    } else {
-      if (!ctx.fragment->IsExtended(u)) return false;
-      if (ctx.options->extended_filter && !ctx.options->extended_filter(v, u)) {
-        return false;
-      }
-    }
-    TermId constant = ctx.rq->vertex_term[v];
-    return constant == kNullTerm || constant == u;
-  };
+  std::vector<TermId>& scratch = ctx.domain_scratch[depth];
+  scratch.clear();
 
   TermId constant = ctx.rq->vertex_term[v];
-  std::vector<TermId> domain;
   if (constant != kNullTerm) {
-    if (g.HasVertex(constant) && admissible(constant)) {
-      domain.push_back(constant);
-    }
-    return domain;
+    if (g.HasVertex(constant)) scratch.push_back(constant);
+    return scratch;
   }
 
-  // Pivot on an assigned neighbour through a relevant edge, preferring
-  // constant predicates.
-  QEdgeId pivot = static_cast<QEdgeId>(-1);
-  bool pivot_constant = false;
+  ctx.pivot_scratch.clear();
   for (QEdgeId eid : q.IncidentEdges(v)) {
     const QueryEdge& e = q.edge(eid);
     if (!EdgeRelevant(ctx, e)) continue;
     QVertexId other = e.from == v ? e.to : e.from;
     if (other == v || !ctx.assigned[other]) continue;
-    bool has_const = ctx.rq->edge_pred[eid] != kNullTerm;
-    if (pivot == static_cast<QEdgeId>(-1) || (has_const && !pivot_constant)) {
-      pivot = eid;
-      pivot_constant = has_const;
-    }
+    bool v_is_subject = (e.from == v);
+    ctx.pivot_scratch.push_back(
+        {ctx.binding[other], ctx.rq->edge_pred[eid], v_is_subject});
   }
 
-  if (pivot == static_cast<QEdgeId>(-1)) {
+  if (ctx.pivot_scratch.empty()) {
     // First vertex of the island: seed from the store's candidates.
-    GSTORED_CHECK(island);
-    for (TermId u : ctx.store->Candidates(*ctx.rq, v)) {
-      if (admissible(u)) domain.push_back(u);
-    }
-    return domain;
+    GSTORED_CHECK(ctx.in_island[v]);
+    ctx.store->CandidatesInto(*ctx.rq, v, &scratch);
+    return scratch;
   }
-
-  const QueryEdge& e = q.edge(pivot);
-  TermId pred = ctx.rq->edge_pred[pivot];
-  bool v_is_subject = (e.from == v);
-  TermId anchor = ctx.binding[v_is_subject ? e.to : e.from];
-  auto half_edges = v_is_subject ? g.InEdges(anchor) : g.OutEdges(anchor);
-  for (const HalfEdge& h : half_edges) {
-    if (pred != kNullTerm && h.predicate != pred) continue;
-    if (admissible(h.neighbor)) domain.push_back(h.neighbor);
-  }
-  std::sort(domain.begin(), domain.end());
-  domain.erase(std::unique(domain.begin(), domain.end()), domain.end());
-  return domain;
+  return PivotDomain(g, ctx.pivot_scratch, &scratch);
 }
 
 void EmitMatch(IslandSearch& ctx) {
@@ -180,6 +153,7 @@ void Extend(IslandSearch& ctx, size_t depth) {
   QVertexId v = ctx.order[depth];
   for (TermId u : DomainFor(ctx, depth)) {
     if (ctx.out->size() >= ctx.options->max_results) return;
+    if (!Admissible(ctx, v, u)) continue;
     if (!ConsistentWithAssigned(ctx, v, u)) continue;
     ctx.binding[v] = u;
     ctx.assigned[v] = true;
@@ -271,6 +245,10 @@ std::vector<LocalPartialMatch> EnumerateLocalPartialMatches(
     ctx.assigned.assign(n, false);
     ctx.binding.assign(n, kNullTerm);
     ctx.out = &results;
+    ctx.groups = BuildIncidentEdgeGroups(q, [&](QEdgeId eid) {
+      return EdgeRelevant(ctx, q.edge(eid));
+    });
+    ctx.domain_scratch.resize(ctx.order.size());
     Extend(ctx, 0);
     if (results.size() >= options.max_results) break;
   }

@@ -1,10 +1,79 @@
 #include "rdf/graph.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "util/logging.h"
 
 namespace gstored {
+namespace {
+
+constexpr bool PredNbrLess(const HalfEdge& a, const HalfEdge& b) {
+  return a.predicate != b.predicate ? a.predicate < b.predicate
+                                    : a.neighbor < b.neighbor;
+}
+
+/// Builds one direction's CSR arrays from the deduplicated triple list.
+/// `src` / `dst` select the CSR row vertex and the stored neighbor.
+void BuildCsr(const std::vector<Triple>& triples, size_t num_ids,
+              TermId Triple::*src, TermId Triple::*dst,
+              std::vector<uint32_t>* offsets, std::vector<HalfEdge>* edges) {
+  offsets->assign(num_ids + 1, 0);
+  for (const Triple& t : triples) ++(*offsets)[t.*src + 1];
+  for (size_t i = 1; i < offsets->size(); ++i) {
+    (*offsets)[i] += (*offsets)[i - 1];
+  }
+  edges->resize(triples.size());
+  std::vector<uint32_t> cursor(offsets->begin(), offsets->end() - 1);
+  for (const Triple& t : triples) {
+    (*edges)[cursor[t.*src]++] = {t.*dst, t.predicate};
+  }
+}
+
+/// Per-vertex predicate directory over a (predicate, neighbor)-sorted CSR.
+void BuildPredDirectory(const std::vector<uint32_t>& offsets,
+                        const std::vector<HalfEdge>& edges,
+                        std::vector<uint32_t>* pred_offsets,
+                        std::vector<PredRange>* dir) {
+  size_t num_ids = offsets.size() - 1;
+  pred_offsets->assign(num_ids + 1, 0);
+  dir->clear();
+  for (size_t v = 0; v < num_ids; ++v) {
+    uint32_t i = offsets[v];
+    uint32_t end = offsets[v + 1];
+    while (i < end) {
+      uint32_t j = i;
+      while (j < end && edges[j].predicate == edges[i].predicate) ++j;
+      dir->push_back({edges[i].predicate, i, j});
+      i = j;
+    }
+    (*pred_offsets)[v + 1] = static_cast<uint32_t>(dir->size());
+  }
+}
+
+/// Per-vertex sorted distinct neighbors of a CSR whose ranges are sorted by
+/// neighbor (possibly with duplicates from parallel edges).
+void BuildDistinctNeighbors(const std::vector<uint32_t>& offsets,
+                            const std::vector<HalfEdge>& edges,
+                            std::vector<uint32_t>* nbr_offsets,
+                            std::vector<TermId>* nbrs) {
+  size_t num_ids = offsets.size() - 1;
+  nbr_offsets->assign(num_ids + 1, 0);
+  nbrs->clear();
+  nbrs->reserve(edges.size());
+  for (size_t v = 0; v < num_ids; ++v) {
+    for (uint32_t i = offsets[v]; i < offsets[v + 1]; ++i) {
+      if (nbrs->size() > (*nbr_offsets)[v] &&
+          nbrs->back() == edges[i].neighbor) {
+        continue;
+      }
+      nbrs->push_back(edges[i].neighbor);
+    }
+    (*nbr_offsets)[v + 1] = static_cast<uint32_t>(nbrs->size());
+  }
+}
+
+}  // namespace
 
 void RdfGraph::AddTriple(Triple t) {
   GSTORED_CHECK(t.subject != kNullTerm && t.predicate != kNullTerm &&
@@ -18,64 +87,63 @@ void RdfGraph::Finalize() {
   std::sort(triples_.begin(), triples_.end());
   triples_.erase(std::unique(triples_.begin(), triples_.end()),
                  triples_.end());
+  GSTORED_CHECK(triples_.size() <=
+                std::numeric_limits<uint32_t>::max());
 
   TermId max_id = 0;
   for (const Triple& t : triples_) {
     max_id = std::max({max_id, t.subject, t.object});
   }
-  out_.assign(triples_.empty() ? 0 : max_id + 1, {});
-  in_.assign(triples_.empty() ? 0 : max_id + 1, {});
+  size_t num_ids = triples_.empty() ? 0 : static_cast<size_t>(max_id) + 1;
+
+  // triples_ is sorted (s,p,o), so the out ranges arrive already sorted by
+  // (predicate, neighbor) and the in ranges by (neighbor, predicate).
+  BuildCsr(triples_, num_ids, &Triple::subject, &Triple::object,
+           &out_offsets_, &out_edges_);
+  BuildCsr(triples_, num_ids, &Triple::object, &Triple::subject,
+           &in_offsets_, &in_edges_);
+
+  // Distinct in-neighbors, while in_edges_ is still neighbor-major.
+  BuildDistinctNeighbors(in_offsets_, in_edges_, &in_nbr_offsets_, &in_nbrs_);
+
+  // Neighbor-major copy of the out-edges, then distinct out-neighbors.
+  out_by_nbr_ = out_edges_;
+  for (size_t v = 0; v < num_ids; ++v) {
+    std::sort(out_by_nbr_.begin() + out_offsets_[v],
+              out_by_nbr_.begin() + out_offsets_[v + 1]);
+  }
+  BuildDistinctNeighbors(out_offsets_, out_by_nbr_, &out_nbr_offsets_,
+                         &out_nbrs_);
+
+  // Re-sort the in ranges to the canonical (predicate, neighbor) order.
+  for (size_t v = 0; v < num_ids; ++v) {
+    std::sort(in_edges_.begin() + in_offsets_[v],
+              in_edges_.begin() + in_offsets_[v + 1], PredNbrLess);
+  }
+
+  BuildPredDirectory(out_offsets_, out_edges_, &out_pred_offsets_,
+                     &out_pred_dir_);
+  BuildPredDirectory(in_offsets_, in_edges_, &in_pred_offsets_,
+                     &in_pred_dir_);
 
   vertices_.clear();
   predicates_.clear();
-  for (const Triple& t : triples_) {
-    out_[t.subject].push_back({t.object, t.predicate});
-    in_[t.object].push_back({t.subject, t.predicate});
-    vertices_.push_back(t.subject);
-    vertices_.push_back(t.object);
-    predicates_.push_back(t.predicate);
+  for (size_t v = 0; v < num_ids; ++v) {
+    if (out_offsets_[v] != out_offsets_[v + 1] ||
+        in_offsets_[v] != in_offsets_[v + 1]) {
+      vertices_.push_back(static_cast<TermId>(v));
+    }
   }
-  auto sort_unique = [](std::vector<TermId>& v) {
-    std::sort(v.begin(), v.end());
-    v.erase(std::unique(v.begin(), v.end()), v.end());
-  };
-  sort_unique(vertices_);
-  sort_unique(predicates_);
-  for (auto& adj : out_) std::sort(adj.begin(), adj.end());
-  for (auto& adj : in_) std::sort(adj.begin(), adj.end());
+  for (const Triple& t : triples_) predicates_.push_back(t.predicate);
+  std::sort(predicates_.begin(), predicates_.end());
+  predicates_.erase(std::unique(predicates_.begin(), predicates_.end()),
+                    predicates_.end());
   finalized_ = true;
 }
 
 bool RdfGraph::HasVertex(TermId v) const {
   GSTORED_CHECK(finalized_);
   return std::binary_search(vertices_.begin(), vertices_.end(), v);
-}
-
-std::span<const HalfEdge> RdfGraph::OutEdges(TermId v) const {
-  GSTORED_CHECK(finalized_);
-  if (v >= out_.size()) return {};
-  return out_[v];
-}
-
-std::span<const HalfEdge> RdfGraph::InEdges(TermId v) const {
-  GSTORED_CHECK(finalized_);
-  if (v >= in_.size()) return {};
-  return in_[v];
-}
-
-bool RdfGraph::HasTriple(TermId s, TermId p, TermId o) const {
-  GSTORED_CHECK(finalized_);
-  if (s >= out_.size()) return false;
-  const auto& adj = out_[s];
-  return std::binary_search(adj.begin(), adj.end(), HalfEdge{o, p});
-}
-
-bool RdfGraph::HasAnyEdge(TermId s, TermId o) const {
-  GSTORED_CHECK(finalized_);
-  if (s >= out_.size()) return false;
-  const auto& adj = out_[s];
-  auto it = std::lower_bound(adj.begin(), adj.end(), HalfEdge{o, 0});
-  return it != adj.end() && it->neighbor == o;
 }
 
 }  // namespace gstored

@@ -1,11 +1,14 @@
 #ifndef GSTORED_RDF_GRAPH_H_
 #define GSTORED_RDF_GRAPH_H_
 
+#include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
 #include "rdf/term.h"
+#include "util/logging.h"
 
 namespace gstored {
 
@@ -32,12 +35,32 @@ struct HalfEdge {
   friend auto operator<=>(const HalfEdge& a, const HalfEdge& b) = default;
 };
 
+/// Direction selector for per-vertex predicate lookups.
+enum class EdgeDir : uint8_t { kOut, kIn };
+
+/// One predicate group inside a vertex's adjacency range: the edges
+/// [begin, end) of the owning CSR array all carry `predicate`.
+struct PredRange {
+  TermId predicate = kNullTerm;
+  uint32_t begin = 0;
+  uint32_t end = 0;
+};
+
 /// An in-memory RDF graph over id-encoded triples: subjects and objects are
 /// vertices, triples are directed labelled edges (Def. 1's G = {V, E, Σ}).
 ///
 /// Build by AddTriple then Finalize; lookups are invalid before Finalize.
-/// Adjacency is stored per vertex, sorted by (neighbor, predicate), so edge
-/// existence tests are logarithmic in the vertex degree.
+///
+/// Storage is CSR (compressed sparse row): per direction one flat edge array
+/// plus a vertex offset array. The out/in edge ranges are sorted by
+/// (predicate, neighbor), and a per-vertex predicate directory maps each
+/// distinct predicate to its contiguous sub-range, so predicate-constrained
+/// expansion — the subgraph matcher's hot path — is an O(log p) directory
+/// probe followed by a contiguous scan of already-sorted, duplicate-free
+/// neighbors. Two auxiliary CSR arrays serve the remaining access patterns:
+/// out-edges re-sorted by (neighbor, predicate) back the O(log d) triple /
+/// edge-label lookups, and distinct-neighbor arrays back wildcard-predicate
+/// expansion and O(log d) HasAnyEdge.
 class RdfGraph {
  public:
   RdfGraph() = default;
@@ -50,7 +73,7 @@ class RdfGraph {
   /// Appends a triple. Duplicate (s,p,o) triples are removed at Finalize.
   void AddTriple(Triple t);
 
-  /// Sorts and deduplicates triples and builds adjacency. Idempotent.
+  /// Sorts and deduplicates triples and builds the CSR indexes. Idempotent.
   void Finalize();
 
   bool finalized() const { return finalized_; }
@@ -67,35 +90,199 @@ class RdfGraph {
 
   bool HasVertex(TermId v) const;
 
-  /// Outgoing labelled edges of v (empty if v is not a vertex).
+  // The lookups below are defined inline (after the class) — they are the
+  // matcher's innermost operations and must inline into its loops.
+
+  /// Outgoing labelled edges of v, sorted by (predicate, neighbor); empty if
+  /// v is not a vertex.
   std::span<const HalfEdge> OutEdges(TermId v) const;
 
-  /// Incoming labelled edges of v.
+  /// Incoming labelled edges of v, sorted by (predicate, neighbor).
   std::span<const HalfEdge> InEdges(TermId v) const;
+
+  /// Outgoing edges of v labelled `pred`: a contiguous range whose neighbors
+  /// are sorted and duplicate-free. O(log p) in v's distinct out-predicates.
+  std::span<const HalfEdge> OutEdges(TermId v, TermId pred) const;
+
+  /// Incoming edges of v labelled `pred`, same contract as OutEdges(v, pred).
+  std::span<const HalfEdge> InEdges(TermId v, TermId pred) const;
+
+  /// Distinct out-/in-neighbors of v, sorted ascending. Backs wildcard
+  /// (variable-predicate) expansion without any sort or dedup at query time.
+  std::span<const TermId> OutNeighbors(TermId v) const;
+  std::span<const TermId> InNeighbors(TermId v) const;
+
+  /// v's per-direction predicate directory: one entry per distinct predicate
+  /// (sorted by predicate id) with its [begin, end) range in OutEdges(v) /
+  /// InEdges(v).
+  std::span<const PredRange> OutPredicates(TermId v) const;
+  std::span<const PredRange> InPredicates(TermId v) const;
+
+  /// All edges s -> o, sorted by predicate with no duplicates (every entry's
+  /// `neighbor` is o). This is the label set Def. 3's injective multi-edge
+  /// condition tests against. O(log d) to locate, contiguous to scan.
+  std::span<const HalfEdge> EdgeLabels(TermId s, TermId o) const;
 
   size_t OutDegree(TermId v) const { return OutEdges(v).size(); }
   size_t InDegree(TermId v) const { return InEdges(v).size(); }
   size_t Degree(TermId v) const { return OutDegree(v) + InDegree(v); }
 
-  /// True if the triple (s, p, o) is present.
+  /// True if the triple (s, p, o) is present. O(log d).
   bool HasTriple(TermId s, TermId p, TermId o) const;
 
-  /// True if any edge s -> o exists (any predicate).
+  /// True if any edge s -> o exists (any predicate). O(log d).
   bool HasAnyEdge(TermId s, TermId o) const;
+
+  /// True if v has at least one edge labelled `pred` in direction `dir`.
+  /// O(log p) in v's distinct predicate count.
+  bool HasPredicate(TermId v, TermId pred, EdgeDir dir) const;
 
   /// Distinct predicates used by some triple, sorted.
   const std::vector<TermId>& predicates() const { return predicates_; }
 
  private:
+  std::span<const HalfEdge> Range(const std::vector<uint32_t>& offsets,
+                                  const std::vector<HalfEdge>& edges,
+                                  TermId v) const;
+
+  /// Locates `pred` in a per-vertex predicate directory. Directories are
+  /// tiny for most vertices, where a linear scan beats binary search.
+  static const PredRange* FindPredRange(std::span<const PredRange> dir,
+                                        TermId pred);
+
   bool finalized_ = false;
   std::vector<Triple> triples_;
   std::vector<TermId> vertices_;
   std::vector<TermId> predicates_;
-  // Adjacency indexed by term id (dense); ids beyond max vertex id map to
-  // empty spans.
-  std::vector<std::vector<HalfEdge>> out_;
-  std::vector<std::vector<HalfEdge>> in_;
+
+  // CSR adjacency, indexed by term id (dense); ids beyond the max vertex id
+  // map to empty spans. Offset arrays have size max_id + 2.
+  std::vector<uint32_t> out_offsets_;
+  std::vector<uint32_t> in_offsets_;
+  std::vector<HalfEdge> out_edges_;  // per vertex sorted (predicate, neighbor)
+  std::vector<HalfEdge> in_edges_;   // per vertex sorted (predicate, neighbor)
+  // Out-edges re-sorted by (neighbor, predicate); shares out_offsets_.
+  std::vector<HalfEdge> out_by_nbr_;
+  // Per-vertex predicate directories into out_edges_ / in_edges_.
+  std::vector<uint32_t> out_pred_offsets_;
+  std::vector<uint32_t> in_pred_offsets_;
+  std::vector<PredRange> out_pred_dir_;
+  std::vector<PredRange> in_pred_dir_;
+  // Per-vertex distinct neighbors, sorted.
+  std::vector<uint32_t> out_nbr_offsets_;
+  std::vector<uint32_t> in_nbr_offsets_;
+  std::vector<TermId> out_nbrs_;
+  std::vector<TermId> in_nbrs_;
 };
+
+// ---------------------------------------------------------------------------
+// Inline hot-path lookups
+// ---------------------------------------------------------------------------
+
+inline std::span<const HalfEdge> RdfGraph::Range(
+    const std::vector<uint32_t>& offsets, const std::vector<HalfEdge>& edges,
+    TermId v) const {
+  GSTORED_CHECK(finalized_);
+  if (static_cast<size_t>(v) + 1 >= offsets.size()) return {};
+  return {edges.data() + offsets[v], edges.data() + offsets[v + 1]};
+}
+
+inline std::span<const HalfEdge> RdfGraph::OutEdges(TermId v) const {
+  return Range(out_offsets_, out_edges_, v);
+}
+
+inline std::span<const HalfEdge> RdfGraph::InEdges(TermId v) const {
+  return Range(in_offsets_, in_edges_, v);
+}
+
+inline const PredRange* RdfGraph::FindPredRange(std::span<const PredRange> dir,
+                                                TermId pred) {
+  if (dir.size() <= 8) {
+    for (const PredRange& r : dir) {
+      if (r.predicate == pred) return &r;
+      if (r.predicate > pred) return nullptr;
+    }
+    return nullptr;
+  }
+  auto it = std::lower_bound(
+      dir.begin(), dir.end(), pred,
+      [](const PredRange& r, TermId p) { return r.predicate < p; });
+  return it != dir.end() && it->predicate == pred ? &*it : nullptr;
+}
+
+inline std::span<const HalfEdge> RdfGraph::OutEdges(TermId v,
+                                                    TermId pred) const {
+  const PredRange* r = FindPredRange(OutPredicates(v), pred);
+  if (r == nullptr) return {};
+  return {out_edges_.data() + r->begin, out_edges_.data() + r->end};
+}
+
+inline std::span<const HalfEdge> RdfGraph::InEdges(TermId v,
+                                                   TermId pred) const {
+  const PredRange* r = FindPredRange(InPredicates(v), pred);
+  if (r == nullptr) return {};
+  return {in_edges_.data() + r->begin, in_edges_.data() + r->end};
+}
+
+inline std::span<const TermId> RdfGraph::OutNeighbors(TermId v) const {
+  GSTORED_CHECK(finalized_);
+  if (static_cast<size_t>(v) + 1 >= out_nbr_offsets_.size()) return {};
+  return {out_nbrs_.data() + out_nbr_offsets_[v],
+          out_nbrs_.data() + out_nbr_offsets_[v + 1]};
+}
+
+inline std::span<const TermId> RdfGraph::InNeighbors(TermId v) const {
+  GSTORED_CHECK(finalized_);
+  if (static_cast<size_t>(v) + 1 >= in_nbr_offsets_.size()) return {};
+  return {in_nbrs_.data() + in_nbr_offsets_[v],
+          in_nbrs_.data() + in_nbr_offsets_[v + 1]};
+}
+
+inline std::span<const PredRange> RdfGraph::OutPredicates(TermId v) const {
+  GSTORED_CHECK(finalized_);
+  if (static_cast<size_t>(v) + 1 >= out_pred_offsets_.size()) return {};
+  return {out_pred_dir_.data() + out_pred_offsets_[v],
+          out_pred_dir_.data() + out_pred_offsets_[v + 1]};
+}
+
+inline std::span<const PredRange> RdfGraph::InPredicates(TermId v) const {
+  GSTORED_CHECK(finalized_);
+  if (static_cast<size_t>(v) + 1 >= in_pred_offsets_.size()) return {};
+  return {in_pred_dir_.data() + in_pred_offsets_[v],
+          in_pred_dir_.data() + in_pred_offsets_[v + 1]};
+}
+
+inline std::span<const HalfEdge> RdfGraph::EdgeLabels(TermId s,
+                                                      TermId o) const {
+  GSTORED_CHECK(finalized_);
+  if (static_cast<size_t>(s) + 1 >= out_offsets_.size()) return {};
+  const HalfEdge* first = out_by_nbr_.data() + out_offsets_[s];
+  const HalfEdge* last = out_by_nbr_.data() + out_offsets_[s + 1];
+  auto lo = std::lower_bound(
+      first, last, o,
+      [](const HalfEdge& h, TermId x) { return h.neighbor < x; });
+  auto hi = std::upper_bound(
+      lo, last, o, [](TermId x, const HalfEdge& h) { return x < h.neighbor; });
+  return {lo, hi};
+}
+
+inline bool RdfGraph::HasTriple(TermId s, TermId p, TermId o) const {
+  GSTORED_CHECK(finalized_);
+  if (static_cast<size_t>(s) + 1 >= out_offsets_.size()) return false;
+  return std::binary_search(out_by_nbr_.begin() + out_offsets_[s],
+                            out_by_nbr_.begin() + out_offsets_[s + 1],
+                            HalfEdge{o, p});
+}
+
+inline bool RdfGraph::HasAnyEdge(TermId s, TermId o) const {
+  auto nbrs = OutNeighbors(s);
+  return std::binary_search(nbrs.begin(), nbrs.end(), o);
+}
+
+inline bool RdfGraph::HasPredicate(TermId v, TermId pred, EdgeDir dir) const {
+  auto ranges = dir == EdgeDir::kOut ? OutPredicates(v) : InPredicates(v);
+  return FindPredRange(ranges, pred) != nullptr;
+}
 
 }  // namespace gstored
 

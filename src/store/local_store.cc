@@ -11,12 +11,29 @@ LocalStore::LocalStore(const RdfGraph* graph) : graph_(graph) {
   GSTORED_CHECK(graph != nullptr);
   GSTORED_CHECK(graph->finalized());
 
-  for (const Triple& t : graph_->triples()) {
-    pred_subjects_[t.predicate].emplace_back(t.subject, t.object);
-    pred_objects_[t.predicate].emplace_back(t.object, t.subject);
+  const std::vector<Triple>& triples = graph_->triples();
+  TermId max_pred = 0;
+  for (const Triple& t : triples) max_pred = std::max(max_pred, t.predicate);
+  size_t num_preds = triples.empty() ? 0 : static_cast<size_t>(max_pred) + 1;
+
+  pred_offsets_.assign(num_preds + 1, 0);
+  for (const Triple& t : triples) ++pred_offsets_[t.predicate + 1];
+  for (size_t i = 1; i < pred_offsets_.size(); ++i) {
+    pred_offsets_[i] += pred_offsets_[i - 1];
   }
-  for (auto& [p, rows] : pred_subjects_) std::sort(rows.begin(), rows.end());
-  for (auto& [p, rows] : pred_objects_) std::sort(rows.begin(), rows.end());
+  // triples are sorted (s,p,o), so each predicate's (subject, object) rows
+  // arrive already sorted; the (object, subject) rows need a per-range sort.
+  pred_so_.resize(triples.size());
+  pred_os_.resize(triples.size());
+  std::vector<uint32_t> cursor(pred_offsets_.begin(), pred_offsets_.end() - 1);
+  for (const Triple& t : triples) {
+    pred_so_[cursor[t.predicate]] = {t.subject, t.object};
+    pred_os_[cursor[t.predicate]++] = {t.object, t.subject};
+  }
+  for (size_t p = 0; p < num_preds; ++p) {
+    std::sort(pred_os_.begin() + pred_offsets_[p],
+              pred_os_.begin() + pred_offsets_[p + 1]);
+  }
 
   size_t max_id = 0;
   for (TermId v : graph_->vertices()) {
@@ -25,33 +42,35 @@ LocalStore::LocalStore(const RdfGraph* graph) : graph_(graph) {
   signatures_.assign(graph_->vertices().empty() ? 0 : max_id + 1, 0);
   for (TermId v : graph_->vertices()) {
     uint64_t sig = 0;
-    for (const HalfEdge& e : graph_->OutEdges(v)) {
-      sig |= SignatureBit(e.predicate, /*outgoing=*/true);
+    // One directory entry per distinct incident predicate — cheaper than
+    // walking every edge of high-degree vertices.
+    for (const PredRange& r : graph_->OutPredicates(v)) {
+      sig |= SignatureBit(r.predicate, /*outgoing=*/true);
     }
-    for (const HalfEdge& e : graph_->InEdges(v)) {
-      sig |= SignatureBit(e.predicate, /*outgoing=*/false);
+    for (const PredRange& r : graph_->InPredicates(v)) {
+      sig |= SignatureBit(r.predicate, /*outgoing=*/false);
     }
     signatures_[v] = sig;
   }
 }
 
 size_t LocalStore::PredicateCount(TermId p) const {
-  auto it = pred_subjects_.find(p);
-  return it == pred_subjects_.end() ? 0 : it->second.size();
+  if (static_cast<size_t>(p) + 1 >= pred_offsets_.size()) return 0;
+  return pred_offsets_[p + 1] - pred_offsets_[p];
 }
 
 std::span<const std::pair<TermId, TermId>> LocalStore::SubjectsOf(
     TermId p) const {
-  auto it = pred_subjects_.find(p);
-  if (it == pred_subjects_.end()) return {};
-  return it->second;
+  if (static_cast<size_t>(p) + 1 >= pred_offsets_.size()) return {};
+  return {pred_so_.data() + pred_offsets_[p],
+          pred_so_.data() + pred_offsets_[p + 1]};
 }
 
 std::span<const std::pair<TermId, TermId>> LocalStore::ObjectsOf(
     TermId p) const {
-  auto it = pred_objects_.find(p);
-  if (it == pred_objects_.end()) return {};
-  return it->second;
+  if (static_cast<size_t>(p) + 1 >= pred_offsets_.size()) return {};
+  return {pred_os_.data() + pred_offsets_[p],
+          pred_os_.data() + pred_offsets_[p + 1]};
 }
 
 uint64_t LocalStore::VertexSignature(TermId v) const {
@@ -97,11 +116,7 @@ bool LocalStore::PassesLocalConstraints(const ResolvedQuery& rq, QVertexId v,
         }
       } else if (pred != kNullTerm) {
         // u must have some outgoing `pred` edge.
-        auto adj = graph_->OutEdges(u);
-        bool found = std::any_of(adj.begin(), adj.end(), [&](const HalfEdge& h) {
-          return h.predicate == pred;
-        });
-        if (!found) return false;
+        if (!graph_->HasPredicate(u, pred, EdgeDir::kOut)) return false;
       } else if (graph_->OutDegree(u) == 0) {
         return false;
       }
@@ -115,11 +130,7 @@ bool LocalStore::PassesLocalConstraints(const ResolvedQuery& rq, QVertexId v,
           return false;
         }
       } else if (pred != kNullTerm) {
-        auto adj = graph_->InEdges(u);
-        bool found = std::any_of(adj.begin(), adj.end(), [&](const HalfEdge& h) {
-          return h.predicate == pred;
-        });
-        if (!found) return false;
+        if (!graph_->HasPredicate(u, pred, EdgeDir::kIn)) return false;
       } else if (graph_->InDegree(u) == 0) {
         return false;
       }
@@ -130,17 +141,24 @@ bool LocalStore::PassesLocalConstraints(const ResolvedQuery& rq, QVertexId v,
 
 std::vector<TermId> LocalStore::Candidates(const ResolvedQuery& rq,
                                            QVertexId v) const {
-  const QueryGraph& q = *rq.query;
   std::vector<TermId> out;
-  if (rq.impossible) return out;
+  CandidatesInto(rq, v, &out);
+  return out;
+}
+
+void LocalStore::CandidatesInto(const ResolvedQuery& rq, QVertexId v,
+                                std::vector<TermId>* out) const {
+  const QueryGraph& q = *rq.query;
+  out->clear();
+  if (rq.impossible) return;
 
   TermId constant = rq.vertex_term[v];
   if (constant != kNullTerm) {
     if (graph_->HasVertex(constant) &&
         PassesLocalConstraints(rq, v, constant)) {
-      out.push_back(constant);
+      out->push_back(constant);
     }
-    return out;
+    return;
   }
 
   // Seed with the cheapest incident constant-predicate pattern, falling back
@@ -166,14 +184,13 @@ std::vector<TermId> LocalStore::Candidates(const ResolvedQuery& rq,
     for (const auto& [endpoint, other] : rows) {
       if (endpoint == prev) continue;  // rows sorted by endpoint
       prev = endpoint;
-      if (PassesLocalConstraints(rq, v, endpoint)) out.push_back(endpoint);
+      if (PassesLocalConstraints(rq, v, endpoint)) out->push_back(endpoint);
     }
   } else {
     for (TermId u : graph_->vertices()) {
-      if (PassesLocalConstraints(rq, v, u)) out.push_back(u);
+      if (PassesLocalConstraints(rq, v, u)) out->push_back(u);
     }
   }
-  return out;
 }
 
 size_t LocalStore::EstimateCandidates(const ResolvedQuery& rq,

@@ -2,7 +2,8 @@
 #define GSTORED_STORE_LOCAL_STORE_H_
 
 #include <cstdint>
-#include <unordered_map>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "rdf/graph.h"
@@ -13,9 +14,10 @@ namespace gstored {
 /// Per-site storage and indexing layer over an RdfGraph — the stand-in for
 /// the centralized gStore engine that the paper installs at every site.
 ///
-/// On top of the graph's sorted adjacency it maintains:
-///  * a predicate index (predicate -> (subject, object) pairs), used to seed
-///    candidate enumeration with the rarest triple pattern;
+/// On top of the graph's CSR adjacency it maintains:
+///  * a predicate index (predicate -> (subject, object) pairs) stored as a
+///    flat CSR keyed by dense predicate TermId — no hashing on lookup — used
+///    to seed candidate enumeration with the rarest triple pattern;
 ///  * per-vertex predicate signatures (a 64-bit Bloom mask of the incident
 ///    (direction, predicate) pairs), gStore's VS-tree idea reduced to one
 ///    level, used to discard candidate vertices before touching adjacency.
@@ -32,7 +34,7 @@ class LocalStore {
 
   const RdfGraph& graph() const { return *graph_; }
 
-  /// Number of triples whose predicate is `p`.
+  /// Number of triples whose predicate is `p`. O(1).
   size_t PredicateCount(TermId p) const;
 
   /// Subjects / objects of all triples with predicate `p` (each with the
@@ -55,6 +57,11 @@ class LocalStore {
   /// Candidates are sorted by id.
   std::vector<TermId> Candidates(const ResolvedQuery& rq, QVertexId v) const;
 
+  /// Candidates(rq, v) into a caller-owned buffer (cleared first), so hot
+  /// loops can reuse one allocation across calls.
+  void CandidatesInto(const ResolvedQuery& rq, QVertexId v,
+                      std::vector<TermId>* out) const;
+
   /// Cheap upper-bound estimate of |Candidates(rq, v)|, used by the matcher
   /// to pick a variable ordering without materializing candidate sets.
   size_t EstimateCandidates(const ResolvedQuery& rq, QVertexId v) const;
@@ -66,10 +73,12 @@ class LocalStore {
                               TermId u) const;
 
   const RdfGraph* graph_;
-  std::unordered_map<TermId, std::vector<std::pair<TermId, TermId>>>
-      pred_subjects_;  // predicate -> (subject, object), sorted by subject
-  std::unordered_map<TermId, std::vector<std::pair<TermId, TermId>>>
-      pred_objects_;  // predicate -> (object, subject), sorted by object
+  // Predicate tables as CSR keyed by predicate id: offsets have size
+  // max_pred_id + 2; rows of `pred_so_` are (subject, object) sorted by
+  // subject, rows of `pred_os_` are (object, subject) sorted by object.
+  std::vector<uint32_t> pred_offsets_;
+  std::vector<std::pair<TermId, TermId>> pred_so_;
+  std::vector<std::pair<TermId, TermId>> pred_os_;
   std::vector<uint64_t> signatures_;  // indexed by term id
 };
 

@@ -1,7 +1,6 @@
 #include "store/matcher.h"
 
 #include <algorithm>
-#include <unordered_map>
 
 #include "util/logging.h"
 
@@ -17,12 +16,19 @@ struct SearchContext {
   std::vector<bool> assigned;  // indexed by query vertex
   Binding binding;             // current partial assignment
   std::vector<Binding>* results;
+  // Incident edges of each query vertex grouped by directed endpoint pair,
+  // precomputed so the inner consistency check is map-free.
+  std::vector<std::vector<ParallelEdgeGroup>> groups;
+  // Reused buffers: one domain per recursion depth (the span returned by
+  // DomainFor stays live while deeper levels run), one shared pivot list
+  // (consumed before recursing).
+  std::vector<std::vector<TermId>> domain_scratch;
+  std::vector<PivotEdge> pivot_scratch;
 };
 
 /// True if assigning u to v is consistent with all already-assigned
 /// neighbours of v (edge existence plus parallel-edge injectivity).
 bool ConsistentWithAssigned(const SearchContext& ctx, QVertexId v, TermId u) {
-  const QueryGraph& q = *ctx.rq->query;
   const RdfGraph& g = ctx.store->graph();
 
   if (ctx.options->candidate_filter &&
@@ -30,74 +36,52 @@ bool ConsistentWithAssigned(const SearchContext& ctx, QVertexId v, TermId u) {
     return false;
   }
 
-  // Group incident edges by the directed assigned pair they induce.
-  // Key: (from_vertex, to_vertex) in query space; both endpoints assigned
-  // (v counts as assigned-to-u for this check).
-  std::unordered_map<uint64_t, std::vector<QEdgeId>> groups;
   auto image = [&](QVertexId w) -> TermId {
     return w == v ? u : ctx.binding[w];
   };
-  for (QEdgeId eid : q.IncidentEdges(v)) {
-    const QueryEdge& e = q.edge(eid);
-    QVertexId other = e.from == v ? e.to : e.from;
+  for (const ParallelEdgeGroup& group : ctx.groups[v]) {
+    QVertexId other = group.from == v ? group.to : group.from;
     if (other != v && !ctx.assigned[other]) continue;
-    uint64_t key = (static_cast<uint64_t>(e.from) << 32) | e.to;
-    groups[key].push_back(eid);
-  }
-  for (const auto& [key, group] : groups) {
-    QVertexId from = static_cast<QVertexId>(key >> 32);
-    QVertexId to = static_cast<QVertexId>(key & 0xffffffffu);
-    if (!ParallelEdgesSatisfiable(g, *ctx.rq, group, image(from), image(to))) {
+    if (!ParallelEdgesSatisfiable(g, *ctx.rq, group.edges, image(group.from),
+                                  image(group.to))) {
       return false;
     }
   }
   return true;
 }
 
-/// Enumerates the candidate domain for the next query vertex `v`, using the
-/// cheapest already-assigned neighbour as a pivot when possible.
-std::vector<TermId> DomainFor(const SearchContext& ctx, QVertexId v) {
+/// Computes the candidate domain for the next query vertex `v` at recursion
+/// depth `depth`: the intersection of the expansions from every assigned
+/// neighbour. Allocation-free in steady state — spans come straight from the
+/// graph's CSR ranges and land in the per-depth scratch buffer.
+std::span<const TermId> DomainFor(SearchContext& ctx, size_t depth,
+                                  QVertexId v) {
   const QueryGraph& q = *ctx.rq->query;
   const RdfGraph& g = ctx.store->graph();
+  std::vector<TermId>& scratch = ctx.domain_scratch[depth];
+  scratch.clear();
 
   TermId constant = ctx.rq->vertex_term[v];
   if (constant != kNullTerm) {
-    if (g.HasVertex(constant)) return {constant};
-    return {};
+    if (g.HasVertex(constant)) scratch.push_back(constant);
+    return scratch;
   }
 
-  // Find a pivot edge to an assigned neighbour; prefer constant predicates.
-  QEdgeId pivot = static_cast<QEdgeId>(-1);
-  bool pivot_constant_pred = false;
+  ctx.pivot_scratch.clear();
   for (QEdgeId eid : q.IncidentEdges(v)) {
     const QueryEdge& e = q.edge(eid);
     QVertexId other = e.from == v ? e.to : e.from;
     if (other == v || !ctx.assigned[other]) continue;
-    bool has_const_pred = ctx.rq->edge_pred[eid] != kNullTerm;
-    if (pivot == static_cast<QEdgeId>(-1) ||
-        (has_const_pred && !pivot_constant_pred)) {
-      pivot = eid;
-      pivot_constant_pred = has_const_pred;
-    }
+    bool v_is_subject = (e.from == v);
+    ctx.pivot_scratch.push_back(
+        {ctx.binding[other], ctx.rq->edge_pred[eid], v_is_subject});
   }
-
-  std::vector<TermId> domain;
-  if (pivot == static_cast<QEdgeId>(-1)) {
+  if (ctx.pivot_scratch.empty()) {
     // No assigned neighbour: this is the start vertex.
-    return ctx.store->Candidates(*ctx.rq, v);
+    ctx.store->CandidatesInto(*ctx.rq, v, &scratch);
+    return scratch;
   }
-  const QueryEdge& e = q.edge(pivot);
-  TermId pred = ctx.rq->edge_pred[pivot];
-  bool v_is_subject = (e.from == v);
-  TermId anchor = ctx.binding[v_is_subject ? e.to : e.from];
-  auto half_edges = v_is_subject ? g.InEdges(anchor) : g.OutEdges(anchor);
-  for (const HalfEdge& h : half_edges) {
-    if (pred != kNullTerm && h.predicate != pred) continue;
-    domain.push_back(h.neighbor);
-  }
-  std::sort(domain.begin(), domain.end());
-  domain.erase(std::unique(domain.begin(), domain.end()), domain.end());
-  return domain;
+  return PivotDomain(g, ctx.pivot_scratch, &scratch);
 }
 
 void Extend(SearchContext& ctx, size_t depth) {
@@ -107,7 +91,7 @@ void Extend(SearchContext& ctx, size_t depth) {
     return;
   }
   QVertexId v = ctx.order[depth];
-  for (TermId u : DomainFor(ctx, v)) {
+  for (TermId u : DomainFor(ctx, depth, v)) {
     if (ctx.results->size() >= ctx.options->limit) return;
     if (!ConsistentWithAssigned(ctx, v, u)) continue;
     ctx.binding[v] = u;
@@ -118,18 +102,116 @@ void Extend(SearchContext& ctx, size_t depth) {
   }
 }
 
+/// A sorted candidate range: either a predicate group's half-edges (read
+/// `.neighbor`) or a distinct-neighbor id range.
+struct PivotRange {
+  const HalfEdge* edges = nullptr;
+  const TermId* ids = nullptr;
+  size_t size = 0;
+
+  TermId operator[](size_t i) const {
+    return edges != nullptr ? edges[i].neighbor : ids[i];
+  }
+  bool Contains(TermId u) const {
+    if (edges != nullptr) {
+      auto it = std::lower_bound(
+          edges, edges + size, u,
+          [](const HalfEdge& h, TermId x) { return h.neighbor < x; });
+      return it != edges + size && it->neighbor == u;
+    }
+    return std::binary_search(ids, ids + size, u);
+  }
+};
+
+PivotRange RangeFor(const RdfGraph& g, const PivotEdge& p) {
+  if (p.pred == kNullTerm) {
+    auto ids = p.v_is_subject ? g.InNeighbors(p.anchor)
+                              : g.OutNeighbors(p.anchor);
+    return {nullptr, ids.data(), ids.size()};
+  }
+  auto edges = p.v_is_subject ? g.InEdges(p.anchor, p.pred)
+                              : g.OutEdges(p.anchor, p.pred);
+  return {edges.data(), nullptr, edges.size()};
+}
+
 }  // namespace
+
+std::span<const TermId> PivotDomain(const RdfGraph& g,
+                                    std::span<const PivotEdge> pivots,
+                                    std::vector<TermId>* scratch) {
+  GSTORED_CHECK(!pivots.empty());
+  scratch->clear();
+  // Resolve each pivot to its CSR range once. Intersecting a subset of the
+  // pivots is still sound (the consistency check re-verifies every edge), so
+  // a fixed-size range buffer suffices for arbitrarily large queries.
+  constexpr size_t kMaxRanges = 32;
+  PivotRange ranges[kMaxRanges];
+  size_t num_ranges = std::min(pivots.size(), kMaxRanges);
+  size_t driver_idx = 0;
+  for (size_t i = 0; i < num_ranges; ++i) {
+    ranges[i] = RangeFor(g, pivots[i]);
+    if (ranges[i].size < ranges[driver_idx].size) driver_idx = i;
+  }
+  const PivotRange& driver = ranges[driver_idx];
+  if (num_ranges == 1 && driver.ids != nullptr) {
+    // Single wildcard pivot: the distinct-neighbor span is the domain.
+    return {driver.ids, driver.size};
+  }
+  for (size_t i = 0; i < driver.size; ++i) {
+    TermId u = driver[i];
+    bool keep = true;
+    for (size_t j = 0; j < num_ranges; ++j) {
+      if (j != driver_idx && !ranges[j].Contains(u)) {
+        keep = false;
+        break;
+      }
+    }
+    if (keep) scratch->push_back(u);
+  }
+  return *scratch;
+}
+
+std::vector<std::vector<ParallelEdgeGroup>> BuildIncidentEdgeGroups(
+    const QueryGraph& q, const std::function<bool(QEdgeId)>& keep) {
+  std::vector<std::vector<ParallelEdgeGroup>> groups(q.num_vertices());
+  for (QVertexId v = 0; v < q.num_vertices(); ++v) {
+    for (QEdgeId eid : q.IncidentEdges(v)) {
+      if (keep && !keep(eid)) continue;
+      const QueryEdge& e = q.edge(eid);
+      auto it = std::find_if(groups[v].begin(), groups[v].end(),
+                             [&](const ParallelEdgeGroup& pg) {
+                               return pg.from == e.from && pg.to == e.to;
+                             });
+      if (it == groups[v].end()) {
+        groups[v].push_back({e.from, e.to, {eid}});
+      } else {
+        it->edges.push_back(eid);
+      }
+    }
+  }
+  return groups;
+}
 
 bool ParallelEdgesSatisfiable(const RdfGraph& graph, const ResolvedQuery& rq,
                               const std::vector<QEdgeId>& group, TermId a,
                               TermId b) {
-  // Collect the set of data predicates on edges a -> b. The graph stores
-  // deduplicated triples, so this is a set (no repeated labels).
-  std::vector<TermId> data_labels;
-  for (const HalfEdge& h : graph.OutEdges(a)) {
-    if (h.neighbor == b) data_labels.push_back(h.predicate);
+  // The labels on data edges a -> b, as a contiguous predicate-sorted range
+  // with no duplicates (the graph stores deduplicated triples).
+  std::span<const HalfEdge> labels = graph.EdgeLabels(a, b);
+  if (labels.empty()) return false;
+
+  auto has_label = [&](TermId p) {
+    auto it = std::lower_bound(
+        labels.begin(), labels.end(), p,
+        [](const HalfEdge& h, TermId x) { return h.predicate < x; });
+    return it != labels.end() && it->predicate == p;
+  };
+
+  if (group.size() == 1) {
+    // The common case: one edge between the pair — injectivity is trivial.
+    TermId pred = rq.edge_pred[group[0]];
+    return pred == kNullTerm || has_label(pred);
   }
-  if (data_labels.empty()) return false;
 
   std::vector<TermId> constants;
   size_t variable_count = 0;
@@ -148,12 +230,9 @@ bool ParallelEdgesSatisfiable(const RdfGraph& graph, const ResolvedQuery& rq,
     return false;
   }
   for (TermId c : constants) {
-    if (std::find(data_labels.begin(), data_labels.end(), c) ==
-        data_labels.end()) {
-      return false;
-    }
+    if (!has_label(c)) return false;
   }
-  return variable_count + constants.size() <= data_labels.size();
+  return variable_count + constants.size() <= labels.size();
 }
 
 bool VerifyMatch(const RdfGraph& graph, const ResolvedQuery& rq,
@@ -165,18 +244,17 @@ bool VerifyMatch(const RdfGraph& graph, const ResolvedQuery& rq,
     TermId constant = rq.vertex_term[v];
     if (constant != kNullTerm && binding[v] != constant) return false;
   }
-  // Group parallel edges by directed pair and check label injectivity.
-  std::unordered_map<uint64_t, std::vector<QEdgeId>> groups;
-  for (QEdgeId e = 0; e < q.num_edges(); ++e) {
-    const QueryEdge& edge = q.edge(e);
-    groups[(static_cast<uint64_t>(edge.from) << 32) | edge.to].push_back(e);
-  }
-  for (const auto& [key, group] : groups) {
-    QVertexId from = static_cast<QVertexId>(key >> 32);
-    QVertexId to = static_cast<QVertexId>(key & 0xffffffffu);
-    if (!ParallelEdgesSatisfiable(graph, rq, group, binding[from],
-                                  binding[to])) {
-      return false;
+  // Group parallel edges by directed pair and check label injectivity. A
+  // group is stored at both endpoints; processing it only at its `from`
+  // vertex covers each pair exactly once (self-loops included).
+  auto groups = BuildIncidentEdgeGroups(q);
+  for (QVertexId v = 0; v < q.num_vertices(); ++v) {
+    for (const ParallelEdgeGroup& group : groups[v]) {
+      if (group.from != v) continue;
+      if (!ParallelEdgesSatisfiable(graph, rq, group.edges,
+                                    binding[group.from], binding[group.to])) {
+        return false;
+      }
     }
   }
   return true;
@@ -189,13 +267,19 @@ std::vector<QVertexId> MatchingOrder(const LocalStore& store,
   std::vector<QVertexId> order;
   std::vector<bool> placed(n, false);
 
+  // Each vertex's estimate is query-static; compute it once, not once per
+  // greedy round.
+  std::vector<size_t> est(n);
+  for (QVertexId v = 0; v < n; ++v) {
+    est[v] = store.EstimateCandidates(rq, v);
+  }
+
   // Start at the most selective vertex.
   QVertexId start = 0;
   size_t best = static_cast<size_t>(-1);
   for (QVertexId v = 0; v < n; ++v) {
-    size_t est = store.EstimateCandidates(rq, v);
-    if (est < best) {
-      best = est;
+    if (est[v] < best) {
+      best = est[v];
       start = v;
     }
   }
@@ -215,9 +299,8 @@ std::vector<QVertexId> MatchingOrder(const LocalStore& store,
         }
       }
       if (!adjacent) continue;
-      size_t est = store.EstimateCandidates(rq, v);
-      if (est < next_est) {
-        next_est = est;
+      if (est[v] < next_est) {
+        next_est = est[v];
         next = v;
       }
     }
@@ -245,6 +328,8 @@ std::vector<Binding> MatchQuery(const LocalStore& store,
   ctx.assigned.assign(rq.query->num_vertices(), false);
   ctx.binding.assign(rq.query->num_vertices(), kNullTerm);
   ctx.results = &results;
+  ctx.groups = BuildIncidentEdgeGroups(*rq.query);
+  ctx.domain_scratch.resize(ctx.order.size());
   Extend(ctx, 0);
   return results;
 }

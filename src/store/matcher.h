@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "store/local_store.h"
@@ -43,6 +44,43 @@ bool ParallelEdgesSatisfiable(const RdfGraph& graph,
                               const ResolvedQuery& rq,
                               const std::vector<QEdgeId>& group, TermId a,
                               TermId b);
+
+/// One pivot constraint for the next query vertex's domain: its image must
+/// be reachable from the already-assigned data vertex `anchor` along an edge
+/// labelled `pred` (kNullTerm = any label). `v_is_subject` says the new
+/// vertex is the subject of the pattern, i.e. expansion runs over the
+/// anchor's in-edges.
+struct PivotEdge {
+  TermId anchor = kNullTerm;
+  TermId pred = kNullTerm;
+  bool v_is_subject = false;
+};
+
+/// Computes the sorted candidate set satisfying every pivot constraint by
+/// intersecting the graph's predicate-grouped neighbor ranges (the rarest
+/// range drives, membership elsewhere is tested by binary search). The
+/// ranges are contiguous, pre-sorted and duplicate-free, so no per-call
+/// sort, dedup or allocation happens: results land in `*scratch` (cleared
+/// and reused across calls), except that a single wildcard pivot returns the
+/// graph's own distinct-neighbor span directly. Requires !pivots.empty().
+std::span<const TermId> PivotDomain(const RdfGraph& g,
+                                    std::span<const PivotEdge> pivots,
+                                    std::vector<TermId>* scratch);
+
+/// The incident edges of one query vertex that share a directed (from, to)
+/// endpoint pair — the unit at which Def. 3's injective label condition
+/// applies.
+struct ParallelEdgeGroup {
+  QVertexId from = 0;
+  QVertexId to = 0;
+  std::vector<QEdgeId> edges;
+};
+
+/// Groups each vertex's incident edges by directed endpoint pair, keeping
+/// only edges accepted by `keep` (nullptr = all). Precomputed once per
+/// search so the backtracking inner loop never rebuilds hash maps.
+std::vector<std::vector<ParallelEdgeGroup>> BuildIncidentEdgeGroups(
+    const QueryGraph& q, const std::function<bool(QEdgeId)>& keep = nullptr);
 
 /// Verifies that a full binding is a genuine match of the query per Def. 3:
 /// constants agree, every edge's image exists, and parallel query edges map

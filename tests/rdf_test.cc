@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 
 #include "rdf/dataset.h"
@@ -92,11 +93,75 @@ TEST_F(GraphTest, AdjacencyAndDegrees) {
   EXPECT_EQ(g.InDegree(Id("<a>")), 0u);
   EXPECT_EQ(g.InDegree(Id("<b>")), 2u);
   EXPECT_EQ(g.Degree(Id("<b>")), 3u);
-  // Out-edges are sorted by (neighbor, predicate).
+  // Out-edges are sorted by (predicate, neighbor) — the CSR groups each
+  // vertex's edges by predicate.
   auto edges = g.OutEdges(Id("<a>"));
   for (size_t i = 1; i < edges.size(); ++i) {
-    EXPECT_LE(edges[i - 1], edges[i]);
+    EXPECT_TRUE(edges[i - 1].predicate < edges[i].predicate ||
+                (edges[i - 1].predicate == edges[i].predicate &&
+                 edges[i - 1].neighbor < edges[i].neighbor));
   }
+}
+
+TEST_F(GraphTest, PredicateFilteredEdges) {
+  const RdfGraph& g = data_.graph();
+  // <a> has p-edges to <b>,<c> and one q-edge to <b>.
+  auto p_edges = g.OutEdges(Id("<a>"), Id("<p>"));
+  ASSERT_EQ(p_edges.size(), 2u);
+  EXPECT_EQ(p_edges[0].neighbor, Id("<b>"));
+  EXPECT_EQ(p_edges[1].neighbor, Id("<c>"));
+  for (const HalfEdge& h : p_edges) EXPECT_EQ(h.predicate, Id("<p>"));
+
+  auto q_edges = g.OutEdges(Id("<a>"), Id("<q>"));
+  ASSERT_EQ(q_edges.size(), 1u);
+  EXPECT_EQ(q_edges[0].neighbor, Id("<b>"));
+
+  // Incoming side: <b> is reached via p and q from <a>.
+  auto in_p = g.InEdges(Id("<b>"), Id("<p>"));
+  ASSERT_EQ(in_p.size(), 1u);
+  EXPECT_EQ(in_p[0].neighbor, Id("<a>"));
+
+  // Absent predicate on a present vertex, and any predicate on an id that
+  // is not a vertex, are both empty.
+  EXPECT_TRUE(g.OutEdges(Id("<a>"), Id("<a>")).empty());
+  EXPECT_TRUE(g.OutEdges(TermId{9999}, Id("<p>")).empty());
+  EXPECT_TRUE(g.InEdges(TermId{9999}, Id("<p>")).empty());
+}
+
+TEST_F(GraphTest, HasPredicateAndDirectories) {
+  const RdfGraph& g = data_.graph();
+  EXPECT_TRUE(g.HasPredicate(Id("<a>"), Id("<p>"), EdgeDir::kOut));
+  EXPECT_TRUE(g.HasPredicate(Id("<a>"), Id("<q>"), EdgeDir::kOut));
+  EXPECT_FALSE(g.HasPredicate(Id("<a>"), Id("<p>"), EdgeDir::kIn));
+  EXPECT_TRUE(g.HasPredicate(Id("<b>"), Id("<p>"), EdgeDir::kIn));
+  EXPECT_FALSE(g.HasPredicate(Id("<c>"), Id("<q>"), EdgeDir::kIn));
+  EXPECT_FALSE(g.HasPredicate(TermId{9999}, Id("<p>"), EdgeDir::kOut));
+
+  // The out directory of <a> has one entry per distinct predicate, sorted,
+  // and its ranges tile OutEdges(<a>).
+  auto dir = g.OutPredicates(Id("<a>"));
+  ASSERT_EQ(dir.size(), 2u);
+  EXPECT_LT(dir[0].predicate, dir[1].predicate);
+  EXPECT_EQ(dir[0].end, dir[1].begin);
+  EXPECT_EQ((dir[1].end - dir[0].begin), g.OutDegree(Id("<a>")));
+}
+
+TEST_F(GraphTest, NeighborsAndEdgeLabels) {
+  const RdfGraph& g = data_.graph();
+  auto nbrs = g.OutNeighbors(Id("<a>"));
+  // <a> points at <b> twice (p and q) and <c> once: distinct = {<b>, <c>}.
+  ASSERT_EQ(nbrs.size(), 2u);
+  EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+  EXPECT_TRUE(g.InNeighbors(Id("<a>")).empty());
+  EXPECT_TRUE(g.OutNeighbors(TermId{9999}).empty());
+
+  auto labels = g.EdgeLabels(Id("<a>"), Id("<b>"));
+  ASSERT_EQ(labels.size(), 2u);
+  EXPECT_EQ(labels[0].predicate, Id("<p>"));
+  EXPECT_EQ(labels[1].predicate, Id("<q>"));
+  EXPECT_EQ(labels[0].neighbor, Id("<b>"));
+  EXPECT_TRUE(g.EdgeLabels(Id("<b>"), Id("<a>")).empty());  // directed
+  EXPECT_TRUE(g.EdgeLabels(Id("<c>"), Id("<b>")).empty());
 }
 
 TEST_F(GraphTest, TripleAndEdgeLookups) {
@@ -191,10 +256,39 @@ TEST(GraphEdgeCasesTest, SelfLoop) {
   data.AddTripleLexical("<a>", "<p>", "<a>");
   data.Finalize();
   TermId a = data.dict().Lookup("<a>");
+  TermId p = data.dict().Lookup("<p>");
   EXPECT_EQ(data.graph().num_vertices(), 1u);
   EXPECT_EQ(data.graph().OutDegree(a), 1u);
   EXPECT_EQ(data.graph().InDegree(a), 1u);
   EXPECT_TRUE(data.graph().HasAnyEdge(a, a));
+  // Predicate-filtered views see the loop from both directions.
+  ASSERT_EQ(data.graph().OutEdges(a, p).size(), 1u);
+  EXPECT_EQ(data.graph().OutEdges(a, p)[0].neighbor, a);
+  ASSERT_EQ(data.graph().InEdges(a, p).size(), 1u);
+  EXPECT_EQ(data.graph().InEdges(a, p)[0].neighbor, a);
+  EXPECT_TRUE(data.graph().HasPredicate(a, p, EdgeDir::kOut));
+  EXPECT_TRUE(data.graph().HasPredicate(a, p, EdgeDir::kIn));
+  ASSERT_EQ(data.graph().EdgeLabels(a, a).size(), 1u);
+  EXPECT_EQ(data.graph().EdgeLabels(a, a)[0].predicate, p);
+}
+
+TEST(GraphEdgeCasesTest, ParallelEdgesGroupByPredicate) {
+  Dataset data;
+  data.AddTripleLexical("<a>", "<p>", "<b>");
+  data.AddTripleLexical("<a>", "<q>", "<b>");
+  data.AddTripleLexical("<a>", "<r>", "<b>");
+  data.AddTripleLexical("<a>", "<q>", "<c>");
+  data.Finalize();
+  const RdfGraph& g = data.graph();
+  TermId a = data.dict().Lookup("<a>");
+  TermId b = data.dict().Lookup("<b>");
+  TermId q = data.dict().Lookup("<q>");
+  EXPECT_EQ(g.EdgeLabels(a, b).size(), 3u);
+  EXPECT_EQ(g.OutEdges(a, q).size(), 2u);
+  EXPECT_EQ(g.OutPredicates(a).size(), 3u);
+  EXPECT_EQ(g.OutNeighbors(a).size(), 2u);  // {<b>, <c>}
+  EXPECT_EQ(g.InNeighbors(b).size(), 1u);   // {<a>}
+  EXPECT_EQ(g.InPredicates(b).size(), 3u);
 }
 
 TEST(GraphEdgeCasesTest, FinalizeIsIdempotent) {
