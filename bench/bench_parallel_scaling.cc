@@ -1,0 +1,147 @@
+// Scaling microbenchmarks of the PR-2 execution layer: LPM enumeration and
+// centralized matching at 1/2/4/8 worker slots (same LUBM-3/LQ7 fixture as
+// bench_micro_core), plus indexed vs all-pairs group join graph
+// construction with the probe counts surfaced as benchmark counters.
+//
+// The thread counts request worker *slots*; on a machine with fewer cores
+// the pool still exercises the parallel code path but cannot show wall-clock
+// scaling (results stay byte-identical either way — that is asserted by
+// tests/parallel_determinism_test.cc, not here).
+
+#include <benchmark/benchmark.h>
+
+#include "core/assembly.h"
+#include "core/engine.h"
+#include "core/local_partial_match.h"
+#include "partition/partitioners.h"
+#include "store/matcher.h"
+#include "util/thread_pool.h"
+#include "workload/lubm.h"
+
+namespace gstored {
+namespace {
+
+/// Shared fixture: a LUBM-style dataset, a 4-way hash partitioning and the
+/// LQ7 query — identical to bench_micro_core's MicroFixture so the 1-thread
+/// numbers line up with BM_EnumerateLpms / BM_CentralizedMatch there.
+struct ScalingFixture {
+  ScalingFixture()
+      : workload(MakeLubmWorkload([] {
+          LubmConfig config;
+          config.universities = 3;
+          return config;
+        }())),
+        partitioning(HashPartitioner().Partition(*workload.dataset, 4)),
+        oracle_store(&workload.dataset->graph()),
+        query(workload.queries[6].query),  // LQ7
+        rq(ResolveQuery(query, workload.dataset->dict())),
+        pool(7) {  // 7 workers + the caller = up to 8 slots
+    for (const Fragment& f : partitioning.fragments()) {
+      stores.push_back(std::make_unique<LocalStore>(&f.graph()));
+      auto fragment_lpms = EnumerateLocalPartialMatches(f, *stores.back(), rq);
+      lpms.insert(lpms.end(), fragment_lpms.begin(), fragment_lpms.end());
+    }
+    groups = GroupLpmsBySign(lpms);
+  }
+
+  Workload workload;
+  Partitioning partitioning;
+  LocalStore oracle_store;
+  QueryGraph query;
+  ResolvedQuery rq;
+  ThreadPool pool;
+  std::vector<std::unique_ptr<LocalStore>> stores;
+  std::vector<LocalPartialMatch> lpms;
+  std::vector<std::vector<uint32_t>> groups;
+};
+
+ScalingFixture& Fixture() {
+  static ScalingFixture* fixture = new ScalingFixture();
+  return *fixture;
+}
+
+void BM_EnumerateLpmsThreads(benchmark::State& state) {
+  ScalingFixture& f = Fixture();
+  const Fragment& fragment = f.partitioning.fragments()[0];
+  EnumerateOptions options;
+  options.num_threads = static_cast<size_t>(state.range(0));
+  options.pool = &f.pool;
+  for (auto _ : state) {
+    auto lpms = EnumerateLocalPartialMatches(fragment, *f.stores[0], f.rq,
+                                             options);
+    benchmark::DoNotOptimize(lpms);
+  }
+}
+BENCHMARK(BM_EnumerateLpmsThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_CentralizedMatchThreads(benchmark::State& state) {
+  ScalingFixture& f = Fixture();
+  MatchOptions options;
+  options.num_threads = static_cast<size_t>(state.range(0));
+  options.pool = &f.pool;
+  for (auto _ : state) {
+    auto matches = MatchQuery(f.oracle_store, f.rq, options);
+    benchmark::DoNotOptimize(matches);
+  }
+}
+BENCHMARK(BM_CentralizedMatchThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_GroupJoinGraphIndexed(benchmark::State& state) {
+  ScalingFixture& f = Fixture();
+  AssemblyStats stats;
+  for (auto _ : state) {
+    stats = AssemblyStats();
+    auto adjacency = BuildGroupJoinGraph(f.lpms, f.groups, &stats);
+    benchmark::DoNotOptimize(adjacency);
+  }
+  state.counters["join_attempts"] =
+      static_cast<double>(stats.join_attempts);
+  state.counters["edges"] = static_cast<double>(stats.num_join_graph_edges);
+  state.counters["groups"] = static_cast<double>(f.groups.size());
+}
+BENCHMARK(BM_GroupJoinGraphIndexed);
+
+void BM_GroupJoinGraphAllPairs(benchmark::State& state) {
+  ScalingFixture& f = Fixture();
+  AssemblyStats stats;
+  for (auto _ : state) {
+    stats = AssemblyStats();
+    auto adjacency = BuildGroupJoinGraphAllPairs(f.lpms, f.groups, &stats);
+    benchmark::DoNotOptimize(adjacency);
+  }
+  state.counters["join_attempts"] =
+      static_cast<double>(stats.join_attempts);
+  state.counters["edges"] = static_cast<double>(stats.num_join_graph_edges);
+  state.counters["groups"] = static_cast<double>(f.groups.size());
+}
+BENCHMARK(BM_GroupJoinGraphAllPairs);
+
+void BM_LecAssemblyIndexed(benchmark::State& state) {
+  ScalingFixture& f = Fixture();
+  AssemblyStats stats;
+  for (auto _ : state) {
+    stats = AssemblyStats();
+    auto matches = LecAssembly(f.lpms, f.query.num_vertices(), &stats);
+    benchmark::DoNotOptimize(matches);
+  }
+  state.counters["join_attempts"] =
+      static_cast<double>(stats.join_attempts);
+}
+BENCHMARK(BM_LecAssemblyIndexed);
+
+void BM_FullEngineExecuteThreads(benchmark::State& state) {
+  ScalingFixture& f = Fixture();
+  EngineOptions options;
+  options.num_threads = static_cast<size_t>(state.range(0));
+  DistributedEngine engine(&f.partitioning, options);
+  for (auto _ : state) {
+    auto matches = engine.Execute(f.query, EngineMode::kFull);
+    benchmark::DoNotOptimize(matches);
+  }
+}
+BENCHMARK(BM_FullEngineExecuteThreads)->Arg(1)->Arg(4);
+
+}  // namespace
+}  // namespace gstored
+
+BENCHMARK_MAIN();

@@ -6,7 +6,7 @@
 // Usage:
 //   gstored_shell --data FILE.nt|lubm|yago|btc [--sites N]
 //                 [--strategy hash|semantic|metis|multilevel]
-//                 [--mode basic|la|lo|full] [QUERY]
+//                 [--mode basic|la|lo|full] [--threads N] [QUERY]
 // With no QUERY argument, reads one query per line from stdin (';' also
 // separates queries). Prints rows plus the per-stage statistics.
 
@@ -74,6 +74,7 @@ int main(int argc, char** argv) {
   std::string strategy = "hash";
   std::string mode_name = "full";
   int sites = 6;
+  size_t threads = 1;
   std::string inline_query;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -84,10 +85,12 @@ int main(int argc, char** argv) {
     else if (arg == "--sites") sites = std::stoi(next());
     else if (arg == "--strategy") strategy = next();
     else if (arg == "--mode") mode_name = next();
+    else if (arg == "--threads") threads = std::stoul(next());
     else if (arg == "--help") {
       std::printf("usage: %s --data FILE.nt|lubm|yago|btc [--sites N] "
                   "[--strategy hash|semantic|metis|multilevel] "
-                  "[--mode basic|la|lo|full] [QUERY]\n", argv[0]);
+                  "[--mode basic|la|lo|full] [--threads N] [QUERY]\n",
+                  argv[0]);
       return 0;
     } else {
       inline_query = arg;
@@ -130,7 +133,9 @@ int main(int argc, char** argv) {
   std::printf("%s partitioning over %d sites: %zu crossing edges\n",
               partitioning.strategy_name().c_str(), sites,
               partitioning.num_crossing_edges());
-  DistributedEngine engine(&partitioning);
+  EngineOptions engine_options;
+  engine_options.num_threads = threads;
+  DistributedEngine engine(&partitioning, engine_options);
   EngineMode mode = ParseMode(mode_name);
 
   if (!inline_query.empty()) {

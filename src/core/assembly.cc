@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 
 #include "util/hash.h"
@@ -27,17 +28,19 @@ uint64_t BindingKey(const Binding& binding) {
   return HashRange(binding.begin(), binding.end());
 }
 
-/// Collects complete bindings with deduplication.
+/// Collects complete bindings with deduplication. Insertion consumes the
+/// binding — the caller's copy is dead either way, so a duplicate costs one
+/// probe and no allocation, and a fresh result is moved, not copied.
 class ResultSink {
  public:
-  void Add(const Binding& binding) {
+  void Add(Binding&& binding) {
     uint64_t key = BindingKey(binding);
     auto [it, inserted] = buckets_.try_emplace(key);
     for (size_t i : it->second) {
       if (results_[i] == binding) return;
     }
     it->second.push_back(results_.size());
-    results_.push_back(binding);
+    results_.push_back(std::move(binding));
   }
 
   std::vector<Binding> Take() { return std::move(results_); }
@@ -48,7 +51,9 @@ class ResultSink {
 };
 
 /// Attempts the join of a partial with an LPM; returns true and fills `out`
-/// when the features are joinable and the bindings agree.
+/// when the features are joinable and the bindings agree. `out` is assigned
+/// wholesale (its previous buffers are reused where possible), so one
+/// PartialJoin can serve as scratch across many attempts.
 bool TryJoin(const PartialJoin& partial, const LocalPartialMatch& pm,
              AssemblyStats* stats, PartialJoin* out) {
   ++stats->join_attempts;
@@ -56,8 +61,7 @@ bool TryJoin(const PartialJoin& partial, const LocalPartialMatch& pm,
                         pm.crossing)) {
     return false;
   }
-  Binding merged;
-  if (!MergeBindings(partial.binding, pm.binding, &merged)) {
+  if (!MergeBindings(partial.binding, pm.binding, &out->binding)) {
     // Thm. 3 says feature-joinability implies binding compatibility for
     // well-formed LPMs; count it so the property tests can assert zero.
     ++stats->binding_conflicts;
@@ -65,7 +69,6 @@ bool TryJoin(const PartialJoin& partial, const LocalPartialMatch& pm,
   }
   out->sign = partial.sign | pm.sign;
   out->crossing = MergeCrossing(partial.crossing, pm.crossing);
-  out->binding = std::move(merged);
   return true;
 }
 
@@ -106,12 +109,17 @@ struct AssemblyContext {
   // Global dedup of materialized partials, so revisiting the same partial
   // through a different group order does not re-expand it.
   std::unique_ptr<SeenSet> seen;
+  // Frontier arena: one reusable next-frontier vector per DFS depth, so the
+  // join loop stops re-allocating frontier storage on every level. Sized to
+  // the deepest possible recursion (one level per group) up front, which
+  // keeps element references stable while deeper levels run.
+  std::vector<std::vector<PartialJoin>> frontier_arena;
 
   bool AlreadySeen(const PartialJoin& pj) { return seen->CheckAndInsert(pj); }
 };
 
 void ComParJoin(AssemblyContext& ctx, std::vector<bool>& visited,
-                const std::vector<PartialJoin>& frontier) {
+                const std::vector<PartialJoin>& frontier, size_t depth) {
   for (uint32_t g = 0; g < ctx.groups.size(); ++g) {
     if (!ctx.active[g] || visited[g]) continue;
     bool adjacent = false;
@@ -123,13 +131,14 @@ void ComParJoin(AssemblyContext& ctx, std::vector<bool>& visited,
     }
     if (!adjacent) continue;
 
-    std::vector<PartialJoin> next;
+    std::vector<PartialJoin>& next = ctx.frontier_arena[depth];
+    next.clear();
+    PartialJoin joined;
     for (const PartialJoin& pj : frontier) {
       for (uint32_t pm_idx : ctx.groups[g]) {
-        PartialJoin joined;
         if (!TryJoin(pj, (*ctx.lpms)[pm_idx], ctx.stats, &joined)) continue;
         if (joined.sign.All()) {
-          ctx.sink->Add(joined.binding);
+          ctx.sink->Add(std::move(joined.binding));
           continue;
         }
         if (!ctx.AlreadySeen(joined)) next.push_back(std::move(joined));
@@ -137,10 +146,24 @@ void ComParJoin(AssemblyContext& ctx, std::vector<bool>& visited,
     }
     if (!next.empty()) {
       visited[g] = true;
-      ComParJoin(ctx, visited, next);
+      ComParJoin(ctx, visited, next, depth + 1);
       visited[g] = false;
     }
   }
+}
+
+/// 64-bit key of one crossing mapping for the inverted index. Collisions
+/// between distinct mappings are harmless: they only cause an extra
+/// FeaturesJoinable probe, which re-verifies the shared-mapping condition.
+uint64_t CrossingMapKey(const CrossingPairMap& c) {
+  uint64_t h = HashCombine(0x9d7f3cbb2a5e11ULL,
+                           (static_cast<uint64_t>(c.q_from) << 32) | c.q_to);
+  return HashCombine(h, (static_cast<uint64_t>(c.d_from) << 32) | c.d_to);
+}
+
+uint64_t PackPair(uint32_t a, uint32_t b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<uint64_t>(a) << 32) | b;
 }
 
 }  // namespace
@@ -160,52 +183,137 @@ bool MergeBindings(const Binding& a, const Binding& b, Binding* out) {
   return true;
 }
 
-std::vector<Binding> LecAssembly(const std::vector<LocalPartialMatch>& lpms,
-                                 size_t num_query_vertices,
-                                 AssemblyStats* stats) {
-  AssemblyStats local_stats;
-  if (stats == nullptr) stats = &local_stats;
-  ResultSink sink;
-  if (lpms.empty()) return sink.Take();
-
-  AssemblyContext ctx;
-  ctx.lpms = &lpms;
-  ctx.stats = stats;
-  ctx.sink = &sink;
-  ctx.seen = std::make_unique<SeenSet>(stats);
-
-  // Def. 11: group LPMs by LECSign.
+std::vector<std::vector<uint32_t>> GroupLpmsBySign(
+    const std::vector<LocalPartialMatch>& lpms) {
+  std::vector<std::vector<uint32_t>> groups;
   std::unordered_map<uint64_t, std::vector<uint32_t>> sign_buckets;
   std::vector<Bitset> group_signs;
   for (uint32_t i = 0; i < lpms.size(); ++i) {
-    GSTORED_CHECK_EQ(lpms[i].sign.size(), num_query_vertices);
     uint64_t h = lpms[i].sign.Hash();
     bool placed = false;
     for (uint32_t g : sign_buckets[h]) {
       if (group_signs[g] == lpms[i].sign) {
-        ctx.groups[g].push_back(i);
+        groups[g].push_back(i);
         placed = true;
         break;
       }
     }
     if (!placed) {
-      sign_buckets[h].push_back(static_cast<uint32_t>(ctx.groups.size()));
+      sign_buckets[h].push_back(static_cast<uint32_t>(groups.size()));
       group_signs.push_back(lpms[i].sign);
-      ctx.groups.push_back({i});
+      groups.push_back({i});
     }
   }
-  stats->num_groups = ctx.groups.size();
+  return groups;
+}
 
-  // Group join graph: edge when some cross-group LPM pair has joinable
-  // features (signature test only — binding agreement is checked during
-  // the actual joins).
-  size_t num_groups = ctx.groups.size();
-  ctx.adjacency.assign(num_groups, {});
+std::vector<std::vector<uint32_t>> BuildGroupJoinGraph(
+    const std::vector<LocalPartialMatch>& lpms,
+    const std::vector<std::vector<uint32_t>>& groups, AssemblyStats* stats) {
+  AssemblyStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  const size_t num_groups = groups.size();
+  std::vector<std::vector<uint32_t>> adjacency(num_groups);
+
+  // Invert: one entry per (crossing mapping, carrying LPM). Sorting by key
+  // clusters the LPMs that share a mapping and makes the whole construction
+  // deterministic — no hash-map iteration order leaks into the probe count.
+  struct CrossingEntry {
+    uint64_t key;
+    uint32_t group;
+    uint32_t lpm;
+    bool operator<(const CrossingEntry& other) const {
+      if (key != other.key) return key < other.key;
+      if (group != other.group) return group < other.group;
+      return lpm < other.lpm;
+    }
+  };
+  std::vector<CrossingEntry> entries;
+  size_t total_crossings = 0;
+  for (const auto& group : groups) {
+    for (uint32_t pm : group) total_crossings += lpms[pm].crossing.size();
+  }
+  entries.reserve(total_crossings);
+  for (uint32_t g = 0; g < num_groups; ++g) {
+    for (uint32_t pm : groups[g]) {
+      for (const CrossingPairMap& c : lpms[pm].crossing) {
+        entries.push_back({CrossingMapKey(c), g, pm});
+      }
+    }
+  }
+  std::sort(entries.begin(), entries.end());
+
+  // Probe only cross-group pairs that meet inside one key bucket. The sort
+  // order keeps each group's entries contiguous within a bucket, so the
+  // scan walks group *runs*: a group pair settled joinable is skipped
+  // wholesale (a hot crossing mapping shared by many LPMs costs one probe,
+  // not a quadratic pass), and an LPM pair meeting in several buckets is
+  // probed once.
+  std::unordered_set<uint64_t> joinable_pairs;
+  std::unordered_set<uint64_t> probed_lpm_pairs;
+  for (size_t lo = 0; lo < entries.size();) {
+    size_t hi = lo + 1;
+    while (hi < entries.size() && entries[hi].key == entries[lo].key) ++hi;
+    for (size_t a_lo = lo; a_lo < hi;) {
+      size_t a_hi = a_lo + 1;
+      while (a_hi < hi && entries[a_hi].group == entries[a_lo].group) ++a_hi;
+      for (size_t b_lo = a_hi; b_lo < hi;) {
+        size_t b_hi = b_lo + 1;
+        while (b_hi < hi && entries[b_hi].group == entries[b_lo].group) {
+          ++b_hi;
+        }
+        uint64_t group_pair =
+            PackPair(entries[a_lo].group, entries[b_lo].group);
+        if (!joinable_pairs.contains(group_pair)) {
+          bool confirmed = false;
+          for (size_t i = a_lo; i < a_hi && !confirmed; ++i) {
+            for (size_t j = b_lo; j < b_hi && !confirmed; ++j) {
+              if (!probed_lpm_pairs
+                       .insert(PackPair(entries[i].lpm, entries[j].lpm))
+                       .second) {
+                continue;
+              }
+              ++stats->join_attempts;
+              if (FeaturesJoinable(lpms[entries[i].lpm].sign,
+                                   lpms[entries[i].lpm].crossing,
+                                   lpms[entries[j].lpm].sign,
+                                   lpms[entries[j].lpm].crossing)) {
+                joinable_pairs.insert(group_pair);
+                confirmed = true;
+              }
+            }
+          }
+        }
+        b_lo = b_hi;
+      }
+      a_lo = a_hi;
+    }
+    lo = hi;
+  }
+
+  for (uint64_t pair : joinable_pairs) {
+    uint32_t a = static_cast<uint32_t>(pair >> 32);
+    uint32_t b = static_cast<uint32_t>(pair);
+    adjacency[a].push_back(b);
+    adjacency[b].push_back(a);
+  }
+  for (auto& list : adjacency) std::sort(list.begin(), list.end());
+  stats->num_join_graph_edges += joinable_pairs.size();
+  return adjacency;
+}
+
+std::vector<std::vector<uint32_t>> BuildGroupJoinGraphAllPairs(
+    const std::vector<LocalPartialMatch>& lpms,
+    const std::vector<std::vector<uint32_t>>& groups, AssemblyStats* stats) {
+  AssemblyStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  const size_t num_groups = groups.size();
+  std::vector<std::vector<uint32_t>> adjacency(num_groups);
   for (uint32_t a = 0; a < num_groups; ++a) {
     for (uint32_t b = a + 1; b < num_groups; ++b) {
       bool joinable = false;
-      for (uint32_t pa : ctx.groups[a]) {
-        for (uint32_t pb : ctx.groups[b]) {
+      for (uint32_t pa : groups[a]) {
+        for (uint32_t pb : groups[b]) {
           ++stats->join_attempts;
           if (FeaturesJoinable(lpms[pa].sign, lpms[pa].crossing,
                                lpms[pb].sign, lpms[pb].crossing)) {
@@ -216,13 +324,41 @@ std::vector<Binding> LecAssembly(const std::vector<LocalPartialMatch>& lpms,
         if (joinable) break;
       }
       if (joinable) {
-        ctx.adjacency[a].push_back(b);
-        ctx.adjacency[b].push_back(a);
+        adjacency[a].push_back(b);
+        adjacency[b].push_back(a);
         ++stats->num_join_graph_edges;
       }
     }
   }
+  for (auto& list : adjacency) std::sort(list.begin(), list.end());
+  return adjacency;
+}
 
+std::vector<Binding> LecAssembly(const std::vector<LocalPartialMatch>& lpms,
+                                 size_t num_query_vertices,
+                                 AssemblyStats* stats) {
+  AssemblyStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  ResultSink sink;
+  if (lpms.empty()) return sink.Take();
+  for (const LocalPartialMatch& pm : lpms) {
+    GSTORED_CHECK_EQ(pm.sign.size(), num_query_vertices);
+  }
+
+  AssemblyContext ctx;
+  ctx.lpms = &lpms;
+  ctx.stats = stats;
+  ctx.sink = &sink;
+  ctx.seen = std::make_unique<SeenSet>(stats);
+
+  // Def. 11: group LPMs by LECSign, then link groups through the
+  // crossing-mapping index instead of all-pairs probing.
+  ctx.groups = GroupLpmsBySign(lpms);
+  stats->num_groups = ctx.groups.size();
+  ctx.adjacency = BuildGroupJoinGraph(lpms, ctx.groups, stats);
+
+  const size_t num_groups = ctx.groups.size();
+  ctx.frontier_arena.resize(num_groups);
   ctx.active.assign(num_groups, true);
   auto remove_outliers = [&] {
     bool changed = true;
@@ -265,7 +401,7 @@ std::vector<Binding> LecAssembly(const std::vector<LocalPartialMatch>& lpms,
     }
     std::vector<bool> visited(num_groups, false);
     visited[vmin] = true;
-    ComParJoin(ctx, visited, seeds);
+    ComParJoin(ctx, visited, seeds, 0);
 
     ctx.active[vmin] = false;
     remove_outliers();
@@ -298,12 +434,12 @@ std::vector<Binding> BasicAssembly(const std::vector<LocalPartialMatch>& lpms,
 
   while (!frontier.empty()) {
     std::vector<PartialJoin> next;
+    PartialJoin joined;
     for (const PartialJoin& pj : frontier) {
       for (const LocalPartialMatch& pm : lpms) {
-        PartialJoin joined;
         if (!TryJoin(pj, pm, stats, &joined)) continue;
         if (joined.sign.All()) {
-          sink.Add(joined.binding);
+          sink.Add(std::move(joined.binding));
           continue;
         }
         if (!seen.CheckAndInsert(joined)) next.push_back(std::move(joined));

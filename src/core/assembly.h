@@ -1,6 +1,7 @@
 #ifndef GSTORED_CORE_ASSEMBLY_H_
 #define GSTORED_CORE_ASSEMBLY_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "core/lec_feature.h"
@@ -22,6 +23,33 @@ struct AssemblyStats {
 /// Merges two partial bindings; returns false on a conflict (same query
 /// vertex bound to different graph vertices). Exposed for testing.
 bool MergeBindings(const Binding& a, const Binding& b, Binding* out);
+
+/// Def. 11: partitions LPM indices into groups of identical LECSign, in
+/// first-appearance order. Exposed for the group join graph builders below.
+std::vector<std::vector<uint32_t>> GroupLpmsBySign(
+    const std::vector<LocalPartialMatch>& lpms);
+
+/// Builds the group join graph — an edge between two LECSign groups when
+/// some cross-group LPM pair has joinable features — via an inverted index
+/// from crossing-edge mapping to the (group, LPM) entries carrying it.
+/// Def. 9 condition 2 makes a shared crossing mapping necessary for
+/// joinability, so only pairs meeting in an index bucket are probed with
+/// FeaturesJoinable: O(C log C + bucket pairs) work for C total crossing
+/// mappings instead of the all-pairs O(G² · LPM²) scan. Each probe is
+/// counted in stats->join_attempts; adjacency lists come back sorted and the
+/// construction is deterministic (the index is scanned in sorted order).
+std::vector<std::vector<uint32_t>> BuildGroupJoinGraph(
+    const std::vector<LocalPartialMatch>& lpms,
+    const std::vector<std::vector<uint32_t>>& groups,
+    AssemblyStats* stats = nullptr);
+
+/// Reference all-pairs construction of the same graph (the pre-index O(G²)
+/// behavior). Kept for the equivalence test and as the comparison bar of the
+/// parallel-scaling benchmark.
+std::vector<std::vector<uint32_t>> BuildGroupJoinGraphAllPairs(
+    const std::vector<LocalPartialMatch>& lpms,
+    const std::vector<std::vector<uint32_t>>& groups,
+    AssemblyStats* stats = nullptr);
 
 /// Algorithm 3: LEC feature-based assembly. Groups the LPMs by LECSign
 /// (Def. 11 / Thm. 5), builds the group join graph, and DFS-joins across

@@ -24,8 +24,10 @@ void DedupBindings(std::vector<Binding>* bindings) {
                   bindings->end());
 }
 
-DistributedEngine::DistributedEngine(const Partitioning* partitioning)
+DistributedEngine::DistributedEngine(const Partitioning* partitioning,
+                                     EngineOptions options)
     : partitioning_(partitioning),
+      options_(options),
       cluster_(static_cast<int>(partitioning->num_fragments())) {
   GSTORED_CHECK(partitioning != nullptr);
   stores_.reserve(partitioning_->num_fragments());
@@ -71,8 +73,16 @@ std::vector<Binding> DistributedEngine::Execute(const QueryGraph& query,
   std::vector<std::vector<Binding>> site_matches(num_sites);
   std::vector<std::vector<LocalPartialMatch>> site_lpms(num_sites);
 
+  MatchOptions match_options;
+  match_options.num_threads = options_.num_threads;
+  match_options.pool = &cluster_.intra_site_pool();
+
   EnumerateOptions enum_options;
+  enum_options.num_threads = options_.num_threads;
+  enum_options.pool = &cluster_.intra_site_pool();
   if (use_filter) {
+    // Read-only probes of the exchanged bit vectors — safe to call from the
+    // intra-site worker slots.
     enum_options.extended_filter = [&](QVertexId v, TermId u) {
       if (!query.vertex(v).is_variable) return true;
       return exchange.filters[v].MayContain(u);
@@ -80,7 +90,7 @@ std::vector<Binding> DistributedEngine::Execute(const QueryGraph& query,
   }
 
   StageRun partial_run = cluster_.RunStage([&](int site) {
-    site_matches[site] = MatchQuery(*stores_[site], rq);
+    site_matches[site] = MatchQuery(*stores_[site], rq, match_options);
     if (!star) {
       site_lpms[site] = EnumerateLocalPartialMatches(
           partitioning_->fragments()[site], *stores_[site], rq, enum_options);

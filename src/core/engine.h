@@ -30,6 +30,17 @@ enum class EngineMode { kBasic, kLecAssembly, kLecPruning, kFull };
 /// Short printable name ("gStoreD-Basic", ..., "gStoreD").
 const char* EngineModeName(EngineMode mode);
 
+/// Execution-layer knobs of the engine, orthogonal to the EngineMode
+/// optimization levels.
+struct EngineOptions {
+  /// Worker slots each site may use for its local matching and LPM
+  /// enumeration (1 = the fully serial per-site search). Slots are borrowed
+  /// from the cluster's shared intra-site pool, so effective parallelism is
+  /// bounded by the hardware regardless of the number of sites; results are
+  /// byte-identical across thread counts.
+  size_t num_threads = 1;
+};
+
 /// Ledger stage labels.
 inline constexpr char kLecFeatureStage[] = "lec_features";
 inline constexpr char kLpmShipmentStage[] = "lpm_shipment";
@@ -67,7 +78,8 @@ struct QueryStats {
 /// The partitioning (and the dataset behind it) must outlive the engine.
 class DistributedEngine {
  public:
-  explicit DistributedEngine(const Partitioning* partitioning);
+  explicit DistributedEngine(const Partitioning* partitioning,
+                             EngineOptions options = {});
 
   DistributedEngine(const DistributedEngine&) = delete;
   DistributedEngine& operator=(const DistributedEngine&) = delete;
@@ -85,6 +97,7 @@ class DistributedEngine {
 
  private:
   const Partitioning* partitioning_;
+  EngineOptions options_;
   std::vector<std::unique_ptr<LocalStore>> stores_;
   SimulatedCluster cluster_;
 };

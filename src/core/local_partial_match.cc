@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace gstored {
 namespace {
@@ -189,6 +190,40 @@ std::vector<QVertexId> BuildOrder(const QueryGraph& q, uint32_t island_mask,
   return order;
 }
 
+/// Runs the backtracking search of one island mask, appending its matches to
+/// `out`. Self-contained (all mutable state is local), so distinct masks can
+/// run concurrently as long as each gets its own `out`.
+void SearchIslandMask(const Fragment& fragment, const LocalStore& store,
+                      const ResolvedQuery& rq, const EnumerateOptions& options,
+                      uint32_t island_mask, uint32_t boundary_mask,
+                      std::vector<LocalPartialMatch>* out) {
+  const QueryGraph& q = *rq.query;
+  const size_t n = q.num_vertices();
+  IslandSearch ctx;
+  ctx.fragment = &fragment;
+  ctx.store = &store;
+  ctx.rq = &rq;
+  ctx.options = &options;
+  ctx.island_mask = island_mask;
+  ctx.in_island.assign(n, false);
+  ctx.in_matched.assign(n, false);
+  for (QVertexId v = 0; v < n; ++v) {
+    uint32_t bit = uint32_t{1} << v;
+    ctx.in_island[v] = (island_mask & bit) != 0;
+    ctx.in_matched[v] = ((island_mask | boundary_mask) & bit) != 0;
+  }
+  ctx.order = BuildOrder(q, island_mask, boundary_mask);
+  ctx.island_count = static_cast<size_t>(__builtin_popcount(island_mask));
+  ctx.assigned.assign(n, false);
+  ctx.binding.assign(n, kNullTerm);
+  ctx.out = out;
+  ctx.groups = BuildIncidentEdgeGroups(q, [&](QEdgeId eid) {
+    return EdgeRelevant(ctx, q.edge(eid));
+  });
+  ctx.domain_scratch.resize(ctx.order.size());
+  Extend(ctx, 0);
+}
+
 }  // namespace
 
 std::string LocalPartialMatch::ToString(const TermDict& dict) const {
@@ -211,6 +246,13 @@ std::vector<LocalPartialMatch> EnumerateLocalPartialMatches(
   GSTORED_CHECK_MSG(n >= 1 && n <= 20,
                     "query size outside the supported 1..20 vertex range");
 
+  // Enumerate the valid (island, boundary) mask pairs up front; each pair's
+  // search is independent of the others.
+  struct MaskTask {
+    uint32_t island;
+    uint32_t boundary;
+  };
+  std::vector<MaskTask> tasks;
   for (uint32_t island_mask = 1; island_mask < (uint32_t{1} << n);
        ++island_mask) {
     if (!MaskConnected(q, island_mask)) continue;
@@ -226,33 +268,33 @@ std::vector<LocalPartialMatch> EnumerateLocalPartialMatches(
     // An island covering a whole connected component has no crossing edge
     // and is a complete local match, not a partial one (condition 4).
     if (boundary_mask == 0) continue;
-
-    IslandSearch ctx;
-    ctx.fragment = &fragment;
-    ctx.store = &store;
-    ctx.rq = &rq;
-    ctx.options = &options;
-    ctx.island_mask = island_mask;
-    ctx.in_island.assign(n, false);
-    ctx.in_matched.assign(n, false);
-    for (QVertexId v = 0; v < n; ++v) {
-      uint32_t bit = uint32_t{1} << v;
-      ctx.in_island[v] = (island_mask & bit) != 0;
-      ctx.in_matched[v] = ((island_mask | boundary_mask) & bit) != 0;
-    }
-    ctx.order = BuildOrder(q, island_mask, boundary_mask);
-    ctx.island_count = static_cast<size_t>(__builtin_popcount(island_mask));
-    ctx.assigned.assign(n, false);
-    ctx.binding.assign(n, kNullTerm);
-    ctx.out = &results;
-    ctx.groups = BuildIncidentEdgeGroups(q, [&](QEdgeId eid) {
-      return EdgeRelevant(ctx, q.edge(eid));
-    });
-    ctx.domain_scratch.resize(ctx.order.size());
-    Extend(ctx, 0);
-    if (results.size() >= options.max_results) break;
+    tasks.push_back({island_mask, boundary_mask});
   }
-  return results;
+
+  // A finite max_results keeps the serial path: splitting an early-exit
+  // enumeration across workers would make the result prefix depend on
+  // scheduling.
+  const bool unlimited = options.max_results == static_cast<size_t>(-1);
+  ThreadPool* pool = ResolvePool(options.num_threads, options.pool);
+  if (pool == nullptr || !unlimited) {
+    for (const MaskTask& task : tasks) {
+      SearchIslandMask(fragment, store, rq, options, task.island,
+                       task.boundary, &results);
+      if (results.size() >= options.max_results) break;
+    }
+    return results;
+  }
+
+  // Parallel path: island masks are embarrassingly parallel — distribute
+  // them over the pool, one private result vector per mask, concatenated in
+  // ascending mask order so the output is byte-identical to the serial loop
+  // above.
+  return ParallelForConcat<LocalPartialMatch>(
+      *pool, tasks.size(), options.num_threads,
+      [&](size_t i, size_t /*slot*/, std::vector<LocalPartialMatch>* out) {
+        SearchIslandMask(fragment, store, rq, options, tasks[i].island,
+                         tasks[i].boundary, out);
+      });
 }
 
 }  // namespace gstored

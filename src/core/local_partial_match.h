@@ -51,18 +51,38 @@ struct LocalPartialMatch {
 
   /// Serialization in the paper's notation, e.g. "[006,NULL,001,NULL,003]".
   std::string ToString(const TermDict& dict) const;
+
+  /// Structural equality, used by the parallel-determinism tests to compare
+  /// enumeration outputs element for element.
+  friend bool operator==(const LocalPartialMatch&, const LocalPartialMatch&) =
+      default;
 };
+
+class ThreadPool;
 
 /// Options for the partial-match enumerator.
 struct EnumerateOptions {
   /// Optional filter on extended-vertex assignments — Algorithm 4's
   /// candidate bit vectors. A boundary assignment f(v)=u (u extended) is
   /// only allowed when filter(v, u) is true. Internal assignments are never
-  /// filtered (they are always sound).
+  /// filtered (they are always sound). With num_threads > 1 the filter is
+  /// invoked concurrently and must be thread-safe (the engine's bit-vector
+  /// probes are read-only, hence safe).
   std::function<bool(QVertexId, TermId)> extended_filter;
 
   /// Safety valve for pathological inputs (SIZE_MAX = unlimited).
   size_t max_results = static_cast<size_t>(-1);
+
+  /// Maximum worker slots for the enumeration. With > 1, island masks are
+  /// distributed over the pool; each mask's matches land in a per-mask
+  /// vector and the vectors are concatenated in ascending mask order, so
+  /// the output is byte-identical to a 1-thread run. A finite max_results
+  /// forces the serial path (an early-exit split would not be
+  /// deterministic).
+  size_t num_threads = 1;
+
+  /// Pool supplying the extra slots; nullptr = ThreadPool::Shared().
+  ThreadPool* pool = nullptr;
 };
 
 /// Enumerates every local partial match of the resolved query in `fragment`

@@ -5,6 +5,7 @@
 
 #include "util/logging.h"
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace gstored {
 
@@ -38,6 +39,10 @@ void ShipmentLedger::Reset() {
 
 SimulatedCluster::SimulatedCluster(int num_sites) : num_sites_(num_sites) {
   GSTORED_CHECK_GT(num_sites, 0);
+}
+
+ThreadPool& SimulatedCluster::intra_site_pool() const {
+  return ThreadPool::Shared();
 }
 
 StageRun SimulatedCluster::RunStage(

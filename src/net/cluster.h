@@ -9,6 +9,8 @@
 
 namespace gstored {
 
+class ThreadPool;
+
 /// Thread-safe ledger of simulated network traffic, the stand-in for the
 /// paper's MPI layer. Every byte a site would put on the wire is recorded
 /// here under a stage label ("candidates", "lec_features", "lpm_shipment"),
@@ -60,6 +62,14 @@ class SimulatedCluster {
 
   /// Runs `task` once per site, in parallel, and times each.
   StageRun RunStage(const std::function<void(int site)>& task) const;
+
+  /// Worker pool for intra-site parallelism (parallel matching / LPM
+  /// enumeration inside one site). All sites of all clusters share one
+  /// process-wide pool sized to the hardware, so per-site worker slots
+  /// compose with the per-site RunStage fan-out without oversubscribing:
+  /// a site's ParallelFor borrows whatever workers are free and its own
+  /// RunStage thread always contributes one slot.
+  ThreadPool& intra_site_pool() const;
 
  private:
   int num_sites_;

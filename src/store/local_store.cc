@@ -35,6 +35,21 @@ LocalStore::LocalStore(const RdfGraph* graph) : graph_(graph) {
               pred_os_.begin() + pred_offsets_[p + 1]);
   }
 
+  // Distinct endpoint counts per predicate: both tables are sorted by their
+  // leading endpoint, so one run-length pass suffices.
+  pred_distinct_subjects_.assign(num_preds, 0);
+  pred_distinct_objects_.assign(num_preds, 0);
+  for (size_t p = 0; p < num_preds; ++p) {
+    for (size_t i = pred_offsets_[p]; i < pred_offsets_[p + 1]; ++i) {
+      if (i == pred_offsets_[p] || pred_so_[i].first != pred_so_[i - 1].first) {
+        ++pred_distinct_subjects_[p];
+      }
+      if (i == pred_offsets_[p] || pred_os_[i].first != pred_os_[i - 1].first) {
+        ++pred_distinct_objects_[p];
+      }
+    }
+  }
+
   size_t max_id = 0;
   for (TermId v : graph_->vertices()) {
     max_id = std::max<size_t>(max_id, v);
@@ -191,6 +206,38 @@ void LocalStore::CandidatesInto(const ResolvedQuery& rq, QVertexId v,
       if (PassesLocalConstraints(rq, v, u)) out->push_back(u);
     }
   }
+}
+
+double LocalStore::AvgOutFanout(TermId p) const {
+  if (static_cast<size_t>(p) >= pred_distinct_subjects_.size() ||
+      pred_distinct_subjects_[p] == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(PredicateCount(p)) / pred_distinct_subjects_[p];
+}
+
+double LocalStore::AvgInFanout(TermId p) const {
+  if (static_cast<size_t>(p) >= pred_distinct_objects_.size() ||
+      pred_distinct_objects_[p] == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(PredicateCount(p)) / pred_distinct_objects_[p];
+}
+
+double LocalStore::EstimateExpansionFanout(const ResolvedQuery& rq,
+                                           QVertexId v) const {
+  const QueryGraph& q = *rq.query;
+  double best = static_cast<double>(graph_->num_vertices());
+  for (QEdgeId eid : q.IncidentEdges(v)) {
+    const QueryEdge& e = q.edge(eid);
+    TermId pred = rq.edge_pred[eid];
+    if (pred == kNullTerm) continue;
+    // Reaching v as the object of (s, pred, v) walks s's out-edges; reaching
+    // v as the subject walks the object's in-edges.
+    if (e.to == v) best = std::min(best, AvgOutFanout(pred));
+    if (e.from == v) best = std::min(best, AvgInFanout(pred));
+  }
+  return best;
 }
 
 size_t LocalStore::EstimateCandidates(const ResolvedQuery& rq,

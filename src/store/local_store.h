@@ -66,6 +66,21 @@ class LocalStore {
   /// to pick a variable ordering without materializing candidate sets.
   size_t EstimateCandidates(const ResolvedQuery& rq, QVertexId v) const;
 
+  /// Average number of objects reached when expanding one subject through
+  /// predicate `p` (triples(p) / distinct subjects of p), and the symmetric
+  /// in-direction average. 0 for unused predicates. O(1): the distinct
+  /// endpoint counts are precomputed from the predicate tables.
+  double AvgOutFanout(TermId p) const;
+  double AvgInFanout(TermId p) const;
+
+  /// Expected expansion fan-out when the matcher reaches query vertex `v`
+  /// through its cheapest incident constant-predicate pattern: the minimum,
+  /// over those patterns, of the (predicate, direction) average fan-out
+  /// toward v. Used by MatchingOrder as a tie-break when candidate-count
+  /// estimates are equal. Vertices with no constant-predicate incident
+  /// pattern report the graph's vertex count (no information).
+  double EstimateExpansionFanout(const ResolvedQuery& rq, QVertexId v) const;
+
  private:
   /// True if vertex u satisfies all local (edge-existence) constraints of
   /// query vertex v that involve only constants.
@@ -79,6 +94,9 @@ class LocalStore {
   std::vector<uint32_t> pred_offsets_;
   std::vector<std::pair<TermId, TermId>> pred_so_;
   std::vector<std::pair<TermId, TermId>> pred_os_;
+  // Distinct subjects / objects per predicate, for fan-out estimates.
+  std::vector<uint32_t> pred_distinct_subjects_;
+  std::vector<uint32_t> pred_distinct_objects_;
   std::vector<uint64_t> signatures_;  // indexed by term id
 };
 

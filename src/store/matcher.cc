@@ -3,22 +3,26 @@
 #include <algorithm>
 
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace gstored {
 namespace {
 
-/// Recursive backtracking state shared across levels.
+/// Recursive backtracking state shared across levels. With a parallel
+/// search, one context exists per worker slot: `order` and `groups` point at
+/// query-static structures shared read-only by every slot, while the mutable
+/// assignment state and scratch buffers below are slot-private.
 struct SearchContext {
   const LocalStore* store;
   const ResolvedQuery* rq;
   const MatchOptions* options;
-  std::vector<QVertexId> order;
+  const std::vector<QVertexId>* order;
+  // Incident edges of each query vertex grouped by directed endpoint pair,
+  // precomputed so the inner consistency check is map-free.
+  const std::vector<std::vector<ParallelEdgeGroup>>* groups;
   std::vector<bool> assigned;  // indexed by query vertex
   Binding binding;             // current partial assignment
   std::vector<Binding>* results;
-  // Incident edges of each query vertex grouped by directed endpoint pair,
-  // precomputed so the inner consistency check is map-free.
-  std::vector<std::vector<ParallelEdgeGroup>> groups;
   // Reused buffers: one domain per recursion depth (the span returned by
   // DomainFor stays live while deeper levels run), one shared pivot list
   // (consumed before recursing).
@@ -39,7 +43,7 @@ bool ConsistentWithAssigned(const SearchContext& ctx, QVertexId v, TermId u) {
   auto image = [&](QVertexId w) -> TermId {
     return w == v ? u : ctx.binding[w];
   };
-  for (const ParallelEdgeGroup& group : ctx.groups[v]) {
+  for (const ParallelEdgeGroup& group : (*ctx.groups)[v]) {
     QVertexId other = group.from == v ? group.to : group.from;
     if (other != v && !ctx.assigned[other]) continue;
     if (!ParallelEdgesSatisfiable(g, *ctx.rq, group.edges, image(group.from),
@@ -86,11 +90,11 @@ std::span<const TermId> DomainFor(SearchContext& ctx, size_t depth,
 
 void Extend(SearchContext& ctx, size_t depth) {
   if (ctx.results->size() >= ctx.options->limit) return;
-  if (depth == ctx.order.size()) {
+  if (depth == ctx.order->size()) {
     ctx.results->push_back(ctx.binding);
     return;
   }
-  QVertexId v = ctx.order[depth];
+  QVertexId v = (*ctx.order)[depth];
   for (TermId u : DomainFor(ctx, depth, v)) {
     if (ctx.results->size() >= ctx.options->limit) return;
     if (!ConsistentWithAssigned(ctx, v, u)) continue;
@@ -268,27 +272,30 @@ std::vector<QVertexId> MatchingOrder(const LocalStore& store,
   std::vector<bool> placed(n, false);
 
   // Each vertex's estimate is query-static; compute it once, not once per
-  // greedy round.
+  // greedy round. The fan-out estimate breaks candidate-count ties: between
+  // two equally selective vertices, prefer the one the search reaches
+  // through a lower average (predicate, direction) expansion.
   std::vector<size_t> est(n);
+  std::vector<double> fanout(n);
   for (QVertexId v = 0; v < n; ++v) {
     est[v] = store.EstimateCandidates(rq, v);
+    fanout[v] = store.EstimateExpansionFanout(rq, v);
   }
+  auto better = [&](QVertexId a, QVertexId b) {
+    if (est[a] != est[b]) return est[a] < est[b];
+    return fanout[a] < fanout[b];
+  };
 
   // Start at the most selective vertex.
   QVertexId start = 0;
-  size_t best = static_cast<size_t>(-1);
-  for (QVertexId v = 0; v < n; ++v) {
-    if (est[v] < best) {
-      best = est[v];
-      start = v;
-    }
+  for (QVertexId v = 1; v < n; ++v) {
+    if (better(v, start)) start = v;
   }
   order.push_back(start);
   placed[start] = true;
 
   while (order.size() < n) {
     QVertexId next = static_cast<QVertexId>(-1);
-    size_t next_est = static_cast<size_t>(-1);
     for (QVertexId v = 0; v < n; ++v) {
       if (placed[v]) continue;
       bool adjacent = false;
@@ -299,10 +306,7 @@ std::vector<QVertexId> MatchingOrder(const LocalStore& store,
         }
       }
       if (!adjacent) continue;
-      if (est[v] < next_est) {
-        next_est = est[v];
-        next = v;
-      }
+      if (next == static_cast<QVertexId>(-1) || better(v, next)) next = v;
     }
     // The paper assumes connected queries; a disconnected vertex would never
     // become adjacent, which is a caller error.
@@ -320,18 +324,67 @@ std::vector<Binding> MatchQuery(const LocalStore& store,
   std::vector<Binding> results;
   if (rq.impossible || rq.query->num_vertices() == 0) return results;
 
-  SearchContext ctx;
-  ctx.store = &store;
-  ctx.rq = &rq;
-  ctx.options = &options;
-  ctx.order = MatchingOrder(store, rq);
-  ctx.assigned.assign(rq.query->num_vertices(), false);
-  ctx.binding.assign(rq.query->num_vertices(), kNullTerm);
-  ctx.results = &results;
-  ctx.groups = BuildIncidentEdgeGroups(*rq.query);
-  ctx.domain_scratch.resize(ctx.order.size());
-  Extend(ctx, 0);
-  return results;
+  const size_t n = rq.query->num_vertices();
+  const std::vector<QVertexId> order = MatchingOrder(store, rq);
+  const std::vector<std::vector<ParallelEdgeGroup>> groups =
+      BuildIncidentEdgeGroups(*rq.query);
+
+  auto make_context = [&](std::vector<Binding>* out) {
+    SearchContext ctx;
+    ctx.store = &store;
+    ctx.rq = &rq;
+    ctx.options = &options;
+    ctx.order = &order;
+    ctx.groups = &groups;
+    ctx.assigned.assign(n, false);
+    ctx.binding.assign(n, kNullTerm);
+    ctx.results = out;
+    ctx.domain_scratch.resize(order.size());
+    return ctx;
+  };
+
+  // A finite limit keeps the serial path: splitting an early-exit search
+  // across workers would make the result prefix depend on scheduling.
+  const bool unlimited = options.limit == static_cast<size_t>(-1);
+  ThreadPool* pool = ResolvePool(options.num_threads, options.pool);
+  if (pool == nullptr || !unlimited) {
+    SearchContext ctx = make_context(&results);
+    Extend(ctx, 0);
+    return results;
+  }
+
+  // Parallel path: partition the search across the start vertex's candidate
+  // domain. Each worker slot owns a private SearchContext; each candidate's
+  // subtree writes to its own result vector, concatenated in candidate
+  // order, so the output is byte-identical to the serial loop above
+  // regardless of scheduling.
+  QVertexId v0 = order[0];
+  std::vector<TermId> start_domain;
+  {
+    SearchContext probe = make_context(nullptr);
+    std::span<const TermId> domain = DomainFor(probe, 0, v0);
+    start_domain.assign(domain.begin(), domain.end());
+  }
+
+  size_t max_slots = std::min(options.num_threads, pool->num_workers() + 1);
+  std::vector<SearchContext> contexts;
+  contexts.reserve(max_slots);
+  for (size_t s = 0; s < max_slots; ++s) {
+    contexts.push_back(make_context(nullptr));
+  }
+  return ParallelForConcat<Binding>(
+      *pool, start_domain.size(), options.num_threads,
+      [&](size_t i, size_t slot, std::vector<Binding>* out) {
+        SearchContext& ctx = contexts[slot];
+        TermId u = start_domain[i];
+        ctx.results = out;
+        if (!ConsistentWithAssigned(ctx, v0, u)) return;
+        ctx.binding[v0] = u;
+        ctx.assigned[v0] = true;
+        Extend(ctx, 1);
+        ctx.assigned[v0] = false;
+        ctx.binding[v0] = kNullTerm;
+      });
 }
 
 }  // namespace gstored

@@ -10,6 +10,8 @@
 
 namespace gstored {
 
+class ThreadPool;
+
 /// A total assignment of graph vertices to query vertices: binding[v] is the
 /// image f(v) of query vertex v (Def. 3). Never contains kNullTerm.
 using Binding = std::vector<TermId>;
@@ -21,8 +23,23 @@ struct MatchOptions {
 
   /// Optional per-vertex candidate filter. When set, a graph vertex u is only
   /// considered for query vertex v if filter(v, u) returns true. Used by the
-  /// engine to apply Algorithm 4's candidate bit vectors.
+  /// engine to apply Algorithm 4's candidate bit vectors. With num_threads >
+  /// 1 the filter is invoked concurrently and must be thread-safe (the
+  /// engine's bit-vector probes are read-only, hence safe).
   std::function<bool(QVertexId, TermId)> candidate_filter;
+
+  /// Maximum worker slots for the search. With > 1, the backtracking is
+  /// partitioned across the start vertex's candidates: each slot owns its
+  /// own scratch state and per-candidate result vectors are concatenated in
+  /// candidate order, so the output is byte-identical to a 1-thread run.
+  /// A finite `limit` forces the serial path (an early-exit split would not
+  /// be deterministic).
+  size_t num_threads = 1;
+
+  /// Pool supplying the extra slots; nullptr = ThreadPool::Shared(). The
+  /// calling thread always participates, so a pool busy with other sites
+  /// degrades throughput, never correctness.
+  ThreadPool* pool = nullptr;
 };
 
 /// Finds all homomorphic matches (Def. 3) of the resolved query over the

@@ -1,0 +1,102 @@
+#ifndef GSTORED_UTIL_THREAD_POOL_H_
+#define GSTORED_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gstored {
+
+/// A fixed-size worker pool with a shared task queue and a ParallelFor
+/// helper, used to parallelize the intra-site hot paths (per-site matching
+/// and LPM enumeration) underneath the cluster's per-site thread fan-out.
+///
+/// The scheduling discipline is work-stealing-lite: ParallelFor does not
+/// pre-partition the index space but lets every participant pull the next
+/// index from a shared atomic counter, so skewed per-index costs (one start
+/// candidate exploding, one island mask dominating) balance automatically.
+///
+/// Composition / deadlock freedom: the caller of ParallelFor always
+/// participates as slot 0 and drains the counter itself, so a ParallelFor
+/// completes even when every pool worker is busy serving another site —
+/// queued helper tasks that arrive late simply find the counter exhausted.
+/// Pool workers must never call ParallelFor themselves (no nesting).
+class ThreadPool {
+ public:
+  /// Spawns `num_workers` worker threads (0 is allowed: every ParallelFor
+  /// then degenerates to a serial loop on the caller's thread).
+  explicit ThreadPool(size_t num_workers);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Joins all workers. Pending tasks are still executed before shutdown.
+  ~ThreadPool();
+
+  size_t num_workers() const { return workers_.size(); }
+
+  /// Runs `fn(index, slot)` for every index in [0, n). At most
+  /// min(max_slots, num_workers() + 1, n) participants run concurrently;
+  /// each is handed a dense slot id in [0, participants) so callers can
+  /// pre-allocate per-slot scratch state. The caller's thread is always
+  /// slot 0. Indexes are claimed dynamically from a shared counter;
+  /// `fn` may be invoked for any index from any slot, so per-index outputs
+  /// must be written to per-index (or per-slot) storage. Returns as soon as
+  /// every index has completed — helper tasks still queued behind other
+  /// work at that point self-cancel and never delay the caller.
+  void ParallelFor(size_t n, size_t max_slots,
+                   const std::function<void(size_t index, size_t slot)>& fn);
+
+  /// Process-wide pool shared by every site of the simulated cluster, sized
+  /// to the hardware concurrency. Created on first use, never destroyed
+  /// (workers park on the queue condition variable when idle).
+  static ThreadPool& Shared();
+
+ private:
+  void Enqueue(std::function<void()> task);
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Resolves a caller's (num_threads, pool) options to the pool to use:
+/// nullptr means "run serially" (one slot requested, or no workers to
+/// borrow); otherwise the explicit pool, defaulting to ThreadPool::Shared().
+ThreadPool* ResolvePool(size_t num_threads, ThreadPool* pool);
+
+/// The deterministic fan-out/merge shape shared by the parallel matcher and
+/// LPM enumerator: `fill(index, slot, &out)` appends index `i`'s results to
+/// a private vector, and the per-index vectors are concatenated in ascending
+/// index order after the ParallelFor barrier — so the output is
+/// byte-identical to running `fill` serially in index order. Costs one
+/// (empty) vector per index plus one allocation per *productive* index —
+/// accepted deliberately: the per-index search dominates, and per-slot run
+/// buffers would complicate the determinism argument for marginal gain.
+template <typename T, typename Fill>
+std::vector<T> ParallelForConcat(ThreadPool& pool, size_t n, size_t max_slots,
+                                 Fill&& fill) {
+  std::vector<std::vector<T>> parts(n);
+  pool.ParallelFor(n, max_slots,
+                   [&](size_t i, size_t slot) { fill(i, slot, &parts[i]); });
+  size_t total = 0;
+  for (const auto& part : parts) total += part.size();
+  std::vector<T> out;
+  out.reserve(total);
+  for (auto& part : parts) {
+    out.insert(out.end(), std::make_move_iterator(part.begin()),
+               std::make_move_iterator(part.end()));
+  }
+  return out;
+}
+
+}  // namespace gstored
+
+#endif  // GSTORED_UTIL_THREAD_POOL_H_

@@ -1,0 +1,170 @@
+// Determinism of the worker-pool execution layer: the parallel matcher and
+// LPM enumerator must produce byte-identical outputs (same elements, same
+// order) for every thread count, and the indexed group join graph must equal
+// the all-pairs reference construction on random LPM sets.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "core/assembly.h"
+#include "core/engine.h"
+#include "core/local_partial_match.h"
+#include "partition/partitioners.h"
+#include "store/matcher.h"
+#include "tests/test_fixtures.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace gstored {
+namespace {
+
+using ::gstored::testing::RandomConnectedQuery;
+using ::gstored::testing::RandomDataset;
+
+/// The same randomized scenarios the matcher reference test sweeps.
+struct DetScenario {
+  uint64_t seed;
+  size_t vertices;
+  size_t edges;
+  size_t predicates;
+  size_t query_vertices;
+  size_t query_edges;
+};
+
+class ParallelDeterminism : public ::testing::TestWithParam<DetScenario> {
+ protected:
+  /// One pool for all thread counts; 7 workers cover the 8-slot case even
+  /// on single-core CI machines (the pool parks idle workers).
+  ThreadPool pool_{7};
+};
+
+TEST_P(ParallelDeterminism, MatchQueryByteIdentical) {
+  const DetScenario& s = GetParam();
+  Rng rng(s.seed);
+  auto dataset = RandomDataset(rng, s.vertices, s.edges, s.predicates);
+  QueryGraph query = RandomConnectedQuery(rng, *dataset, s.query_vertices,
+                                          s.query_edges);
+  LocalStore store(&dataset->graph());
+  ResolvedQuery rq = ResolveQuery(query, dataset->dict());
+
+  auto baseline = MatchQuery(store, rq);
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    MatchOptions options;
+    options.num_threads = threads;
+    options.pool = &pool_;
+    EXPECT_EQ(MatchQuery(store, rq, options), baseline)
+        << "threads=" << threads << " query: " << query.ToString();
+  }
+}
+
+TEST_P(ParallelDeterminism, LpmEnumerationAndAssemblyByteIdentical) {
+  const DetScenario& s = GetParam();
+  Rng rng(s.seed);
+  auto dataset = RandomDataset(rng, s.vertices, s.edges, s.predicates);
+  QueryGraph query = RandomConnectedQuery(rng, *dataset, s.query_vertices,
+                                          s.query_edges);
+  Partitioning partitioning = HashPartitioner().Partition(*dataset, 3);
+  ResolvedQuery rq = ResolveQuery(query, dataset->dict());
+
+  auto enumerate_all = [&](size_t threads) {
+    std::vector<LocalPartialMatch> lpms;
+    for (const Fragment& fragment : partitioning.fragments()) {
+      LocalStore store(&fragment.graph());
+      EnumerateOptions options;
+      options.num_threads = threads;
+      options.pool = &pool_;
+      auto fragment_lpms =
+          EnumerateLocalPartialMatches(fragment, store, rq, options);
+      lpms.insert(lpms.end(),
+                  std::make_move_iterator(fragment_lpms.begin()),
+                  std::make_move_iterator(fragment_lpms.end()));
+    }
+    return lpms;
+  };
+
+  auto baseline = enumerate_all(1);
+  auto baseline_matches = LecAssembly(baseline, query.num_vertices());
+  for (size_t threads : {size_t{2}, size_t{8}}) {
+    auto lpms = enumerate_all(threads);
+    EXPECT_EQ(lpms, baseline) << "threads=" << threads;
+    EXPECT_EQ(LecAssembly(lpms, query.num_vertices()), baseline_matches)
+        << "threads=" << threads;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ParallelDeterminism,
+    ::testing::Values(DetScenario{1, 10, 30, 3, 2, 2},
+                      DetScenario{2, 10, 40, 2, 3, 3},
+                      DetScenario{3, 12, 25, 4, 3, 4},
+                      DetScenario{4, 8, 60, 2, 3, 5},   // dense, parallel
+                      DetScenario{5, 6, 40, 3, 4, 6},   // multi-edge heavy
+                      DetScenario{6, 14, 20, 5, 3, 3},  // sparse
+                      DetScenario{7, 9, 50, 1, 3, 4},   // single predicate
+                      DetScenario{8, 8, 35, 3, 4, 4},
+                      DetScenario{9, 11, 45, 4, 3, 5},
+                      DetScenario{10, 7, 30, 2, 4, 5}));
+
+/// The indexed group join graph must be exactly the all-pairs graph — same
+/// adjacency lists, same edge count — with no more probes.
+TEST(GroupJoinGraphTest, IndexedEqualsAllPairsOnRandomLpmSets) {
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    Rng rng(seed * 7919);
+    auto dataset = RandomDataset(rng, 14, 45, 3);
+    QueryGraph query = RandomConnectedQuery(rng, *dataset, 4, 5);
+    Partitioning partitioning = HashPartitioner().Partition(*dataset, 3);
+    ResolvedQuery rq = ResolveQuery(query, dataset->dict());
+
+    std::vector<LocalPartialMatch> lpms;
+    for (const Fragment& fragment : partitioning.fragments()) {
+      LocalStore store(&fragment.graph());
+      auto fragment_lpms = EnumerateLocalPartialMatches(fragment, store, rq);
+      lpms.insert(lpms.end(),
+                  std::make_move_iterator(fragment_lpms.begin()),
+                  std::make_move_iterator(fragment_lpms.end()));
+    }
+    auto groups = GroupLpmsBySign(lpms);
+
+    AssemblyStats indexed_stats;
+    AssemblyStats all_pairs_stats;
+    auto indexed = BuildGroupJoinGraph(lpms, groups, &indexed_stats);
+    auto all_pairs =
+        BuildGroupJoinGraphAllPairs(lpms, groups, &all_pairs_stats);
+    EXPECT_EQ(indexed, all_pairs) << "seed=" << seed;
+    EXPECT_EQ(indexed_stats.num_join_graph_edges,
+              all_pairs_stats.num_join_graph_edges)
+        << "seed=" << seed;
+    EXPECT_LE(indexed_stats.join_attempts, all_pairs_stats.join_attempts)
+        << "seed=" << seed;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForVisitsEveryIndexOnce) {
+  ThreadPool pool(3);
+  constexpr size_t kN = 1000;
+  std::vector<std::atomic<int>> visits(kN);
+  std::atomic<size_t> max_slot{0};
+  pool.ParallelFor(kN, 4, [&](size_t i, size_t slot) {
+    visits[i].fetch_add(1);
+    size_t seen = max_slot.load();
+    while (slot > seen && !max_slot.compare_exchange_weak(seen, slot)) {
+    }
+  });
+  for (size_t i = 0; i < kN; ++i) EXPECT_EQ(visits[i].load(), 1) << i;
+  EXPECT_LT(max_slot.load(), 4u);
+}
+
+TEST(ThreadPoolTest, ZeroWorkersRunsSerially) {
+  ThreadPool pool(0);
+  std::vector<size_t> order;
+  pool.ParallelFor(5, 8, [&](size_t i, size_t slot) {
+    EXPECT_EQ(slot, 0u);
+    order.push_back(i);
+  });
+  EXPECT_EQ(order, (std::vector<size_t>{0, 1, 2, 3, 4}));
+}
+
+}  // namespace
+}  // namespace gstored
