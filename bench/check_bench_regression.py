@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""CI smoke gate against benchmark regressions.
+
+Compares a google-benchmark JSON results file against a committed baseline
+and fails (exit 1) when any gated benchmark's cpu_time regresses by more
+than the threshold. The baseline carries absolute nanoseconds from a known
+machine, so the threshold is deliberately loose — the gate exists to catch
+order-of-magnitude mistakes (an accidentally quadratic hot path, a debug
+assert left in a loop), not single-digit-percent drift.
+
+Usage:
+  check_bench_regression.py --baseline bench/baseline_ci.json \
+      --results results.json [--threshold 0.30]
+
+Regenerate the baseline by running the bench with --benchmark_format=json
+on a quiet machine and copying each gated benchmark's cpu_time.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_times(path):
+    """Returns {benchmark name: cpu nanoseconds}, keeping the best (minimum)
+    observation per name. With --benchmark_repetitions google-benchmark
+    emits one entry per repetition plus aggregates ("name_mean", ...); the
+    minimum over repetitions is the noise-resistant statistic to gate on,
+    and aggregate rows are dropped."""
+    with open(path) as f:
+        doc = json.load(f)
+    times = {}
+    for bench in doc["benchmarks"]:
+        # Both google-benchmark output ("cpu_time" + "time_unit") and the
+        # hand-written baseline ("cpu_time_ns") are accepted.
+        if bench.get("run_type") == "aggregate":
+            continue
+        name = bench.get("run_name", bench["name"])
+        if "cpu_time_ns" in bench:
+            ns = float(bench["cpu_time_ns"])
+        else:
+            unit = bench.get("time_unit", "ns")
+            scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[unit]
+            ns = float(bench["cpu_time"]) * scale
+        times[name] = min(ns, times.get(name, float("inf")))
+    return times
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--results", required=True)
+    parser.add_argument("--threshold", type=float, default=0.30,
+                        help="allowed fractional regression (default 0.30)")
+    args = parser.parse_args()
+
+    baseline = load_times(args.baseline)
+    results = load_times(args.results)
+
+    failures = []
+    print(f"{'benchmark':<28} {'baseline':>12} {'current':>12} {'ratio':>8}")
+    for name, base_ns in sorted(baseline.items()):
+        if name not in results:
+            failures.append(f"{name}: missing from results")
+            print(f"{name:<28} {base_ns:>10.0f}ns {'MISSING':>12}")
+            continue
+        cur_ns = results[name]
+        ratio = cur_ns / base_ns
+        verdict = "" if ratio <= 1.0 + args.threshold else "  REGRESSED"
+        print(f"{name:<28} {base_ns:>10.0f}ns {cur_ns:>10.0f}ns "
+              f"{ratio:>8.2f}{verdict}")
+        if ratio > 1.0 + args.threshold:
+            failures.append(
+                f"{name}: {cur_ns:.0f}ns vs baseline {base_ns:.0f}ns "
+                f"({ratio:.2f}x > {1.0 + args.threshold:.2f}x)")
+
+    if failures:
+        print("\nbenchmark regression gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("\nbenchmark regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,5 +1,9 @@
 #include "core/candidate_exchange.h"
 
+#include <algorithm>
+#include <cmath>
+
+#include "store/stats.h"
 #include "util/logging.h"
 
 namespace gstored {
@@ -7,7 +11,7 @@ namespace gstored {
 CandidateExchange ExchangeInternalCandidates(
     const Partitioning& partitioning,
     const std::vector<const LocalStore*>& stores, const ResolvedQuery& rq,
-    SimulatedCluster& cluster, size_t filter_bits) {
+    SimulatedCluster& cluster, const CandidateExchangeOptions& options) {
   const QueryGraph& q = *rq.query;
   size_t n = q.num_vertices();
   int num_sites = cluster.num_sites();
@@ -16,40 +20,105 @@ CandidateExchange ExchangeInternalCandidates(
                    partitioning.num_fragments());
 
   CandidateExchange result;
-  result.filters.assign(n, BitvectorFilter(filter_bits));
+  result.exchanged.assign(n, false);
+  for (QVertexId v = 0; v < n; ++v) {
+    result.exchanged[v] = q.vertex(v).is_variable;
+  }
+  size_t variable_count = 0;
+  for (QVertexId v = 0; v < n; ++v) {
+    if (q.vertex(v).is_variable) ++variable_count;
+  }
 
-  // Site side of Alg. 4 (lines 10-15): compute internal candidates per
-  // variable and fold them into the site's bit vectors.
-  std::vector<std::vector<BitvectorFilter>> site_filters(
-      num_sites, std::vector<BitvectorFilter>(n, BitvectorFilter(filter_bits)));
+  // ---- Statistics pre-phase: per-variable candidate estimates go up, the
+  // skip bitmap comes back. Variables whose global estimate is unselective
+  // keep no filter (their saturated vectors would prune nothing).
+  if (options.use_statistics && variable_count > 0) {
+    std::vector<std::vector<double>> site_estimates(
+        num_sites, std::vector<double>(n, 0.0));
+    StageRun stats_run = cluster.RunStage([&](int site) {
+      SelectivityEstimator estimator(&stores[site]->stats(), &rq);
+      for (QVertexId v = 0; v < n; ++v) {
+        if (!q.vertex(v).is_variable) continue;
+        site_estimates[site][v] = estimator.VertexCardinality(v);
+      }
+    });
+    result.stage_millis += stats_run.max_millis;
+
+    // Skip once the expected fill 1 - exp(-candidates / bits) would pass
+    // max_fill, i.e. candidates > -bits * ln(1 - max_fill).
+    double fill = std::clamp(options.max_fill, 0.0, 1.0 - 1e-9);
+    double budget =
+        -static_cast<double>(options.filter_bits) * std::log1p(-fill);
+    for (QVertexId v = 0; v < n; ++v) {
+      if (!q.vertex(v).is_variable) continue;
+      double sum = 0.0;
+      for (int site = 0; site < num_sites; ++site) {
+        sum += site_estimates[site][v];
+      }
+      if (sum > budget) result.exchanged[v] = false;
+    }
+    // Estimates up (one double per variable per site), skip bitmap down.
+    result.shipment_bytes +=
+        static_cast<size_t>(num_sites) * variable_count * sizeof(double) +
+        static_cast<size_t>(num_sites) * ((n + 7) / 8);
+  }
+
+  size_t exchanged_count = 0;
+  for (QVertexId v = 0; v < n; ++v) {
+    if (result.exchanged[v]) ++exchanged_count;
+  }
+
+  // ---- Site side of Alg. 4 (lines 10-15): compute internal candidates per
+  // exchanged variable and fold them into the site's bit vectors. Constants
+  // and skipped variables are never inserted, unioned or shipped, so they
+  // get placeholder 1-bit vectors instead of full-length dead allocations.
+  auto make_filter_row = [&] {
+    std::vector<BitvectorFilter> row;
+    row.reserve(n);
+    for (QVertexId v = 0; v < n; ++v) {
+      row.emplace_back(result.exchanged[v] ? options.filter_bits : 1);
+    }
+    return row;
+  };
+  result.filters = make_filter_row();
+  std::vector<std::vector<BitvectorFilter>> site_filters(num_sites,
+                                                         make_filter_row());
   StageRun run = cluster.RunStage([&](int site) {
     const Fragment& fragment = partitioning.fragments()[site];
     std::vector<TermId> candidates;  // reused across the site's variables
     for (QVertexId v = 0; v < n; ++v) {
-      if (!q.vertex(v).is_variable) continue;
+      if (!result.exchanged[v]) continue;
       stores[site]->CandidatesInto(rq, v, &candidates);
       for (TermId u : candidates) {
         if (fragment.IsInternal(u)) site_filters[site][v].Insert(u);
       }
     }
   });
-  result.stage_millis = run.max_millis;
+  result.stage_millis += run.max_millis;
 
   // Coordinator side (lines 1-8): union the vectors and broadcast.
-  size_t variable_count = 0;
   for (QVertexId v = 0; v < n; ++v) {
-    if (!q.vertex(v).is_variable) continue;
-    ++variable_count;
+    if (!result.exchanged[v]) continue;
     for (int site = 0; site < num_sites; ++site) {
       result.filters[v].UnionWith(site_filters[site][v]);
     }
   }
-  size_t per_vector = BitvectorFilter(filter_bits).ByteSize();
+  size_t per_vector = BitvectorFilter(options.filter_bits).ByteSize();
   // Upload (sites -> coordinator) plus broadcast (coordinator -> sites).
-  result.shipment_bytes =
-      2 * static_cast<size_t>(num_sites) * variable_count * per_vector;
+  result.shipment_bytes +=
+      2 * static_cast<size_t>(num_sites) * exchanged_count * per_vector;
   cluster.ledger().Add(kCandidateStage, result.shipment_bytes);
   return result;
+}
+
+CandidateExchange ExchangeInternalCandidates(
+    const Partitioning& partitioning,
+    const std::vector<const LocalStore*>& stores, const ResolvedQuery& rq,
+    SimulatedCluster& cluster, size_t filter_bits) {
+  CandidateExchangeOptions options;
+  options.filter_bits = filter_bits;
+  return ExchangeInternalCandidates(partitioning, stores, rq, cluster,
+                                    options);
 }
 
 }  // namespace gstored

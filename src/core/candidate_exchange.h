@@ -14,31 +14,59 @@ namespace gstored {
 /// Ledger stage label under which Alg. 4 traffic is recorded.
 inline constexpr char kCandidateStage[] = "candidates";
 
+/// Knobs of Algorithm 4's exchange protocol.
+struct CandidateExchangeOptions {
+  /// Length of each hashed bit vector.
+  size_t filter_bits = BitvectorFilter::kDefaultBits;
+
+  /// Statistics pre-phase: every site ships one 8-byte candidate estimate
+  /// per variable (from its GraphStatistics selectivity model) and the
+  /// coordinator skips the bit vectors of variables whose expected filter
+  /// fill ratio 1 - exp(-candidates / bits) exceeds max_fill: a saturated
+  /// vector passes (almost) everything, so shipping it costs
+  /// 2 x sites x vector bytes and prunes nothing. Filters that would stay
+  /// below the threshold are exchanged exactly as before.
+  bool use_statistics = true;
+  double max_fill = 0.75;
+};
+
 /// Result of Algorithm 4 ("assembling variables' internal candidates").
 struct CandidateExchange {
-  /// One OR-ed filter per query vertex (meaningful for variables; constants
-  /// keep an empty filter that is never consulted).
+  /// One OR-ed filter per query vertex (meaningful for exchanged variables;
+  /// constants and skipped variables keep a placeholder 1-bit filter that
+  /// must not be consulted).
   std::vector<BitvectorFilter> filters;
-  /// Bytes shipped: every site uploads one bit vector per variable and the
-  /// coordinator broadcasts the unions back.
+  /// exchanged[v] is true when v's filter was actually assembled. Skipped
+  /// variables must be treated as "may contain anything" — the one-sided
+  /// error guarantee only covers exchanged variables.
+  std::vector<bool> exchanged;
+  /// Bytes shipped: the statistics pre-phase (estimates up, the skip bitmap
+  /// back down), then one bit vector per exchanged variable per site up and
+  /// the unions broadcast back.
   size_t shipment_bytes = 0;
-  /// Response time of the stage (slowest site).
+  /// Response time of the stage (slowest site, both phases).
   double stage_millis = 0.0;
 };
 
 /// Runs Algorithm 4 over the cluster: each site computes the internal
-/// candidates C(Q, v) of every variable, compresses them into a fixed-length
-/// hashed bit vector, and ships it to the coordinator; the coordinator ORs
-/// the per-site vectors and broadcasts the result. The returned filters have
-/// one-sided error: any vertex appearing in a final match is guaranteed to
-/// pass, so using them to restrict extended-vertex assignments is safe.
+/// candidates C(Q, v) of every exchanged variable, compresses them into a
+/// fixed-length hashed bit vector, and ships it to the coordinator; the
+/// coordinator ORs the per-site vectors and broadcasts the result. The
+/// returned filters have one-sided error: any vertex appearing in a final
+/// match is guaranteed to pass, so using them to restrict extended-vertex
+/// assignments is safe (skipped variables simply stay unfiltered).
 ///
 /// `stores[i]` must be the LocalStore of fragment i.
 CandidateExchange ExchangeInternalCandidates(
     const Partitioning& partitioning,
     const std::vector<const LocalStore*>& stores, const ResolvedQuery& rq,
-    SimulatedCluster& cluster,
-    size_t filter_bits = BitvectorFilter::kDefaultBits);
+    SimulatedCluster& cluster, const CandidateExchangeOptions& options = {});
+
+/// Back-compat convenience overload: filter length only, defaults otherwise.
+CandidateExchange ExchangeInternalCandidates(
+    const Partitioning& partitioning,
+    const std::vector<const LocalStore*>& stores, const ResolvedQuery& rq,
+    SimulatedCluster& cluster, size_t filter_bits);
 
 }  // namespace gstored
 

@@ -60,8 +60,10 @@ std::vector<Binding> DistributedEngine::Execute(const QueryGraph& query,
     std::vector<const LocalStore*> store_ptrs;
     store_ptrs.reserve(num_sites);
     for (const auto& s : stores_) store_ptrs.push_back(s.get());
+    CandidateExchangeOptions exchange_options;
+    exchange_options.use_statistics = options_.use_statistics;
     exchange = ExchangeInternalCandidates(*partitioning_, store_ptrs, rq,
-                                          cluster_);
+                                          cluster_, exchange_options);
     stats->candidate_time_ms = exchange.stage_millis;
     stats->candidate_shipment_bytes = exchange.shipment_bytes;
     use_filter = true;
@@ -76,15 +78,19 @@ std::vector<Binding> DistributedEngine::Execute(const QueryGraph& query,
   MatchOptions match_options;
   match_options.num_threads = options_.num_threads;
   match_options.pool = &cluster_.intra_site_pool();
+  match_options.use_statistics = options_.use_statistics;
 
   EnumerateOptions enum_options;
   enum_options.num_threads = options_.num_threads;
   enum_options.pool = &cluster_.intra_site_pool();
+  enum_options.use_statistics = options_.use_statistics;
   if (use_filter) {
     // Read-only probes of the exchanged bit vectors — safe to call from the
-    // intra-site worker slots.
+    // intra-site worker slots. Variables skipped by the exchange's
+    // statistics pre-phase carry no filter and pass everything.
     enum_options.extended_filter = [&](QVertexId v, TermId u) {
       if (!query.vertex(v).is_variable) return true;
+      if (!exchange.exchanged[v]) return true;
       return exchange.filters[v].MayContain(u);
     };
   }

@@ -39,6 +39,14 @@ struct EngineOptions {
   /// bounded by the hardware regardless of the number of sites; results are
   /// byte-identical across thread counts.
   size_t num_threads = 1;
+
+  /// Drive matching orders, LPM unit orders and the candidate-exchange
+  /// skip decision with the per-site GraphStatistics selectivity model.
+  /// false reverts to the pre-statistics heuristics (greedy candidate
+  /// counts, BFS unit orders, exchange every variable) — the ablation
+  /// baseline. Results are identical either way; only enumeration cost and
+  /// shipment volume change.
+  bool use_statistics = true;
 };
 
 /// Ledger stage labels.

@@ -167,8 +167,8 @@ void Extend(IslandSearch& ctx, size_t depth) {
 /// Builds the search order for one island mask: island vertices in a
 /// BFS-through-island order (so each has an assigned island pivot), then the
 /// boundary vertices (each adjacent to the island by construction).
-std::vector<QVertexId> BuildOrder(const QueryGraph& q, uint32_t island_mask,
-                                  uint32_t boundary_mask) {
+std::vector<QVertexId> BuildOrderBfs(const QueryGraph& q, uint32_t island_mask,
+                                     uint32_t boundary_mask) {
   std::vector<QVertexId> order;
   uint32_t start_bit = island_mask & (~island_mask + 1);
   QVertexId start = static_cast<QVertexId>(__builtin_ctz(start_bit));
@@ -187,6 +187,61 @@ std::vector<QVertexId> BuildOrder(const QueryGraph& q, uint32_t island_mask,
   for (QVertexId v = 0; v < q.num_vertices(); ++v) {
     if (boundary_mask & (uint32_t{1} << v)) order.push_back(v);
   }
+  return order;
+}
+
+/// Statistics-driven unit order: the cheapest-cardinality island vertex
+/// first, then greedily the adjacent island vertex with the smallest
+/// estimated per-row expansion (same cost model as MatchingOrder, restricted
+/// to relevant edges), then the boundary vertices, likewise cheapest
+/// estimated expansion first. Connectivity invariants match the BFS order:
+/// every island vertex after the first is adjacent to a placed island
+/// vertex, every boundary vertex to the island.
+std::vector<QVertexId> BuildOrderByCost(
+    const QueryGraph& q, uint32_t island_mask, uint32_t boundary_mask,
+    const SelectivityEstimator& estimator,
+    const std::function<bool(QEdgeId)>& relevant) {
+  const size_t n = q.num_vertices();
+  std::vector<QVertexId> order;
+  std::vector<bool> placed(n, false);
+
+  auto in_mask = [](uint32_t mask, QVertexId v) {
+    return (mask & (uint32_t{1} << v)) != 0;
+  };
+
+  QVertexId start = static_cast<QVertexId>(-1);
+  double start_card = 0.0;
+  for (QVertexId v = 0; v < n; ++v) {
+    if (!in_mask(island_mask, v)) continue;
+    double card = estimator.VertexCardinality(v);
+    if (start == static_cast<QVertexId>(-1) || card < start_card) {
+      start = v;
+      start_card = card;
+    }
+  }
+  order.push_back(start);
+  placed[start] = true;
+
+  auto append_greedy = [&](uint32_t mask) {
+    size_t remaining = 0;
+    for (QVertexId v = 0; v < n; ++v) {
+      if (in_mask(mask, v) && !placed[v]) ++remaining;
+    }
+    while (remaining > 0) {
+      QVertexId next = estimator.PickCheapestExtension(
+          placed, [&](QVertexId v) { return in_mask(mask, v); }, relevant,
+          start);
+      GSTORED_CHECK(next != SelectivityEstimator::kNoVertex);
+      order.push_back(next);
+      placed[next] = true;
+      --remaining;
+    }
+  };
+  // The island is connected through its own edges (MaskConnected) and every
+  // boundary vertex touches the island, so both phases always find an
+  // adjacent next vertex.
+  append_greedy(island_mask);
+  append_greedy(boundary_mask);
   return order;
 }
 
@@ -212,7 +267,17 @@ void SearchIslandMask(const Fragment& fragment, const LocalStore& store,
     ctx.in_island[v] = (island_mask & bit) != 0;
     ctx.in_matched[v] = ((island_mask | boundary_mask) & bit) != 0;
   }
-  ctx.order = BuildOrder(q, island_mask, boundary_mask);
+  if (options.use_statistics) {
+    // One estimator per mask: it memoizes characteristic-set probes and must
+    // not be shared across the pool's worker slots.
+    SelectivityEstimator estimator(&store.stats(), &rq);
+    ctx.order = BuildOrderByCost(q, island_mask, boundary_mask, estimator,
+                                 [&](QEdgeId eid) {
+                                   return EdgeRelevant(ctx, q.edge(eid));
+                                 });
+  } else {
+    ctx.order = BuildOrderBfs(q, island_mask, boundary_mask);
+  }
   ctx.island_count = static_cast<size_t>(__builtin_popcount(island_mask));
   ctx.assigned.assign(n, false);
   ctx.binding.assign(n, kNullTerm);

@@ -83,6 +83,13 @@ struct EnumerateOptions {
 
   /// Pool supplying the extra slots; nullptr = ThreadPool::Shared().
   ThreadPool* pool = nullptr;
+
+  /// Order each island unit's backtracking by the statistics cost model
+  /// (smallest estimated cardinality first, then cheapest estimated
+  /// expansion), instead of the plain BFS-through-island order. The match
+  /// set per unit is identical either way; only enumeration cost and the
+  /// within-unit emission order change.
+  bool use_statistics = true;
 };
 
 /// Enumerates every local partial match of the resolved query in `fragment`

@@ -88,6 +88,14 @@ class RdfGraph {
 
   size_t num_vertices() const { return vertices_.size(); }
 
+  /// One past the largest vertex id (0 for an empty graph): the dense-array
+  /// bound for id-indexed side structures (signatures, statistics), so
+  /// builders need no max-id scan of their own.
+  size_t vertex_id_bound() const {
+    GSTORED_CHECK(finalized_);
+    return out_offsets_.empty() ? 0 : out_offsets_.size() - 1;
+  }
+
   bool HasVertex(TermId v) const;
 
   // The lookups below are defined inline (after the class) — they are the

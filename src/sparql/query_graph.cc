@@ -142,6 +142,21 @@ ResolvedQuery ResolveQuery(const QueryGraph& query, const TermDict& dict) {
       resolved.edge_pred[e] = id;
     }
   }
+  // Two parallel patterns on the same directed pair with the same constant
+  // predicate can never map onto distinct data edge labels (Def. 3's
+  // injectivity), so the query is statically unsatisfiable.
+  for (QEdgeId a = 0; a < query.num_edges() && !resolved.impossible; ++a) {
+    if (resolved.edge_pred[a] == kNullTerm) continue;
+    const QueryEdge& ea = query.edge(a);
+    for (QEdgeId b = a + 1; b < query.num_edges(); ++b) {
+      const QueryEdge& eb = query.edge(b);
+      if (ea.from == eb.from && ea.to == eb.to &&
+          resolved.edge_pred[a] == resolved.edge_pred[b]) {
+        resolved.impossible = true;
+        break;
+      }
+    }
+  }
   return resolved;
 }
 

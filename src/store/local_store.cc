@@ -35,26 +35,9 @@ LocalStore::LocalStore(const RdfGraph* graph) : graph_(graph) {
               pred_os_.begin() + pred_offsets_[p + 1]);
   }
 
-  // Distinct endpoint counts per predicate: both tables are sorted by their
-  // leading endpoint, so one run-length pass suffices.
-  pred_distinct_subjects_.assign(num_preds, 0);
-  pred_distinct_objects_.assign(num_preds, 0);
-  for (size_t p = 0; p < num_preds; ++p) {
-    for (size_t i = pred_offsets_[p]; i < pred_offsets_[p + 1]; ++i) {
-      if (i == pred_offsets_[p] || pred_so_[i].first != pred_so_[i - 1].first) {
-        ++pred_distinct_subjects_[p];
-      }
-      if (i == pred_offsets_[p] || pred_os_[i].first != pred_os_[i - 1].first) {
-        ++pred_distinct_objects_[p];
-      }
-    }
-  }
+  stats_ = std::make_unique<GraphStatistics>(graph_);
 
-  size_t max_id = 0;
-  for (TermId v : graph_->vertices()) {
-    max_id = std::max<size_t>(max_id, v);
-  }
-  signatures_.assign(graph_->vertices().empty() ? 0 : max_id + 1, 0);
+  signatures_.assign(graph_->vertex_id_bound(), 0);
   for (TermId v : graph_->vertices()) {
     uint64_t sig = 0;
     // One directory entry per distinct incident predicate — cheaper than
@@ -209,19 +192,11 @@ void LocalStore::CandidatesInto(const ResolvedQuery& rq, QVertexId v,
 }
 
 double LocalStore::AvgOutFanout(TermId p) const {
-  if (static_cast<size_t>(p) >= pred_distinct_subjects_.size() ||
-      pred_distinct_subjects_[p] == 0) {
-    return 0.0;
-  }
-  return static_cast<double>(PredicateCount(p)) / pred_distinct_subjects_[p];
+  return stats_->AvgOutFanout(p);
 }
 
 double LocalStore::AvgInFanout(TermId p) const {
-  if (static_cast<size_t>(p) >= pred_distinct_objects_.size() ||
-      pred_distinct_objects_[p] == 0) {
-    return 0.0;
-  }
-  return static_cast<double>(PredicateCount(p)) / pred_distinct_objects_[p];
+  return stats_->AvgInFanout(p);
 }
 
 double LocalStore::EstimateExpansionFanout(const ResolvedQuery& rq,

@@ -2,12 +2,14 @@
 #define GSTORED_STORE_LOCAL_STORE_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <utility>
 #include <vector>
 
 #include "rdf/graph.h"
 #include "sparql/query_graph.h"
+#include "store/stats.h"
 
 namespace gstored {
 
@@ -33,6 +35,11 @@ class LocalStore {
   LocalStore(LocalStore&&) = default;
 
   const RdfGraph& graph() const { return *graph_; }
+
+  /// Aggregate index statistics of the graph (per-predicate cardinalities,
+  /// fan-out histograms, characteristic sets), built once at load time and
+  /// driving the matcher's selectivity cost model.
+  const GraphStatistics& stats() const { return *stats_; }
 
   /// Number of triples whose predicate is `p`. O(1).
   size_t PredicateCount(TermId p) const;
@@ -68,15 +75,16 @@ class LocalStore {
 
   /// Average number of objects reached when expanding one subject through
   /// predicate `p` (triples(p) / distinct subjects of p), and the symmetric
-  /// in-direction average. 0 for unused predicates. O(1): the distinct
-  /// endpoint counts are precomputed from the predicate tables.
+  /// in-direction average, computed in double so sub-1.0 fan-outs of rare
+  /// predicates stay distinguishable. 0 for unused predicates. O(1):
+  /// delegates to the precomputed statistics.
   double AvgOutFanout(TermId p) const;
   double AvgInFanout(TermId p) const;
 
   /// Expected expansion fan-out when the matcher reaches query vertex `v`
   /// through its cheapest incident constant-predicate pattern: the minimum,
   /// over those patterns, of the (predicate, direction) average fan-out
-  /// toward v. Used by MatchingOrder as a tie-break when candidate-count
+  /// toward v. Used by MatchingOrderGreedy as a tie-break when candidate
   /// estimates are equal. Vertices with no constant-predicate incident
   /// pattern report the graph's vertex count (no information).
   double EstimateExpansionFanout(const ResolvedQuery& rq, QVertexId v) const;
@@ -94,10 +102,8 @@ class LocalStore {
   std::vector<uint32_t> pred_offsets_;
   std::vector<std::pair<TermId, TermId>> pred_so_;
   std::vector<std::pair<TermId, TermId>> pred_os_;
-  // Distinct subjects / objects per predicate, for fan-out estimates.
-  std::vector<uint32_t> pred_distinct_subjects_;
-  std::vector<uint32_t> pred_distinct_objects_;
   std::vector<uint64_t> signatures_;  // indexed by term id
+  std::unique_ptr<GraphStatistics> stats_;
 };
 
 }  // namespace gstored

@@ -264,8 +264,8 @@ bool VerifyMatch(const RdfGraph& graph, const ResolvedQuery& rq,
   return true;
 }
 
-std::vector<QVertexId> MatchingOrder(const LocalStore& store,
-                                     const ResolvedQuery& rq) {
+std::vector<QVertexId> MatchingOrderGreedy(const LocalStore& store,
+                                           const ResolvedQuery& rq) {
   const QueryGraph& q = *rq.query;
   size_t n = q.num_vertices();
   std::vector<QVertexId> order;
@@ -318,6 +318,92 @@ std::vector<QVertexId> MatchingOrder(const LocalStore& store,
   return order;
 }
 
+std::vector<QVertexId> MatchingOrder(const LocalStore& store,
+                                     const ResolvedQuery& rq,
+                                     bool use_statistics) {
+  if (!use_statistics) return MatchingOrderGreedy(store, rq);
+  const QueryGraph& q = *rq.query;
+  size_t n = q.num_vertices();
+  SelectivityEstimator estimator(&store.stats(), &rq);
+
+  std::vector<double> card(n);
+  for (QVertexId v = 0; v < n; ++v) card[v] = estimator.VertexCardinality(v);
+
+  // One greedy order per candidate start vertex: from a fixed start, append
+  // the adjacent vertex whose expected per-row expansion is smallest. The
+  // running product of those fan-outs estimates each prefix's intermediate-
+  // result size; the order's cost is their sum — the number of partial
+  // assignments the backtracking search is expected to touch. The cheapest
+  // start wins (a small candidate set is worthless when every expansion out
+  // of it explodes, so the start choice must price the whole prefix).
+  std::vector<QVertexId> best_order;
+  double best_cost = 0.0;
+  std::vector<QVertexId> order;
+  std::vector<bool> placed(n, false);
+  for (QVertexId start = 0; start < n; ++start) {
+    order.clear();
+    placed.assign(n, false);
+    order.push_back(start);
+    placed[start] = true;
+    double rows = card[start];
+    double total = rows;
+    while (order.size() < n) {
+      double next_ext = 0.0;
+      QVertexId next = estimator.PickCheapestExtension(
+          placed, nullptr, nullptr, start, &next_ext);
+      GSTORED_CHECK_MSG(next != SelectivityEstimator::kNoVertex,
+                        "query graph must be connected");
+      order.push_back(next);
+      placed[next] = true;
+      rows *= next_ext;
+      total += rows;
+    }
+    if (best_order.empty() || total < best_cost) {
+      best_order = order;
+      best_cost = total;
+    }
+  }
+  return best_order;
+}
+
+size_t CountIntermediateResults(const LocalStore& store,
+                                const ResolvedQuery& rq,
+                                std::span<const QVertexId> order) {
+  if (rq.impossible || order.empty()) return 0;
+  const std::vector<QVertexId> order_vec(order.begin(), order.end());
+  const std::vector<std::vector<ParallelEdgeGroup>> groups =
+      BuildIncidentEdgeGroups(*rq.query);
+  const MatchOptions options;  // unlimited, no filter
+
+  SearchContext ctx;
+  ctx.store = &store;
+  ctx.rq = &rq;
+  ctx.options = &options;
+  ctx.order = &order_vec;
+  ctx.groups = &groups;
+  ctx.assigned.assign(rq.query->num_vertices(), false);
+  ctx.binding.assign(rq.query->num_vertices(), kNullTerm);
+  ctx.results = nullptr;
+  ctx.domain_scratch.resize(order.size());
+
+  size_t nodes = 0;
+  auto count = [&](auto&& self, size_t depth) -> void {
+    if (depth == order.size()) return;
+    QVertexId v = order[depth];
+    for (TermId u : DomainFor(ctx, depth, v)) {
+      if (!ConsistentWithAssigned(ctx, v, u)) continue;
+      ++nodes;
+      ctx.binding[v] = u;
+      ctx.assigned[v] = true;
+      self(self, depth + 1);
+      ctx.assigned[v] = false;
+      ctx.binding[v] = kNullTerm;
+    }
+  };
+  count(count, 0);
+  return nodes;
+}
+
 std::vector<Binding> MatchQuery(const LocalStore& store,
                                 const ResolvedQuery& rq,
                                 const MatchOptions& options) {
@@ -325,7 +411,8 @@ std::vector<Binding> MatchQuery(const LocalStore& store,
   if (rq.impossible || rq.query->num_vertices() == 0) return results;
 
   const size_t n = rq.query->num_vertices();
-  const std::vector<QVertexId> order = MatchingOrder(store, rq);
+  const std::vector<QVertexId> order =
+      MatchingOrder(store, rq, options.use_statistics);
   const std::vector<std::vector<ParallelEdgeGroup>> groups =
       BuildIncidentEdgeGroups(*rq.query);
 

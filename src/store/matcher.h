@@ -40,6 +40,12 @@ struct MatchOptions {
   /// calling thread always participates, so a pool busy with other sites
   /// degrades throughput, never correctness.
   ThreadPool* pool = nullptr;
+
+  /// Order the search by the statistics cost model (estimated intermediate-
+  /// result sizes from the store's GraphStatistics). false falls back to the
+  /// greedy candidate-count heuristic. The match set is identical either
+  /// way; only enumeration cost and result order change.
+  bool use_statistics = true;
 };
 
 /// Finds all homomorphic matches (Def. 3) of the resolved query over the
@@ -107,11 +113,32 @@ std::vector<std::vector<ParallelEdgeGroup>> BuildIncidentEdgeGroups(
 bool VerifyMatch(const RdfGraph& graph, const ResolvedQuery& rq,
                  const Binding& binding);
 
-/// Computes a query-vertex elimination order: starts from the vertex with
-/// the fewest estimated candidates and repeatedly appends the cheapest
-/// unordered vertex adjacent to the ordered prefix. Exposed for testing.
+/// Computes a query-vertex elimination order from the store's statistics:
+/// starts at the vertex with the smallest estimated cardinality and greedily
+/// appends the adjacent vertex whose estimated per-row expansion fan-out
+/// (SelectivityEstimator::ExtensionCost — driver fan-out times membership
+/// selectivities, characteristic-set-corrected for correlated predicates) is
+/// smallest, i.e. the order that keeps the estimated intermediate-result
+/// size along the prefix minimal. With use_statistics == false, falls back
+/// to MatchingOrderGreedy. Exposed for testing and the ordering ablation.
 std::vector<QVertexId> MatchingOrder(const LocalStore& store,
-                                     const ResolvedQuery& rq);
+                                     const ResolvedQuery& rq,
+                                     bool use_statistics = true);
+
+/// The pre-statistics heuristic: fewest estimated candidates first, average
+/// fan-out as the tie-break. Kept as the ablation baseline and as the
+/// fallback when the cost model is disabled.
+std::vector<QVertexId> MatchingOrderGreedy(const LocalStore& store,
+                                           const ResolvedQuery& rq);
+
+/// Runs the backtracking search along `order` without materializing results
+/// and returns the number of consistent partial assignments explored (the
+/// search-tree size, full matches included) — the cost metric the matching
+/// order minimizes. Used by the ordering-quality tests and the ablation
+/// benchmark to compare orders on equal terms.
+size_t CountIntermediateResults(const LocalStore& store,
+                                const ResolvedQuery& rq,
+                                std::span<const QVertexId> order);
 
 }  // namespace gstored
 

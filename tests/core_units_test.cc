@@ -255,19 +255,81 @@ TEST(CandidateExchangeTest, FiltersAreSoundOverSites) {
       partitioning, store_ptrs, rq, cluster);
 
   // One-sided error: every vertex of every true match passes its variable's
-  // OR-ed filter.
+  // OR-ed filter (when the variable was exchanged at all).
   LocalStore oracle(&dataset->graph());
   for (const Binding& m : MatchQuery(oracle, rq)) {
     for (QVertexId v = 0; v < query.num_vertices(); ++v) {
-      if (!query.vertex(v).is_variable) continue;
+      if (!query.vertex(v).is_variable || !exchange.exchanged[v]) continue;
       EXPECT_TRUE(exchange.filters[v].MayContain(m[v])) << "v=" << v;
     }
   }
-  // Shipment: 2 directions x 3 sites x 4 variables x vector bytes.
+  // Shipment: the statistics pre-phase (one double per variable per site up,
+  // the skip bitmap down), then 2 directions x 3 sites x exchanged vars x
+  // vector bytes.
   size_t per_vec = BitvectorFilter().ByteSize();
-  EXPECT_EQ(exchange.shipment_bytes, 2u * 3u * 4u * per_vec);
+  size_t exchanged = 0;
+  for (QVertexId v = 0; v < query.num_vertices(); ++v) {
+    if (exchange.exchanged[v]) ++exchanged;
+  }
+  size_t stats_phase =
+      3u * 4u * sizeof(double) + 3u * ((query.num_vertices() + 7) / 8);
+  EXPECT_EQ(exchange.shipment_bytes,
+            stats_phase + 2u * 3u * exchanged * per_vec);
   EXPECT_EQ(cluster.ledger().StageBytes(kCandidateStage),
             exchange.shipment_bytes);
+
+  // The legacy protocol (no pre-phase) ships every variable's vector.
+  SimulatedCluster legacy_cluster(3);
+  CandidateExchangeOptions legacy;
+  legacy.use_statistics = false;
+  CandidateExchange full = ExchangeInternalCandidates(
+      partitioning, store_ptrs, rq, legacy_cluster, legacy);
+  EXPECT_EQ(full.shipment_bytes, 2u * 3u * 4u * per_vec);
+  for (QVertexId v = 0; v < query.num_vertices(); ++v) {
+    EXPECT_EQ(full.exchanged[v], query.vertex(v).is_variable);
+  }
+}
+
+TEST(CandidateExchangeTest, SaturatedFiltersAreSkippedAndStaySound) {
+  auto dataset = testing::BuildPaperDataset();
+  Partitioning partitioning = testing::BuildPaperPartitioning(*dataset);
+  QueryGraph query = testing::BuildPaperQuery();
+  ResolvedQuery rq = ResolveQuery(query, dataset->dict());
+
+  std::vector<std::unique_ptr<LocalStore>> stores;
+  std::vector<const LocalStore*> store_ptrs;
+  for (const Fragment& f : partitioning.fragments()) {
+    stores.push_back(std::make_unique<LocalStore>(&f.graph()));
+    store_ptrs.push_back(stores.back().get());
+  }
+  SimulatedCluster cluster(3);
+  // One-bit vectors: any variable with more than one estimated candidate
+  // saturates them, so the pre-phase must skip the unselective variables
+  // (the name-anchored ?p1 may legitimately stay under budget).
+  CandidateExchangeOptions options;
+  options.filter_bits = 1;
+  CandidateExchange exchange = ExchangeInternalCandidates(
+      partitioning, store_ptrs, rq, cluster, options);
+  size_t exchanged = 0;
+  for (QVertexId v = 0; v < query.num_vertices(); ++v) {
+    if (exchange.exchanged[v]) ++exchanged;
+  }
+  EXPECT_LT(exchanged, 4u);
+  size_t per_vec = BitvectorFilter(options.filter_bits).ByteSize();
+  EXPECT_EQ(exchange.shipment_bytes,
+            3u * 4u * sizeof(double) +
+                3u * ((query.num_vertices() + 7) / 8) +
+                2u * 3u * exchanged * per_vec);
+
+  // One-sided error must hold for whatever was still exchanged; skipped
+  // variables are pass-through and can only admit more assignments.
+  LocalStore oracle(&dataset->graph());
+  for (const Binding& m : MatchQuery(oracle, rq)) {
+    for (QVertexId v = 0; v < query.num_vertices(); ++v) {
+      if (!query.vertex(v).is_variable || !exchange.exchanged[v]) continue;
+      EXPECT_TRUE(exchange.filters[v].MayContain(m[v])) << "v=" << v;
+    }
+  }
 }
 
 TEST(EnumerateLpmsTest, ImpossibleQueryYieldsNothing) {

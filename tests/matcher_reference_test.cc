@@ -48,20 +48,13 @@ std::vector<Binding> SortedMatches(std::vector<Binding> matches) {
   return matches;
 }
 
-struct RefScenario {
-  uint64_t seed;
-  size_t vertices;
-  size_t edges;
-  size_t predicates;
-  size_t query_vertices;
-  size_t query_edges;
-};
+using ::gstored::testing::ReferenceScenario;
 
 class MatcherMatchesReference
-    : public ::testing::TestWithParam<RefScenario> {};
+    : public ::testing::TestWithParam<ReferenceScenario> {};
 
 TEST_P(MatcherMatchesReference, SameMatchSet) {
-  const RefScenario& s = GetParam();
+  const ReferenceScenario& s = GetParam();
   Rng rng(s.seed);
   auto dataset = RandomDataset(rng, s.vertices, s.edges, s.predicates);
   QueryGraph query = RandomConnectedQuery(rng, *dataset, s.query_vertices,
@@ -75,20 +68,11 @@ TEST_P(MatcherMatchesReference, SameMatchSet) {
   EXPECT_EQ(fast, naive) << "query: " << query.ToString();
 }
 
-// Kept small: the reference is O(|V|^n). Seeds sweep graph density, parallel
-// edges (few vertices, many edge attempts) and query shapes.
+// Kept small: the reference is O(|V|^n). The scenario table lives in
+// test_fixtures.h, shared with the ordering-quality suite.
 INSTANTIATE_TEST_SUITE_P(
     Sweep, MatcherMatchesReference,
-    ::testing::Values(RefScenario{1, 10, 30, 3, 2, 2},
-                      RefScenario{2, 10, 40, 2, 3, 3},
-                      RefScenario{3, 12, 25, 4, 3, 4},
-                      RefScenario{4, 8, 60, 2, 3, 5},   // dense, parallel
-                      RefScenario{5, 6, 40, 3, 4, 6},   // multi-edge heavy
-                      RefScenario{6, 14, 20, 5, 3, 3},  // sparse
-                      RefScenario{7, 9, 50, 1, 3, 4},   // single predicate
-                      RefScenario{8, 8, 35, 3, 4, 4},
-                      RefScenario{9, 11, 45, 4, 3, 5},
-                      RefScenario{10, 7, 30, 2, 4, 5}));
+    ::testing::ValuesIn(::gstored::testing::kReferenceScenarios));
 
 /// The pivot intersection must also agree with the graph's raw ranges.
 TEST(PivotDomainTest, MatchesManualIntersection) {

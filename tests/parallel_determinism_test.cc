@@ -24,14 +24,7 @@ using ::gstored::testing::RandomConnectedQuery;
 using ::gstored::testing::RandomDataset;
 
 /// The same randomized scenarios the matcher reference test sweeps.
-struct DetScenario {
-  uint64_t seed;
-  size_t vertices;
-  size_t edges;
-  size_t predicates;
-  size_t query_vertices;
-  size_t query_edges;
-};
+using DetScenario = ::gstored::testing::ReferenceScenario;
 
 class ParallelDeterminism : public ::testing::TestWithParam<DetScenario> {
  protected:
@@ -96,16 +89,7 @@ TEST_P(ParallelDeterminism, LpmEnumerationAndAssemblyByteIdentical) {
 
 INSTANTIATE_TEST_SUITE_P(
     Sweep, ParallelDeterminism,
-    ::testing::Values(DetScenario{1, 10, 30, 3, 2, 2},
-                      DetScenario{2, 10, 40, 2, 3, 3},
-                      DetScenario{3, 12, 25, 4, 3, 4},
-                      DetScenario{4, 8, 60, 2, 3, 5},   // dense, parallel
-                      DetScenario{5, 6, 40, 3, 4, 6},   // multi-edge heavy
-                      DetScenario{6, 14, 20, 5, 3, 3},  // sparse
-                      DetScenario{7, 9, 50, 1, 3, 4},   // single predicate
-                      DetScenario{8, 8, 35, 3, 4, 4},
-                      DetScenario{9, 11, 45, 4, 3, 5},
-                      DetScenario{10, 7, 30, 2, 4, 5}));
+    ::testing::ValuesIn(::gstored::testing::kReferenceScenarios));
 
 /// The indexed group join graph must be exactly the all-pairs graph — same
 /// adjacency lists, same edge count — with no more probes.

@@ -73,6 +73,35 @@ QueryGraph RandomConnectedQuery(Rng& rng, const Dataset& dataset,
 /// Produces a random vertex assignment over `k` fragments.
 VertexAssignment RandomAssignment(Rng& rng, const Dataset& dataset, int k);
 
+/// One randomized oracle-comparison scenario: a seeded random dataset plus a
+/// random connected query over it. Kept small because several consumers
+/// compare against O(|V|^n) brute force.
+struct ReferenceScenario {
+  uint64_t seed;
+  size_t vertices;
+  size_t edges;
+  size_t predicates;
+  size_t query_vertices;
+  size_t query_edges;
+};
+
+/// The ten standard scenarios shared by the matcher-reference,
+/// parallel-determinism and ordering-quality suites. Seeds sweep graph
+/// density, parallel edges (few vertices, many edge attempts) and query
+/// shapes.
+inline constexpr ReferenceScenario kReferenceScenarios[] = {
+    {1, 10, 30, 3, 2, 2},  //
+    {2, 10, 40, 2, 3, 3},  //
+    {3, 12, 25, 4, 3, 4},  //
+    {4, 8, 60, 2, 3, 5},   // dense, parallel
+    {5, 6, 40, 3, 4, 6},   // multi-edge heavy
+    {6, 14, 20, 5, 3, 3},  // sparse
+    {7, 9, 50, 1, 3, 4},   // single predicate
+    {8, 8, 35, 3, 4, 4},   //
+    {9, 11, 45, 4, 3, 5},  //
+    {10, 7, 30, 2, 4, 5},
+};
+
 }  // namespace gstored::testing
 
 #endif  // GSTORED_TESTS_TEST_FIXTURES_H_
