@@ -1,12 +1,17 @@
-// Scaling microbenchmarks of the PR-2 execution layer: LPM enumeration and
-// centralized matching at 1/2/4/8 worker slots (same LUBM-3/LQ7 fixture as
-// bench_micro_core), plus indexed vs all-pairs group join graph
-// construction with the probe counts surfaced as benchmark counters.
+// Scaling microbenchmarks of the worker-pool execution layer: LPM
+// enumeration, centralized matching and the LEC assembly join at 1/2/4/8
+// worker slots (same LUBM-3/LQ7 fixture as bench_micro_core, plus the
+// join-heavy LQ1 triangle for the assembly rows), and indexed vs all-pairs
+// group join graph construction with the probe counts surfaced as
+// benchmark counters.
 //
 // The thread counts request worker *slots*; on a machine with fewer cores
 // the pool still exercises the parallel code path but cannot show wall-clock
 // scaling (results stay byte-identical either way — that is asserted by
-// tests/parallel_determinism_test.cc, not here).
+// tests/parallel_determinism_test.cc, not here). The assembly rows set
+// min_seeds_per_slot = 1 so the pool path runs regardless of seed-group
+// size; the >1-thread rows therefore measure the pool-coordination overhead
+// on small machines, the thing the dynamic budget avoids in production.
 
 #include <benchmark/benchmark.h>
 
@@ -35,11 +40,16 @@ struct ScalingFixture {
         oracle_store(&workload.dataset->graph()),
         query(workload.queries[6].query),  // LQ7
         rq(ResolveQuery(query, workload.dataset->dict())),
+        query_lq1(workload.queries[0].query),  // LQ1: unselective triangle
+        rq_lq1(ResolveQuery(query_lq1, workload.dataset->dict())),
         pool(7) {  // 7 workers + the caller = up to 8 slots
     for (const Fragment& f : partitioning.fragments()) {
       stores.push_back(std::make_unique<LocalStore>(&f.graph()));
       auto fragment_lpms = EnumerateLocalPartialMatches(f, *stores.back(), rq);
       lpms.insert(lpms.end(), fragment_lpms.begin(), fragment_lpms.end());
+      auto lq1_lpms =
+          EnumerateLocalPartialMatches(f, *stores.back(), rq_lq1);
+      lpms_lq1.insert(lpms_lq1.end(), lq1_lpms.begin(), lq1_lpms.end());
     }
     groups = GroupLpmsBySign(lpms);
   }
@@ -49,9 +59,12 @@ struct ScalingFixture {
   LocalStore oracle_store;
   QueryGraph query;
   ResolvedQuery rq;
+  QueryGraph query_lq1;
+  ResolvedQuery rq_lq1;
   ThreadPool pool;
   std::vector<std::unique_ptr<LocalStore>> stores;
   std::vector<LocalPartialMatch> lpms;
+  std::vector<LocalPartialMatch> lpms_lq1;
   std::vector<std::vector<uint32_t>> groups;
 };
 
@@ -128,6 +141,40 @@ void BM_LecAssemblyIndexed(benchmark::State& state) {
       static_cast<double>(stats.join_attempts);
 }
 BENCHMARK(BM_LecAssemblyIndexed);
+
+void RunLecAssemblyThreads(benchmark::State& state,
+                           const std::vector<LocalPartialMatch>& lpms,
+                           size_t num_query_vertices) {
+  ScalingFixture& f = Fixture();
+  AssemblyOptions options;
+  options.num_threads = static_cast<size_t>(state.range(0));
+  options.pool = &f.pool;
+  options.min_seeds_per_slot = 1;  // force the pool path (see file header)
+  AssemblyStats stats;
+  size_t num_matches = 0;
+  for (auto _ : state) {
+    stats = AssemblyStats();
+    auto matches = LecAssembly(lpms, num_query_vertices, options, &stats);
+    num_matches = matches.size();
+    benchmark::DoNotOptimize(matches);
+  }
+  state.counters["lpms"] = static_cast<double>(lpms.size());
+  state.counters["groups"] = static_cast<double>(stats.num_groups);
+  state.counters["matches"] = static_cast<double>(num_matches);
+  state.counters["join_attempts"] = static_cast<double>(stats.join_attempts);
+}
+
+void BM_LecAssemblyThreadsLQ7(benchmark::State& state) {
+  ScalingFixture& f = Fixture();
+  RunLecAssemblyThreads(state, f.lpms, f.query.num_vertices());
+}
+BENCHMARK(BM_LecAssemblyThreadsLQ7)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_LecAssemblyThreadsLQ1(benchmark::State& state) {
+  ScalingFixture& f = Fixture();
+  RunLecAssemblyThreads(state, f.lpms_lq1, f.query_lq1.num_vertices());
+}
+BENCHMARK(BM_LecAssemblyThreadsLQ1)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 void BM_FullEngineExecuteThreads(benchmark::State& state) {
   ScalingFixture& f = Fixture();

@@ -6,8 +6,11 @@
 #include <unordered_set>
 #include <utility>
 
+#include "core/group_schedule.h"
+#include "core/seen_set.h"
 #include "util/hash.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace gstored {
 namespace {
@@ -18,11 +21,6 @@ struct PartialJoin {
   std::vector<CrossingPairMap> crossing;
   Binding binding;
 };
-
-uint64_t PartialKey(const Bitset& sign, const Binding& binding) {
-  return HashCombine(sign.Hash(),
-                     HashRange(binding.begin(), binding.end()));
-}
 
 uint64_t BindingKey(const Binding& binding) {
   return HashRange(binding.begin(), binding.end());
@@ -42,6 +40,8 @@ class ResultSink {
     it->second.push_back(results_.size());
     results_.push_back(std::move(binding));
   }
+
+  size_t size() const { return results_.size(); }
 
   std::vector<Binding> Take() { return std::move(results_); }
 
@@ -72,84 +72,109 @@ bool TryJoin(const PartialJoin& partial, const LocalPartialMatch& pm,
   return true;
 }
 
-/// Dedup set over materialized partials. Equality of a partial join is fully
-/// determined by (sign, binding) — the crossing maps are a function of which
-/// LPMs were merged, which (sign, binding) pins down — so only those two are
-/// stored, not the (much larger) crossing vectors.
-class SeenSet {
- public:
-  explicit SeenSet(AssemblyStats* stats) : stats_(stats) {}
-
-  /// True if an equal partial was already recorded; records it otherwise.
-  bool CheckAndInsert(const PartialJoin& pj) {
-    uint64_t key = PartialKey(pj.sign, pj.binding);
-    auto& bucket = buckets_[key];
-    for (const auto& [sign, binding] : bucket) {
-      if (sign == pj.sign && binding == pj.binding) return true;
-    }
-    bucket.emplace_back(pj.sign, pj.binding);
-    ++stats_->intermediate_results;
-    return false;
-  }
-
- private:
-  std::unordered_map<uint64_t, std::vector<std::pair<Bitset, Binding>>>
-      buckets_;
-  AssemblyStats* stats_;
-};
-
-/// Shared context for the LEC-grouped DFS assembly.
+/// Read-only context of one LecAssembly run, shared by every worker slot.
 struct AssemblyContext {
   const std::vector<LocalPartialMatch>* lpms;
   std::vector<std::vector<uint32_t>> groups;
   std::vector<std::vector<uint32_t>> adjacency;
+  // Mutated only between vmin iterations, on the coordinator thread; frozen
+  // while seed DFS walks run.
   std::vector<bool> active;
-  AssemblyStats* stats;
-  ResultSink* sink;
-  // Global dedup of materialized partials, so revisiting the same partial
-  // through a different group order does not re-expand it.
-  std::unique_ptr<SeenSet> seen;
+};
+
+/// Shard count of the per-slot dedup sets. Sharding by binding hash keeps
+/// the bucket maps small on join-heavy seeds; membership semantics are
+/// shard-count-invariant (pinned by core_units_test), so the value is pure
+/// tuning.
+constexpr size_t kSeenSetShards = 4;
+
+/// Mutable per-slot search state. One instance per worker slot; no slot
+/// ever touches another slot's scratch, and everything here is reset (or
+/// rebuilt) per seed, so a seed's DFS is a pure function of (seed, context)
+/// regardless of which slot runs it — the determinism guarantee.
+struct SlotScratch {
+  // Per-seed dedup of materialized partials. Seed-local suffices: partials
+  // grown from different seeds always differ in binding (two same-sign LPMs
+  // bind the same query-vertex set, so equal merged bindings would force
+  // equal seeds), hence cross-seed entries can never hit. Cleared per seed
+  // rather than shared so pathological inputs (duplicate LPMs) cannot make
+  // the output depend on the dynamic seed-to-slot assignment.
+  SeenSet seen{kSeenSetShards};
   // Frontier arena: one reusable next-frontier vector per DFS depth, so the
   // join loop stops re-allocating frontier storage on every level. Sized to
   // the deepest possible recursion (one level per group) up front, which
   // keeps element references stable while deeper levels run.
   std::vector<std::vector<PartialJoin>> frontier_arena;
+  std::vector<bool> visited;
+  std::vector<PartialJoin> seed_frontier;  // always exactly one element
+  AssemblyStats stats;
 
-  bool AlreadySeen(const PartialJoin& pj) { return seen->CheckAndInsert(pj); }
+  explicit SlotScratch(size_t num_groups)
+      : frontier_arena(num_groups), visited(num_groups, false) {}
 };
 
-void ComParJoin(AssemblyContext& ctx, std::vector<bool>& visited,
-                const std::vector<PartialJoin>& frontier, size_t depth) {
+/// The recursive expansion of Alg. 3's ComParJoin: joins the chains in
+/// `frontier` with every LPM of every active group adjacent to the visited
+/// set; complete (all-ones) chains emit their binding to `out` in DFS
+/// order, incomplete fresh ones recurse.
+void ComParJoin(const AssemblyContext& ctx, SlotScratch& scratch,
+                const std::vector<PartialJoin>& frontier, size_t depth,
+                std::vector<Binding>* out) {
   for (uint32_t g = 0; g < ctx.groups.size(); ++g) {
-    if (!ctx.active[g] || visited[g]) continue;
+    if (!ctx.active[g] || scratch.visited[g]) continue;
     bool adjacent = false;
     for (uint32_t nb : ctx.adjacency[g]) {
-      if (visited[nb]) {
+      if (scratch.visited[nb]) {
         adjacent = true;
         break;
       }
     }
     if (!adjacent) continue;
 
-    std::vector<PartialJoin>& next = ctx.frontier_arena[depth];
+    std::vector<PartialJoin>& next = scratch.frontier_arena[depth];
     next.clear();
     PartialJoin joined;
     for (const PartialJoin& pj : frontier) {
       for (uint32_t pm_idx : ctx.groups[g]) {
-        if (!TryJoin(pj, (*ctx.lpms)[pm_idx], ctx.stats, &joined)) continue;
-        if (joined.sign.All()) {
-          ctx.sink->Add(std::move(joined.binding));
+        if (!TryJoin(pj, (*ctx.lpms)[pm_idx], &scratch.stats, &joined)) {
           continue;
         }
-        if (!ctx.AlreadySeen(joined)) next.push_back(std::move(joined));
+        if (joined.sign.All()) {
+          out->push_back(std::move(joined.binding));
+          continue;
+        }
+        if (!scratch.seen.CheckAndInsert(joined.sign, joined.binding)) {
+          ++scratch.stats.intermediate_results;
+          next.push_back(std::move(joined));
+        }
       }
     }
     if (!next.empty()) {
-      visited[g] = true;
-      ComParJoin(ctx, visited, next, depth + 1);
-      visited[g] = false;
+      scratch.visited[g] = true;
+      ComParJoin(ctx, scratch, next, depth + 1, out);
+      scratch.visited[g] = false;
     }
   }
+}
+
+/// One seed's independent DFS: resets the slot scratch to the seed's state
+/// and appends every complete binding the chain expansion reaches to `out`
+/// (duplicates included — the sink dedups in seed order afterwards).
+void RunSeedJoin(const AssemblyContext& ctx, uint32_t vmin, uint32_t pm_idx,
+                 SlotScratch& scratch, std::vector<Binding>* out) {
+  const LocalPartialMatch& pm = (*ctx.lpms)[pm_idx];
+  scratch.seen.Clear();
+  scratch.visited.assign(ctx.groups.size(), false);
+  scratch.visited[vmin] = true;
+  scratch.seed_frontier.clear();
+  scratch.seed_frontier.push_back({pm.sign, pm.crossing, pm.binding});
+  ComParJoin(ctx, scratch, scratch.seed_frontier, 0, out);
+}
+
+void AccumulateJoinStats(const AssemblyStats& from, AssemblyStats* into) {
+  into->join_attempts += from.join_attempts;
+  into->intermediate_results += from.intermediate_results;
+  into->binding_conflicts += from.binding_conflicts;
 }
 
 /// 64-bit key of one crossing mapping for the inverted index. Collisions
@@ -336,20 +361,19 @@ std::vector<std::vector<uint32_t>> BuildGroupJoinGraphAllPairs(
 
 std::vector<Binding> LecAssembly(const std::vector<LocalPartialMatch>& lpms,
                                  size_t num_query_vertices,
+                                 const AssemblyOptions& options,
                                  AssemblyStats* stats) {
   AssemblyStats local_stats;
   if (stats == nullptr) stats = &local_stats;
   ResultSink sink;
-  if (lpms.empty()) return sink.Take();
+  if (lpms.empty() || options.max_results == 0) return sink.Take();
   for (const LocalPartialMatch& pm : lpms) {
     GSTORED_CHECK_EQ(pm.sign.size(), num_query_vertices);
   }
+  const bool limited = options.max_results != static_cast<size_t>(-1);
 
   AssemblyContext ctx;
   ctx.lpms = &lpms;
-  ctx.stats = stats;
-  ctx.sink = &sink;
-  ctx.seen = std::make_unique<SeenSet>(stats);
 
   // Def. 11: group LPMs by LECSign, then link groups through the
   // crossing-mapping index instead of all-pairs probing.
@@ -358,55 +382,77 @@ std::vector<Binding> LecAssembly(const std::vector<LocalPartialMatch>& lpms,
   ctx.adjacency = BuildGroupJoinGraph(lpms, ctx.groups, stats);
 
   const size_t num_groups = ctx.groups.size();
-  ctx.frontier_arena.resize(num_groups);
   ctx.active.assign(num_groups, true);
-  auto remove_outliers = [&] {
-    bool changed = true;
-    while (changed) {
-      changed = false;
-      for (uint32_t g = 0; g < num_groups; ++g) {
-        if (!ctx.active[g]) continue;
-        bool has_neighbor = false;
-        for (uint32_t nb : ctx.adjacency[g]) {
-          if (ctx.active[nb]) {
-            has_neighbor = true;
-            break;
-          }
-        }
-        if (!has_neighbor) {
-          ctx.active[g] = false;
-          changed = true;
-        }
-      }
-    }
-  };
-  remove_outliers();
+  DeactivateIsolatedGroups(ctx.adjacency, &ctx.active);
+
+  // Serial scratch is built lazily and kept across vmin iterations; the
+  // parallel scratch set is per iteration (slot counts change with the
+  // seed-group size).
+  std::unique_ptr<SlotScratch> serial_scratch;
 
   while (true) {
-    uint32_t vmin = static_cast<uint32_t>(-1);
-    size_t vmin_size = static_cast<size_t>(-1);
-    for (uint32_t g = 0; g < num_groups; ++g) {
-      if (ctx.active[g] && ctx.groups[g].size() < vmin_size) {
-        vmin = g;
-        vmin_size = ctx.groups[g].size();
+    uint32_t vmin = SelectMinActiveGroup(ctx.groups, ctx.active);
+    if (vmin == kNoGroup) break;
+    const std::vector<uint32_t>& seeds = ctx.groups[vmin];
+
+    // Dynamic thread budget: engage the pool only when the seed group is
+    // big enough to amortize it; a finite max_results forces serial so the
+    // cut point stays deterministic.
+    size_t slots =
+        limited ? 1
+                : JoinSlotBudget(seeds.size(), options.num_threads,
+                                 options.min_seeds_per_slot);
+    ThreadPool* pool = ResolvePool(slots, options.pool);
+
+    if (pool == nullptr) {
+      if (serial_scratch == nullptr) {
+        serial_scratch = std::make_unique<SlotScratch>(num_groups);
+      }
+      std::vector<Binding> emitted;
+      for (uint32_t pm_idx : seeds) {
+        emitted.clear();
+        RunSeedJoin(ctx, vmin, pm_idx, *serial_scratch, &emitted);
+        for (Binding& b : emitted) sink.Add(std::move(b));
+        if (sink.size() >= options.max_results) break;
+      }
+      AccumulateJoinStats(serial_scratch->stats, stats);
+      serial_scratch->stats = AssemblyStats();
+      if (sink.size() >= options.max_results) break;
+    } else {
+      std::vector<SlotScratch> scratch(slots, SlotScratch(num_groups));
+      // Per-seed emission vectors, concatenated into the sink in seed order
+      // after the ParallelFor barrier: each vector is a pure function of
+      // its seed, so the sink sees the exact sequence the serial path
+      // feeds it and the output is byte-identical across thread counts.
+      std::vector<std::vector<Binding>> emitted(seeds.size());
+      pool->ParallelFor(seeds.size(), slots, [&](size_t i, size_t slot) {
+        RunSeedJoin(ctx, vmin, seeds[i], scratch[slot], &emitted[i]);
+      });
+      for (std::vector<Binding>& per_seed : emitted) {
+        for (Binding& b : per_seed) sink.Add(std::move(b));
+      }
+      // Per-slot counters sum to the same totals as a serial run: every
+      // counted event belongs to exactly one seed's DFS.
+      for (const SlotScratch& s : scratch) {
+        AccumulateJoinStats(s.stats, stats);
       }
     }
-    if (vmin == static_cast<uint32_t>(-1)) break;
-
-    std::vector<PartialJoin> seeds;
-    seeds.reserve(ctx.groups[vmin].size());
-    for (uint32_t pm_idx : ctx.groups[vmin]) {
-      const LocalPartialMatch& pm = lpms[pm_idx];
-      seeds.push_back({pm.sign, pm.crossing, pm.binding});
-    }
-    std::vector<bool> visited(num_groups, false);
-    visited[vmin] = true;
-    ComParJoin(ctx, visited, seeds, 0);
 
     ctx.active[vmin] = false;
-    remove_outliers();
+    DeactivateIsolatedGroups(ctx.adjacency, &ctx.active);
   }
-  return sink.Take();
+
+  std::vector<Binding> results = sink.Take();
+  if (results.size() > options.max_results) {
+    results.resize(options.max_results);
+  }
+  return results;
+}
+
+std::vector<Binding> LecAssembly(const std::vector<LocalPartialMatch>& lpms,
+                                 size_t num_query_vertices,
+                                 AssemblyStats* stats) {
+  return LecAssembly(lpms, num_query_vertices, AssemblyOptions{}, stats);
 }
 
 std::vector<Binding> BasicAssembly(const std::vector<LocalPartialMatch>& lpms,
@@ -423,13 +469,15 @@ std::vector<Binding> BasicAssembly(const std::vector<LocalPartialMatch>& lpms,
   // Worklist join without any grouping: every unique partial is expanded
   // against every LPM. Dedup guarantees termination (signs grow monotonically
   // and there are finitely many (sign, binding) pairs).
-  SeenSet seen(stats);
+  SeenSet seen;
 
   std::vector<PartialJoin> frontier;
   frontier.reserve(lpms.size());
   for (const LocalPartialMatch& pm : lpms) {
-    PartialJoin pj{pm.sign, pm.crossing, pm.binding};
-    if (!seen.CheckAndInsert(pj)) frontier.push_back(std::move(pj));
+    if (!seen.CheckAndInsert(pm.sign, pm.binding)) {
+      ++stats->intermediate_results;
+      frontier.push_back({pm.sign, pm.crossing, pm.binding});
+    }
   }
 
   while (!frontier.empty()) {
@@ -442,7 +490,10 @@ std::vector<Binding> BasicAssembly(const std::vector<LocalPartialMatch>& lpms,
           sink.Add(std::move(joined.binding));
           continue;
         }
-        if (!seen.CheckAndInsert(joined)) next.push_back(std::move(joined));
+        if (!seen.CheckAndInsert(joined.sign, joined.binding)) {
+          ++stats->intermediate_results;
+          next.push_back(std::move(joined));
+        }
       }
     }
     frontier = std::move(next);

@@ -9,6 +9,8 @@
 
 namespace gstored {
 
+class ThreadPool;
+
 /// Statistics of one assembly run, used by the ablation benchmarks to show
 /// the join-space reduction of the LEC grouping.
 struct AssemblyStats {
@@ -51,11 +53,53 @@ std::vector<std::vector<uint32_t>> BuildGroupJoinGraphAllPairs(
     const std::vector<std::vector<uint32_t>>& groups,
     AssemblyStats* stats = nullptr);
 
+/// Execution-layer knobs for LecAssembly, orthogonal to the algorithm.
+struct AssemblyOptions {
+  /// Stop once this many deduplicated crossing matches were produced
+  /// (SIZE_MAX = all). The cut is checked at seed granularity — one seed's
+  /// DFS always runs to completion — and the returned vector is truncated
+  /// to exactly `max_results` entries, a prefix of the unlimited output.
+  /// A finite value forces the serial path (a deterministic result prefix
+  /// cannot be split across workers).
+  size_t max_results = static_cast<size_t>(-1);
+
+  /// Maximum worker slots for the join. With > 1, the seeds of each vmin
+  /// group are partitioned across the pool: every seed's DFS runs with
+  /// slot-local scratch and emits into a per-seed vector, and the vectors
+  /// are fed to the dedup sink in seed order — so the output is
+  /// byte-identical to a 1-thread run.
+  size_t num_threads = 1;
+
+  /// Pool supplying the extra slots; nullptr = ThreadPool::Shared(). The
+  /// calling (coordinator) thread always participates, so a pool busy with
+  /// site-side work degrades throughput, never correctness.
+  ThreadPool* pool = nullptr;
+
+  /// Dynamic thread-budget quota (see JoinSlotBudget in group_schedule.h):
+  /// a vmin group engages one slot per this many seeds, so tiny groups skip
+  /// pool coordination entirely. The default amortizes the ParallelFor
+  /// barrier over a few DFS walks; tests set 1 to force the pool path on
+  /// small fixtures.
+  size_t min_seeds_per_slot = 4;
+};
+
 /// Algorithm 3: LEC feature-based assembly. Groups the LPMs by LECSign
 /// (Def. 11 / Thm. 5), builds the group join graph, and DFS-joins across
 /// groups from the smallest group outward; a chain whose combined sign is
 /// all ones yields a complete crossing match. Returns deduplicated full
 /// bindings.
+///
+/// The join is seed-major: each LPM of the current vmin group seeds one
+/// independent DFS (its dedup state is seed-local — partials grown from
+/// different seeds can never collide, see the threading notes in
+/// src/core/README.md), and the per-seed emissions are deduplicated in seed
+/// order. This makes the result independent of `options.num_threads`.
+std::vector<Binding> LecAssembly(const std::vector<LocalPartialMatch>& lpms,
+                                 size_t num_query_vertices,
+                                 const AssemblyOptions& options,
+                                 AssemblyStats* stats = nullptr);
+
+/// Serial convenience overload (default AssemblyOptions).
 std::vector<Binding> LecAssembly(const std::vector<LocalPartialMatch>& lpms,
                                  size_t num_query_vertices,
                                  AssemblyStats* stats = nullptr);

@@ -160,10 +160,17 @@ std::vector<Binding> DistributedEngine::Execute(const QueryGraph& query,
   cluster_.ledger().Add(kLpmShipmentStage, lpm_bytes);
   stats->lpm_shipment_bytes = lpm_bytes;
 
+  // LEC assembly joins on the same worker pool the sites borrow from; the
+  // sites are done with it by now (RunStage has completed), so the
+  // coordinator gets the full budget. The basic worklist join stays serial
+  // — it is the ablation baseline, not a production path.
+  AssemblyOptions assembly_options;
+  assembly_options.num_threads = options_.num_threads;
+  assembly_options.pool = &cluster_.intra_site_pool();
   std::vector<Binding> crossing =
       mode == EngineMode::kBasic
           ? BasicAssembly(surviving, n, &stats->assembly)
-          : LecAssembly(surviving, n, &stats->assembly);
+          : LecAssembly(surviving, n, assembly_options, &stats->assembly);
   stats->num_crossing_matches = crossing.size();
   stats->assembly_time_ms = assembly_watch.ElapsedMillis();
 

@@ -1,0 +1,57 @@
+#include "core/group_schedule.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace gstored {
+
+uint32_t SelectMinActiveGroup(const std::vector<std::vector<uint32_t>>& groups,
+                              const std::vector<bool>& active) {
+  GSTORED_CHECK_EQ(groups.size(), active.size());
+  uint32_t vmin = kNoGroup;
+  size_t vmin_size = static_cast<size_t>(-1);
+  for (uint32_t g = 0; g < groups.size(); ++g) {
+    if (active[g] && groups[g].size() < vmin_size) {
+      vmin = g;
+      vmin_size = groups[g].size();
+    }
+  }
+  return vmin;
+}
+
+void DeactivateIsolatedGroups(
+    const std::vector<std::vector<uint32_t>>& adjacency,
+    std::vector<bool>* active) {
+  GSTORED_CHECK_EQ(adjacency.size(), active->size());
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (uint32_t g = 0; g < adjacency.size(); ++g) {
+      if (!(*active)[g]) continue;
+      bool has_neighbor = false;
+      for (uint32_t nb : adjacency[g]) {
+        if ((*active)[nb]) {
+          has_neighbor = true;
+          break;
+        }
+      }
+      if (!has_neighbor) {
+        (*active)[g] = false;
+        changed = true;
+      }
+    }
+  }
+}
+
+size_t JoinSlotBudget(size_t num_seeds, size_t num_threads,
+                      size_t min_seeds_per_slot) {
+  if (num_threads <= 1 || num_seeds == 0) return 1;
+  if (min_seeds_per_slot == 0) min_seeds_per_slot = 1;
+  // Floor division: a slot is only added once a full quota of seeds backs
+  // it, so e.g. 7 seeds at quota 4 stay serial but 8 split two ways.
+  return std::min(num_threads,
+                  std::max<size_t>(1, num_seeds / min_seeds_per_slot));
+}
+
+}  // namespace gstored

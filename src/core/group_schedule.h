@@ -1,0 +1,41 @@
+#ifndef GSTORED_CORE_GROUP_SCHEDULE_H_
+#define GSTORED_CORE_GROUP_SCHEDULE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gstored {
+
+/// Sentinel returned by SelectMinActiveGroup when no group is active.
+inline constexpr uint32_t kNoGroup = static_cast<uint32_t>(-1);
+
+/// The vmin selection shared by Alg. 2 (LecFeaturePruning) and Alg. 3
+/// (LecAssembly): the active group with the fewest members, lowest index on
+/// ties, or kNoGroup when none is active. Both algorithms seed their DFS
+/// join from this group and retire it afterwards; hoisting the selection
+/// here keeps the two loops from drifting apart.
+uint32_t SelectMinActiveGroup(const std::vector<std::vector<uint32_t>>& groups,
+                              const std::vector<bool>& active);
+
+/// The outlier-removal fixpoint shared by the same two loops: repeatedly
+/// deactivates every active group with no active neighbor in the group join
+/// graph. Such a group can never participate in a multi-group chain, and
+/// retiring one can isolate others, hence the fixpoint.
+void DeactivateIsolatedGroups(
+    const std::vector<std::vector<uint32_t>>& adjacency,
+    std::vector<bool>* active);
+
+/// Dynamic per-call thread budget for a seed-group join: the number of
+/// worker slots worth engaging for `num_seeds` independent seed DFS walks
+/// when the caller allows up to `num_threads` slots. Each slot must own at
+/// least `min_seeds_per_slot` seeds — below that the per-seed work cannot
+/// amortize pool coordination (queueing the helpers, the completion
+/// barrier), so tiny groups run serially on the caller's thread. Returns a
+/// value in [1, min(num_threads, num_seeds)].
+size_t JoinSlotBudget(size_t num_seeds, size_t num_threads,
+                      size_t min_seeds_per_slot);
+
+}  // namespace gstored
+
+#endif  // GSTORED_CORE_GROUP_SCHEDULE_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "core/group_schedule.h"
 #include "util/hash.h"
 #include "util/logging.h"
 
@@ -187,40 +188,13 @@ PruneResult LecFeaturePruning(const std::vector<LecFeature>& features,
   }
 
   ctx.active.assign(num_groups, true);
-  auto remove_outliers = [&] {
-    bool changed = true;
-    while (changed) {
-      changed = false;
-      for (uint32_t g = 0; g < num_groups; ++g) {
-        if (!ctx.active[g]) continue;
-        bool has_neighbor = false;
-        for (uint32_t nb : ctx.adjacency[g]) {
-          if (ctx.active[nb]) {
-            has_neighbor = true;
-            break;
-          }
-        }
-        if (!has_neighbor) {
-          ctx.active[g] = false;
-          changed = true;
-        }
-      }
-    }
-  };
-  remove_outliers();
+  DeactivateIsolatedGroups(ctx.adjacency, &ctx.active);
 
   // Main loop of Alg. 2: repeatedly expand chains from the smallest active
   // group, then retire it.
   while (!ctx.exhausted) {
-    uint32_t vmin = static_cast<uint32_t>(-1);
-    size_t vmin_size = static_cast<size_t>(-1);
-    for (uint32_t g = 0; g < num_groups; ++g) {
-      if (ctx.active[g] && ctx.groups[g].size() < vmin_size) {
-        vmin = g;
-        vmin_size = ctx.groups[g].size();
-      }
-    }
-    if (vmin == static_cast<uint32_t>(-1)) break;
+    uint32_t vmin = SelectMinActiveGroup(ctx.groups, ctx.active);
+    if (vmin == kNoGroup) break;
 
     std::vector<JoinedFeature> seeds;
     seeds.reserve(ctx.groups[vmin].size());
@@ -233,7 +207,7 @@ PruneResult LecFeaturePruning(const std::vector<LecFeature>& features,
     ComLecFJoin(ctx, visited, seeds);
 
     ctx.active[vmin] = false;
-    remove_outliers();
+    DeactivateIsolatedGroups(ctx.adjacency, &ctx.active);
   }
 
   if (ctx.exhausted) {

@@ -64,11 +64,13 @@ class SimulatedCluster {
   StageRun RunStage(const std::function<void(int site)>& task) const;
 
   /// Worker pool for intra-site parallelism (parallel matching / LPM
-  /// enumeration inside one site). All sites of all clusters share one
-  /// process-wide pool sized to the hardware, so per-site worker slots
-  /// compose with the per-site RunStage fan-out without oversubscribing:
-  /// a site's ParallelFor borrows whatever workers are free and its own
-  /// RunStage thread always contributes one slot.
+  /// enumeration inside one site) and for the coordinator-side assembly
+  /// join, which runs after the per-site stages have drained. All sites of
+  /// all clusters share one process-wide pool sized to the hardware, so
+  /// per-site worker slots compose with the per-site RunStage fan-out
+  /// without oversubscribing: a participant's ParallelFor borrows whatever
+  /// workers are free and its own calling thread always contributes one
+  /// slot.
   ThreadPool& intra_site_pool() const;
 
  private:

@@ -13,7 +13,8 @@ namespace gstored {
 
 /// A fixed-size worker pool with a shared task queue and a ParallelFor
 /// helper, used to parallelize the intra-site hot paths (per-site matching
-/// and LPM enumeration) underneath the cluster's per-site thread fan-out.
+/// and LPM enumeration) underneath the cluster's per-site thread fan-out,
+/// and the coordinator-side LEC assembly join across seed groups.
 ///
 /// The scheduling discipline is work-stealing-lite: ParallelFor does not
 /// pre-partition the index space but lets every participant pull the next

@@ -1,0 +1,311 @@
+// Oracle-backed assembly harness: a brute-force reference assembly that
+// joins chains of LPMs all-pairs — no LECSign grouping, no group join
+// graph, no vmin scheduling — with the Def. 9 joinability conditions
+// checked directly by first principles (plain loops over the crossing
+// maps, not FeaturesJoinable). LecAssembly must produce exactly the
+// oracle's crossing-match set on the 10 shared reference scenarios and on
+// fresh randomized multi-site scenarios, serial and parallel alike, and
+// every assembled binding must be a genuine match of the full graph.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/assembly.h"
+#include "core/engine.h"
+#include "core/lec_feature.h"
+#include "core/local_partial_match.h"
+#include "core/pruning.h"
+#include "partition/partitioners.h"
+#include "store/matcher.h"
+#include "tests/test_fixtures.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace gstored {
+namespace {
+
+using ::gstored::testing::RandomAssignment;
+using ::gstored::testing::RandomConnectedQuery;
+using ::gstored::testing::RandomDataset;
+
+/// One in-flight oracle chain: a set of LPM indices with pairwise-disjoint
+/// signs, plus its aggregate state. The aggregate (sign union, crossing
+/// union, merged binding) is order-independent, so chains are deduplicated
+/// by member set.
+struct OracleChain {
+  std::vector<uint32_t> members;  // sorted LPM indices
+  Bitset sign;
+  std::vector<CrossingPairMap> crossing;
+  Binding binding;
+};
+
+/// Def. 9 condition 2, verbatim: the two crossing-map sets share at least
+/// one identical mapping.
+bool SharesIdenticalMapping(const std::vector<CrossingPairMap>& a,
+                            const std::vector<CrossingPairMap>& b) {
+  for (const CrossingPairMap& ca : a) {
+    for (const CrossingPairMap& cb : b) {
+      if (ca == cb) return true;
+    }
+  }
+  return false;
+}
+
+/// Def. 9 condition 3 at the endpoint level (the form the Thm. 2/3 proofs
+/// rely on): collect each side's query-vertex -> data-vertex endpoint
+/// assignments and require agreement wherever both sides assign.
+bool EndpointsAgree(const std::vector<CrossingPairMap>& a,
+                    const std::vector<CrossingPairMap>& b) {
+  std::map<QVertexId, TermId> endpoints_a;
+  for (const CrossingPairMap& c : a) {
+    endpoints_a[c.q_from] = c.d_from;
+    endpoints_a[c.q_to] = c.d_to;
+  }
+  for (const CrossingPairMap& c : b) {
+    auto from = endpoints_a.find(c.q_from);
+    if (from != endpoints_a.end() && from->second != c.d_from) return false;
+    auto to = endpoints_a.find(c.q_to);
+    if (to != endpoints_a.end() && to->second != c.d_to) return false;
+  }
+  return true;
+}
+
+/// Def. 9 on a chain aggregate and one more LPM: disjoint signs (cond. 4),
+/// a shared identical crossing mapping (cond. 2) and endpoint agreement
+/// (cond. 3). Condition 1 (different fragments) is implied — an LPM whose
+/// fragment already contributed would overlap on signs or endpoints.
+bool OracleJoinable(const OracleChain& chain, const LocalPartialMatch& pm) {
+  for (size_t v = 0; v < chain.sign.size(); ++v) {
+    if (chain.sign.Test(v) && pm.sign.Test(v)) return false;
+  }
+  return SharesIdenticalMapping(chain.crossing, pm.crossing) &&
+         EndpointsAgree(chain.crossing, pm.crossing);
+}
+
+/// The brute-force assembly: breadth-first closure of chain extension over
+/// every (chain, LPM) pair, recording the binding whenever the union sign
+/// is all ones. Thm. 4 says the complete crossing matches are exactly the
+/// all-ones chains, independent of join order, so chains are explored (and
+/// deduplicated) as member sets.
+std::vector<Binding> OracleAssembly(const std::vector<LocalPartialMatch>& lpms,
+                                    size_t num_query_vertices,
+                                    size_t* binding_conflicts = nullptr) {
+  std::vector<Binding> complete;
+  std::set<std::vector<uint32_t>> reached;
+  std::vector<OracleChain> frontier;
+  for (uint32_t i = 0; i < lpms.size(); ++i) {
+    OracleChain chain{{i}, lpms[i].sign, lpms[i].crossing, lpms[i].binding};
+    if (reached.insert(chain.members).second) {
+      frontier.push_back(std::move(chain));
+    }
+  }
+
+  while (!frontier.empty()) {
+    std::vector<OracleChain> next;
+    for (const OracleChain& chain : frontier) {
+      for (uint32_t i = 0; i < lpms.size(); ++i) {
+        const LocalPartialMatch& pm = lpms[i];
+        if (!OracleJoinable(chain, pm)) continue;
+
+        OracleChain joined;
+        joined.members = chain.members;
+        joined.members.insert(
+            std::upper_bound(joined.members.begin(), joined.members.end(), i),
+            i);
+        if (reached.contains(joined.members)) continue;
+
+        // Merge the bindings entry by entry; Thm. 3 promises no conflict
+        // for LPM populations the enumerator produced.
+        joined.binding = chain.binding;
+        bool conflict = false;
+        for (size_t v = 0; v < joined.binding.size(); ++v) {
+          if (pm.binding[v] == kNullTerm) continue;
+          if (joined.binding[v] == kNullTerm) {
+            joined.binding[v] = pm.binding[v];
+          } else if (joined.binding[v] != pm.binding[v]) {
+            conflict = true;
+            break;
+          }
+        }
+        if (conflict) {
+          if (binding_conflicts != nullptr) ++*binding_conflicts;
+          continue;
+        }
+        reached.insert(joined.members);
+
+        joined.sign = chain.sign | pm.sign;
+        joined.crossing = chain.crossing;
+        joined.crossing.insert(joined.crossing.end(), pm.crossing.begin(),
+                               pm.crossing.end());
+        std::sort(joined.crossing.begin(), joined.crossing.end());
+        joined.crossing.erase(
+            std::unique(joined.crossing.begin(), joined.crossing.end()),
+            joined.crossing.end());
+
+        if (joined.sign.All()) {
+          complete.push_back(joined.binding);
+        } else {
+          next.push_back(std::move(joined));
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+
+  (void)num_query_vertices;
+  DedupBindings(&complete);
+  return complete;
+}
+
+std::vector<LocalPartialMatch> EnumerateAll(const Partitioning& partitioning,
+                                            const ResolvedQuery& rq) {
+  std::vector<LocalPartialMatch> lpms;
+  for (const Fragment& fragment : partitioning.fragments()) {
+    LocalStore store(&fragment.graph());
+    auto fragment_lpms = EnumerateLocalPartialMatches(fragment, store, rq);
+    lpms.insert(lpms.end(), std::make_move_iterator(fragment_lpms.begin()),
+                std::make_move_iterator(fragment_lpms.end()));
+  }
+  return lpms;
+}
+
+/// Runs the oracle comparison on one dataset/query/partitioning triple and
+/// returns the number of crossing matches, so sweeps can assert they
+/// exercised non-trivial joins rather than passing vacuously.
+size_t CheckAssemblyAgainstOracle(const Dataset& dataset,
+                                  const QueryGraph& query,
+                                  const Partitioning& partitioning,
+                                  const std::string& label) {
+  ResolvedQuery rq = ResolveQuery(query, dataset.dict());
+  std::vector<LocalPartialMatch> lpms = EnumerateAll(partitioning, rq);
+  const size_t n = query.num_vertices();
+
+  size_t oracle_conflicts = 0;
+  std::vector<Binding> oracle = OracleAssembly(lpms, n, &oracle_conflicts);
+  EXPECT_EQ(oracle_conflicts, 0u) << label;  // Thm. 3 on real populations
+
+  AssemblyStats stats;
+  std::vector<Binding> lec = LecAssembly(lpms, n, &stats);
+  EXPECT_EQ(stats.binding_conflicts, 0u) << label;
+  std::vector<Binding> lec_sorted = lec;
+  DedupBindings(&lec_sorted);
+  EXPECT_EQ(lec_sorted, oracle) << label << " (" << lpms.size() << " LPMs)";
+
+  // The ungrouped worklist baseline agrees too.
+  std::vector<Binding> basic = BasicAssembly(lpms, n);
+  DedupBindings(&basic);
+  EXPECT_EQ(basic, oracle) << label;
+
+  // Parallel assembly produces the same set (byte-level determinism is
+  // parallel_determinism_test's job; the oracle pins the set semantics).
+  ThreadPool pool(3);
+  AssemblyOptions parallel_options;
+  parallel_options.num_threads = 4;
+  parallel_options.pool = &pool;
+  parallel_options.min_seeds_per_slot = 1;  // engage the pool on tiny groups
+  std::vector<Binding> parallel =
+      LecAssembly(lpms, n, parallel_options, nullptr);
+  EXPECT_EQ(parallel, lec) << label;  // byte-identical, not merely same set
+  DedupBindings(&parallel);
+  EXPECT_EQ(parallel, oracle) << label;
+
+  // Every assembled crossing match is a genuine match of the whole graph.
+  LocalStore oracle_store(&dataset.graph());
+  for (const Binding& b : oracle) {
+    EXPECT_TRUE(std::none_of(b.begin(), b.end(),
+                             [](TermId t) { return t == kNullTerm; }))
+        << label;
+    EXPECT_TRUE(VerifyMatch(dataset.graph(), rq, b)) << label;
+  }
+  return oracle.size();
+}
+
+using RefScenario = ::gstored::testing::ReferenceScenario;
+
+class AssemblyReference : public ::testing::TestWithParam<RefScenario> {};
+
+TEST_P(AssemblyReference, LecAssemblyMatchesBruteForceOracle) {
+  const RefScenario& s = GetParam();
+  Rng rng(s.seed);
+  auto dataset = RandomDataset(rng, s.vertices, s.edges, s.predicates);
+  QueryGraph query = RandomConnectedQuery(rng, *dataset, s.query_vertices,
+                                          s.query_edges);
+  Partitioning partitioning = HashPartitioner().Partition(*dataset, 3);
+  CheckAssemblyAgainstOracle(*dataset, query, partitioning,
+                             "reference seed=" + std::to_string(s.seed));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AssemblyReference,
+    ::testing::ValuesIn(::gstored::testing::kReferenceScenarios));
+
+/// Fresh randomized multi-site scenarios beyond the shared ten: different
+/// seeds, 2-5 fragments, random vertex assignments as well as hash
+/// partitionings, and slightly larger query shapes.
+TEST(AssemblyReferenceRandomized, MultiSiteScenarios) {
+  size_t total_crossing_matches = 0;
+  for (uint64_t i = 0; i < 12; ++i) {
+    Rng rng(0xA55E0B1Eu + i * 104729);
+    size_t vertices = 10 + (i % 4) * 4;
+    size_t edges = 28 + (i % 5) * 9;
+    size_t predicates = 2 + (i % 3);
+    size_t query_vertices = 3 + (i % 3);
+    size_t query_edges = query_vertices - 1 + (i % 2);
+    int fragments = 2 + static_cast<int>(i % 4);
+
+    auto dataset = RandomDataset(rng, vertices, edges, predicates);
+    QueryGraph query =
+        RandomConnectedQuery(rng, *dataset, query_vertices, query_edges);
+    Partitioning partitioning =
+        (i % 2 == 0)
+            ? HashPartitioner().Partition(*dataset, fragments)
+            : BuildPartitioning(*dataset,
+                                RandomAssignment(rng, *dataset, fragments),
+                                fragments, "random");
+    total_crossing_matches += CheckAssemblyAgainstOracle(
+        *dataset, query, partitioning, "randomized i=" + std::to_string(i));
+  }
+  // The sweep must actually exercise multi-site joins, not just agree on
+  // empty result sets.
+  EXPECT_GT(total_crossing_matches, 0u);
+}
+
+/// The assembly must also agree with the oracle when fed the LPMs that
+/// survive LEC pruning (the production kLecPruning path): pruning only
+/// removes LPMs that contribute to no complete chain, so the oracle over
+/// the surviving set yields the same matches as over the full set.
+TEST(AssemblyReferenceRandomized, OracleStableUnderPruning) {
+  for (uint64_t seed : {7u, 21u, 63u}) {
+    Rng rng(seed * 2654435761u);
+    auto dataset = RandomDataset(rng, 12, 40, 3);
+    QueryGraph query = RandomConnectedQuery(rng, *dataset, 3, 4);
+    Partitioning partitioning = HashPartitioner().Partition(*dataset, 3);
+    ResolvedQuery rq = ResolveQuery(query, dataset->dict());
+    std::vector<LocalPartialMatch> all = EnumerateAll(partitioning, rq);
+
+    LecFeatureSet set = ComputeLecFeatures(all);
+    PruneResult prune = LecFeaturePruning(set.features, query.num_vertices());
+    std::vector<LocalPartialMatch> surviving;
+    for (size_t i = 0; i < all.size(); ++i) {
+      if (prune.survives[set.feature_of_lpm[i]]) surviving.push_back(all[i]);
+    }
+
+    std::vector<Binding> oracle_all =
+        OracleAssembly(all, query.num_vertices());
+    std::vector<Binding> oracle_surviving =
+        OracleAssembly(surviving, query.num_vertices());
+    EXPECT_EQ(oracle_surviving, oracle_all) << "seed=" << seed;
+
+    std::vector<Binding> lec = LecAssembly(surviving, query.num_vertices());
+    DedupBindings(&lec);
+    EXPECT_EQ(lec, oracle_all) << "seed=" << seed;
+  }
+}
+
+}  // namespace
+}  // namespace gstored

@@ -2,6 +2,8 @@
 // joinability (including the cyclic-query endpoint-consistency regression),
 // crossing-map merging, binding merges, Algorithm 1's dedup, Algorithm 2's
 // edge cases (empty input, outlier removal, bail-out), assembly edge cases,
+// the seed-group scheduling helpers shared by the two vmin loops (group
+// selection, outlier fixpoint, dynamic thread budget), the sharded SeenSet,
 // and Algorithm 4's one-sided-error guarantee.
 
 #include <gtest/gtest.h>
@@ -9,10 +11,13 @@
 #include "core/assembly.h"
 #include "core/candidate_exchange.h"
 #include "core/engine.h"
+#include "core/group_schedule.h"
 #include "core/lec_feature.h"
 #include "core/local_partial_match.h"
 #include "core/pruning.h"
+#include "core/seen_set.h"
 #include "tests/test_fixtures.h"
+#include "util/rng.h"
 
 namespace gstored {
 namespace {
@@ -236,6 +241,142 @@ TEST(AssemblyTest, ThreeWayChainAssembles) {
   EXPECT_EQ(matches[0], (Binding{100, 101, 102}));
   EXPECT_EQ(stats.binding_conflicts, 0u);
   EXPECT_EQ(BasicAssembly({a, b, c}, n), matches);
+}
+
+TEST(AssemblyTest, MaxResultsYieldsExactPrefix) {
+  auto dataset = testing::BuildPaperDataset();
+  Partitioning partitioning = testing::BuildPaperPartitioning(*dataset);
+  QueryGraph query = testing::BuildPaperQuery();
+  ResolvedQuery rq = ResolveQuery(query, dataset->dict());
+  std::vector<LocalPartialMatch> all;
+  for (const Fragment& f : partitioning.fragments()) {
+    LocalStore store(&f.graph());
+    auto lpms = EnumerateLocalPartialMatches(f, store, rq);
+    all.insert(all.end(), lpms.begin(), lpms.end());
+  }
+
+  std::vector<Binding> unlimited = LecAssembly(all, query.num_vertices());
+  ASSERT_EQ(unlimited.size(), 4u);  // the paper's four crossing matches
+  for (size_t limit : {size_t{0}, size_t{1}, size_t{3}, size_t{4},
+                       size_t{10}}) {
+    AssemblyOptions options;
+    options.max_results = limit;
+    std::vector<Binding> capped =
+        LecAssembly(all, query.num_vertices(), options, nullptr);
+    std::vector<Binding> expected = unlimited;
+    if (expected.size() > limit) expected.resize(limit);
+    EXPECT_EQ(capped, expected) << "limit=" << limit;
+  }
+}
+
+TEST(GroupScheduleTest, SelectMinActiveGroupPicksSmallestActive) {
+  std::vector<std::vector<uint32_t>> groups = {{0, 1, 2}, {3}, {4, 5}, {6}};
+  std::vector<bool> active = {true, true, true, true};
+  // Smallest wins; ties (groups 1 and 3, size 1) go to the lower index.
+  EXPECT_EQ(SelectMinActiveGroup(groups, active), 1u);
+  active[1] = false;
+  EXPECT_EQ(SelectMinActiveGroup(groups, active), 3u);
+  active[3] = false;
+  EXPECT_EQ(SelectMinActiveGroup(groups, active), 2u);
+  active = {false, false, false, false};
+  EXPECT_EQ(SelectMinActiveGroup(groups, active), kNoGroup);
+}
+
+TEST(GroupScheduleTest, DeactivateIsolatedGroupsCascadesToFixpoint) {
+  // Path 0-1-2 plus isolated 3: retiring 0's neighbor chain cascades.
+  std::vector<std::vector<uint32_t>> adjacency = {{1}, {0, 2}, {1}, {}};
+  std::vector<bool> active = {true, true, true, true};
+  DeactivateIsolatedGroups(adjacency, &active);
+  // 3 has no neighbors at all; the path keeps each other alive.
+  EXPECT_EQ(active, (std::vector<bool>{true, true, true, false}));
+
+  // Retire the middle of the path: both ends lose their only neighbor.
+  active = {true, false, true, false};
+  DeactivateIsolatedGroups(adjacency, &active);
+  EXPECT_EQ(active, (std::vector<bool>{false, false, false, false}));
+}
+
+TEST(GroupScheduleTest, JoinSlotBudgetSkipsPoolForTinyGroups) {
+  // One slot per full quota of seeds (default quota 4 in AssemblyOptions).
+  EXPECT_EQ(JoinSlotBudget(0, 8, 4), 1u);
+  EXPECT_EQ(JoinSlotBudget(1, 8, 4), 1u);
+  EXPECT_EQ(JoinSlotBudget(7, 8, 4), 1u);   // below 2 quotas: serial
+  EXPECT_EQ(JoinSlotBudget(8, 8, 4), 2u);   // two full quotas: two slots
+  EXPECT_EQ(JoinSlotBudget(64, 8, 4), 8u);  // capped by num_threads
+  EXPECT_EQ(JoinSlotBudget(1000, 8, 4), 8u);
+  // Serial callers and zero quotas degrade safely.
+  EXPECT_EQ(JoinSlotBudget(1000, 1, 4), 1u);
+  EXPECT_EQ(JoinSlotBudget(3, 8, 1), 3u);  // never more slots than seeds
+  EXPECT_EQ(JoinSlotBudget(3, 8, 0), 3u);  // 0 quota treated as 1
+}
+
+TEST(SeenSetTest, ShardedSeenSetMatchesSingleShardReference) {
+  // Random (sign, binding) streams with forced duplicates: every shard
+  // count must agree with the single-shard reference on each CheckAndInsert
+  // outcome, on Contains, and on the final size.
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    Rng rng(seed * 7919u);
+    std::vector<std::pair<Bitset, Binding>> stream;
+    for (size_t i = 0; i < 200; ++i) {
+      if (!stream.empty() && rng.Chance(0.3)) {
+        stream.push_back(stream[rng.Uniform(stream.size())]);  // duplicate
+      } else {
+        Bitset sign(5);
+        for (size_t b = 0; b < 5; ++b) {
+          if (rng.Chance(0.4)) sign.Set(b);
+        }
+        Binding binding(5);
+        for (auto& t : binding) {
+          t = rng.Chance(0.2) ? kNullTerm
+                              : static_cast<TermId>(rng.Uniform(6));
+        }
+        stream.push_back({std::move(sign), std::move(binding)});
+      }
+    }
+
+    SeenSet reference(1);
+    SeenSet sharded(8);
+    for (const auto& [sign, binding] : stream) {
+      EXPECT_EQ(sharded.CheckAndInsert(sign, binding),
+                reference.CheckAndInsert(sign, binding))
+          << "seed=" << seed;
+    }
+    EXPECT_EQ(sharded.size(), reference.size());
+    for (const auto& [sign, binding] : stream) {
+      EXPECT_TRUE(sharded.Contains(sign, binding));
+    }
+    Bitset unseen_sign(5);
+    unseen_sign.Set(0);
+    EXPECT_FALSE(sharded.Contains(unseen_sign, Binding(5, 99)));
+
+    // Shard-merge: the stream split round-robin across three sets with
+    // different shard counts, folded together, equals the reference.
+    SeenSet parts[3] = {SeenSet(1), SeenSet(4), SeenSet(8)};
+    for (size_t i = 0; i < stream.size(); ++i) {
+      parts[i % 3].CheckAndInsert(stream[i].first, stream[i].second);
+    }
+    SeenSet merged(8);
+    for (SeenSet& part : parts) merged.MergeFrom(std::move(part));
+    EXPECT_EQ(merged.size(), reference.size()) << "seed=" << seed;
+    for (const auto& [sign, binding] : stream) {
+      EXPECT_TRUE(merged.Contains(sign, binding)) << "seed=" << seed;
+    }
+    for (const SeenSet& part : parts) EXPECT_EQ(part.size(), 0u);
+  }
+}
+
+TEST(SeenSetTest, ClearKeepsShardStructure) {
+  SeenSet set(4);
+  Bitset sign(3);
+  sign.Set(1);
+  EXPECT_FALSE(set.CheckAndInsert(sign, {1, 2, 3}));
+  EXPECT_TRUE(set.CheckAndInsert(sign, {1, 2, 3}));
+  EXPECT_EQ(set.size(), 1u);
+  set.Clear();
+  EXPECT_EQ(set.size(), 0u);
+  EXPECT_EQ(set.num_shards(), 4u);
+  EXPECT_FALSE(set.Contains(sign, {1, 2, 3}));
+  EXPECT_FALSE(set.CheckAndInsert(sign, {1, 2, 3}));
 }
 
 TEST(CandidateExchangeTest, FiltersAreSoundOverSites) {

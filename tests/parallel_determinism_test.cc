@@ -1,7 +1,9 @@
-// Determinism of the worker-pool execution layer: the parallel matcher and
-// LPM enumerator must produce byte-identical outputs (same elements, same
-// order) for every thread count, and the indexed group join graph must equal
-// the all-pairs reference construction on random LPM sets.
+// Determinism of the worker-pool execution layer: the parallel matcher,
+// LPM enumerator and LEC assembly join must produce byte-identical outputs
+// (same elements, same order) for every thread count — including end to end
+// through the engine and under a finite assembly result limit — and the
+// indexed group join graph must equal the all-pairs reference construction
+// on random LPM sets.
 
 #include <gtest/gtest.h>
 
@@ -84,6 +86,85 @@ TEST_P(ParallelDeterminism, LpmEnumerationAndAssemblyByteIdentical) {
     EXPECT_EQ(lpms, baseline) << "threads=" << threads;
     EXPECT_EQ(LecAssembly(lpms, query.num_vertices()), baseline_matches)
         << "threads=" << threads;
+  }
+}
+
+TEST_P(ParallelDeterminism, AssemblyByteIdentical) {
+  const DetScenario& s = GetParam();
+  Rng rng(s.seed);
+  auto dataset = RandomDataset(rng, s.vertices, s.edges, s.predicates);
+  QueryGraph query = RandomConnectedQuery(rng, *dataset, s.query_vertices,
+                                          s.query_edges);
+  Partitioning partitioning = HashPartitioner().Partition(*dataset, 3);
+  ResolvedQuery rq = ResolveQuery(query, dataset->dict());
+
+  std::vector<LocalPartialMatch> lpms;
+  for (const Fragment& fragment : partitioning.fragments()) {
+    LocalStore store(&fragment.graph());
+    auto fragment_lpms = EnumerateLocalPartialMatches(fragment, store, rq);
+    lpms.insert(lpms.end(), std::make_move_iterator(fragment_lpms.begin()),
+                std::make_move_iterator(fragment_lpms.end()));
+  }
+
+  AssemblyStats baseline_stats;
+  auto baseline = LecAssembly(lpms, query.num_vertices(), &baseline_stats);
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    AssemblyOptions options;
+    options.num_threads = threads;
+    options.pool = &pool_;
+    options.min_seeds_per_slot = 1;  // force the pool path on small groups
+    AssemblyStats stats;
+    EXPECT_EQ(LecAssembly(lpms, query.num_vertices(), options, &stats),
+              baseline)
+        << "threads=" << threads << " query: " << query.ToString();
+    // The per-slot counters must sum to the serial totals: every counted
+    // event belongs to exactly one seed's DFS.
+    EXPECT_EQ(stats.join_attempts, baseline_stats.join_attempts)
+        << "threads=" << threads;
+    EXPECT_EQ(stats.intermediate_results, baseline_stats.intermediate_results)
+        << "threads=" << threads;
+  }
+
+  // A finite limit forces the serial path and yields exactly a prefix of
+  // the unlimited output, for every requested thread count.
+  for (size_t limit : {size_t{1}, size_t{2}, size_t{5}}) {
+    std::vector<Binding> expected = baseline;
+    if (expected.size() > limit) expected.resize(limit);
+    for (size_t threads : {size_t{1}, size_t{8}}) {
+      AssemblyOptions options;
+      options.num_threads = threads;
+      options.pool = &pool_;
+      options.min_seeds_per_slot = 1;
+      options.max_results = limit;
+      EXPECT_EQ(LecAssembly(lpms, query.num_vertices(), options, nullptr),
+                expected)
+          << "limit=" << limit << " threads=" << threads;
+    }
+  }
+}
+
+TEST_P(ParallelDeterminism, EngineResultsByteIdenticalAcrossThreadCounts) {
+  const DetScenario& s = GetParam();
+  Rng rng(s.seed);
+  auto dataset = RandomDataset(rng, s.vertices, s.edges, s.predicates);
+  QueryGraph query = RandomConnectedQuery(rng, *dataset, s.query_vertices,
+                                          s.query_edges);
+  Partitioning partitioning = HashPartitioner().Partition(*dataset, 3);
+
+  for (EngineMode mode : {EngineMode::kLecAssembly, EngineMode::kFull}) {
+    std::vector<Binding> baseline;
+    for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+      EngineOptions options;
+      options.num_threads = threads;
+      DistributedEngine engine(&partitioning, options);
+      std::vector<Binding> result = engine.Execute(query, mode);
+      if (threads == 1) {
+        baseline = std::move(result);
+      } else {
+        EXPECT_EQ(result, baseline)
+            << "threads=" << threads << " mode=" << EngineModeName(mode);
+      }
+    }
   }
 }
 
