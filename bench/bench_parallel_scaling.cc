@@ -1,9 +1,10 @@
 // Scaling microbenchmarks of the worker-pool execution layer: LPM
-// enumeration, centralized matching and the LEC assembly join at 1/2/4/8
-// worker slots (same LUBM-3/LQ7 fixture as bench_micro_core, plus the
-// join-heavy LQ1 triangle for the assembly rows), and indexed vs all-pairs
-// group join graph construction with the probe counts surfaced as
-// benchmark counters.
+// enumeration, centralized matching and the LEC pruning and assembly
+// joins at 1/2/4/8 worker slots (same LUBM-3/LQ7 fixture as
+// bench_micro_core, plus the join-heavy LQ1 triangle for the join rows),
+// and indexed vs all-pairs group join graph construction — over LPMs for
+// assembly and over LEC features for pruning — with the probe counts
+// surfaced as benchmark counters.
 //
 // The thread counts request worker *slots*; on a machine with fewer cores
 // the pool still exercises the parallel code path but cannot show wall-clock
@@ -17,7 +18,9 @@
 
 #include "core/assembly.h"
 #include "core/engine.h"
+#include "core/lec_feature.h"
 #include "core/local_partial_match.h"
+#include "core/pruning.h"
 #include "partition/partitioners.h"
 #include "store/matcher.h"
 #include "util/thread_pool.h"
@@ -52,6 +55,8 @@ struct ScalingFixture {
       lpms_lq1.insert(lpms_lq1.end(), lq1_lpms.begin(), lq1_lpms.end());
     }
     groups = GroupLpmsBySign(lpms);
+    features = ComputeLecFeatures(lpms);
+    features_lq1 = ComputeLecFeatures(lpms_lq1);
   }
 
   Workload workload;
@@ -66,6 +71,8 @@ struct ScalingFixture {
   std::vector<LocalPartialMatch> lpms;
   std::vector<LocalPartialMatch> lpms_lq1;
   std::vector<std::vector<uint32_t>> groups;
+  LecFeatureSet features;
+  LecFeatureSet features_lq1;
 };
 
 ScalingFixture& Fixture() {
@@ -175,6 +182,68 @@ void BM_LecAssemblyThreadsLQ1(benchmark::State& state) {
   RunLecAssemblyThreads(state, f.lpms_lq1, f.query_lq1.num_vertices());
 }
 BENCHMARK(BM_LecAssemblyThreadsLQ1)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void RunLecPruningThreads(benchmark::State& state,
+                          const LecFeatureSet& features,
+                          size_t num_query_vertices) {
+  ScalingFixture& f = Fixture();
+  PruneOptions options;
+  options.num_threads = static_cast<size_t>(state.range(0));
+  options.pool = &f.pool;
+  options.min_seeds_per_slot = 1;  // force the pool path (see file header)
+  PruneResult prune;
+  for (auto _ : state) {
+    prune = LecFeaturePruning(features.features, num_query_vertices, options);
+    benchmark::DoNotOptimize(prune);
+  }
+  state.counters["features"] = static_cast<double>(features.features.size());
+  state.counters["groups"] = static_cast<double>(prune.num_groups);
+  state.counters["surviving"] =
+      static_cast<double>(prune.surviving_features);
+  state.counters["join_attempts"] = static_cast<double>(prune.join_attempts);
+}
+
+void BM_LecPruningThreadsLQ7(benchmark::State& state) {
+  ScalingFixture& f = Fixture();
+  RunLecPruningThreads(state, f.features, f.query.num_vertices());
+}
+BENCHMARK(BM_LecPruningThreadsLQ7)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_LecPruningThreadsLQ1(benchmark::State& state) {
+  ScalingFixture& f = Fixture();
+  RunLecPruningThreads(state, f.features_lq1, f.query_lq1.num_vertices());
+}
+BENCHMARK(BM_LecPruningThreadsLQ1)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+/// Serial pruning with the indexed vs all-pairs group join graph; the
+/// join_attempts counters surface the probe reduction of the crossing-
+/// mapping inverted index (the expansion-phase probes are identical, so
+/// the delta is exactly the graph-construction saving).
+void RunLecPruningGraphMode(benchmark::State& state, bool indexed) {
+  ScalingFixture& f = Fixture();
+  PruneOptions options;
+  options.use_indexed_join_graph = indexed;
+  PruneResult prune;
+  for (auto _ : state) {
+    prune =
+        LecFeaturePruning(f.features.features, f.query.num_vertices(), options);
+    benchmark::DoNotOptimize(prune);
+  }
+  state.counters["join_attempts"] = static_cast<double>(prune.join_attempts);
+  state.counters["edges"] =
+      static_cast<double>(prune.num_join_graph_edges);
+  state.counters["groups"] = static_cast<double>(prune.num_groups);
+}
+
+void BM_LecPruningIndexedGraph(benchmark::State& state) {
+  RunLecPruningGraphMode(state, /*indexed=*/true);
+}
+BENCHMARK(BM_LecPruningIndexedGraph);
+
+void BM_LecPruningAllPairsGraph(benchmark::State& state) {
+  RunLecPruningGraphMode(state, /*indexed=*/false);
+}
+BENCHMARK(BM_LecPruningAllPairsGraph);
 
 void BM_FullEngineExecuteThreads(benchmark::State& state) {
   ScalingFixture& f = Fixture();

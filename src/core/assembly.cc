@@ -3,10 +3,10 @@
 #include <algorithm>
 #include <memory>
 #include <unordered_map>
-#include <unordered_set>
 #include <utility>
 
 #include "core/group_schedule.h"
+#include "core/join_graph.h"
 #include "core/seen_set.h"
 #include "util/hash.h"
 #include "util/logging.h"
@@ -177,20 +177,6 @@ void AccumulateJoinStats(const AssemblyStats& from, AssemblyStats* into) {
   into->binding_conflicts += from.binding_conflicts;
 }
 
-/// 64-bit key of one crossing mapping for the inverted index. Collisions
-/// between distinct mappings are harmless: they only cause an extra
-/// FeaturesJoinable probe, which re-verifies the shared-mapping condition.
-uint64_t CrossingMapKey(const CrossingPairMap& c) {
-  uint64_t h = HashCombine(0x9d7f3cbb2a5e11ULL,
-                           (static_cast<uint64_t>(c.q_from) << 32) | c.q_to);
-  return HashCombine(h, (static_cast<uint64_t>(c.d_from) << 32) | c.d_to);
-}
-
-uint64_t PackPair(uint32_t a, uint32_t b) {
-  if (a > b) std::swap(a, b);
-  return (static_cast<uint64_t>(a) << 32) | b;
-}
-
 }  // namespace
 
 bool MergeBindings(const Binding& a, const Binding& b, Binding* out) {
@@ -235,127 +221,24 @@ std::vector<std::vector<uint32_t>> GroupLpmsBySign(
 std::vector<std::vector<uint32_t>> BuildGroupJoinGraph(
     const std::vector<LocalPartialMatch>& lpms,
     const std::vector<std::vector<uint32_t>>& groups, AssemblyStats* stats) {
-  AssemblyStats local_stats;
-  if (stats == nullptr) stats = &local_stats;
-  const size_t num_groups = groups.size();
-  std::vector<std::vector<uint32_t>> adjacency(num_groups);
-
-  // Invert: one entry per (crossing mapping, carrying LPM). Sorting by key
-  // clusters the LPMs that share a mapping and makes the whole construction
-  // deterministic — no hash-map iteration order leaks into the probe count.
-  struct CrossingEntry {
-    uint64_t key;
-    uint32_t group;
-    uint32_t lpm;
-    bool operator<(const CrossingEntry& other) const {
-      if (key != other.key) return key < other.key;
-      if (group != other.group) return group < other.group;
-      return lpm < other.lpm;
-    }
-  };
-  std::vector<CrossingEntry> entries;
-  size_t total_crossings = 0;
-  for (const auto& group : groups) {
-    for (uint32_t pm : group) total_crossings += lpms[pm].crossing.size();
+  JoinGraphStats jg;
+  auto adjacency = BuildJoinGraphIndexed(lpms, groups, &jg);
+  if (stats != nullptr) {
+    stats->join_attempts += jg.join_attempts;
+    stats->num_join_graph_edges += jg.num_edges;
   }
-  entries.reserve(total_crossings);
-  for (uint32_t g = 0; g < num_groups; ++g) {
-    for (uint32_t pm : groups[g]) {
-      for (const CrossingPairMap& c : lpms[pm].crossing) {
-        entries.push_back({CrossingMapKey(c), g, pm});
-      }
-    }
-  }
-  std::sort(entries.begin(), entries.end());
-
-  // Probe only cross-group pairs that meet inside one key bucket. The sort
-  // order keeps each group's entries contiguous within a bucket, so the
-  // scan walks group *runs*: a group pair settled joinable is skipped
-  // wholesale (a hot crossing mapping shared by many LPMs costs one probe,
-  // not a quadratic pass), and an LPM pair meeting in several buckets is
-  // probed once.
-  std::unordered_set<uint64_t> joinable_pairs;
-  std::unordered_set<uint64_t> probed_lpm_pairs;
-  for (size_t lo = 0; lo < entries.size();) {
-    size_t hi = lo + 1;
-    while (hi < entries.size() && entries[hi].key == entries[lo].key) ++hi;
-    for (size_t a_lo = lo; a_lo < hi;) {
-      size_t a_hi = a_lo + 1;
-      while (a_hi < hi && entries[a_hi].group == entries[a_lo].group) ++a_hi;
-      for (size_t b_lo = a_hi; b_lo < hi;) {
-        size_t b_hi = b_lo + 1;
-        while (b_hi < hi && entries[b_hi].group == entries[b_lo].group) {
-          ++b_hi;
-        }
-        uint64_t group_pair =
-            PackPair(entries[a_lo].group, entries[b_lo].group);
-        if (!joinable_pairs.contains(group_pair)) {
-          bool confirmed = false;
-          for (size_t i = a_lo; i < a_hi && !confirmed; ++i) {
-            for (size_t j = b_lo; j < b_hi && !confirmed; ++j) {
-              if (!probed_lpm_pairs
-                       .insert(PackPair(entries[i].lpm, entries[j].lpm))
-                       .second) {
-                continue;
-              }
-              ++stats->join_attempts;
-              if (FeaturesJoinable(lpms[entries[i].lpm].sign,
-                                   lpms[entries[i].lpm].crossing,
-                                   lpms[entries[j].lpm].sign,
-                                   lpms[entries[j].lpm].crossing)) {
-                joinable_pairs.insert(group_pair);
-                confirmed = true;
-              }
-            }
-          }
-        }
-        b_lo = b_hi;
-      }
-      a_lo = a_hi;
-    }
-    lo = hi;
-  }
-
-  for (uint64_t pair : joinable_pairs) {
-    uint32_t a = static_cast<uint32_t>(pair >> 32);
-    uint32_t b = static_cast<uint32_t>(pair);
-    adjacency[a].push_back(b);
-    adjacency[b].push_back(a);
-  }
-  for (auto& list : adjacency) std::sort(list.begin(), list.end());
-  stats->num_join_graph_edges += joinable_pairs.size();
   return adjacency;
 }
 
 std::vector<std::vector<uint32_t>> BuildGroupJoinGraphAllPairs(
     const std::vector<LocalPartialMatch>& lpms,
     const std::vector<std::vector<uint32_t>>& groups, AssemblyStats* stats) {
-  AssemblyStats local_stats;
-  if (stats == nullptr) stats = &local_stats;
-  const size_t num_groups = groups.size();
-  std::vector<std::vector<uint32_t>> adjacency(num_groups);
-  for (uint32_t a = 0; a < num_groups; ++a) {
-    for (uint32_t b = a + 1; b < num_groups; ++b) {
-      bool joinable = false;
-      for (uint32_t pa : groups[a]) {
-        for (uint32_t pb : groups[b]) {
-          ++stats->join_attempts;
-          if (FeaturesJoinable(lpms[pa].sign, lpms[pa].crossing,
-                               lpms[pb].sign, lpms[pb].crossing)) {
-            joinable = true;
-            break;
-          }
-        }
-        if (joinable) break;
-      }
-      if (joinable) {
-        adjacency[a].push_back(b);
-        adjacency[b].push_back(a);
-        ++stats->num_join_graph_edges;
-      }
-    }
+  JoinGraphStats jg;
+  auto adjacency = BuildJoinGraphAllPairs(lpms, groups, &jg);
+  if (stats != nullptr) {
+    stats->join_attempts += jg.join_attempts;
+    stats->num_join_graph_edges += jg.num_edges;
   }
-  for (auto& list : adjacency) std::sort(list.begin(), list.end());
   return adjacency;
 }
 

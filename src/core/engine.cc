@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/group_schedule.h"
 #include "core/lec_feature.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
@@ -96,10 +97,21 @@ std::vector<Binding> DistributedEngine::Execute(const QueryGraph& query,
   }
 
   StageRun partial_run = cluster_.RunStage([&](int site) {
-    site_matches[site] = MatchQuery(*stores_[site], rq, match_options);
+    // Per-site thread budget: scale the engine knob to the fragment's size
+    // so small sites skip pool coordination entirely (the site-side answer
+    // to the dynamic-thread-budget item; assembly and pruning apply the
+    // seed-group-sized equivalent via JoinSlotBudget).
+    const Fragment& fragment = partitioning_->fragments()[site];
+    size_t site_slots =
+        SiteSlotBudget(fragment.graph().num_triples(), options_.num_threads);
+    MatchOptions site_match = match_options;
+    site_match.num_threads = site_slots;
+    EnumerateOptions site_enum = enum_options;
+    site_enum.num_threads = site_slots;
+    site_matches[site] = MatchQuery(*stores_[site], rq, site_match);
     if (!star) {
-      site_lpms[site] = EnumerateLocalPartialMatches(
-          partitioning_->fragments()[site], *stores_[site], rq, enum_options);
+      site_lpms[site] = EnumerateLocalPartialMatches(fragment, *stores_[site],
+                                                     rq, site_enum);
     }
   });
   stats->partial_eval_time_ms = partial_run.max_millis;
@@ -137,7 +149,14 @@ std::vector<Binding> DistributedEngine::Execute(const QueryGraph& query,
     cluster_.ledger().Add(kLecFeatureStage, feature_bytes);
     stats->lec_shipment_bytes = feature_bytes;
 
-    PruneResult prune = LecFeaturePruning(feature_set.features, n);
+    // The pruning join borrows the same shared pool as assembly below; the
+    // sites are done with it (RunStage completed), so the coordinator gets
+    // the full budget.
+    PruneOptions prune_options;
+    prune_options.num_threads = options_.num_threads;
+    prune_options.pool = &cluster_.intra_site_pool();
+    PruneResult prune =
+        LecFeaturePruning(feature_set.features, n, prune_options);
     stats->num_surviving_features = prune.surviving_features;
     stats->prune_bailed_out = prune.bailed_out;
 

@@ -34,12 +34,15 @@ const char* EngineModeName(EngineMode mode);
 /// optimization levels.
 struct EngineOptions {
   /// Worker slots each site may use for its local matching and LPM
-  /// enumeration, and the coordinator for the LEC assembly join (1 = fully
-  /// serial). Slots are borrowed from the cluster's shared intra-site pool,
-  /// so effective parallelism is bounded by the hardware regardless of the
-  /// number of sites; results are byte-identical across thread counts. The
-  /// assembly side additionally applies a dynamic per-seed-group budget
-  /// (AssemblyOptions::min_seeds_per_slot) so tiny joins skip the pool.
+  /// enumeration, and the coordinator for the LEC pruning and assembly
+  /// joins (1 = fully serial). Slots are borrowed from the cluster's shared
+  /// intra-site pool, so effective parallelism is bounded by the hardware
+  /// regardless of the number of sites; results are byte-identical across
+  /// thread counts. The knob is a ceiling, not a fixed fan-out: each site
+  /// scales it to its fragment size (SiteSlotBudget), and the coordinator
+  /// joins scale it to the seed-group size (JoinSlotBudget via
+  /// AssemblyOptions/PruneOptions::min_seeds_per_slot), so small inputs
+  /// skip pool coordination.
   size_t num_threads = 1;
 
   /// Drive matching orders, LPM unit orders and the candidate-exchange

@@ -54,4 +54,8 @@ size_t JoinSlotBudget(size_t num_seeds, size_t num_threads,
                   std::max<size_t>(1, num_seeds / min_seeds_per_slot));
 }
 
+size_t SiteSlotBudget(size_t fragment_triples, size_t num_threads) {
+  return JoinSlotBudget(fragment_triples, num_threads, kSiteTriplesPerSlot);
+}
+
 }  // namespace gstored

@@ -36,6 +36,22 @@ void DeactivateIsolatedGroups(
 size_t JoinSlotBudget(size_t num_seeds, size_t num_threads,
                       size_t min_seeds_per_slot);
 
+/// Quota behind SiteSlotBudget: one intra-site worker slot is engaged per
+/// this many fragment triples. Below one quota the per-slot search work
+/// cannot amortize pool coordination (queueing helpers, the completion
+/// barrier), so small sites run their matching and LPM enumeration
+/// serially no matter what the engine-level knob says.
+inline constexpr size_t kSiteTriplesPerSlot = 2048;
+
+/// Dynamic per-site thread budget for intra-site matching and LPM
+/// enumeration: scales the engine-level `num_threads` knob to the
+/// fragment's size (JoinSlotBudget with the kSiteTriplesPerSlot quota)
+/// instead of handing every site the same fixed slot count. Returns a
+/// value in [1, num_threads]. Results are unaffected — the matcher and
+/// enumerator are byte-identical across thread counts — only coordination
+/// overhead changes.
+size_t SiteSlotBudget(size_t fragment_triples, size_t num_threads);
+
 }  // namespace gstored
 
 #endif  // GSTORED_CORE_GROUP_SCHEDULE_H_

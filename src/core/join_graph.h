@@ -1,0 +1,183 @@
+#ifndef GSTORED_CORE_JOIN_GRAPH_H_
+#define GSTORED_CORE_JOIN_GRAPH_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "core/lec_feature.h"
+#include "util/hash.h"
+
+namespace gstored {
+
+/// Probe accounting of one group join graph construction, shared by the
+/// assembly (items = LPMs) and pruning (items = LEC features) callers.
+struct JoinGraphStats {
+  size_t join_attempts = 0;  ///< FeaturesJoinable probes evaluated
+  size_t num_edges = 0;      ///< edges of the resulting group graph
+};
+
+namespace join_graph_internal {
+
+/// 64-bit key of one crossing mapping for the inverted index. Collisions
+/// between distinct mappings are harmless: they only cause an extra
+/// FeaturesJoinable probe, which re-verifies the shared-mapping condition.
+inline uint64_t CrossingMapKey(const CrossingPairMap& c) {
+  uint64_t h = HashCombine(0x9d7f3cbb2a5e11ULL,
+                           (static_cast<uint64_t>(c.q_from) << 32) | c.q_to);
+  return HashCombine(h, (static_cast<uint64_t>(c.d_from) << 32) | c.d_to);
+}
+
+inline uint64_t PackPair(uint32_t a, uint32_t b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<uint64_t>(a) << 32) | b;
+}
+
+}  // namespace join_graph_internal
+
+/// Builds the group join graph — an edge between two LECSign groups when
+/// some cross-group item pair has joinable features — via an inverted index
+/// from crossing-edge mapping to the (group, item) entries carrying it.
+/// Def. 9 condition 2 makes a shared crossing mapping necessary for
+/// joinability, so only pairs meeting in an index bucket are probed with
+/// FeaturesJoinable: O(C log C + bucket pairs) work for C total crossing
+/// mappings instead of the all-pairs O(G² · item²) scan. Adjacency lists
+/// come back sorted and the construction is deterministic (the index is
+/// scanned in sorted order, so probe counts never depend on hash-map
+/// iteration order).
+///
+/// `Item` must expose `.sign` (Bitset) and `.crossing` (sorted
+/// CrossingPairMap vector) — both LocalPartialMatch and LecFeature qualify.
+template <typename Item>
+std::vector<std::vector<uint32_t>> BuildJoinGraphIndexed(
+    const std::vector<Item>& items,
+    const std::vector<std::vector<uint32_t>>& groups, JoinGraphStats* stats) {
+  using join_graph_internal::CrossingMapKey;
+  using join_graph_internal::PackPair;
+  const size_t num_groups = groups.size();
+  std::vector<std::vector<uint32_t>> adjacency(num_groups);
+
+  // Invert: one entry per (crossing mapping, carrying item). Sorting by key
+  // clusters the items that share a mapping.
+  struct CrossingEntry {
+    uint64_t key;
+    uint32_t group;
+    uint32_t item;
+    bool operator<(const CrossingEntry& other) const {
+      if (key != other.key) return key < other.key;
+      if (group != other.group) return group < other.group;
+      return item < other.item;
+    }
+  };
+  std::vector<CrossingEntry> entries;
+  size_t total_crossings = 0;
+  for (const auto& group : groups) {
+    for (uint32_t i : group) total_crossings += items[i].crossing.size();
+  }
+  entries.reserve(total_crossings);
+  for (uint32_t g = 0; g < num_groups; ++g) {
+    for (uint32_t i : groups[g]) {
+      for (const CrossingPairMap& c : items[i].crossing) {
+        entries.push_back({CrossingMapKey(c), g, i});
+      }
+    }
+  }
+  std::sort(entries.begin(), entries.end());
+
+  // Probe only cross-group pairs that meet inside one key bucket. The sort
+  // order keeps each group's entries contiguous within a bucket, so the
+  // scan walks group *runs*: a group pair settled joinable is skipped
+  // wholesale (a hot crossing mapping shared by many items costs one probe,
+  // not a quadratic pass), and an item pair meeting in several buckets is
+  // probed once.
+  std::unordered_set<uint64_t> joinable_pairs;
+  std::unordered_set<uint64_t> probed_item_pairs;
+  for (size_t lo = 0; lo < entries.size();) {
+    size_t hi = lo + 1;
+    while (hi < entries.size() && entries[hi].key == entries[lo].key) ++hi;
+    for (size_t a_lo = lo; a_lo < hi;) {
+      size_t a_hi = a_lo + 1;
+      while (a_hi < hi && entries[a_hi].group == entries[a_lo].group) ++a_hi;
+      for (size_t b_lo = a_hi; b_lo < hi;) {
+        size_t b_hi = b_lo + 1;
+        while (b_hi < hi && entries[b_hi].group == entries[b_lo].group) {
+          ++b_hi;
+        }
+        uint64_t group_pair =
+            PackPair(entries[a_lo].group, entries[b_lo].group);
+        if (!joinable_pairs.contains(group_pair)) {
+          bool confirmed = false;
+          for (size_t i = a_lo; i < a_hi && !confirmed; ++i) {
+            for (size_t j = b_lo; j < b_hi && !confirmed; ++j) {
+              if (!probed_item_pairs
+                       .insert(PackPair(entries[i].item, entries[j].item))
+                       .second) {
+                continue;
+              }
+              ++stats->join_attempts;
+              if (FeaturesJoinable(items[entries[i].item].sign,
+                                   items[entries[i].item].crossing,
+                                   items[entries[j].item].sign,
+                                   items[entries[j].item].crossing)) {
+                joinable_pairs.insert(group_pair);
+                confirmed = true;
+              }
+            }
+          }
+        }
+        b_lo = b_hi;
+      }
+      a_lo = a_hi;
+    }
+    lo = hi;
+  }
+
+  for (uint64_t pair : joinable_pairs) {
+    uint32_t a = static_cast<uint32_t>(pair >> 32);
+    uint32_t b = static_cast<uint32_t>(pair);
+    adjacency[a].push_back(b);
+    adjacency[b].push_back(a);
+  }
+  for (auto& list : adjacency) std::sort(list.begin(), list.end());
+  stats->num_edges += joinable_pairs.size();
+  return adjacency;
+}
+
+/// Reference all-pairs construction of the same graph (the pre-index O(G²)
+/// behavior). Kept for the equivalence tests and as the comparison bar of
+/// the parallel-scaling benchmark.
+template <typename Item>
+std::vector<std::vector<uint32_t>> BuildJoinGraphAllPairs(
+    const std::vector<Item>& items,
+    const std::vector<std::vector<uint32_t>>& groups, JoinGraphStats* stats) {
+  const size_t num_groups = groups.size();
+  std::vector<std::vector<uint32_t>> adjacency(num_groups);
+  for (uint32_t a = 0; a < num_groups; ++a) {
+    for (uint32_t b = a + 1; b < num_groups; ++b) {
+      bool joinable = false;
+      for (uint32_t ia : groups[a]) {
+        for (uint32_t ib : groups[b]) {
+          ++stats->join_attempts;
+          if (FeaturesJoinable(items[ia].sign, items[ia].crossing,
+                               items[ib].sign, items[ib].crossing)) {
+            joinable = true;
+            break;
+          }
+        }
+        if (joinable) break;
+      }
+      if (joinable) {
+        adjacency[a].push_back(b);
+        adjacency[b].push_back(a);
+        ++stats->num_edges;
+      }
+    }
+  }
+  for (auto& list : adjacency) std::sort(list.begin(), list.end());
+  return adjacency;
+}
+
+}  // namespace gstored
+
+#endif  // GSTORED_CORE_JOIN_GRAPH_H_

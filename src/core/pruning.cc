@@ -1,11 +1,15 @@
 #include "core/pruning.h"
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
 #include <unordered_map>
 
 #include "core/group_schedule.h"
+#include "core/join_graph.h"
 #include "util/hash.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace gstored {
 namespace {
@@ -37,38 +41,78 @@ void MergeContributors(std::vector<uint32_t>* into,
   *into = std::move(merged);
 }
 
+/// Read-only context of one LecFeaturePruning run, shared by every worker
+/// slot. `active` mutates only between vmin iterations, on the coordinator
+/// thread; frozen while seed DFS walks run.
 struct PruneContext {
   const std::vector<LecFeature>* features;
-  const PruneOptions* options;
   std::vector<std::vector<uint32_t>> groups;     // feature indices per group
   std::vector<std::vector<uint32_t>> adjacency;  // group join graph
   std::vector<bool> active;                      // per group
-  PruneResult* result;
-  size_t joined_budget;  // remaining joined features before bail-out
-  bool exhausted = false;
 };
 
-void MarkSurvivors(PruneContext& ctx, const std::vector<uint32_t>& members) {
-  for (uint32_t f : members) {
-    if (!ctx.result->survives[f]) {
-      ctx.result->survives[f] = true;
+/// Mutable per-slot search state. No slot ever touches another slot's
+/// scratch, and everything here is reset per seed, so a seed's DFS is a
+/// pure function of (seed, frozen context, budget) regardless of which slot
+/// runs it — the determinism guarantee.
+struct PruneSlotScratch {
+  // Per-depth frontier arena plus a per-depth chain-dedup map, so the
+  // expansion loop stops re-allocating on every level; both are reset at
+  // the start of each group expansion at that depth.
+  std::vector<std::vector<JoinedFeature>> frontier_arena;
+  std::vector<std::unordered_map<uint64_t, std::vector<size_t>>> dedup_arena;
+  std::vector<bool> visited;
+  std::vector<JoinedFeature> seed_frontier;  // always exactly one element
+  // Scratch for building one candidate chain before it is either merged
+  // into an existing chain, marked complete, or moved into the frontier.
+  std::vector<uint32_t> scratch_contributors;
+
+  /// Per-slot survivor bitmap, one bit per base feature index. Marking is a
+  /// pure union, so OR-folding the slot bitmaps after the ParallelFor
+  /// barrier yields the exact serial surviving set in any fold order.
+  std::vector<uint64_t> survivors;
+
+  size_t join_attempts = 0;
+  size_t joined_budget = 0;     // remaining chains for the current seed
+  bool seed_exhausted = false;  // current seed ran out of budget
+
+  PruneSlotScratch(size_t num_groups, size_t num_features)
+      : frontier_arena(num_groups),
+        dedup_arena(num_groups),
+        visited(num_groups, false),
+        survivors((num_features + 63) / 64, 0) {}
+
+  void MarkSurvivors(const std::vector<uint32_t>& members) {
+    for (uint32_t f : members) {
+      survivors[f >> 6] |= uint64_t{1} << (f & 63);
     }
   }
-}
+};
 
-/// The recursive expansion of Alg. 2's ComLECFJoin: joins the chains in
-/// `frontier` with every feature of every active group adjacent to the
-/// visited set, marking contributors of all-ones chains.
-void ComLecFJoin(PruneContext& ctx, std::vector<bool>& visited,
-                 const std::vector<JoinedFeature>& frontier) {
-  if (ctx.exhausted) return;
+/// The recursive expansion of Alg. 2's ComLECFJoin for one seed: joins the
+/// chains in `frontier` with every feature of every active group adjacent
+/// to the visited set, marking contributors of all-ones chains in the
+/// slot's survivor bitmap.
+///
+/// `any_exhausted` is the run-global bail-out flag. It is *set* only when a
+/// seed truly runs out of its own budget (a pure per-seed property, so the
+/// flag's final value is deterministic); it is *polled* to abandon walks
+/// early once the keep-everything fallback is inevitable — a truncated walk
+/// can only lose survivor marks, which the fallback overwrites anyway.
+void ComLecFJoin(const PruneContext& ctx, PruneSlotScratch& s,
+                 const std::vector<JoinedFeature>& frontier, size_t depth,
+                 std::atomic<bool>* any_exhausted) {
+  if (s.seed_exhausted ||
+      any_exhausted->load(std::memory_order_relaxed)) {
+    return;
+  }
   // Candidate groups: active, unvisited, adjacent to some visited group.
   std::vector<uint32_t> expansion_groups;
   for (uint32_t g = 0; g < ctx.groups.size(); ++g) {
-    if (!ctx.active[g] || visited[g]) continue;
+    if (!ctx.active[g] || s.visited[g]) continue;
     bool adjacent = false;
     for (uint32_t nb : ctx.adjacency[g]) {
-      if (visited[nb]) {
+      if (s.visited[nb]) {
         adjacent = true;
         break;
       }
@@ -77,52 +121,99 @@ void ComLecFJoin(PruneContext& ctx, std::vector<bool>& visited,
   }
 
   for (uint32_t g : expansion_groups) {
-    if (ctx.exhausted) return;
-    std::unordered_map<uint64_t, std::vector<size_t>> dedup;
-    std::vector<JoinedFeature> next;
+    if (s.seed_exhausted ||
+        any_exhausted->load(std::memory_order_relaxed)) {
+      return;
+    }
+    std::unordered_map<uint64_t, std::vector<size_t>>& dedup =
+        s.dedup_arena[depth];
+    dedup.clear();
+    std::vector<JoinedFeature>& next = s.frontier_arena[depth];
+    next.clear();
     for (const JoinedFeature& jf : frontier) {
       for (uint32_t f_idx : ctx.groups[g]) {
         const LecFeature& f = (*ctx.features)[f_idx];
-        ++ctx.result->join_attempts;
+        ++s.join_attempts;
         if (!FeaturesJoinable(jf.sign, jf.crossing, f.sign, f.crossing)) {
           continue;
         }
         Bitset sign = jf.sign | f.sign;
         std::vector<CrossingPairMap> crossing =
             MergeCrossing(jf.crossing, f.crossing);
-        std::vector<uint32_t> contributors = jf.contributors;
-        MergeContributors(&contributors, {f_idx});
+        // The candidate chain's contributors, built in the reusable scratch
+        // vector (the copy-assign reuses its capacity): jf's sorted set
+        // plus f_idx, which cannot already be present — contributors only
+        // hold the seed and members of visited groups, and g is unvisited.
+        s.scratch_contributors = jf.contributors;
+        s.scratch_contributors.insert(
+            std::lower_bound(s.scratch_contributors.begin(),
+                             s.scratch_contributors.end(), f_idx),
+            f_idx);
         if (sign.All()) {
-          MarkSurvivors(ctx, contributors);
+          s.MarkSurvivors(s.scratch_contributors);
           continue;  // a complete chain cannot be extended further
         }
         uint64_t key = JoinedKey(sign, crossing);
         bool merged = false;
         for (size_t slot : dedup[key]) {
           if (next[slot].sign == sign && next[slot].crossing == crossing) {
-            MergeContributors(&next[slot].contributors, contributors);
+            MergeContributors(&next[slot].contributors,
+                              s.scratch_contributors);
             merged = true;
             break;
           }
         }
         if (!merged) {
-          if (ctx.joined_budget == 0) {
-            ctx.exhausted = true;
+          if (s.joined_budget == 0) {
+            s.seed_exhausted = true;
+            any_exhausted->store(true, std::memory_order_relaxed);
             return;
           }
-          --ctx.joined_budget;
+          --s.joined_budget;
           dedup[key].push_back(next.size());
+          // Copy (not move) the contributors so the scratch keeps its
+          // buffer; the materialized chain's own allocation is inherent.
           next.push_back(
-              {std::move(sign), std::move(crossing), std::move(contributors)});
+              {std::move(sign), std::move(crossing), s.scratch_contributors});
         }
       }
     }
     if (!next.empty()) {
-      visited[g] = true;
-      ComLecFJoin(ctx, visited, next);
-      visited[g] = false;
+      s.visited[g] = true;
+      // Deeper levels use arena slots > depth, so `next` stays untouched
+      // while the recursion runs.
+      ComLecFJoin(ctx, s, next, depth + 1, any_exhausted);
+      s.visited[g] = false;
     }
   }
+}
+
+/// One seed's independent chain DFS: resets the slot scratch to the seed's
+/// state (fresh per-seed budget, seed-local dedup) and expands.
+void RunSeedPrune(const PruneContext& ctx, uint32_t vmin, uint32_t f_idx,
+                  PruneSlotScratch& s, size_t budget,
+                  std::atomic<bool>* any_exhausted) {
+  const LecFeature& f = (*ctx.features)[f_idx];
+  s.joined_budget = budget;
+  s.seed_exhausted = false;
+  s.visited.assign(ctx.groups.size(), false);
+  s.visited[vmin] = true;
+  s.seed_frontier.clear();
+  s.seed_frontier.push_back({f.sign, f.crossing, {f_idx}});
+  ComLecFJoin(ctx, s, s.seed_frontier, 0, any_exhausted);
+}
+
+/// Folds one slot's scratch into the run accumulators and resets it so a
+/// persistent (serial) scratch is never double-counted.
+void FoldSlot(PruneSlotScratch* s, std::vector<uint64_t>* survivor_words,
+              PruneResult* result) {
+  GSTORED_CHECK_EQ(s->survivors.size(), survivor_words->size());
+  for (size_t w = 0; w < s->survivors.size(); ++w) {
+    (*survivor_words)[w] |= s->survivors[w];
+    s->survivors[w] = 0;
+  }
+  result->join_attempts += s->join_attempts;
+  s->join_attempts = 0;
 }
 
 }  // namespace
@@ -136,9 +227,6 @@ PruneResult LecFeaturePruning(const std::vector<LecFeature>& features,
 
   PruneContext ctx;
   ctx.features = &features;
-  ctx.options = &options;
-  ctx.result = &result;
-  ctx.joined_budget = options.max_joined_features;
 
   // Def. 10: group features by LECSign.
   std::unordered_map<uint64_t, std::vector<uint32_t>> sign_buckets;
@@ -160,60 +248,99 @@ PruneResult LecFeaturePruning(const std::vector<LecFeature>& features,
       ctx.groups.push_back({i});
     }
   }
-  result.num_groups = ctx.groups.size();
+  const size_t num_groups = ctx.groups.size();
+  result.num_groups = num_groups;
 
   // Group join graph: an edge when some cross-group feature pair is
-  // joinable (two same-sign features never are — Thm. 5).
-  size_t num_groups = ctx.groups.size();
-  ctx.adjacency.assign(num_groups, {});
-  for (uint32_t a = 0; a < num_groups; ++a) {
-    for (uint32_t b = a + 1; b < num_groups; ++b) {
-      bool joinable = false;
-      for (uint32_t fa : ctx.groups[a]) {
-        for (uint32_t fb : ctx.groups[b]) {
-          ++result.join_attempts;
-          if (FeaturesJoinable(features[fa], features[fb])) {
-            joinable = true;
-            break;
-          }
-        }
-        if (joinable) break;
-      }
-      if (joinable) {
-        ctx.adjacency[a].push_back(b);
-        ctx.adjacency[b].push_back(a);
-        ++result.num_join_graph_edges;
-      }
-    }
-  }
+  // joinable (two same-sign features never are — Thm. 5). The indexed
+  // construction probes only pairs sharing a crossing mapping (a Def. 9
+  // necessity) instead of all cross-group pairs.
+  JoinGraphStats graph_stats;
+  ctx.adjacency = options.use_indexed_join_graph
+                      ? BuildJoinGraphIndexed(features, ctx.groups,
+                                              &graph_stats)
+                      : BuildJoinGraphAllPairs(features, ctx.groups,
+                                               &graph_stats);
+  result.join_attempts += graph_stats.join_attempts;
+  result.num_join_graph_edges = graph_stats.num_edges;
 
   ctx.active.assign(num_groups, true);
   DeactivateIsolatedGroups(ctx.adjacency, &ctx.active);
 
+  // OR-accumulator of the per-slot survivor bitmaps and the run-global
+  // bail-out flag (see ComLecFJoin's contract).
+  std::vector<uint64_t> survivor_words((features.size() + 63) / 64, 0);
+  std::atomic<bool> any_exhausted{false};
+
+  // Serial scratch is built lazily and kept across vmin iterations; the
+  // parallel scratch set is per iteration (slot counts change with the
+  // seed-group size).
+  std::unique_ptr<PruneSlotScratch> serial_scratch;
+
   // Main loop of Alg. 2: repeatedly expand chains from the smallest active
-  // group, then retire it.
-  while (!ctx.exhausted) {
+  // group, then retire it. Seed-major: each base feature of the vmin group
+  // runs one independent DFS.
+  while (!any_exhausted.load(std::memory_order_relaxed)) {
     uint32_t vmin = SelectMinActiveGroup(ctx.groups, ctx.active);
     if (vmin == kNoGroup) break;
+    const std::vector<uint32_t>& seeds = ctx.groups[vmin];
 
-    std::vector<JoinedFeature> seeds;
-    seeds.reserve(ctx.groups[vmin].size());
-    for (uint32_t f_idx : ctx.groups[vmin]) {
-      const LecFeature& f = features[f_idx];
-      seeds.push_back({f.sign, f.crossing, {f_idx}});
+    size_t slots = JoinSlotBudget(seeds.size(), options.num_threads,
+                                  options.min_seeds_per_slot);
+    ThreadPool* pool = ResolvePool(slots, options.pool);
+    // Fair share of the join-space cap: the group's seeds together stay
+    // within ~max_joined_features, yet each seed's bail-out decision is a
+    // pure function of that seed alone (a shared counter would make it
+    // scheduling-dependent). Floored at one chain per seed so a group
+    // larger than the cap degrades to minimal budgets instead of a
+    // guaranteed bail-out; a zero cap still means "bail immediately".
+    const size_t seed_budget =
+        options.max_joined_features == 0
+            ? 0
+            : std::max<size_t>(1, options.max_joined_features / seeds.size());
+
+    if (pool == nullptr) {
+      if (serial_scratch == nullptr) {
+        serial_scratch = std::make_unique<PruneSlotScratch>(num_groups,
+                                                            features.size());
+      }
+      for (uint32_t f_idx : seeds) {
+        if (any_exhausted.load(std::memory_order_relaxed)) break;
+        RunSeedPrune(ctx, vmin, f_idx, *serial_scratch, seed_budget,
+                     &any_exhausted);
+      }
+      FoldSlot(serial_scratch.get(), &survivor_words, &result);
+    } else {
+      std::vector<PruneSlotScratch> scratch(
+          slots, PruneSlotScratch(num_groups, features.size()));
+      pool->ParallelFor(seeds.size(), slots, [&](size_t i, size_t slot) {
+        if (any_exhausted.load(std::memory_order_relaxed)) return;
+        RunSeedPrune(ctx, vmin, seeds[i], scratch[slot], seed_budget,
+                     &any_exhausted);
+      });
+      // The ParallelFor return is the merge barrier: fold the slot bitmaps
+      // (a pure union — order-independent) and counters. On non-bailed
+      // runs no walk was truncated, so the counter sums equal a serial
+      // run's totals: every counted probe belongs to exactly one seed DFS.
+      for (PruneSlotScratch& s : scratch) {
+        FoldSlot(&s, &survivor_words, &result);
+      }
     }
-    std::vector<bool> visited(num_groups, false);
-    visited[vmin] = true;
-    ComLecFJoin(ctx, visited, seeds);
 
     ctx.active[vmin] = false;
     DeactivateIsolatedGroups(ctx.adjacency, &ctx.active);
   }
 
-  if (ctx.exhausted) {
+  if (any_exhausted.load(std::memory_order_relaxed)) {
     // Safe fallback: pruning found too large a join space; keep everything.
     result.bailed_out = true;
     std::fill(result.survives.begin(), result.survives.end(), true);
+  } else {
+    for (size_t f = 0; f < features.size(); ++f) {
+      if ((survivor_words[f >> 6] >> (f & 63)) & 1u) {
+        result.survives[f] = true;
+      }
+    }
   }
   result.surviving_features = static_cast<size_t>(
       std::count(result.survives.begin(), result.survives.end(), true));

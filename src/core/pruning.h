@@ -8,6 +8,8 @@
 
 namespace gstored {
 
+class ThreadPool;
+
 /// Outcome of the LEC feature-based pruning (Algorithm 2).
 struct PruneResult {
   /// survives[i] is true when feature i can participate in some chain of
@@ -21,17 +23,47 @@ struct PruneResult {
   size_t join_attempts = 0;         ///< pairwise feature joins evaluated
   size_t surviving_features = 0;
 
-  /// True when the join space exceeded `max_joined_features` and pruning
-  /// fell back to keeping everything (always safe — pruning is an
+  /// True when some seed's join space exceeded `max_joined_features` and
+  /// pruning fell back to keeping everything (always safe — pruning is an
   /// optimization, never a correctness requirement).
   bool bailed_out = false;
 };
 
-/// Tuning knobs for LecFeaturePruning.
+/// Tuning and execution-layer knobs for LecFeaturePruning.
 struct PruneOptions {
   /// Upper bound on materialized intermediate joined features before the
-  /// safe bail-out triggers.
+  /// safe bail-out triggers. Shared fairly across a vmin group's seeds:
+  /// each seed DFS gets a budget of max_joined_features / num_seeds
+  /// (floor), so the aggregate join space stays capped at the configured
+  /// value while the bail-out decision remains a pure function of each
+  /// seed alone — and therefore independent of thread count and seed
+  /// scheduling. (A global shared counter would reintroduce
+  /// scheduling-dependent bail-outs.)
   size_t max_joined_features = 1u << 21;
+
+  /// Maximum worker slots for the chain join. With > 1, the base features
+  /// of each vmin group are partitioned across the pool: every seed's DFS
+  /// runs with slot-local scratch and marks survivors in a per-slot bitmap,
+  /// and the bitmaps are OR-folded after the ParallelFor barrier — a pure
+  /// union, so the surviving set is byte-identical to a 1-thread run.
+  size_t num_threads = 1;
+
+  /// Pool supplying the extra slots; nullptr = ThreadPool::Shared(). The
+  /// calling (coordinator) thread always participates, so a busy pool
+  /// degrades throughput, never correctness.
+  ThreadPool* pool = nullptr;
+
+  /// Dynamic thread-budget quota (JoinSlotBudget in group_schedule.h): a
+  /// vmin group engages one slot per this many seeds, so tiny prunes skip
+  /// pool coordination entirely. Tests set 1 to force the pool path.
+  size_t min_seeds_per_slot = 4;
+
+  /// Build the group join graph through the crossing-mapping inverted index
+  /// (core/join_graph.h) instead of all-pairs probing. false restores the
+  /// O(G² · F²) reference scan — kept for the equivalence test and the
+  /// ablation benchmark; the resulting graph (and surviving set) is
+  /// identical either way, only the probe count changes.
+  bool use_indexed_join_graph = true;
 };
 
 /// Algorithm 2: groups features by LECSign (Def. 10 / Thm. 5), builds the
@@ -44,6 +76,13 @@ struct PruneOptions {
 /// contributing features per joined chain — strictly more precise and still
 /// safe, because every complete match corresponds to some all-ones chain
 /// whose members all get marked.
+///
+/// The join is seed-major: each base feature of the current vmin group
+/// seeds one independent chain DFS (chain dedup is seed-local), distributed
+/// over the worker pool when `options.num_threads > 1`. Survivor marking is
+/// order-independent — per-slot bitmaps OR-folded after the barrier — so
+/// the result is byte-identical for every thread count (see "Parallel
+/// pruning" in src/core/README.md).
 ///
 /// `num_query_vertices` is |VQ| (the LECSign width).
 PruneResult LecFeaturePruning(const std::vector<LecFeature>& features,

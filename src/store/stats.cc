@@ -86,6 +86,16 @@ GraphStatistics::GraphStatistics(const RdfGraph* graph) : graph_(graph) {
     ordered.push_back(std::move(char_sets_[index]));
   }
   char_sets_ = std::move(ordered);
+
+  // Predicate -> containing characteristic sets, so the superset probes can
+  // walk only the rarest queried predicate's list instead of every distinct
+  // set. Built over the ordered layout, so each list is ascending.
+  charset_index_.resize(preds_.size());
+  for (uint32_t i = 0; i < char_sets_.size(); ++i) {
+    for (TermId p : char_sets_[i].predicates) {
+      charset_index_[p].push_back(i);
+    }
+  }
 }
 
 size_t GraphStatistics::TripleCount(TermId p) const {
@@ -143,29 +153,47 @@ std::vector<TermId> CanonicalPreds(std::span<const TermId> preds) {
   return sorted;
 }
 
+/// A (pred, dir) distribution is considered hub-dominated when its p90
+/// exceeds this multiple of the mean. Below the threshold the mean is an
+/// adequate expansion estimate (the log2 histogram buckets are too coarse
+/// to price mild skew without destabilizing near-tied order decisions);
+/// above it, the mass sits in a heavy tail the mean actively hides.
+constexpr double kFanoutSkewThreshold = 4.0;
+
+/// Expected expansion count through (pred, dir) from a *variable* anchor,
+/// with the fan-out histogram's upper tail folded in: the plain average
+/// underprices hub-dominated predicates — a heavy source contributes
+/// proportionally many prefix rows, so the search expands far worse than
+/// the mean on exactly the rows it actually reaches. Skew-free and mildly
+/// skewed predicates keep their exact average; past the hub threshold the
+/// estimate moves to the geometric blend sqrt(avg · p90), which prices the
+/// tail without letting one extreme max_fanout dominate.
+double SkewAwareFanout(const GraphStatistics& st, TermId pred, EdgeDir dir) {
+  double avg =
+      dir == EdgeDir::kOut ? st.AvgOutFanout(pred) : st.AvgInFanout(pred);
+  const FanoutHistogram* hist = st.Histogram(pred, dir);
+  if (hist == nullptr || hist->total == 0 || avg <= 0.0) return avg;
+  double p90 = hist->Quantile(0.9);
+  if (p90 <= avg * kFanoutSkewThreshold) return avg;
+  return std::sqrt(avg * p90);
+}
+
 }  // namespace
 
 double GraphStatistics::SubjectsWithAllOut(
     std::span<const TermId> preds) const {
   std::vector<TermId> sorted = CanonicalPreds(preds);
   double subjects = 0.0;
-  for (const CharacteristicSet& cs : char_sets_) {
-    if (std::includes(cs.predicates.begin(), cs.predicates.end(),
-                      sorted.begin(), sorted.end())) {
-      subjects += static_cast<double>(cs.count);
-    }
-  }
+  ForEachSupersetSet(sorted, [&](const CharacteristicSet& cs) {
+    subjects += static_cast<double>(cs.count);
+  });
   return subjects;
 }
 
 double GraphStatistics::EstimateStarRows(std::span<const TermId> preds) const {
   std::vector<TermId> sorted = CanonicalPreds(preds);
   double rows = 0.0;
-  for (const CharacteristicSet& cs : char_sets_) {
-    if (!std::includes(cs.predicates.begin(), cs.predicates.end(),
-                       sorted.begin(), sorted.end())) {
-      continue;
-    }
+  ForEachSupersetSet(sorted, [&](const CharacteristicSet& cs) {
     double contribution = static_cast<double>(cs.count);
     for (TermId p : sorted) {
       size_t i = std::lower_bound(cs.predicates.begin(), cs.predicates.end(),
@@ -175,7 +203,7 @@ double GraphStatistics::EstimateStarRows(std::span<const TermId> preds) const {
                       static_cast<double>(cs.count);
     }
     rows += contribution;
-  }
+  });
   return rows;
 }
 
@@ -324,8 +352,11 @@ double SelectivityEstimator::ExtensionCost(
     } else if (pred == kNullTerm) {
       fanout = st.AvgDegree(v_is_subject ? EdgeDir::kIn : EdgeDir::kOut);
     } else {
-      // Reaching v as subject walks the anchor's in-edges and vice versa.
-      fanout = v_is_subject ? st.AvgInFanout(pred) : st.AvgOutFanout(pred);
+      // Reaching v as subject walks the anchor's in-edges and vice versa;
+      // the histogram's p90 penalizes predicates whose mean hides a skewed
+      // tail (see SkewAwareFanout).
+      fanout = SkewAwareFanout(st, pred,
+                               v_is_subject ? EdgeDir::kIn : EdgeDir::kOut);
     }
     conn.push_back({other, pred, v_is_subject, fanout});
   }

@@ -1,6 +1,7 @@
 #ifndef GSTORED_STORE_STATS_H_
 #define GSTORED_STORE_STATS_H_
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <functional>
@@ -99,6 +100,15 @@ class GraphStatistics {
     return char_sets_;
   }
 
+  /// Characteristic sets whose predicate set contains `p` (ascending
+  /// indices into characteristic_sets()); empty span for predicates that
+  /// appear in none. This is the inverted index behind the superset probes
+  /// below — exposed so tests can cross-check it against a linear scan.
+  std::span<const uint32_t> CharacteristicSetsWith(TermId p) const {
+    if (static_cast<size_t>(p) >= charset_index_.size()) return {};
+    return charset_index_[p];
+  }
+
   /// Exact number of subjects whose out-predicate set includes all of
   /// `preds` (need not be sorted; duplicates ignored): every subject carries
   /// exactly one characteristic set, so summing the supersets is exact.
@@ -111,9 +121,40 @@ class GraphStatistics {
   double EstimateStarRows(std::span<const TermId> preds) const;
 
  private:
+  /// Applies `fn` to every characteristic set whose predicate set is a
+  /// superset of `sorted` (canonical: sorted, distinct). Instead of the old
+  /// linear scan over all distinct sets, the probe walks only the inverted
+  /// index list of the *rarest* queried predicate — every superset must
+  /// contain it, so nothing is missed — and std::includes-filters that
+  /// list. An empty probe degenerates to all sets; a predicate contained
+  /// in no set short-circuits to zero matches.
+  template <typename Fn>
+  void ForEachSupersetSet(const std::vector<TermId>& sorted, Fn&& fn) const {
+    if (sorted.empty()) {
+      for (const CharacteristicSet& cs : char_sets_) fn(cs);
+      return;
+    }
+    const std::vector<uint32_t>* rarest = nullptr;
+    for (TermId p : sorted) {
+      if (static_cast<size_t>(p) >= charset_index_.size()) return;
+      const std::vector<uint32_t>& list = charset_index_[p];
+      if (list.empty()) return;
+      if (rarest == nullptr || list.size() < rarest->size()) rarest = &list;
+    }
+    for (uint32_t i : *rarest) {
+      const CharacteristicSet& cs = char_sets_[i];
+      if (std::includes(cs.predicates.begin(), cs.predicates.end(),
+                        sorted.begin(), sorted.end())) {
+        fn(cs);
+      }
+    }
+  }
+
   const RdfGraph* graph_;
   std::vector<PredicateCardinality> preds_;  ///< dense by predicate id
   std::vector<CharacteristicSet> char_sets_;
+  /// charset_index_[p]: ascending indices of the sets containing p.
+  std::vector<std::vector<uint32_t>> charset_index_;
 };
 
 /// Estimates candidate cardinalities and per-row expansion costs of one

@@ -4,7 +4,9 @@
 // checked directly by first principles (plain loops over the crossing
 // maps, not FeaturesJoinable). LecAssembly must produce exactly the
 // oracle's crossing-match set on the 10 shared reference scenarios and on
-// fresh randomized multi-site scenarios, serial and parallel alike, and
+// fresh randomized multi-site scenarios, serial and parallel alike; the
+// parallel-pruned feature set must equal the serial-pruned set (and the
+// pruned assembly must still reproduce the oracle) on every scenario; and
 // every assembled binding must be a genuine match of the full graph.
 
 #include <gtest/gtest.h>
@@ -162,17 +164,7 @@ std::vector<Binding> OracleAssembly(const std::vector<LocalPartialMatch>& lpms,
   return complete;
 }
 
-std::vector<LocalPartialMatch> EnumerateAll(const Partitioning& partitioning,
-                                            const ResolvedQuery& rq) {
-  std::vector<LocalPartialMatch> lpms;
-  for (const Fragment& fragment : partitioning.fragments()) {
-    LocalStore store(&fragment.graph());
-    auto fragment_lpms = EnumerateLocalPartialMatches(fragment, store, rq);
-    lpms.insert(lpms.end(), std::make_move_iterator(fragment_lpms.begin()),
-                std::make_move_iterator(fragment_lpms.end()));
-  }
-  return lpms;
-}
+using ::gstored::testing::EnumerateAllLpms;
 
 /// Runs the oracle comparison on one dataset/query/partitioning triple and
 /// returns the number of crossing matches, so sweeps can assert they
@@ -182,7 +174,7 @@ size_t CheckAssemblyAgainstOracle(const Dataset& dataset,
                                   const Partitioning& partitioning,
                                   const std::string& label) {
   ResolvedQuery rq = ResolveQuery(query, dataset.dict());
-  std::vector<LocalPartialMatch> lpms = EnumerateAll(partitioning, rq);
+  std::vector<LocalPartialMatch> lpms = EnumerateAllLpms(partitioning, rq);
   const size_t n = query.num_vertices();
 
   size_t oracle_conflicts = 0;
@@ -213,6 +205,30 @@ size_t CheckAssemblyAgainstOracle(const Dataset& dataset,
   EXPECT_EQ(parallel, lec) << label;  // byte-identical, not merely same set
   DedupBindings(&parallel);
   EXPECT_EQ(parallel, oracle) << label;
+
+  // Parallel pruning marks exactly the serial survivor set (the bitmap
+  // OR-fold is a pure union), and assembling only the survivors still
+  // reproduces the oracle's matches — pruning removes nothing that any
+  // complete chain needs.
+  LecFeatureSet feature_set = ComputeLecFeatures(lpms);
+  PruneResult serial_prune = LecFeaturePruning(feature_set.features, n);
+  PruneOptions parallel_prune_options;
+  parallel_prune_options.num_threads = 4;
+  parallel_prune_options.pool = &pool;
+  parallel_prune_options.min_seeds_per_slot = 1;
+  PruneResult parallel_prune = LecFeaturePruning(
+      feature_set.features, n, parallel_prune_options);
+  EXPECT_EQ(parallel_prune.survives, serial_prune.survives) << label;
+  EXPECT_EQ(parallel_prune.bailed_out, serial_prune.bailed_out) << label;
+  std::vector<LocalPartialMatch> surviving;
+  for (size_t i = 0; i < lpms.size(); ++i) {
+    if (serial_prune.survives[feature_set.feature_of_lpm[i]]) {
+      surviving.push_back(lpms[i]);
+    }
+  }
+  std::vector<Binding> pruned_lec = LecAssembly(surviving, n);
+  DedupBindings(&pruned_lec);
+  EXPECT_EQ(pruned_lec, oracle) << label;
 
   // Every assembled crossing match is a genuine match of the whole graph.
   LocalStore oracle_store(&dataset.graph());
@@ -286,7 +302,7 @@ TEST(AssemblyReferenceRandomized, OracleStableUnderPruning) {
     QueryGraph query = RandomConnectedQuery(rng, *dataset, 3, 4);
     Partitioning partitioning = HashPartitioner().Partition(*dataset, 3);
     ResolvedQuery rq = ResolveQuery(query, dataset->dict());
-    std::vector<LocalPartialMatch> all = EnumerateAll(partitioning, rq);
+    std::vector<LocalPartialMatch> all = EnumerateAllLpms(partitioning, rq);
 
     LecFeatureSet set = ComputeLecFeatures(all);
     PruneResult prune = LecFeaturePruning(set.features, query.num_vertices());

@@ -310,6 +310,18 @@ TEST(GroupScheduleTest, JoinSlotBudgetSkipsPoolForTinyGroups) {
   EXPECT_EQ(JoinSlotBudget(3, 8, 0), 3u);  // 0 quota treated as 1
 }
 
+TEST(GroupScheduleTest, SiteSlotBudgetScalesWithFragmentSize) {
+  // The engine knob is a ceiling: small fragments run serially no matter
+  // how many threads the engine allows, and the budget grows one slot per
+  // kSiteTriplesPerSlot triples up to the knob.
+  EXPECT_EQ(SiteSlotBudget(0, 8), 1u);
+  EXPECT_EQ(SiteSlotBudget(100, 8), 1u);
+  EXPECT_EQ(SiteSlotBudget(kSiteTriplesPerSlot * 2 - 1, 8), 1u);
+  EXPECT_EQ(SiteSlotBudget(kSiteTriplesPerSlot * 2, 8), 2u);
+  EXPECT_EQ(SiteSlotBudget(kSiteTriplesPerSlot * 100, 8), 8u);  // capped
+  EXPECT_EQ(SiteSlotBudget(kSiteTriplesPerSlot * 100, 1), 1u);  // knob off
+}
+
 TEST(SeenSetTest, ShardedSeenSetMatchesSingleShardReference) {
   // Random (sign, binding) streams with forced duplicates: every shard
   // count must agree with the single-shard reference on each CheckAndInsert

@@ -1,9 +1,9 @@
 // Determinism of the worker-pool execution layer: the parallel matcher,
-// LPM enumerator and LEC assembly join must produce byte-identical outputs
-// (same elements, same order) for every thread count — including end to end
-// through the engine and under a finite assembly result limit — and the
-// indexed group join graph must equal the all-pairs reference construction
-// on random LPM sets.
+// LPM enumerator, LEC pruning and LEC assembly join must produce
+// byte-identical outputs (same elements, same order) for every thread
+// count — including end to end through the engine and under a finite
+// assembly result limit — and the indexed group join graph must equal the
+// all-pairs reference construction on random LPM and feature sets.
 
 #include <gtest/gtest.h>
 
@@ -12,7 +12,10 @@
 
 #include "core/assembly.h"
 #include "core/engine.h"
+#include "core/join_graph.h"
+#include "core/lec_feature.h"
 #include "core/local_partial_match.h"
+#include "core/pruning.h"
 #include "partition/partitioners.h"
 #include "store/matcher.h"
 #include "tests/test_fixtures.h"
@@ -22,6 +25,7 @@
 namespace gstored {
 namespace {
 
+using ::gstored::testing::EnumerateAllLpms;
 using ::gstored::testing::RandomConnectedQuery;
 using ::gstored::testing::RandomDataset;
 
@@ -98,13 +102,7 @@ TEST_P(ParallelDeterminism, AssemblyByteIdentical) {
   Partitioning partitioning = HashPartitioner().Partition(*dataset, 3);
   ResolvedQuery rq = ResolveQuery(query, dataset->dict());
 
-  std::vector<LocalPartialMatch> lpms;
-  for (const Fragment& fragment : partitioning.fragments()) {
-    LocalStore store(&fragment.graph());
-    auto fragment_lpms = EnumerateLocalPartialMatches(fragment, store, rq);
-    lpms.insert(lpms.end(), std::make_move_iterator(fragment_lpms.begin()),
-                std::make_move_iterator(fragment_lpms.end()));
-  }
+  std::vector<LocalPartialMatch> lpms = EnumerateAllLpms(partitioning, rq);
 
   AssemblyStats baseline_stats;
   auto baseline = LecAssembly(lpms, query.num_vertices(), &baseline_stats);
@@ -139,6 +137,48 @@ TEST_P(ParallelDeterminism, AssemblyByteIdentical) {
       EXPECT_EQ(LecAssembly(lpms, query.num_vertices(), options, nullptr),
                 expected)
           << "limit=" << limit << " threads=" << threads;
+    }
+  }
+}
+
+TEST_P(ParallelDeterminism, PruningByteIdentical) {
+  const DetScenario& s = GetParam();
+  Rng rng(s.seed);
+  auto dataset = RandomDataset(rng, s.vertices, s.edges, s.predicates);
+  QueryGraph query = RandomConnectedQuery(rng, *dataset, s.query_vertices,
+                                          s.query_edges);
+  Partitioning partitioning = HashPartitioner().Partition(*dataset, 3);
+  ResolvedQuery rq = ResolveQuery(query, dataset->dict());
+
+  std::vector<LocalPartialMatch> lpms = EnumerateAllLpms(partitioning, rq);
+  LecFeatureSet set = ComputeLecFeatures(lpms);
+
+  PruneResult baseline =
+      LecFeaturePruning(set.features, query.num_vertices());
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    PruneOptions options;
+    options.num_threads = threads;
+    options.pool = &pool_;
+    options.min_seeds_per_slot = 1;  // force the pool path on small groups
+    PruneResult result =
+        LecFeaturePruning(set.features, query.num_vertices(), options);
+    EXPECT_EQ(result.survives, baseline.survives)
+        << "threads=" << threads << " query: " << query.ToString();
+    EXPECT_EQ(result.surviving_features, baseline.surviving_features)
+        << "threads=" << threads;
+    EXPECT_EQ(result.bailed_out, baseline.bailed_out)
+        << "threads=" << threads;
+    EXPECT_EQ(result.num_groups, baseline.num_groups)
+        << "threads=" << threads;
+    EXPECT_EQ(result.num_join_graph_edges, baseline.num_join_graph_edges)
+        << "threads=" << threads;
+    // On non-bailed runs every seed DFS runs to completion, so the per-slot
+    // probe counters sum to the serial totals. (A bailed run truncates
+    // in-flight walks at a nondeterministic point; only the all-survive
+    // result is pinned there.)
+    if (!baseline.bailed_out) {
+      EXPECT_EQ(result.join_attempts, baseline.join_attempts)
+          << "threads=" << threads;
     }
   }
 }
@@ -182,14 +222,8 @@ TEST(GroupJoinGraphTest, IndexedEqualsAllPairsOnRandomLpmSets) {
     Partitioning partitioning = HashPartitioner().Partition(*dataset, 3);
     ResolvedQuery rq = ResolveQuery(query, dataset->dict());
 
-    std::vector<LocalPartialMatch> lpms;
-    for (const Fragment& fragment : partitioning.fragments()) {
-      LocalStore store(&fragment.graph());
-      auto fragment_lpms = EnumerateLocalPartialMatches(fragment, store, rq);
-      lpms.insert(lpms.end(),
-                  std::make_move_iterator(fragment_lpms.begin()),
-                  std::make_move_iterator(fragment_lpms.end()));
-    }
+    std::vector<LocalPartialMatch> lpms =
+        EnumerateAllLpms(partitioning, rq);
     auto groups = GroupLpmsBySign(lpms);
 
     AssemblyStats indexed_stats;
@@ -202,6 +236,36 @@ TEST(GroupJoinGraphTest, IndexedEqualsAllPairsOnRandomLpmSets) {
               all_pairs_stats.num_join_graph_edges)
         << "seed=" << seed;
     EXPECT_LE(indexed_stats.join_attempts, all_pairs_stats.join_attempts)
+        << "seed=" << seed;
+  }
+}
+
+/// Same equivalence for the pruning side: over LEC features, the indexed
+/// join graph and the all-pairs reference must yield the same adjacency —
+/// and therefore the same surviving set — with no more probes.
+TEST(FeatureJoinGraphTest, IndexedEqualsAllPairsOnRandomFeatureSets) {
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    Rng rng(seed * 6151);
+    auto dataset = RandomDataset(rng, 14, 45, 3);
+    QueryGraph query = RandomConnectedQuery(rng, *dataset, 4, 5);
+    Partitioning partitioning = HashPartitioner().Partition(*dataset, 3);
+    ResolvedQuery rq = ResolveQuery(query, dataset->dict());
+
+    std::vector<LocalPartialMatch> lpms =
+        EnumerateAllLpms(partitioning, rq);
+    LecFeatureSet set = ComputeLecFeatures(lpms);
+
+    PruneOptions indexed_options;
+    PruneOptions all_pairs_options;
+    all_pairs_options.use_indexed_join_graph = false;
+    PruneResult indexed =
+        LecFeaturePruning(set.features, query.num_vertices(), indexed_options);
+    PruneResult all_pairs = LecFeaturePruning(
+        set.features, query.num_vertices(), all_pairs_options);
+    EXPECT_EQ(indexed.survives, all_pairs.survives) << "seed=" << seed;
+    EXPECT_EQ(indexed.num_join_graph_edges, all_pairs.num_join_graph_edges)
+        << "seed=" << seed;
+    EXPECT_LE(indexed.join_attempts, all_pairs.join_attempts)
         << "seed=" << seed;
   }
 }

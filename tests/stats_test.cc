@@ -159,6 +159,86 @@ TEST_P(StatsSweep, CharacteristicSetsMatchBruteForce) {
   }
 }
 
+/// The predicate -> characteristic-set inverted index (the probe now scans
+/// only the rarest queried predicate's list) must be invisible: both
+/// superset probes agree with a linear scan over *all* distinct sets, for
+/// random probes of every size including predicates the graph never uses.
+TEST_P(StatsSweep, SupersetProbesMatchLinearScan) {
+  Rng rng(GetParam() * 31 + 7);
+  auto dataset = RandomDataset(rng, 24, 85, 5);
+  const RdfGraph& g = dataset->graph();
+  GraphStatistics stats(&g);
+
+  auto linear_subjects = [&](const std::vector<TermId>& probe) {
+    std::vector<TermId> sorted = probe;
+    std::sort(sorted.begin(), sorted.end());
+    sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+    double subjects = 0.0;
+    for (const CharacteristicSet& cs : stats.characteristic_sets()) {
+      if (std::includes(cs.predicates.begin(), cs.predicates.end(),
+                        sorted.begin(), sorted.end())) {
+        subjects += static_cast<double>(cs.count);
+      }
+    }
+    return subjects;
+  };
+  auto linear_rows = [&](const std::vector<TermId>& probe) {
+    std::vector<TermId> sorted = probe;
+    std::sort(sorted.begin(), sorted.end());
+    sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+    double rows = 0.0;
+    for (const CharacteristicSet& cs : stats.characteristic_sets()) {
+      if (!std::includes(cs.predicates.begin(), cs.predicates.end(),
+                         sorted.begin(), sorted.end())) {
+        continue;
+      }
+      double contribution = cs.count;
+      for (TermId p : sorted) {
+        size_t i = std::lower_bound(cs.predicates.begin(),
+                                    cs.predicates.end(), p) -
+                   cs.predicates.begin();
+        contribution *= static_cast<double>(cs.occurrences[i]) /
+                        static_cast<double>(cs.count);
+      }
+      rows += contribution;
+    }
+    return rows;
+  };
+
+  const std::vector<TermId>& preds = g.predicates();
+  TermId unused = preds.back() + 1000;
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<TermId> probe;
+    size_t size = 1 + rng.Next() % 3;
+    for (size_t i = 0; i < size; ++i) {
+      // 1-in-8 probes include a predicate no subject carries.
+      probe.push_back(rng.Next() % 8 == 0
+                          ? unused
+                          : preds[rng.Next() % preds.size()]);
+    }
+    EXPECT_DOUBLE_EQ(stats.SubjectsWithAllOut(probe), linear_subjects(probe));
+    EXPECT_DOUBLE_EQ(stats.EstimateStarRows(probe), linear_rows(probe));
+  }
+  // The empty probe counts every subject carrying any out-predicate.
+  EXPECT_DOUBLE_EQ(stats.SubjectsWithAllOut({}), linear_subjects({}));
+
+  // The index itself lists exactly the containing sets, in ascending order.
+  for (TermId p : preds) {
+    std::vector<uint32_t> expected;
+    const auto& sets = stats.characteristic_sets();
+    for (uint32_t i = 0; i < sets.size(); ++i) {
+      if (std::binary_search(sets[i].predicates.begin(),
+                             sets[i].predicates.end(), p)) {
+        expected.push_back(i);
+      }
+    }
+    auto indexed = stats.CharacteristicSetsWith(p);
+    EXPECT_EQ(std::vector<uint32_t>(indexed.begin(), indexed.end()), expected)
+        << "p=" << p;
+  }
+  EXPECT_TRUE(stats.CharacteristicSetsWith(unused).empty());
+}
+
 TEST_P(StatsSweep, VertexCardinalityUpperBoundsCandidates) {
   Rng rng(GetParam());
   auto dataset = RandomDataset(rng, 20, 75, 3);
@@ -179,6 +259,59 @@ TEST_P(StatsSweep, VertexCardinalityUpperBoundsCandidates) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, StatsSweep,
                          ::testing::Values(11u, 22u, 33u, 44u, 55u, 66u));
+
+/// The p90 hub penalty in ExtensionCost: two predicates with identical
+/// average out fan-out, one uniform and one hub-dominated (p90 > 4x the
+/// mean), must no longer price identically — the expansion through the
+/// hub-heavy predicate costs more, because heavy sources contribute
+/// proportionally many prefix rows.
+TEST(SkewPenalty, HubDominatedPredicateCostsMoreThanUniformTwin) {
+  auto dataset = std::make_unique<Dataset>();
+  auto v = [](const char* tag, size_t i) {
+    return "<http://skew.org/" + std::string(tag) + std::to_string(i) + ">";
+  };
+  // uni: 8 subjects with 7 objects, 2 with 8 -> avg 7.2, p90 = max = 8.
+  for (size_t s = 0; s < 10; ++s) {
+    size_t fanout = s < 8 ? 7 : 8;
+    for (size_t o = 0; o < fanout; ++o) {
+      dataset->AddTripleLexical(v("us", s), "<http://skew.org/uni>",
+                                v("uo", s * 100 + o));
+    }
+  }
+  // hub: 8 subjects with 1 object, 2 hubs with 32 -> avg 7.2, p90 = 32.
+  for (size_t s = 0; s < 10; ++s) {
+    size_t fanout = s < 8 ? 1 : 32;
+    for (size_t o = 0; o < fanout; ++o) {
+      dataset->AddTripleLexical(v("hs", s), "<http://skew.org/hub>",
+                                v("ho", s * 100 + o));
+    }
+  }
+  dataset->Finalize();
+  GraphStatistics stats(&dataset->graph());
+
+  TermId uni = dataset->dict().Lookup("<http://skew.org/uni>");
+  TermId hub = dataset->dict().Lookup("<http://skew.org/hub>");
+  EXPECT_DOUBLE_EQ(stats.AvgOutFanout(uni), stats.AvgOutFanout(hub));
+
+  QueryGraph q;
+  q.AddVertex("?a");
+  q.AddVertex("?b");
+  q.AddVertex("?c");
+  q.AddEdge("?a", "<http://skew.org/uni>", "?b");
+  q.AddEdge("?a", "<http://skew.org/hub>", "?c");
+  ResolvedQuery rq = ResolveQuery(q, dataset->dict());
+  SelectivityEstimator estimator(&stats, &rq);
+
+  std::vector<bool> placed(q.num_vertices(), false);
+  placed[0] = true;  // ?a
+  double uniform_cost = estimator.ExtensionCost(1, placed);
+  double hub_cost = estimator.ExtensionCost(2, placed);
+  // The uniform twin stays at its exact average; the hub twin is inflated
+  // toward its p90 but never past it.
+  EXPECT_DOUBLE_EQ(uniform_cost, stats.AvgOutFanout(uni));
+  EXPECT_GT(hub_cost, uniform_cost);
+  EXPECT_LT(hub_cost, 32.0);
+}
 
 // ---------------------------------------------------------------------------
 // Matching-order quality

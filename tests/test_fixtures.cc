@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "store/local_store.h"
 #include "util/logging.h"
 
 namespace gstored::testing {
@@ -171,6 +172,18 @@ VertexAssignment RandomAssignment(Rng& rng, const Dataset& dataset, int k) {
     owner[v] = static_cast<FragmentId>(rng.Uniform(k));
   }
   return owner;
+}
+
+std::vector<LocalPartialMatch> EnumerateAllLpms(
+    const Partitioning& partitioning, const ResolvedQuery& rq) {
+  std::vector<LocalPartialMatch> lpms;
+  for (const Fragment& fragment : partitioning.fragments()) {
+    LocalStore store(&fragment.graph());
+    auto fragment_lpms = EnumerateLocalPartialMatches(fragment, store, rq);
+    lpms.insert(lpms.end(), std::make_move_iterator(fragment_lpms.begin()),
+                std::make_move_iterator(fragment_lpms.end()));
+  }
+  return lpms;
 }
 
 }  // namespace gstored::testing

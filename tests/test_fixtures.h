@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "core/local_partial_match.h"
 #include "partition/partitioners.h"
 #include "partition/partitioning.h"
 #include "rdf/dataset.h"
@@ -72,6 +73,12 @@ QueryGraph RandomConnectedQuery(Rng& rng, const Dataset& dataset,
 
 /// Produces a random vertex assignment over `k` fragments.
 VertexAssignment RandomAssignment(Rng& rng, const Dataset& dataset, int k);
+
+/// Enumerates every fragment's local partial matches with default (serial)
+/// options and concatenates them in fragment order — the shared setup of
+/// the assembly/pruning oracle and determinism suites.
+std::vector<LocalPartialMatch> EnumerateAllLpms(
+    const Partitioning& partitioning, const ResolvedQuery& rq);
 
 /// One randomized oracle-comparison scenario: a seeded random dataset plus a
 /// random connected query over it. Kept small because several consumers
