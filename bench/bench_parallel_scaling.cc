@@ -16,6 +16,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "core/assembly.h"
 #include "core/engine.h"
 #include "core/lec_feature.h"
@@ -256,6 +259,55 @@ void BM_FullEngineExecuteThreads(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FullEngineExecuteThreads)->Arg(1)->Arg(4);
+
+/// Async-transport fault/latency row (PR 6). BM_FullEngineExecuteThreads
+/// above is the *no-fault* row: since PR 6 it runs the mailbox transport
+/// (serialization, done markers, wire-size ledger accounting), so its delta
+/// against the same row in BENCH_pr5.json — the old synchronous RunStage
+/// barrier — is the pure transport overhead, and it must stay inside the CI
+/// regression-gate tolerance. This row additionally injects per-site
+/// latency (exponential, mean = Arg ms), 5% drops, 5% duplication and
+/// reordering; the counters surface the *virtual* queue-wait percentiles
+/// the deadline logic saw (nothing sleeps — real_time measures only the
+/// retry/hedging compute overhead, which is the point of the row).
+void BM_FullEngineFaultyLatency(benchmark::State& state) {
+  ScalingFixture& f = Fixture();
+  EngineOptions options;
+  options.fault_plan.seed = 20260808;
+  options.fault_plan.reorder = true;
+  options.fault_plan.default_fault.latency_mean_ms =
+      static_cast<double>(state.range(0));
+  options.fault_plan.default_fault.latency_jitter_ms =
+      static_cast<double>(state.range(0)) / 2.0;
+  options.fault_plan.default_fault.drop_prob = 0.05;
+  options.fault_plan.default_fault.duplicate_prob = 0.05;
+  options.max_attempts = 6;
+  DistributedEngine engine(&f.partitioning, options);
+  std::vector<double> waits;
+  size_t retries = 0;
+  size_t hedged = 0;
+  bool exact = true;
+  for (auto _ : state) {
+    QueryStats stats;
+    auto outcome = engine.ExecuteQuery(f.query, EngineMode::kFull, &stats);
+    benchmark::DoNotOptimize(outcome);
+    retries += stats.transport_retries;
+    hedged += stats.hedged_sites;
+    exact = exact && outcome.exact;
+    for (double w : stats.partial_eval_run.queue_wait_millis) {
+      waits.push_back(w);
+    }
+  }
+  std::sort(waits.begin(), waits.end());
+  if (!waits.empty()) {
+    state.counters["queue_wait_p50_ms"] = waits[waits.size() / 2];
+    state.counters["queue_wait_p99_ms"] = waits[(waits.size() * 99) / 100];
+  }
+  state.counters["retries"] = static_cast<double>(retries);
+  state.counters["hedged"] = static_cast<double>(hedged);
+  state.counters["exact"] = exact ? 1.0 : 0.0;
+}
+BENCHMARK(BM_FullEngineFaultyLatency)->Arg(5)->Arg(50);
 
 }  // namespace
 }  // namespace gstored

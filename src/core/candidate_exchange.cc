@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "net/wire.h"
 #include "store/stats.h"
 #include "util/logging.h"
 
@@ -19,30 +20,58 @@ CandidateExchange ExchangeInternalCandidates(
   GSTORED_CHECK_EQ(static_cast<size_t>(num_sites),
                    partitioning.num_fragments());
 
+  InProcessTransport& net = cluster.transport();
+  const ShipmentLedger::StageId stage_id =
+      cluster.ledger().Intern(kCandidateStage);
+  const size_t bytes_before = cluster.ledger().StageBytes(stage_id);
+
   CandidateExchange result;
   result.exchanged.assign(n, false);
   for (QVertexId v = 0; v < n; ++v) {
     result.exchanged[v] = q.vertex(v).is_variable;
   }
+  result.site_filter_ok.assign(num_sites, false);
   size_t variable_count = 0;
   for (QVertexId v = 0; v < n; ++v) {
     if (q.vertex(v).is_variable) ++variable_count;
   }
 
+  // Sites that never learn the skip decision ship every variable's vector —
+  // a superset, so the union stays sound, it just costs more bytes.
+  std::vector<bool> site_knows_skips(num_sites, true);
+
   // ---- Statistics pre-phase: per-variable candidate estimates go up, the
   // skip bitmap comes back. Variables whose global estimate is unselective
-  // keep no filter (their saturated vectors would prune nothing).
+  // keep no filter (their saturated vectors would prune nothing). Estimates
+  // lost to faults simply contribute zero to the sum: the skip decision gets
+  // less evidence, never less soundness.
   if (options.use_statistics && variable_count > 0) {
-    std::vector<std::vector<double>> site_estimates(
-        num_sites, std::vector<double>(n, 0.0));
-    StageRun stats_run = cluster.RunStage([&](int site) {
-      SelectivityEstimator estimator(&stores[site]->stats(), &rq);
-      for (QVertexId v = 0; v < n; ++v) {
-        if (!q.vertex(v).is_variable) continue;
-        site_estimates[site][v] = estimator.VertexCardinality(v);
+    StageResult est = net.ExecuteStage(
+        StageOrdinal(QueryStage::kCandidateEstimates), stage_id,
+        options.policy, [&](int site) {
+          SelectivityEstimator estimator(&stores[site]->stats(), &rq);
+          std::vector<double> estimates(n, 0.0);
+          for (QVertexId v = 0; v < n; ++v) {
+            if (!q.vertex(v).is_variable) continue;
+            estimates[v] = estimator.VertexCardinality(v);
+          }
+          return std::vector<WireMessage>{MakeMessage(
+              MessageType::kCandidateEstimates, EncodeEstimates(estimates))};
+        });
+    result.stage_millis += est.run.max_millis;
+    result.transport_retries += est.total_retries();
+    result.hedged_sites += est.hedged_sites();
+
+    std::vector<double> sums(n, 0.0);
+    for (int site = 0; site < num_sites; ++site) {
+      if (!est.sites[site].ok) continue;
+      for (const WireMessage& msg : est.messages[site]) {
+        if (msg.type != MessageType::kCandidateEstimates) continue;
+        Result<std::vector<double>> decoded = DecodeEstimates(msg.payload);
+        if (!decoded.ok() || decoded.value().size() != n) continue;
+        for (QVertexId v = 0; v < n; ++v) sums[v] += decoded.value()[v];
       }
-    });
-    result.stage_millis += stats_run.max_millis;
+    }
 
     // Skip once the expected fill 1 - exp(-candidates / bits) would pass
     // max_fill, i.e. candidates > -bits * ln(1 - max_fill).
@@ -51,27 +80,49 @@ CandidateExchange ExchangeInternalCandidates(
         -static_cast<double>(options.filter_bits) * std::log1p(-fill);
     for (QVertexId v = 0; v < n; ++v) {
       if (!q.vertex(v).is_variable) continue;
-      double sum = 0.0;
-      for (int site = 0; site < num_sites; ++site) {
-        sum += site_estimates[site][v];
-      }
-      if (sum > budget) result.exchanged[v] = false;
+      if (sums[v] > budget) result.exchanged[v] = false;
     }
-    // Estimates up (one double per variable per site), skip bitmap down.
-    result.shipment_bytes +=
-        static_cast<size_t>(num_sites) * variable_count * sizeof(double) +
-        static_cast<size_t>(num_sites) * ((n + 7) / 8);
-  }
 
-  size_t exchanged_count = 0;
-  for (QVertexId v = 0; v < n; ++v) {
-    if (result.exchanged[v]) ++exchanged_count;
+    std::vector<uint8_t> bitmap = EncodeBitmap(result.exchanged);
+    site_knows_skips = net.BroadcastReliable(
+        StageOrdinal(QueryStage::kCandidateEstimates), stage_id,
+        options.policy, [&](int /*site*/) {
+          return MakeMessage(MessageType::kSkipBitmap, bitmap);
+        });
   }
 
   // ---- Site side of Alg. 4 (lines 10-15): compute internal candidates per
-  // exchanged variable and fold them into the site's bit vectors. Constants
-  // and skipped variables are never inserted, unioned or shipped, so they
-  // get placeholder 1-bit vectors instead of full-length dead allocations.
+  // exchanged variable, fold them into the site's bit vectors, and ship the
+  // filter set as one wire message. Constants are never inserted or shipped.
+  StageResult filt = net.ExecuteStage(
+      StageOrdinal(QueryStage::kCandidateFilters), stage_id, options.policy,
+      [&](int site) {
+        const Fragment& fragment = partitioning.fragments()[site];
+        FilterSet set;
+        std::vector<TermId> candidates;  // reused across the site's variables
+        for (QVertexId v = 0; v < n; ++v) {
+          if (!q.vertex(v).is_variable) continue;
+          if (site_knows_skips[site] && !result.exchanged[v]) continue;
+          BitvectorFilter filter(options.filter_bits);
+          stores[site]->CandidatesInto(rq, v, &candidates);
+          for (TermId u : candidates) {
+            if (fragment.IsInternal(u)) filter.Insert(u);
+          }
+          set.emplace_back(v, std::move(filter));
+        }
+        return std::vector<WireMessage>{
+            MakeMessage(MessageType::kCandidateFilters, EncodeFilterSet(set))};
+      });
+  result.stage_millis += filt.run.max_millis;
+  result.transport_retries += filt.total_retries();
+  result.hedged_sites += filt.hedged_sites();
+
+  // Coordinator side (lines 1-8): union the vectors. The union is only
+  // sound when every site contributed — a missing site's internal
+  // candidates would turn the one-sided error into false negatives — so any
+  // unrecovered site (or undecodable filter set) degrades the whole
+  // exchange to "no filters".
+  bool lost = !filt.complete();
   auto make_filter_row = [&] {
     std::vector<BitvectorFilter> row;
     row.reserve(n);
@@ -81,33 +132,52 @@ CandidateExchange ExchangeInternalCandidates(
     return row;
   };
   result.filters = make_filter_row();
-  std::vector<std::vector<BitvectorFilter>> site_filters(num_sites,
-                                                         make_filter_row());
-  StageRun run = cluster.RunStage([&](int site) {
-    const Fragment& fragment = partitioning.fragments()[site];
-    std::vector<TermId> candidates;  // reused across the site's variables
-    for (QVertexId v = 0; v < n; ++v) {
-      if (!result.exchanged[v]) continue;
-      stores[site]->CandidatesInto(rq, v, &candidates);
-      for (TermId u : candidates) {
-        if (fragment.IsInternal(u)) site_filters[site][v].Insert(u);
+  if (!lost) {
+    for (int site = 0; site < num_sites && !lost; ++site) {
+      for (const WireMessage& msg : filt.messages[site]) {
+        if (msg.type != MessageType::kCandidateFilters) continue;
+        Result<FilterSet> decoded = DecodeFilterSet(msg.payload);
+        if (!decoded.ok()) {
+          lost = true;
+          break;
+        }
+        for (auto& [v, filter] : decoded.value()) {
+          if (v >= n || !result.exchanged[v]) continue;  // skipped/constant
+          if (filter.bits() != options.filter_bits) {
+            lost = true;
+            break;
+          }
+          result.filters[v].UnionWith(filter);
+        }
       }
     }
-  });
-  result.stage_millis += run.max_millis;
-
-  // Coordinator side (lines 1-8): union the vectors and broadcast.
-  for (QVertexId v = 0; v < n; ++v) {
-    if (!result.exchanged[v]) continue;
-    for (int site = 0; site < num_sites; ++site) {
-      result.filters[v].UnionWith(site_filters[site][v]);
-    }
   }
-  size_t per_vector = BitvectorFilter(options.filter_bits).ByteSize();
-  // Upload (sites -> coordinator) plus broadcast (coordinator -> sites).
-  result.shipment_bytes +=
-      2 * static_cast<size_t>(num_sites) * exchanged_count * per_vector;
-  cluster.ledger().Add(kCandidateStage, result.shipment_bytes);
+  if (lost) {
+    result.degraded = true;
+    result.exchanged.assign(n, false);
+    result.filters = make_filter_row();  // all placeholders now
+    result.shipment_bytes =
+        cluster.ledger().StageBytes(stage_id) - bytes_before;
+    return result;
+  }
+
+  // Broadcast the union back (Alg. 4 line 8). Sites that miss it enumerate
+  // unfiltered; the exchanged filters are an optimization, not required for
+  // correctness of any single site.
+  FilterSet union_set;
+  for (QVertexId v = 0; v < n; ++v) {
+    if (result.exchanged[v]) union_set.emplace_back(v, result.filters[v]);
+  }
+  if (!union_set.empty()) {
+    std::vector<uint8_t> union_payload = EncodeFilterSet(union_set);
+    result.site_filter_ok = net.BroadcastReliable(
+        StageOrdinal(QueryStage::kCandidateFilters), stage_id, options.policy,
+        [&](int /*site*/) {
+          return MakeMessage(MessageType::kFilterUnion, union_payload);
+        });
+  }
+
+  result.shipment_bytes = cluster.ledger().StageBytes(stage_id) - bytes_before;
   return result;
 }
 

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "net/cluster.h"
+#include "net/transport.h"
 #include "partition/partitioning.h"
 #include "sparql/query_graph.h"
 #include "store/local_store.h"
@@ -28,6 +29,9 @@ struct CandidateExchangeOptions {
   /// below the threshold are exchanged exactly as before.
   bool use_statistics = true;
   double max_fill = 0.75;
+
+  /// Deadline/retry/hedging policy for both exchange phases.
+  StagePolicy policy;
 };
 
 /// Result of Algorithm 4 ("assembling variables' internal candidates").
@@ -40,21 +44,43 @@ struct CandidateExchange {
   /// variables must be treated as "may contain anything" — the one-sided
   /// error guarantee only covers exchanged variables.
   std::vector<bool> exchanged;
-  /// Bytes shipped: the statistics pre-phase (estimates up, the skip bitmap
-  /// back down), then one bit vector per exchanged variable per site up and
-  /// the unions broadcast back.
+  /// True when some site's filter data never reached the coordinator (even
+  /// after retries and hedging) or failed to decode. A partial union would
+  /// break the one-sided error guarantee — a true match vertex of the lost
+  /// site might test negative — so the engine must then skip every filter.
+  /// The exchange clears `exchanged` itself when this happens.
+  bool degraded = false;
+  /// site_filter_ok[s] is true when site s received the union broadcast. A
+  /// site that missed it must enumerate unfiltered (a safe superset).
+  std::vector<bool> site_filter_ok;
+  /// Wire bytes shipped under the "candidates" ledger stage: the statistics
+  /// pre-phase (estimates up, the skip bitmap back down), then one filter
+  /// set per site up and the union broadcast back — serialized message
+  /// sizes, retransmissions included.
   size_t shipment_bytes = 0;
-  /// Response time of the stage (slowest site, both phases).
+  /// Response time of the stage (slowest site, both phases; virtual
+  /// transport wait plus real compute).
   double stage_millis = 0.0;
+  /// Transport effort spent: extra dispatch attempts and locally-hedged
+  /// site executions across both phases.
+  size_t transport_retries = 0;
+  size_t hedged_sites = 0;
 };
 
-/// Runs Algorithm 4 over the cluster: each site computes the internal
-/// candidates C(Q, v) of every exchanged variable, compresses them into a
-/// fixed-length hashed bit vector, and ships it to the coordinator; the
-/// coordinator ORs the per-site vectors and broadcasts the result. The
-/// returned filters have one-sided error: any vertex appearing in a final
-/// match is guaranteed to pass, so using them to restrict extended-vertex
-/// assignments is safe (skipped variables simply stay unfiltered).
+/// Runs Algorithm 4 over the cluster transport: each site computes the
+/// internal candidates C(Q, v) of every exchanged variable, compresses them
+/// into a fixed-length hashed bit vector, and ships the set to the
+/// coordinator as a typed wire message; the coordinator ORs the per-site
+/// vectors and broadcasts the union. The returned filters have one-sided
+/// error: any vertex appearing in a final match is guaranteed to pass, so
+/// using them to restrict extended-vertex assignments is safe (skipped
+/// variables simply stay unfiltered).
+///
+/// Fault behaviour: lost estimate messages shrink the skip decision's
+/// evidence (never its soundness); a site that misses the skip bitmap ships
+/// every variable's vector (a superset); any lost or undecodable filter set
+/// degrades the whole exchange to "no filters" (see `degraded`); a site that
+/// misses the union broadcast enumerates unfiltered.
 ///
 /// `stores[i]` must be the LocalStore of fragment i.
 CandidateExchange ExchangeInternalCandidates(

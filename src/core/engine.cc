@@ -4,6 +4,8 @@
 
 #include "core/group_schedule.h"
 #include "core/lec_feature.h"
+#include "net/transport.h"
+#include "net/wire.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
@@ -28,8 +30,9 @@ void DedupBindings(std::vector<Binding>* bindings) {
 DistributedEngine::DistributedEngine(const Partitioning* partitioning,
                                      EngineOptions options)
     : partitioning_(partitioning),
-      options_(options),
-      cluster_(static_cast<int>(partitioning->num_fragments())) {
+      options_(std::move(options)),
+      cluster_(static_cast<int>(partitioning->num_fragments()),
+               options_.fault_plan) {
   GSTORED_CHECK(partitioning != nullptr);
   stores_.reserve(partitioning_->num_fragments());
   for (const Fragment& fragment : partitioning_->fragments()) {
@@ -40,6 +43,35 @@ DistributedEngine::DistributedEngine(const Partitioning* partitioning,
 std::vector<Binding> DistributedEngine::Execute(const QueryGraph& query,
                                                 EngineMode mode,
                                                 QueryStats* stats) {
+  return ExecuteQuery(query, mode, stats).matches;
+}
+
+namespace {
+
+/// Per-site computation cache: stage re-execution (retries, hedging) must be
+/// idempotent, so each site computes its matches/LPMs/features once per
+/// query and retransmissions re-ship the same data. Each entry is touched
+/// only by its own site's stage thread (attempts are sequenced by the
+/// transport's joins) or by the coordinator thread while hedging.
+struct SiteCache {
+  bool computed = false;
+  std::vector<Binding> matches;
+  std::vector<LocalPartialMatch> lpms;
+  bool features_computed = false;
+  LecFeatureSet features;  ///< over this site's own LPMs
+};
+
+void FoldSiteReport(const SiteStageReport& stage, SiteReport* site) {
+  site->crashed = site->crashed || stage.crashed;
+  site->hedged = site->hedged || stage.hedged;
+  site->max_attempts = std::max(site->max_attempts, stage.attempts);
+}
+
+}  // namespace
+
+QueryOutcome DistributedEngine::ExecuteQuery(const QueryGraph& query,
+                                             EngineMode mode,
+                                             QueryStats* stats) {
   QueryStats local_stats;
   if (stats == nullptr) stats = &local_stats;
   *stats = QueryStats();
@@ -54,6 +86,16 @@ std::vector<Binding> DistributedEngine::Execute(const QueryGraph& query,
   const bool star = query.IsStar();
   stats->star_shortcut = star;
 
+  QueryOutcome outcome;
+  outcome.sites.assign(num_sites, SiteReport{});
+
+  InProcessTransport& net = cluster_.transport();
+  const StagePolicy policy = options_.MakeStagePolicy();
+  const ShipmentLedger::StageId lec_stage_id =
+      cluster_.ledger().Intern(kLecFeatureStage);
+  const ShipmentLedger::StageId lpm_stage_id =
+      cluster_.ledger().Intern(kLpmShipmentStage);
+
   // ---- Stage A (kFull, non-star): assemble variables' internal candidates.
   CandidateExchange exchange;
   bool use_filter = false;
@@ -63,18 +105,26 @@ std::vector<Binding> DistributedEngine::Execute(const QueryGraph& query,
     for (const auto& s : stores_) store_ptrs.push_back(s.get());
     CandidateExchangeOptions exchange_options;
     exchange_options.use_statistics = options_.use_statistics;
+    exchange_options.policy = policy;
     exchange = ExchangeInternalCandidates(*partitioning_, store_ptrs, rq,
                                           cluster_, exchange_options);
     stats->candidate_time_ms = exchange.stage_millis;
     stats->candidate_shipment_bytes = exchange.shipment_bytes;
-    use_filter = true;
+    stats->exchange_degraded = exchange.degraded;
+    stats->transport_retries += exchange.transport_retries;
+    stats->hedged_sites += exchange.hedged_sites;
+    // A degraded exchange cleared `exchanged`, so probing it is already a
+    // no-op; skip the closure entirely to keep enumeration cheap.
+    use_filter = !exchange.degraded;
   }
 
   // ---- Stage B: partial evaluation. Every site computes its complete local
   // matches; non-star queries additionally enumerate local partial matches
-  // and fold them into LEC features (Alg. 1 runs on the fly per site).
-  std::vector<std::vector<Binding>> site_matches(num_sites);
-  std::vector<std::vector<LocalPartialMatch>> site_lpms(num_sites);
+  // and fold them into LEC features (Alg. 1 runs on the fly per site). Only
+  // the complete matches (plus the LPM count for the stats tables) ship
+  // now; LPMs stay on their site until stage D. Result traffic is not part
+  // of the paper's data-shipment metric, hence kUnaccounted.
+  std::vector<SiteCache> cache(num_sites);
 
   MatchOptions match_options;
   match_options.num_threads = options_.num_threads;
@@ -85,18 +135,10 @@ std::vector<Binding> DistributedEngine::Execute(const QueryGraph& query,
   enum_options.num_threads = options_.num_threads;
   enum_options.pool = &cluster_.intra_site_pool();
   enum_options.use_statistics = options_.use_statistics;
-  if (use_filter) {
-    // Read-only probes of the exchanged bit vectors — safe to call from the
-    // intra-site worker slots. Variables skipped by the exchange's
-    // statistics pre-phase carry no filter and pass everything.
-    enum_options.extended_filter = [&](QVertexId v, TermId u) {
-      if (!query.vertex(v).is_variable) return true;
-      if (!exchange.exchanged[v]) return true;
-      return exchange.filters[v].MayContain(u);
-    };
-  }
 
-  StageRun partial_run = cluster_.RunStage([&](int site) {
+  auto ensure_partial_eval = [&](int site) {
+    SiteCache& c = cache[site];
+    if (c.computed) return;
     // Per-site thread budget: scale the engine knob to the fragment's size
     // so small sites skip pool coordination entirely (the site-side answer
     // to the dynamic-thread-budget item; assembly and pruning apply the
@@ -108,81 +150,247 @@ std::vector<Binding> DistributedEngine::Execute(const QueryGraph& query,
     site_match.num_threads = site_slots;
     EnumerateOptions site_enum = enum_options;
     site_enum.num_threads = site_slots;
-    site_matches[site] = MatchQuery(*stores_[site], rq, site_match);
-    if (!star) {
-      site_lpms[site] = EnumerateLocalPartialMatches(fragment, *stores_[site],
-                                                     rq, site_enum);
+    if (use_filter && exchange.site_filter_ok[site]) {
+      // Read-only probes of the exchanged bit vectors — safe to call from
+      // the intra-site worker slots. Variables skipped by the exchange's
+      // statistics pre-phase carry no filter and pass everything; a site
+      // that missed the union broadcast enumerates unfiltered (a safe
+      // superset — filters only ever prune).
+      site_enum.extended_filter = [&](QVertexId v, TermId u) {
+        if (!query.vertex(v).is_variable) return true;
+        if (!exchange.exchanged[v]) return true;
+        return exchange.filters[v].MayContain(u);
+      };
     }
-  });
-  stats->partial_eval_time_ms = partial_run.max_millis;
+    c.matches = MatchQuery(*stores_[site], rq, site_match);
+    if (!star) {
+      c.lpms = EnumerateLocalPartialMatches(fragment, *stores_[site], rq,
+                                            site_enum);
+    }
+    c.computed = true;
+  };
+
+  StageResult peval = net.ExecuteStage(
+      StageOrdinal(QueryStage::kPartialEval), ShipmentLedger::kUnaccounted,
+      policy, [&](int site) {
+        ensure_partial_eval(site);
+        const SiteCache& c = cache[site];
+        return std::vector<WireMessage>{MakeMessage(
+            MessageType::kMatchBatch,
+            EncodeMatchBatch(c.lpms.size(), static_cast<uint32_t>(n),
+                             c.matches))};
+      });
+  stats->partial_eval_time_ms = peval.run.max_millis;
+  stats->partial_eval_run = peval.run;
+  stats->transport_retries += peval.total_retries();
+  stats->hedged_sites += peval.hedged_sites();
 
   std::vector<Binding> matches;
-  for (auto& m : site_matches) {
-    matches.insert(matches.end(), m.begin(), m.end());
+  for (size_t site = 0; site < num_sites; ++site) {
+    SiteReport& report = outcome.sites[site];
+    FoldSiteReport(peval.sites[site], &report);
+    if (!peval.sites[site].ok) {
+      report.partial_eval_complete = false;
+      continue;
+    }
+    for (const WireMessage& msg : peval.messages[site]) {
+      if (msg.type != MessageType::kMatchBatch) continue;
+      Result<MatchBatch> batch = DecodeMatchBatch(msg.payload);
+      if (!batch.ok() || batch.value().width != n) {
+        report.partial_eval_complete = false;
+        break;
+      }
+      stats->num_lpms += batch.value().num_lpms;
+      matches.insert(matches.end(), batch.value().matches.begin(),
+                     batch.value().matches.end());
+    }
   }
   DedupBindings(&matches);
   stats->num_local_matches = matches.size();
 
   if (star) {
+    for (const SiteReport& r : outcome.sites) {
+      if (!r.complete()) outcome.exact = false;
+    }
     stats->num_matches = matches.size();
+    stats->exact = outcome.exact;
     stats->total_time_ms = total_watch.ElapsedMillis();
-    return matches;
+    outcome.matches = std::move(matches);
+    return outcome;
   }
 
-  std::vector<LocalPartialMatch> lpms;
-  for (auto& pm : site_lpms) {
-    lpms.insert(lpms.end(), std::make_move_iterator(pm.begin()),
-                std::make_move_iterator(pm.end()));
-  }
-  stats->num_lpms = lpms.size();
+  auto ensure_features = [&](int site) {
+    ensure_partial_eval(site);
+    SiteCache& c = cache[site];
+    if (!c.features_computed) {
+      c.features = ComputeLecFeatures(c.lpms);
+      c.features_computed = true;
+    }
+  };
 
   // ---- Stage C (kLecPruning and up): ship LEC features, prune globally.
-  std::vector<LocalPartialMatch> surviving;
+  // Per-site feature sets concatenated in site order equal the old global
+  // Alg. 1 scan (fragments never share a feature), so the pruning input —
+  // and therefore the surviving LPM set — is byte-identical to the
+  // synchronous engine in a fault-free run.
+  bool prune_active = false;
+  std::vector<std::vector<bool>> site_survivors(num_sites);
+  std::vector<bool> survivors_delivered(num_sites, false);
   if (mode == EngineMode::kLecPruning || mode == EngineMode::kFull) {
-    Stopwatch lec_watch;
-    LecFeatureSet feature_set = ComputeLecFeatures(lpms);
-    stats->num_features = feature_set.features.size();
-    size_t feature_bytes = 0;
-    for (const LecFeature& f : feature_set.features) {
-      feature_bytes += f.ByteSize();
-    }
-    cluster_.ledger().Add(kLecFeatureStage, feature_bytes);
-    stats->lec_shipment_bytes = feature_bytes;
+    StageResult feat = net.ExecuteStage(
+        StageOrdinal(QueryStage::kLecFeatures), lec_stage_id, policy,
+        [&](int site) {
+          ensure_features(site);
+          return std::vector<WireMessage>{
+              MakeMessage(MessageType::kLecFeatureBatch,
+                          EncodeLecFeatureBatch(cache[site].features.features))};
+        });
+    stats->transport_retries += feat.total_retries();
+    stats->hedged_sites += feat.hedged_sites();
 
-    // The pruning join borrows the same shared pool as assembly below; the
-    // sites are done with it (RunStage completed), so the coordinator gets
-    // the full budget.
-    PruneOptions prune_options;
-    prune_options.num_threads = options_.num_threads;
-    prune_options.pool = &cluster_.intra_site_pool();
-    PruneResult prune =
-        LecFeaturePruning(feature_set.features, n, prune_options);
-    stats->num_surviving_features = prune.surviving_features;
-    stats->prune_bailed_out = prune.bailed_out;
-
-    surviving.reserve(lpms.size());
-    for (size_t i = 0; i < lpms.size(); ++i) {
-      if (prune.survives[feature_set.feature_of_lpm[i]]) {
-        surviving.push_back(std::move(lpms[i]));
+    // Pruning is an optimization, never a correctness requirement — but it
+    // is only *sound* on a feature set that covers every site whose LPMs
+    // will arrive in stage D. A crashed site's features may be missing (its
+    // LPMs are equally gone), but losing an alive site's features forces us
+    // to skip pruning entirely: pruning against an incomplete feature set
+    // would discard LPMs whose only join partners were in the lost batch.
+    std::vector<std::vector<LecFeature>> site_features(num_sites);
+    bool features_lost = false;
+    for (size_t site = 0; site < num_sites; ++site) {
+      FoldSiteReport(feat.sites[site], &outcome.sites[site]);
+      if (!feat.sites[site].ok) {
+        if (!feat.sites[site].crashed) features_lost = true;
+        continue;
+      }
+      for (const WireMessage& msg : feat.messages[site]) {
+        if (msg.type != MessageType::kLecFeatureBatch) continue;
+        Result<std::vector<LecFeature>> decoded =
+            DecodeLecFeatureBatch(msg.payload);
+        if (!decoded.ok()) {
+          features_lost = true;
+          break;
+        }
+        std::vector<LecFeature>& dst = site_features[site];
+        dst.insert(dst.end(),
+                   std::make_move_iterator(decoded.value().begin()),
+                   std::make_move_iterator(decoded.value().end()));
       }
     }
-    stats->lec_prune_time_ms = lec_watch.ElapsedMillis();
-  } else {
-    surviving = std::move(lpms);
+    stats->pruning_degraded = features_lost;
+
+    if (!features_lost) {
+      Stopwatch prune_watch;
+      std::vector<LecFeature> all_features;
+      std::vector<size_t> offsets(num_sites, 0);
+      for (size_t site = 0; site < num_sites; ++site) {
+        offsets[site] = all_features.size();
+        all_features.insert(all_features.end(),
+                            std::make_move_iterator(site_features[site].begin()),
+                            std::make_move_iterator(site_features[site].end()));
+      }
+      stats->num_features = all_features.size();
+
+      // The pruning join borrows the same shared pool as assembly below;
+      // the sites are done with it (the stage has drained), so the
+      // coordinator gets the full budget.
+      PruneOptions prune_options;
+      prune_options.num_threads = options_.num_threads;
+      prune_options.pool = &cluster_.intra_site_pool();
+      PruneResult prune =
+          LecFeaturePruning(all_features, n, prune_options);
+      stats->num_surviving_features = prune.surviving_features;
+      stats->prune_bailed_out = prune.bailed_out;
+
+      for (size_t site = 0; site < num_sites; ++site) {
+        size_t count = site + 1 < num_sites ? offsets[site + 1] - offsets[site]
+                                            : all_features.size() - offsets[site];
+        site_survivors[site].assign(
+            prune.survives.begin() + offsets[site],
+            prune.survives.begin() + offsets[site] + count);
+      }
+      prune_active = true;
+
+      // Broadcast each site its survivor bitmap. A site that misses it
+      // ships all of its LPMs — a superset, so the final result is still
+      // exact, only the shipment grows.
+      survivors_delivered = net.BroadcastReliable(
+          StageOrdinal(QueryStage::kLecFeatures), lec_stage_id, policy,
+          [&](int site) {
+            return MakeMessage(MessageType::kSurvivorBitmap,
+                               EncodeBitmap(site_survivors[site]));
+          });
+      stats->lec_prune_time_ms = feat.run.max_millis + prune_watch.ElapsedMillis();
+    } else {
+      stats->lec_prune_time_ms = feat.run.max_millis;
+    }
+  }
+
+  // ---- Stage D: ship the surviving LPMs to the coordinator in fixed-size
+  // batches and assemble. Per-site survivor filtering preserves the site's
+  // enumeration order and sites are concatenated in site order, matching
+  // the old global filter exactly.
+  const size_t batch_size = std::max<size_t>(1, options_.lpm_batch_size);
+  StageResult ship = net.ExecuteStage(
+      StageOrdinal(QueryStage::kLpmShipment), lpm_stage_id, policy,
+      [&](int site) {
+        ensure_partial_eval(site);
+        const SiteCache& c = cache[site];
+        std::vector<LocalPartialMatch> to_ship;
+        if (prune_active && survivors_delivered[site]) {
+          ensure_features(site);
+          const std::vector<size_t>& feature_of =
+              cache[site].features.feature_of_lpm;
+          to_ship.reserve(c.lpms.size());
+          for (size_t i = 0; i < c.lpms.size(); ++i) {
+            if (feature_of[i] < site_survivors[site].size() &&
+                site_survivors[site][feature_of[i]]) {
+              to_ship.push_back(c.lpms[i]);
+            }
+          }
+        } else {
+          to_ship = c.lpms;
+        }
+        std::vector<WireMessage> msgs;
+        for (size_t first = 0; first < to_ship.size(); first += batch_size) {
+          size_t count = std::min(batch_size, to_ship.size() - first);
+          msgs.push_back(MakeMessage(MessageType::kLpmBatch,
+                                     EncodeLpmBatch(to_ship, first, count)));
+        }
+        return msgs;
+      });
+  stats->transport_retries += ship.total_retries();
+  stats->hedged_sites += ship.hedged_sites();
+
+  std::vector<LocalPartialMatch> surviving;
+  for (size_t site = 0; site < num_sites; ++site) {
+    SiteReport& report = outcome.sites[site];
+    FoldSiteReport(ship.sites[site], &report);
+    if (!ship.sites[site].ok) {
+      report.lpms_complete = false;
+      continue;
+    }
+    for (const WireMessage& msg : ship.messages[site]) {
+      if (msg.type != MessageType::kLpmBatch) continue;
+      Result<std::vector<LocalPartialMatch>> decoded =
+          DecodeLpmBatch(msg.payload);
+      if (!decoded.ok()) {
+        report.lpms_complete = false;
+        break;
+      }
+      surviving.insert(surviving.end(),
+                       std::make_move_iterator(decoded.value().begin()),
+                       std::make_move_iterator(decoded.value().end()));
+    }
   }
   stats->num_lpms_shipped = surviving.size();
-
-  // ---- Stage D: ship the surviving LPMs to the coordinator and assemble.
-  Stopwatch assembly_watch;
-  size_t lpm_bytes = 0;
-  for (const LocalPartialMatch& pm : surviving) lpm_bytes += pm.ByteSize();
-  cluster_.ledger().Add(kLpmShipmentStage, lpm_bytes);
-  stats->lpm_shipment_bytes = lpm_bytes;
+  stats->lec_shipment_bytes = cluster_.ledger().StageBytes(lec_stage_id);
+  stats->lpm_shipment_bytes = cluster_.ledger().StageBytes(lpm_stage_id);
 
   // LEC assembly joins on the same worker pool the sites borrow from; the
-  // sites are done with it by now (RunStage has completed), so the
+  // sites are done with it by now (the stage has drained), so the
   // coordinator gets the full budget. The basic worklist join stays serial
   // — it is the ablation baseline, not a production path.
+  Stopwatch assembly_watch;
   AssemblyOptions assembly_options;
   assembly_options.num_threads = options_.num_threads;
   assembly_options.pool = &cluster_.intra_site_pool();
@@ -196,8 +404,14 @@ std::vector<Binding> DistributedEngine::Execute(const QueryGraph& query,
   matches.insert(matches.end(), crossing.begin(), crossing.end());
   DedupBindings(&matches);
   stats->num_matches = matches.size();
+
+  for (const SiteReport& r : outcome.sites) {
+    if (!r.complete()) outcome.exact = false;
+  }
+  stats->exact = outcome.exact;
   stats->total_time_ms = total_watch.ElapsedMillis();
-  return matches;
+  outcome.matches = std::move(matches);
+  return outcome;
 }
 
 }  // namespace gstored

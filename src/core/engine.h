@@ -10,6 +10,7 @@
 #include "core/local_partial_match.h"
 #include "core/pruning.h"
 #include "net/cluster.h"
+#include "net/fault.h"
 #include "partition/partitioning.h"
 #include "sparql/query_graph.h"
 #include "store/local_store.h"
@@ -52,6 +53,41 @@ struct EngineOptions {
   /// baseline. Results are identical either way; only enumeration cost and
   /// shipment volume change.
   bool use_statistics = true;
+
+  /// Fault-injection plan handed to the cluster transport. Default: no
+  /// faults — the pipeline then behaves exactly like the synchronous
+  /// barrier it replaced (identical matches, ledger and stats).
+  FaultPlan fault_plan;
+
+  /// Per-attempt response deadline for every pipeline stage (virtual
+  /// milliseconds, compared against injected latencies only).
+  double stage_deadline_ms = 1000.0;
+
+  /// Dispatch attempts per site per stage before hedging/degradation.
+  int max_attempts = 3;
+
+  /// Base retry backoff, doubled every attempt (virtual milliseconds).
+  double retry_backoff_ms = 5.0;
+
+  /// Re-run an unrecoverable site's stage on the coordinator against its
+  /// local fragment copy (straggler hedging). With hedging on, every fault
+  /// still yields the exact result; turn it off to model a deployment
+  /// without replicas, where lost sites degrade the query to a flagged
+  /// partial result.
+  bool hedge_local = true;
+
+  /// LPMs per kLpmBatch wire message in stage D, so drop/duplicate faults
+  /// hit individual batches instead of a site's whole shipment.
+  size_t lpm_batch_size = 256;
+
+  StagePolicy MakeStagePolicy() const {
+    StagePolicy policy;
+    policy.deadline_ms = stage_deadline_ms;
+    policy.max_attempts = max_attempts;
+    policy.backoff_ms = retry_backoff_ms;
+    policy.hedge_local = hedge_local;
+    return policy;
+  }
 };
 
 /// Ledger stage labels.
@@ -69,6 +105,12 @@ struct QueryStats {
   double assembly_time_ms = 0.0;      ///< Alg. 3 / basic assembly
   double total_time_ms = 0.0;
 
+  /// Per-site queue-wait vs execute split of the partial-evaluation stage
+  /// (the dominant per-site stage): queue_wait_millis is virtual transport
+  /// wait (injected latency, blown deadlines, backoff), exec_millis is real
+  /// compute.
+  StageRun partial_eval_run;
+
   size_t candidate_shipment_bytes = 0;  ///< Alg. 4 bit vectors
   size_t lec_shipment_bytes = 0;        ///< LEC features to the coordinator
   size_t lpm_shipment_bytes = 0;        ///< surviving LPMs to the coordinator
@@ -82,11 +124,52 @@ struct QueryStats {
   size_t num_matches = 0;          ///< final deduplicated result count
 
   bool prune_bailed_out = false;
+
+  // ---- Fault-tolerance columns (zero / false in a healthy run).
+  size_t transport_retries = 0;  ///< extra dispatch attempts, all stages
+  size_t hedged_sites = 0;       ///< site-stages recovered by local hedging
+  bool exchange_degraded = false;  ///< Alg. 4 filters dropped (still exact)
+  bool pruning_degraded = false;   ///< LEC pruning skipped (still exact)
+  bool exact = true;               ///< false when site data was lost
+
   AssemblyStats assembly;
 };
 
+/// Completeness of one site's contribution to a query, as observed by the
+/// coordinator after retries and hedging.
+struct SiteReport {
+  /// The site's complete local matches (and LPM existence) reached the
+  /// coordinator in stage B.
+  bool partial_eval_complete = true;
+  /// The site's surviving LPMs reached the coordinator in stage D (star
+  /// queries have no stage D and leave this true).
+  bool lpms_complete = true;
+  bool crashed = false;  ///< the fault plan killed the site mid-query
+  bool hedged = false;   ///< some stage was recovered by local re-execution
+  int max_attempts = 0;  ///< worst per-stage dispatch attempts
+
+  bool complete() const { return partial_eval_complete && lpms_complete; }
+};
+
+/// A query result that distinguishes exact from partial answers. `exact` is
+/// false only when some site's data was irrecoverably lost (crash or
+/// exhausted retries with hedging disabled); the matches are then a correct
+/// *subset* of the true answer — graceful degradation never fabricates
+/// matches, because every degradation path (skipped filters, skipped
+/// pruning, over-shipped LPMs) errs toward shipping more, and assembly
+/// plus dedup are sound on any subset of the true LPM set.
+struct QueryOutcome {
+  std::vector<Binding> matches;
+  bool exact = true;
+  std::vector<SiteReport> sites;  ///< per-site completeness, one per fragment
+};
+
 /// The distributed SPARQL engine over a simulated cluster: one site per
-/// fragment, a coordinator, and the four optimization levels above.
+/// fragment, a coordinator, and the four optimization levels above. All
+/// coordinator<->site traffic rides the cluster's mailbox transport
+/// (net/transport.h) as typed wire messages; the fault plan in
+/// EngineOptions makes the transport drop, delay, duplicate and reorder
+/// them deterministically.
 ///
 /// The partitioning (and the dataset behind it) must outlive the engine.
 class DistributedEngine {
@@ -97,10 +180,15 @@ class DistributedEngine {
   DistributedEngine(const DistributedEngine&) = delete;
   DistributedEngine& operator=(const DistributedEngine&) = delete;
 
-  /// Evaluates a BGP query and returns all matches (deduplicated full
-  /// bindings over the query's vertices). Star queries take the local-only
-  /// fast path regardless of mode (Sec. VIII-B). When `stats` is non-null
-  /// it is filled with the per-stage breakdown.
+  /// Evaluates a BGP query and returns the full outcome: matches
+  /// (deduplicated full bindings over the query's vertices), the
+  /// exact-vs-partial flag and per-site completeness. Star queries take the
+  /// local-only fast path regardless of mode (Sec. VIII-B). When `stats` is
+  /// non-null it is filled with the per-stage breakdown.
+  QueryOutcome ExecuteQuery(const QueryGraph& query, EngineMode mode,
+                            QueryStats* stats = nullptr);
+
+  /// Convenience wrapper returning the matches only.
   std::vector<Binding> Execute(const QueryGraph& query, EngineMode mode,
                                QueryStats* stats = nullptr);
 

@@ -3,43 +3,83 @@
 #include <algorithm>
 #include <thread>
 
+#include "net/transport.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
 
 namespace gstored {
 
-void ShipmentLedger::Add(const std::string& stage, size_t bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
-  bytes_by_stage_[stage] += bytes;
+ShipmentLedger::ShipmentLedger() : counters_(kMaxStages) {
+  for (auto& c : counters_) c.store(0, std::memory_order_relaxed);
 }
 
-size_t ShipmentLedger::StageBytes(const std::string& stage) const {
+ShipmentLedger::StageId ShipmentLedger::Intern(std::string_view stage) {
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = bytes_by_stage_.find(stage);
-  return it == bytes_by_stage_.end() ? 0 : it->second;
+  auto it = ids_.find(stage);
+  if (it != ids_.end()) return it->second;
+  GSTORED_CHECK_LT(names_.size(), kMaxStages);
+  StageId id = static_cast<StageId>(names_.size());
+  names_.emplace_back(stage);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+void ShipmentLedger::Add(StageId stage, size_t bytes) {
+  if (stage == kUnaccounted) return;
+  counters_[stage].fetch_add(bytes, std::memory_order_relaxed);
+}
+
+void ShipmentLedger::Add(const std::string& stage, size_t bytes) {
+  Add(Intern(stage), bytes);
+}
+
+size_t ShipmentLedger::StageBytes(StageId stage) const {
+  if (stage == kUnaccounted) return 0;
+  return counters_[stage].load(std::memory_order_relaxed);
+}
+
+size_t ShipmentLedger::StageBytes(std::string_view stage) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = ids_.find(stage);
+  if (it == ids_.end()) return 0;
+  return counters_[it->second].load(std::memory_order_relaxed);
 }
 
 size_t ShipmentLedger::TotalBytes() const {
   std::lock_guard<std::mutex> lock(mu_);
   size_t total = 0;
-  for (const auto& [stage, bytes] : bytes_by_stage_) total += bytes;
+  for (size_t i = 0; i < names_.size(); ++i) {
+    total += counters_[i].load(std::memory_order_relaxed);
+  }
   return total;
 }
 
 std::vector<std::pair<std::string, size_t>> ShipmentLedger::Breakdown() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return {bytes_by_stage_.begin(), bytes_by_stage_.end()};
+  std::vector<std::pair<std::string, size_t>> out;
+  // ids_ iterates in name order; zero-byte stages are omitted so interned-
+  // but-unused labels do not change the Tables I-III output.
+  for (const auto& [name, id] : ids_) {
+    size_t bytes = counters_[id].load(std::memory_order_relaxed);
+    if (bytes > 0) out.emplace_back(name, bytes);
+  }
+  return out;
 }
 
 void ShipmentLedger::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
-  bytes_by_stage_.clear();
+  for (auto& c : counters_) c.store(0, std::memory_order_relaxed);
 }
 
-SimulatedCluster::SimulatedCluster(int num_sites) : num_sites_(num_sites) {
+SimulatedCluster::SimulatedCluster(int num_sites, FaultPlan fault_plan)
+    : num_sites_(num_sites),
+      transport_(std::make_unique<InProcessTransport>(num_sites, &ledger_,
+                                                      std::move(fault_plan))) {
   GSTORED_CHECK_GT(num_sites, 0);
 }
+
+SimulatedCluster::~SimulatedCluster() = default;
 
 ThreadPool& SimulatedCluster::intra_site_pool() const {
   return ThreadPool::Shared();
@@ -49,6 +89,8 @@ StageRun SimulatedCluster::RunStage(
     const std::function<void(int site)>& task) const {
   StageRun run;
   run.site_millis.assign(num_sites_, 0.0);
+  run.queue_wait_millis.assign(num_sites_, 0.0);
+  run.exec_millis.assign(num_sites_, 0.0);
   std::vector<std::thread> threads;
   threads.reserve(num_sites_);
   for (int site = 0; site < num_sites_; ++site) {
@@ -56,6 +98,7 @@ StageRun SimulatedCluster::RunStage(
       Stopwatch watch;
       task(site);
       run.site_millis[site] = watch.ElapsedMillis();
+      run.exec_millis[site] = run.site_millis[site];
     });
   }
   for (std::thread& t : threads) t.join();

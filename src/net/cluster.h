@@ -1,73 +1,125 @@
 #ifndef GSTORED_NET_CLUSTER_H_
 #define GSTORED_NET_CLUSTER_H_
 
+#include <atomic>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
+
+#include "net/fault.h"
 
 namespace gstored {
 
 class ThreadPool;
+class InProcessTransport;
 
 /// Thread-safe ledger of simulated network traffic, the stand-in for the
 /// paper's MPI layer. Every byte a site would put on the wire is recorded
 /// here under a stage label ("candidates", "lec_features", "lpm_shipment"),
 /// which is exactly the "Data Shipment" column of Tables I-III.
+///
+/// The hot path is lock-free: stage labels are interned once into dense
+/// StageIds and each stage owns a plain atomic counter, so concurrent
+/// per-message Adds from every site thread never contend on a global mutex
+/// (the old string-keyed map did). The mutex only guards the cold intern
+/// table.
 class ShipmentLedger {
  public:
-  /// Records `bytes` of traffic attributed to `stage`.
+  using StageId = uint32_t;
+
+  /// Sentinel accepted by Add(StageId, ...) as "do not account" — used by
+  /// the transport for control-plane and result messages that are not part
+  /// of the paper's data-shipment metric.
+  static constexpr StageId kUnaccounted = ~StageId{0};
+
+  /// Fixed counter capacity: StageIds index a pre-sized atomic array so the
+  /// lock-free Add never races a container reallocation.
+  static constexpr size_t kMaxStages = 64;
+
+  ShipmentLedger();
+
+  /// Returns the dense id for `stage`, creating it on first use.
+  StageId Intern(std::string_view stage);
+
+  /// Records `bytes` of traffic attributed to an interned stage (lock-free).
+  void Add(StageId stage, size_t bytes);
+
+  /// Records `bytes` of traffic attributed to `stage` (compat overload:
+  /// interns, then counts).
   void Add(const std::string& stage, size_t bytes);
 
   /// Total bytes recorded for one stage.
-  size_t StageBytes(const std::string& stage) const;
+  size_t StageBytes(std::string_view stage) const;
+  size_t StageBytes(StageId stage) const;
 
   /// Total bytes across all stages.
   size_t TotalBytes() const;
 
-  /// All (stage, bytes) pairs, sorted by stage name.
+  /// All (stage, bytes) pairs with non-zero counts, sorted by stage name
+  /// (the Tables I-III output order).
   std::vector<std::pair<std::string, size_t>> Breakdown() const;
 
-  /// Clears all counters (between queries).
+  /// Clears all counters (between queries). Interned ids stay valid.
   void Reset();
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, size_t> bytes_by_stage_;
+  mutable std::mutex mu_;  // guards names_ / ids_ only
+  std::map<std::string, StageId, std::less<>> ids_;
+  std::vector<std::string> names_;
+  std::vector<std::atomic<size_t>> counters_;
 };
 
 /// Result of running one distributed stage across all sites in parallel.
 struct StageRun {
-  /// Per-site wall-clock in milliseconds.
+  /// Per-site total stage time in milliseconds: transport queue wait plus
+  /// execution — the slowest-site semantics of the paper.
   std::vector<double> site_millis;
+  /// Per-site time spent waiting on the transport: injected message
+  /// latency, blown per-attempt deadlines and retry backoff (virtual
+  /// milliseconds, deterministic under a seeded FaultPlan).
+  std::vector<double> queue_wait_millis;
+  /// Per-site real execution wall-clock (the site's compute).
+  std::vector<double> exec_millis;
   /// Response time of the stage — the slowest site, matching the paper's
   /// "evaluate at different sites in parallel" cost semantics.
   double max_millis = 0.0;
 };
 
-/// The simulated cluster: a fixed number of sites plus a coordinator.
-/// RunStage executes `task(site_id)` for every site concurrently on real
-/// threads and reports per-site and max wall-clock. Tasks communicate only
-/// through values they return / shared structures guarded by the caller, and
-/// account traffic through the ledger.
+/// The simulated cluster: a fixed number of sites plus a coordinator,
+/// communicating through an in-process mailbox transport (net/transport.h)
+/// that serializes every message, accounts wire-format bytes to the ledger,
+/// and injects deterministic faults from a seeded FaultPlan.
 class SimulatedCluster {
  public:
-  explicit SimulatedCluster(int num_sites);
+  explicit SimulatedCluster(int num_sites, FaultPlan fault_plan = {});
+  ~SimulatedCluster();
+
+  SimulatedCluster(const SimulatedCluster&) = delete;
+  SimulatedCluster& operator=(const SimulatedCluster&) = delete;
 
   int num_sites() const { return num_sites_; }
 
   ShipmentLedger& ledger() { return ledger_; }
   const ShipmentLedger& ledger() const { return ledger_; }
 
-  /// Runs `task` once per site, in parallel, and times each.
+  /// The mailbox transport carrying all coordinator<->site messages.
+  InProcessTransport& transport() const { return *transport_; }
+
+  /// Legacy synchronous barrier: runs `task` once per site, in parallel,
+  /// and times each — no messages, no faults. The engine pipeline uses
+  /// transport().ExecuteStage instead; this remains for shared-memory
+  /// fan-outs that ship nothing.
   StageRun RunStage(const std::function<void(int site)>& task) const;
 
   /// Worker pool for intra-site parallelism (parallel matching / LPM
   /// enumeration inside one site) and for the coordinator-side assembly
   /// join, which runs after the per-site stages have drained. All sites of
   /// all clusters share one process-wide pool sized to the hardware, so
-  /// per-site worker slots compose with the per-site RunStage fan-out
+  /// per-site worker slots compose with the per-site stage fan-out
   /// without oversubscribing: a participant's ParallelFor borrows whatever
   /// workers are free and its own calling thread always contributes one
   /// slot.
@@ -76,6 +128,7 @@ class SimulatedCluster {
  private:
   int num_sites_;
   ShipmentLedger ledger_;
+  std::unique_ptr<InProcessTransport> transport_;
 };
 
 }  // namespace gstored

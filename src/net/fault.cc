@@ -1,0 +1,89 @@
+#include "net/fault.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/hash.h"
+
+namespace gstored {
+
+namespace {
+
+enum DecisionKind : uint64_t {
+  kKindDrop = 1,
+  kKindDuplicate = 2,
+  kKindLatency = 3,
+  kKindJitter = 4,
+  kKindReorder = 5,
+};
+
+uint64_t DecisionHash(uint64_t seed, DecisionKind kind, int site,
+                      uint32_t stage, uint32_t attempt, uint32_t seq,
+                      bool to_site) {
+  uint64_t h = HashCombine(MixU64(seed ^ 0x6e65742d666c74ULL), kind);
+  h = HashCombine(h, static_cast<uint64_t>(site + 1));
+  h = HashCombine(h, stage);
+  h = HashCombine(h, attempt);
+  h = HashCombine(h, seq);
+  h = HashCombine(h, to_site ? 2u : 1u);
+  return h;
+}
+
+double Hash01(uint64_t h) {
+  return static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+}
+
+}  // namespace
+
+const SiteFaultSpec& FaultPlan::ForSite(int site) const {
+  auto it = site_overrides.find(site);
+  return it == site_overrides.end() ? default_fault : it->second;
+}
+
+bool FaultPlan::SiteDead(int site, uint32_t stage) const {
+  const SiteFaultSpec& spec = ForSite(site);
+  return spec.crash_at_stage >= 0 &&
+         stage >= static_cast<uint32_t>(spec.crash_at_stage);
+}
+
+bool FaultPlan::Drop(int site, uint32_t stage, uint32_t attempt, uint32_t seq,
+                     bool to_site) const {
+  const SiteFaultSpec& spec = ForSite(site);
+  if (spec.drop_message_stages.count(stage) > 0) return true;
+  if (spec.drop_prob <= 0.0) return false;
+  return Hash01(DecisionHash(seed, kKindDrop, site, stage, attempt, seq,
+                             to_site)) < spec.drop_prob;
+}
+
+bool FaultPlan::Duplicate(int site, uint32_t stage, uint32_t attempt,
+                          uint32_t seq, bool to_site) const {
+  const SiteFaultSpec& spec = ForSite(site);
+  if (spec.duplicate_prob <= 0.0) return false;
+  return Hash01(DecisionHash(seed, kKindDuplicate, site, stage, attempt, seq,
+                             to_site)) < spec.duplicate_prob;
+}
+
+double FaultPlan::LatencyMs(int site, uint32_t stage, uint32_t attempt,
+                            uint32_t seq, bool to_site) const {
+  const SiteFaultSpec& spec = ForSite(site);
+  if (spec.straggler) return std::numeric_limits<double>::infinity();
+  double latency = 0.0;
+  if (spec.latency_mean_ms > 0.0) {
+    double u = Hash01(
+        DecisionHash(seed, kKindLatency, site, stage, attempt, seq, to_site));
+    latency += -spec.latency_mean_ms * std::log1p(-u);
+  }
+  if (spec.latency_jitter_ms > 0.0) {
+    latency += spec.latency_jitter_ms *
+               Hash01(DecisionHash(seed, kKindJitter, site, stage, attempt,
+                                   seq, to_site));
+  }
+  return latency;
+}
+
+uint64_t FaultPlan::ReorderKey(int site, uint32_t stage, uint32_t attempt,
+                               uint32_t seq) const {
+  return DecisionHash(seed, kKindReorder, site, stage, attempt, seq, false);
+}
+
+}  // namespace gstored

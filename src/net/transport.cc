@@ -1,0 +1,307 @@
+#include "net/transport.h"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace gstored {
+
+void Mailbox::Push(DeliveredMessage msg) {
+  std::lock_guard<std::mutex> lock(mu_);
+  queue_.push_back(std::move(msg));
+}
+
+std::vector<DeliveredMessage> Mailbox::Drain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<DeliveredMessage> out;
+  out.swap(queue_);
+  return out;
+}
+
+size_t Mailbox::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+bool StageResult::complete() const {
+  for (const SiteStageReport& s : sites) {
+    if (!s.ok) return false;
+  }
+  return true;
+}
+
+size_t StageResult::total_retries() const {
+  size_t retries = 0;
+  for (const SiteStageReport& s : sites) {
+    if (s.attempts > 1) retries += static_cast<size_t>(s.attempts - 1);
+  }
+  return retries;
+}
+
+size_t StageResult::hedged_sites() const {
+  size_t n = 0;
+  for (const SiteStageReport& s : sites) {
+    if (s.hedged) ++n;
+  }
+  return n;
+}
+
+InProcessTransport::InProcessTransport(int num_sites, ShipmentLedger* ledger,
+                                       FaultPlan plan)
+    : num_sites_(num_sites), ledger_(ledger), plan_(std::move(plan)) {
+  GSTORED_CHECK_GT(num_sites, 0);
+  GSTORED_CHECK(ledger != nullptr);
+  site_boxes_.reserve(num_sites_);
+  for (int i = 0; i < num_sites_; ++i) {
+    site_boxes_.push_back(std::make_unique<Mailbox>());
+  }
+}
+
+void InProcessTransport::ShipFromSite(int site, uint32_t stage,
+                                      uint32_t attempt,
+                                      std::vector<WireMessage> msgs,
+                                      ShipmentLedger::StageId ledger_stage,
+                                      double base_offset_ms) {
+  // The end-of-stage marker carries the payload count, so the coordinator
+  // can tell "everything arrived" from "some messages are still missing"
+  // under drops and reordering. It rides the same faulty channel.
+  msgs.push_back(MakeMessage(MessageType::kStageDone,
+                             EncodeDoneMarker(static_cast<uint32_t>(msgs.size()))));
+  for (uint32_t seq = 0; seq < msgs.size(); ++seq) {
+    WireMessage& msg = msgs[seq];
+    msg.sender = site;
+    msg.stage = stage;
+    msg.attempt = attempt;
+    msg.seq = seq;
+    // Bytes hit the wire whether or not the message survives the trip, and
+    // a duplicated message is shipped twice — the ledger counts both, since
+    // the paper's shipment metric measures traffic, not goodput.
+    const bool dup = plan_.Duplicate(site, stage, attempt, seq, false);
+    ledger_->Add(ledger_stage, msg.WireSize() * (dup ? 2 : 1));
+    if (plan_.Drop(site, stage, attempt, seq, false)) continue;
+    DeliveredMessage delivered;
+    delivered.arrival_ms =
+        base_offset_ms + plan_.LatencyMs(site, stage, attempt, seq, false);
+    delivered.msg = msg;
+    if (dup) coordinator_box_.Push(delivered);
+    coordinator_box_.Push(std::move(delivered));
+  }
+}
+
+StageResult InProcessTransport::ExecuteStage(
+    uint32_t stage, ShipmentLedger::StageId ledger_stage,
+    const StagePolicy& policy,
+    const std::function<std::vector<WireMessage>(int site)>& site_fn) {
+  GSTORED_CHECK_GE(policy.max_attempts, 1);
+  StageResult result;
+  result.sites.assign(num_sites_, SiteStageReport{});
+  result.messages.assign(num_sites_, {});
+
+  std::vector<int> pending;
+  pending.reserve(num_sites_);
+  for (int site = 0; site < num_sites_; ++site) {
+    if (plan_.SiteDead(site, stage)) {
+      result.sites[site].crashed = true;
+      result.sites[site].attempts = 1;
+    } else {
+      pending.push_back(site);
+    }
+  }
+
+  std::vector<double> backoff(num_sites_, 0.0);
+  std::vector<double> exec_ms(num_sites_, 0.0);
+  std::mutex exec_mu;
+
+  for (int attempt = 0; attempt < policy.max_attempts && !pending.empty();
+       ++attempt) {
+    // Dispatch this attempt to all still-pending sites concurrently. Retries
+    // re-run the (idempotent) site function: the re-shipped bytes count
+    // again, exactly as a real retransmission would.
+    std::vector<std::thread> threads;
+    threads.reserve(pending.size());
+    for (int site : pending) {
+      threads.emplace_back([&, site, attempt] {
+        Stopwatch watch;
+        std::vector<WireMessage> msgs = site_fn(site);
+        double elapsed = watch.ElapsedMillis();
+        {
+          std::lock_guard<std::mutex> lock(exec_mu);
+          exec_ms[site] += elapsed;
+        }
+        ShipFromSite(site, stage, static_cast<uint32_t>(attempt),
+                     std::move(msgs), ledger_stage, backoff[site]);
+      });
+    }
+    for (std::thread& t : threads) t.join();
+
+    // Drain once after the barrier and reassemble per site. Arrival order in
+    // the mailbox depends on thread scheduling, but everything below is a
+    // pure function of the messages themselves.
+    std::vector<std::vector<DeliveredMessage>> by_site(num_sites_);
+    for (DeliveredMessage& d : coordinator_box_.Drain()) {
+      if (d.msg.sender >= 0 && d.msg.sender < num_sites_ &&
+          d.msg.attempt == static_cast<uint32_t>(attempt)) {
+        by_site[d.msg.sender].push_back(std::move(d));
+      }
+    }
+
+    std::vector<int> still_pending;
+    for (int site : pending) {
+      SiteStageReport& report = result.sites[site];
+      report.attempts = attempt + 1;
+      std::vector<DeliveredMessage>& inbox = by_site[site];
+      if (plan_.reorder) {
+        std::sort(inbox.begin(), inbox.end(),
+                  [&](const DeliveredMessage& a, const DeliveredMessage& b) {
+                    return plan_.ReorderKey(site, stage, a.msg.attempt,
+                                            a.msg.seq) <
+                           plan_.ReorderKey(site, stage, b.msg.attempt,
+                                            b.msg.seq);
+                  });
+      }
+      // Deduplicate by sequence number and restore sequence order — this is
+      // what makes duplication and reordering invisible to the pipeline.
+      std::sort(inbox.begin(), inbox.end(),
+                [](const DeliveredMessage& a, const DeliveredMessage& b) {
+                  return a.msg.seq < b.msg.seq;
+                });
+      inbox.erase(std::unique(inbox.begin(), inbox.end(),
+                              [](const DeliveredMessage& a,
+                                 const DeliveredMessage& b) {
+                                return a.msg.seq == b.msg.seq;
+                              }),
+                  inbox.end());
+
+      uint32_t expected = 0;
+      bool have_done = false;
+      double last_arrival = 0.0;
+      for (const DeliveredMessage& d : inbox) {
+        last_arrival = std::max(last_arrival, d.arrival_ms);
+        if (d.msg.type == MessageType::kStageDone) {
+          auto count = DecodeDoneMarker(d.msg.payload);
+          if (count.ok()) {
+            have_done = true;
+            expected = count.value();
+          }
+        }
+      }
+      bool all_arrived = have_done;
+      if (have_done) {
+        // Payload seqs must be exactly 0..expected-1 (the done marker itself
+        // is seq == expected).
+        uint32_t payload_count = 0;
+        for (const DeliveredMessage& d : inbox) {
+          if (d.msg.type != MessageType::kStageDone && d.msg.seq < expected) {
+            ++payload_count;
+          }
+        }
+        all_arrived = payload_count == expected;
+      }
+
+      if (all_arrived && last_arrival <= policy.deadline_ms + backoff[site]) {
+        report.ok = true;
+        report.queue_wait_ms += last_arrival;
+        result.messages[site].clear();
+        for (DeliveredMessage& d : inbox) {
+          if (d.msg.type != MessageType::kStageDone) {
+            result.messages[site].push_back(std::move(d.msg));
+          }
+        }
+      } else {
+        // Blown deadline: the coordinator waited the full window, then backs
+        // off before redispatching.
+        double next_backoff = policy.backoff_ms * std::ldexp(1.0, attempt);
+        report.queue_wait_ms += policy.deadline_ms + next_backoff;
+        backoff[site] += policy.deadline_ms + next_backoff;
+        still_pending.push_back(site);
+      }
+    }
+    pending.swap(still_pending);
+  }
+
+  // Out of attempts: hedge against the coordinator-local fragment copy, or
+  // give up and let the caller degrade.
+  for (int site = 0; site < num_sites_; ++site) {
+    SiteStageReport& report = result.sites[site];
+    if (report.ok) continue;
+    if (policy.hedge_local) {
+      Stopwatch watch;
+      std::vector<WireMessage> msgs = site_fn(site);
+      exec_ms[site] += watch.ElapsedMillis();
+      for (uint32_t seq = 0; seq < msgs.size(); ++seq) {
+        msgs[seq].sender = site;
+        msgs[seq].stage = stage;
+        msgs[seq].seq = seq;
+      }
+      result.messages[site] = std::move(msgs);
+      report.ok = true;
+      report.hedged = true;
+      if (report.attempts == 0) report.attempts = 1;
+    }
+  }
+
+  result.run.site_millis.assign(num_sites_, 0.0);
+  result.run.queue_wait_millis.assign(num_sites_, 0.0);
+  result.run.exec_millis.assign(num_sites_, 0.0);
+  for (int site = 0; site < num_sites_; ++site) {
+    result.run.queue_wait_millis[site] = result.sites[site].queue_wait_ms;
+    result.run.exec_millis[site] = exec_ms[site];
+    result.sites[site].exec_ms = exec_ms[site];
+    result.run.site_millis[site] =
+        result.sites[site].queue_wait_ms + exec_ms[site];
+  }
+  result.run.max_millis = *std::max_element(result.run.site_millis.begin(),
+                                            result.run.site_millis.end());
+  return result;
+}
+
+std::vector<bool> InProcessTransport::BroadcastReliable(
+    uint32_t stage, ShipmentLedger::StageId ledger_stage,
+    const StagePolicy& policy,
+    const std::function<WireMessage(int site)>& make_msg) {
+  GSTORED_CHECK_GE(policy.max_attempts, 1);
+  std::vector<bool> delivered(num_sites_, false);
+  for (int attempt = 0; attempt < policy.max_attempts; ++attempt) {
+    bool all = true;
+    for (int site = 0; site < num_sites_; ++site) {
+      if (delivered[site]) continue;
+      if (plan_.SiteDead(site, stage)) {
+        all = false;
+        continue;
+      }
+      WireMessage msg = make_msg(site);
+      msg.sender = -1;
+      msg.stage = stage;
+      msg.attempt = static_cast<uint32_t>(attempt);
+      msg.seq = 0;
+      const bool dup =
+          plan_.Duplicate(site, stage, static_cast<uint32_t>(attempt), 0,
+                          /*to_site=*/true);
+      ledger_->Add(ledger_stage, msg.WireSize() * (dup ? 2 : 1));
+      if (plan_.Drop(site, stage, static_cast<uint32_t>(attempt), 0,
+                     /*to_site=*/true)) {
+        all = false;
+        continue;
+      }
+      double arrival = plan_.LatencyMs(site, stage,
+                                       static_cast<uint32_t>(attempt), 0,
+                                       /*to_site=*/true);
+      if (arrival > policy.deadline_ms) {
+        all = false;
+        continue;
+      }
+      DeliveredMessage d;
+      d.arrival_ms = arrival;
+      d.msg = std::move(msg);
+      site_boxes_[site]->Push(std::move(d));
+      delivered[site] = true;
+    }
+    if (all) break;
+  }
+  return delivered;
+}
+
+}  // namespace gstored

@@ -1,0 +1,375 @@
+#include "net/wire.h"
+
+#include <cstring>
+
+namespace gstored {
+
+namespace {
+
+/// Little-endian append-only writer.
+class WireWriter {
+ public:
+  explicit WireWriter(std::vector<uint8_t>* out) : out_(out) {}
+
+  void U8(uint8_t v) { out_->push_back(v); }
+  void U32(uint32_t v) { Raw(&v, sizeof(v)); }
+  void U64(uint64_t v) { Raw(&v, sizeof(v)); }
+  void F64(double v) { Raw(&v, sizeof(v)); }
+
+ private:
+  void Raw(const void* p, size_t n) {
+    const uint8_t* bytes = static_cast<const uint8_t*>(p);
+    out_->insert(out_->end(), bytes, bytes + n);
+  }
+  std::vector<uint8_t>* out_;
+};
+
+/// Bounds-checked reader: every read past the end latches a failure flag and
+/// returns 0, so decoders can read unconditionally and check ok() at the
+/// element granularity needed to validate counts before allocating.
+class WireReader {
+ public:
+  explicit WireReader(const std::vector<uint8_t>& bytes) : bytes_(bytes) {}
+
+  bool ok() const { return ok_; }
+  size_t remaining() const { return ok_ ? bytes_.size() - pos_ : 0; }
+  bool AtEnd() const { return ok_ && pos_ == bytes_.size(); }
+
+  uint8_t U8() {
+    uint8_t v = 0;
+    Raw(&v, sizeof(v));
+    return v;
+  }
+  uint32_t U32() {
+    uint32_t v = 0;
+    Raw(&v, sizeof(v));
+    return v;
+  }
+  uint64_t U64() {
+    uint64_t v = 0;
+    Raw(&v, sizeof(v));
+    return v;
+  }
+  double F64() {
+    double v = 0;
+    Raw(&v, sizeof(v));
+    return v;
+  }
+
+ private:
+  void Raw(void* p, size_t n) {
+    if (!ok_ || bytes_.size() - pos_ < n) {
+      ok_ = false;
+      return;
+    }
+    std::memcpy(p, bytes_.data() + pos_, n);
+    pos_ += n;
+  }
+
+  const std::vector<uint8_t>& bytes_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+Status Truncated(const char* what) {
+  return Status::ParseError(std::string("truncated or malformed ") + what);
+}
+
+void WriteBitset(WireWriter& w, const Bitset& b) {
+  w.U32(static_cast<uint32_t>(b.size()));
+  uint8_t acc = 0;
+  for (size_t i = 0; i < b.size(); ++i) {
+    if (b.Test(i)) acc |= static_cast<uint8_t>(1u << (i & 7));
+    if ((i & 7) == 7) {
+      w.U8(acc);
+      acc = 0;
+    }
+  }
+  if (b.size() % 8 != 0) w.U8(acc);
+}
+
+bool ReadBitset(WireReader& r, Bitset* out) {
+  uint32_t size = r.U32();
+  // A sign covers query vertices; anything huge is corruption.
+  if (!r.ok() || size > (1u << 20) || r.remaining() < (size + 7) / 8) {
+    return false;
+  }
+  Bitset b(size);
+  uint8_t acc = 0;
+  for (uint32_t i = 0; i < size; ++i) {
+    if ((i & 7) == 0) acc = r.U8();
+    if (acc & (1u << (i & 7))) b.Set(i);
+  }
+  if (!r.ok()) return false;
+  *out = std::move(b);
+  return true;
+}
+
+void WriteCrossing(WireWriter& w, const std::vector<CrossingPairMap>& cross) {
+  w.U32(static_cast<uint32_t>(cross.size()));
+  for (const CrossingPairMap& c : cross) {
+    w.U32(c.q_from);
+    w.U32(c.q_to);
+    w.U32(c.d_from);
+    w.U32(c.d_to);
+  }
+}
+
+bool ReadCrossing(WireReader& r, std::vector<CrossingPairMap>* out) {
+  uint32_t count = r.U32();
+  if (!r.ok() || r.remaining() / 16 < count) return false;
+  out->clear();
+  out->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    CrossingPairMap c;
+    c.q_from = r.U32();
+    c.q_to = r.U32();
+    c.d_from = r.U32();
+    c.d_to = r.U32();
+    out->push_back(c);
+  }
+  return r.ok();
+}
+
+}  // namespace
+
+const char* MessageTypeName(MessageType type) {
+  switch (type) {
+    case MessageType::kCandidateEstimates: return "candidate_estimates";
+    case MessageType::kSkipBitmap: return "skip_bitmap";
+    case MessageType::kCandidateFilters: return "candidate_filters";
+    case MessageType::kFilterUnion: return "filter_union";
+    case MessageType::kMatchBatch: return "match_batch";
+    case MessageType::kLecFeatureBatch: return "lec_feature_batch";
+    case MessageType::kSurvivorBitmap: return "survivor_bitmap";
+    case MessageType::kLpmBatch: return "lpm_batch";
+    case MessageType::kStageDone: return "stage_done";
+  }
+  return "unknown";
+}
+
+WireMessage MakeMessage(MessageType type, std::vector<uint8_t> payload) {
+  WireMessage msg;
+  msg.type = type;
+  msg.payload = std::move(payload);
+  return msg;
+}
+
+std::vector<uint8_t> EncodeEstimates(const std::vector<double>& estimates) {
+  std::vector<uint8_t> out;
+  out.reserve(4 + estimates.size() * 8);
+  WireWriter w(&out);
+  w.U32(static_cast<uint32_t>(estimates.size()));
+  for (double e : estimates) w.F64(e);
+  return out;
+}
+
+Result<std::vector<double>> DecodeEstimates(
+    const std::vector<uint8_t>& payload) {
+  WireReader r(payload);
+  uint32_t count = r.U32();
+  if (!r.ok() || r.remaining() / 8 < count) return Truncated("estimates");
+  std::vector<double> out;
+  out.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) out.push_back(r.F64());
+  if (!r.ok() || !r.AtEnd()) return Truncated("estimates");
+  return out;
+}
+
+std::vector<uint8_t> EncodeBitmap(const std::vector<bool>& bits) {
+  std::vector<uint8_t> out;
+  out.reserve(4 + bits.size() / 8 + 1);
+  WireWriter w(&out);
+  w.U32(static_cast<uint32_t>(bits.size()));
+  uint8_t acc = 0;
+  for (size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i]) acc |= static_cast<uint8_t>(1u << (i & 7));
+    if ((i & 7) == 7) {
+      w.U8(acc);
+      acc = 0;
+    }
+  }
+  if (bits.size() % 8 != 0) w.U8(acc);
+  return out;
+}
+
+Result<std::vector<bool>> DecodeBitmap(const std::vector<uint8_t>& payload) {
+  WireReader r(payload);
+  uint32_t count = r.U32();
+  if (!r.ok() || r.remaining() < (count + 7) / 8) return Truncated("bitmap");
+  std::vector<bool> out(count, false);
+  uint8_t acc = 0;
+  for (uint32_t i = 0; i < count; ++i) {
+    if ((i & 7) == 0) acc = r.U8();
+    out[i] = (acc & (1u << (i & 7))) != 0;
+  }
+  if (!r.ok() || !r.AtEnd()) return Truncated("bitmap");
+  return out;
+}
+
+std::vector<uint8_t> EncodeFilterSet(const FilterSet& filters) {
+  std::vector<uint8_t> out;
+  WireWriter w(&out);
+  w.U32(static_cast<uint32_t>(filters.size()));
+  for (const auto& [var, filter] : filters) {
+    w.U32(var);
+    w.U64(filter.bits());
+    const std::vector<uint64_t>& words = filter.words();
+    w.U32(static_cast<uint32_t>(words.size()));
+    for (uint64_t word : words) w.U64(word);
+  }
+  return out;
+}
+
+Result<FilterSet> DecodeFilterSet(const std::vector<uint8_t>& payload) {
+  WireReader r(payload);
+  uint32_t count = r.U32();
+  // Each entry is at least var + bits + word count = 16 bytes.
+  if (!r.ok() || r.remaining() / 16 < count) return Truncated("filter set");
+  FilterSet out;
+  out.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t var = r.U32();
+    uint64_t bits = r.U64();
+    uint32_t num_words = r.U32();
+    if (!r.ok() || bits == 0 || bits > (uint64_t{1} << 26) ||
+        num_words != (bits + 63) / 64 || r.remaining() / 8 < num_words) {
+      return Truncated("filter set");
+    }
+    std::vector<uint64_t> words;
+    words.reserve(num_words);
+    for (uint32_t k = 0; k < num_words; ++k) words.push_back(r.U64());
+    if (!r.ok()) return Truncated("filter set");
+    BitvectorFilter filter(static_cast<size_t>(bits));
+    filter.AssignWords(std::move(words));
+    out.emplace_back(var, std::move(filter));
+  }
+  if (!r.AtEnd()) return Truncated("filter set");
+  return out;
+}
+
+std::vector<uint8_t> EncodeMatchBatch(uint64_t num_lpms, uint32_t width,
+                                      const std::vector<Binding>& matches) {
+  std::vector<uint8_t> out;
+  out.reserve(16 + matches.size() * width * 4);
+  WireWriter w(&out);
+  w.U64(num_lpms);
+  w.U32(width);
+  w.U32(static_cast<uint32_t>(matches.size()));
+  for (const Binding& b : matches) {
+    for (TermId id : b) w.U32(id);
+  }
+  return out;
+}
+
+Result<MatchBatch> DecodeMatchBatch(const std::vector<uint8_t>& payload) {
+  WireReader r(payload);
+  MatchBatch batch;
+  batch.num_lpms = r.U64();
+  batch.width = r.U32();
+  uint32_t count = r.U32();
+  if (!r.ok() || batch.width > (1u << 20)) return Truncated("match batch");
+  uint64_t row_bytes = uint64_t{4} * batch.width;
+  if (row_bytes > 0 && r.remaining() / row_bytes < count) {
+    return Truncated("match batch");
+  }
+  batch.matches.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    Binding b(batch.width, kNullTerm);
+    for (uint32_t v = 0; v < batch.width; ++v) b[v] = r.U32();
+    batch.matches.push_back(std::move(b));
+  }
+  if (!r.ok() || !r.AtEnd()) return Truncated("match batch");
+  return batch;
+}
+
+std::vector<uint8_t> EncodeLecFeatureBatch(
+    const std::vector<LecFeature>& features) {
+  std::vector<uint8_t> out;
+  WireWriter w(&out);
+  w.U32(static_cast<uint32_t>(features.size()));
+  for (const LecFeature& f : features) {
+    w.U32(static_cast<uint32_t>(f.fragment));
+    WriteBitset(w, f.sign);
+    WriteCrossing(w, f.crossing);
+  }
+  return out;
+}
+
+Result<std::vector<LecFeature>> DecodeLecFeatureBatch(
+    const std::vector<uint8_t>& payload) {
+  WireReader r(payload);
+  uint32_t count = r.U32();
+  // fragment + sign size + crossing count = 12 bytes minimum per feature.
+  if (!r.ok() || r.remaining() / 12 < count) return Truncated("feature batch");
+  std::vector<LecFeature> out;
+  out.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    LecFeature f;
+    f.fragment = static_cast<FragmentId>(r.U32());
+    if (!ReadBitset(r, &f.sign) || !ReadCrossing(r, &f.crossing)) {
+      return Truncated("feature batch");
+    }
+    out.push_back(std::move(f));
+  }
+  if (!r.AtEnd()) return Truncated("feature batch");
+  return out;
+}
+
+std::vector<uint8_t> EncodeLpmBatch(const std::vector<LocalPartialMatch>& lpms,
+                                    size_t first, size_t count) {
+  std::vector<uint8_t> out;
+  WireWriter w(&out);
+  w.U32(static_cast<uint32_t>(count));
+  for (size_t i = first; i < first + count; ++i) {
+    const LocalPartialMatch& pm = lpms[i];
+    w.U32(static_cast<uint32_t>(pm.fragment));
+    w.U32(static_cast<uint32_t>(pm.binding.size()));
+    for (TermId id : pm.binding) w.U32(id);
+    WriteBitset(w, pm.sign);
+    WriteCrossing(w, pm.crossing);
+  }
+  return out;
+}
+
+Result<std::vector<LocalPartialMatch>> DecodeLpmBatch(
+    const std::vector<uint8_t>& payload) {
+  WireReader r(payload);
+  uint32_t count = r.U32();
+  // fragment + binding size + sign size + crossing count = 16 bytes minimum.
+  if (!r.ok() || r.remaining() / 16 < count) return Truncated("LPM batch");
+  std::vector<LocalPartialMatch> out;
+  out.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    LocalPartialMatch pm;
+    pm.fragment = static_cast<FragmentId>(r.U32());
+    uint32_t binding_size = r.U32();
+    if (!r.ok() || r.remaining() / 4 < binding_size) {
+      return Truncated("LPM batch");
+    }
+    pm.binding.reserve(binding_size);
+    for (uint32_t v = 0; v < binding_size; ++v) pm.binding.push_back(r.U32());
+    if (!ReadBitset(r, &pm.sign) || !ReadCrossing(r, &pm.crossing)) {
+      return Truncated("LPM batch");
+    }
+    out.push_back(std::move(pm));
+  }
+  if (!r.AtEnd()) return Truncated("LPM batch");
+  return out;
+}
+
+std::vector<uint8_t> EncodeDoneMarker(uint32_t num_messages) {
+  std::vector<uint8_t> out;
+  WireWriter w(&out);
+  w.U32(num_messages);
+  return out;
+}
+
+Result<uint32_t> DecodeDoneMarker(const std::vector<uint8_t>& payload) {
+  WireReader r(payload);
+  uint32_t count = r.U32();
+  if (!r.ok() || !r.AtEnd()) return Truncated("done marker");
+  return count;
+}
+
+}  // namespace gstored

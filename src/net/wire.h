@@ -1,0 +1,105 @@
+#ifndef GSTORED_NET_WIRE_H_
+#define GSTORED_NET_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/lec_feature.h"
+#include "core/local_partial_match.h"
+#include "store/matcher.h"
+#include "util/bitvector_filter.h"
+#include "util/status.h"
+
+namespace gstored {
+
+/// The typed messages of the cluster transport. Every byte that crosses a
+/// site boundary is one of these, serialized through the codecs below; the
+/// wire-format sizes (header + payload) are what the ShipmentLedger records,
+/// replacing the caller-estimated byte counts of the old RunStage barrier.
+enum class MessageType : uint8_t {
+  kCandidateEstimates = 1,  ///< site -> coord: 8-byte estimate per variable
+  kSkipBitmap = 2,          ///< coord -> site: variables whose filter is skipped
+  kCandidateFilters = 3,    ///< site -> coord: per-variable candidate bit vectors
+  kFilterUnion = 4,         ///< coord -> site: OR-ed bit vectors broadcast back
+  kMatchBatch = 5,          ///< site -> coord: complete local matches
+  kLecFeatureBatch = 6,     ///< site -> coord: the site's LEC features (Alg. 1)
+  kSurvivorBitmap = 7,      ///< coord -> site: which features survived pruning
+  kLpmBatch = 8,            ///< site -> coord: surviving local partial matches
+  kStageDone = 9,           ///< site -> coord: end-of-stage marker with count
+};
+
+const char* MessageTypeName(MessageType type);
+
+/// One transport message: a fixed header plus a typed payload. The header
+/// fields are filled by the transport (sender/stage/attempt/seq); producers
+/// only set `type` and `payload`.
+struct WireMessage {
+  MessageType type = MessageType::kStageDone;
+  int32_t sender = -1;   ///< site id, -1 for the coordinator
+  uint32_t stage = 0;    ///< stage ordinal (QueryStage)
+  uint32_t attempt = 0;  ///< retransmission attempt, 0-based
+  uint32_t seq = 0;      ///< per (sender, stage, attempt) sequence number
+  std::vector<uint8_t> payload;
+
+  /// Header: type(1) + sender(4) + stage(4) + attempt(4) + seq(4) +
+  /// payload length(4).
+  static constexpr size_t kHeaderBytes = 21;
+
+  /// Serialized size — the bytes the ledger accounts per send.
+  size_t WireSize() const { return kHeaderBytes + payload.size(); }
+};
+
+/// Builds a message with the given type/payload; header routing fields are
+/// assigned by the transport at send time.
+WireMessage MakeMessage(MessageType type, std::vector<uint8_t> payload);
+
+// ---------------------------------------------------------------------------
+// Payload codecs. Encoders are infallible; decoders are total functions of
+// the payload bytes: any input (truncated, mutated, adversarial) either
+// decodes or returns a Status — never crashes, hangs, or over-allocates
+// (element counts are validated against the remaining byte budget before any
+// reservation).
+// ---------------------------------------------------------------------------
+
+std::vector<uint8_t> EncodeEstimates(const std::vector<double>& estimates);
+Result<std::vector<double>> DecodeEstimates(const std::vector<uint8_t>& payload);
+
+std::vector<uint8_t> EncodeBitmap(const std::vector<bool>& bits);
+Result<std::vector<bool>> DecodeBitmap(const std::vector<uint8_t>& payload);
+
+/// A set of (query vertex, bit vector) pairs — one site's candidate filters,
+/// or the coordinator's union broadcast.
+using FilterSet = std::vector<std::pair<QVertexId, BitvectorFilter>>;
+std::vector<uint8_t> EncodeFilterSet(const FilterSet& filters);
+Result<FilterSet> DecodeFilterSet(const std::vector<uint8_t>& payload);
+
+/// Complete local matches of one site plus the site's LPM count (piggybacked
+/// so the coordinator's Tables I-III stats survive without an extra message).
+struct MatchBatch {
+  uint64_t num_lpms = 0;
+  uint32_t width = 0;  ///< binding width (query vertices)
+  std::vector<Binding> matches;
+};
+std::vector<uint8_t> EncodeMatchBatch(uint64_t num_lpms, uint32_t width,
+                                      const std::vector<Binding>& matches);
+Result<MatchBatch> DecodeMatchBatch(const std::vector<uint8_t>& payload);
+
+std::vector<uint8_t> EncodeLecFeatureBatch(
+    const std::vector<LecFeature>& features);
+Result<std::vector<LecFeature>> DecodeLecFeatureBatch(
+    const std::vector<uint8_t>& payload);
+
+/// Encodes lpms[first, first + count) — stage D ships LPMs in fixed-size
+/// batches so drop/reorder faults hit individual batches, not whole sites.
+std::vector<uint8_t> EncodeLpmBatch(const std::vector<LocalPartialMatch>& lpms,
+                                    size_t first, size_t count);
+Result<std::vector<LocalPartialMatch>> DecodeLpmBatch(
+    const std::vector<uint8_t>& payload);
+
+std::vector<uint8_t> EncodeDoneMarker(uint32_t num_messages);
+Result<uint32_t> DecodeDoneMarker(const std::vector<uint8_t>& payload);
+
+}  // namespace gstored
+
+#endif  // GSTORED_NET_WIRE_H_

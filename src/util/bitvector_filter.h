@@ -47,6 +47,16 @@ class BitvectorFilter {
   /// Serialized size in bytes — the per-variable shipment cost of Alg. 4.
   size_t ByteSize() const { return words_.size() * sizeof(uint64_t); }
 
+  /// Raw word access for the wire codecs (net/wire.h).
+  const std::vector<uint64_t>& words() const { return words_; }
+
+  /// Replaces the word array with decoded wire bytes. The decoder validates
+  /// the word count against bits() before calling; mismatches are a bug.
+  void AssignWords(std::vector<uint64_t> words) {
+    GSTORED_CHECK_EQ(words.size(), words_.size());
+    words_ = std::move(words);
+  }
+
   /// Fraction of set bits; used in tests to check saturation behaviour.
   double FillRatio() const {
     size_t set = 0;

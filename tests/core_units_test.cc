@@ -416,31 +416,38 @@ TEST(CandidateExchangeTest, FiltersAreSoundOverSites) {
       EXPECT_TRUE(exchange.filters[v].MayContain(m[v])) << "v=" << v;
     }
   }
-  // Shipment: the statistics pre-phase (one double per variable per site up,
-  // the skip bitmap down), then 2 directions x 3 sites x exchanged vars x
-  // vector bytes.
+  // Shipment accounting is the serialized wire traffic: the statistics
+  // pre-phase (estimates up, the skip bitmap down), then the per-site
+  // filter sets up and the union broadcast back. The raw vector words are a
+  // strict lower bound (wire framing only adds bytes), and the ledger must
+  // agree with the exchange's own number exactly.
   size_t per_vec = BitvectorFilter().ByteSize();
   size_t exchanged = 0;
   for (QVertexId v = 0; v < query.num_vertices(); ++v) {
     if (exchange.exchanged[v]) ++exchanged;
   }
-  size_t stats_phase =
-      3u * 4u * sizeof(double) + 3u * ((query.num_vertices() + 7) / 8);
-  EXPECT_EQ(exchange.shipment_bytes,
-            stats_phase + 2u * 3u * exchanged * per_vec);
+  EXPECT_GT(exchange.shipment_bytes, 2u * 3u * exchanged * per_vec);
   EXPECT_EQ(cluster.ledger().StageBytes(kCandidateStage),
             exchange.shipment_bytes);
+  EXPECT_FALSE(exchange.degraded);
+  for (bool ok : exchange.site_filter_ok) EXPECT_TRUE(ok);
 
-  // The legacy protocol (no pre-phase) ships every variable's vector.
+  // The legacy protocol (no pre-phase) ships every variable's vector, and a
+  // fault-free exchange is byte-deterministic: re-running it on a fresh
+  // cluster reproduces the ledger exactly.
   SimulatedCluster legacy_cluster(3);
   CandidateExchangeOptions legacy;
   legacy.use_statistics = false;
   CandidateExchange full = ExchangeInternalCandidates(
       partitioning, store_ptrs, rq, legacy_cluster, legacy);
-  EXPECT_EQ(full.shipment_bytes, 2u * 3u * 4u * per_vec);
+  EXPECT_GT(full.shipment_bytes, 2u * 3u * 4u * per_vec);
   for (QVertexId v = 0; v < query.num_vertices(); ++v) {
     EXPECT_EQ(full.exchanged[v], query.vertex(v).is_variable);
   }
+  SimulatedCluster replay_cluster(3);
+  CandidateExchange replay = ExchangeInternalCandidates(
+      partitioning, store_ptrs, rq, replay_cluster, legacy);
+  EXPECT_EQ(replay.shipment_bytes, full.shipment_bytes);
 }
 
 TEST(CandidateExchangeTest, SaturatedFiltersAreSkippedAndStaySound) {
@@ -468,11 +475,9 @@ TEST(CandidateExchangeTest, SaturatedFiltersAreSkippedAndStaySound) {
     if (exchange.exchanged[v]) ++exchanged;
   }
   EXPECT_LT(exchanged, 4u);
-  size_t per_vec = BitvectorFilter(options.filter_bits).ByteSize();
-  EXPECT_EQ(exchange.shipment_bytes,
-            3u * 4u * sizeof(double) +
-                3u * ((query.num_vertices() + 7) / 8) +
-                2u * 3u * exchanged * per_vec);
+  EXPECT_GT(exchange.shipment_bytes, 0u);
+  EXPECT_EQ(cluster.ledger().StageBytes(kCandidateStage),
+            exchange.shipment_bytes);
 
   // One-sided error must hold for whatever was still exchanged; skipped
   // variables are pass-through and can only admit more assignments.

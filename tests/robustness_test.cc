@@ -5,9 +5,15 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <functional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/engine.h"
+#include "core/lec_feature.h"
+#include "net/wire.h"
 #include "rdf/dataset.h"
 #include "rdf/stats.h"
 #include "sparql/compound.h"
@@ -158,6 +164,195 @@ TEST(DegenerateDatasetTest, SingleTripleAcrossFragments) {
   ASSERT_EQ(result.size(), 1u);
   EXPECT_TRUE(stats.star_shortcut);
 }
+
+// ---------------------------------------------------------------------------
+// Wire-codec robustness: the transport decoders must be total functions of
+// the payload bytes. Any input — round-tripped, truncated, extended, or
+// byte-mutated — either decodes or returns a Status; never a crash, hang, or
+// unbounded allocation.
+// ---------------------------------------------------------------------------
+
+/// One valid payload of each wire message type plus its decoder, reduced to
+/// an ok/error signal for the sweeps below.
+struct WirePayload {
+  std::string name;
+  std::vector<uint8_t> bytes;
+  std::function<bool(const std::vector<uint8_t>&)> decode;
+};
+
+std::vector<WirePayload> BuildWireCorpus() {
+  auto dataset = testing::BuildPaperDataset();
+  Partitioning partitioning = testing::BuildPaperPartitioning(*dataset);
+  QueryGraph query = testing::BuildPaperQuery();
+  ResolvedQuery rq = ResolveQuery(query, dataset->dict());
+  std::vector<LocalPartialMatch> lpms =
+      testing::EnumerateAllLpms(partitioning, rq);
+  LecFeatureSet lec = ComputeLecFeatures(lpms);
+
+  FilterSet filters;
+  for (uint32_t v : {0u, 3u}) {
+    BitvectorFilter filter(256);
+    for (uint64_t id = v; id < 40; id += 3) filter.Insert(id);
+    filters.emplace_back(v, std::move(filter));
+  }
+  std::vector<Binding> matches = {{1, 2, 3, kNullTerm, 5},
+                                  {7, 7, kNullTerm, 9, 0}};
+
+  std::vector<WirePayload> corpus;
+  corpus.push_back(
+      {"estimates", EncodeEstimates({0.0, 12.5, 1e9, -3.0}),
+       [](const std::vector<uint8_t>& b) { return DecodeEstimates(b).ok(); }});
+  corpus.push_back(
+      {"bitmap", EncodeBitmap({true, false, true, true, false}),
+       [](const std::vector<uint8_t>& b) { return DecodeBitmap(b).ok(); }});
+  corpus.push_back(
+      {"filter_set", EncodeFilterSet(filters),
+       [](const std::vector<uint8_t>& b) { return DecodeFilterSet(b).ok(); }});
+  corpus.push_back(
+      {"match_batch", EncodeMatchBatch(lpms.size(), 5, matches),
+       [](const std::vector<uint8_t>& b) { return DecodeMatchBatch(b).ok(); }});
+  corpus.push_back({"lec_feature_batch", EncodeLecFeatureBatch(lec.features),
+                    [](const std::vector<uint8_t>& b) {
+                      return DecodeLecFeatureBatch(b).ok();
+                    }});
+  corpus.push_back(
+      {"lpm_batch", EncodeLpmBatch(lpms, 0, lpms.size()),
+       [](const std::vector<uint8_t>& b) { return DecodeLpmBatch(b).ok(); }});
+  corpus.push_back(
+      {"done_marker", EncodeDoneMarker(7),
+       [](const std::vector<uint8_t>& b) { return DecodeDoneMarker(b).ok(); }});
+  return corpus;
+}
+
+TEST(WireCodecTest, RoundTripsPreserveEveryPayloadType) {
+  auto dataset = testing::BuildPaperDataset();
+  Partitioning partitioning = testing::BuildPaperPartitioning(*dataset);
+  QueryGraph query = testing::BuildPaperQuery();
+  ResolvedQuery rq = ResolveQuery(query, dataset->dict());
+  std::vector<LocalPartialMatch> lpms =
+      testing::EnumerateAllLpms(partitioning, rq);
+  ASSERT_GE(lpms.size(), 3u);
+  LecFeatureSet lec = ComputeLecFeatures(lpms);
+
+  std::vector<double> estimates = {0.0, 12.5, 1e9, -3.0};
+  auto est = DecodeEstimates(EncodeEstimates(estimates));
+  ASSERT_TRUE(est.ok());
+  EXPECT_EQ(*est, estimates);
+
+  std::vector<bool> bits = {true, false, true, true, false};
+  auto bitmap = DecodeBitmap(EncodeBitmap(bits));
+  ASSERT_TRUE(bitmap.ok());
+  EXPECT_EQ(*bitmap, bits);
+
+  FilterSet filters;
+  for (uint32_t v : {0u, 3u}) {
+    BitvectorFilter filter(256);
+    for (uint64_t id = v; id < 40; id += 3) filter.Insert(id);
+    filters.emplace_back(v, std::move(filter));
+  }
+  auto filt = DecodeFilterSet(EncodeFilterSet(filters));
+  ASSERT_TRUE(filt.ok());
+  ASSERT_EQ(filt->size(), filters.size());
+  for (size_t i = 0; i < filters.size(); ++i) {
+    EXPECT_EQ((*filt)[i].first, filters[i].first);
+    EXPECT_EQ((*filt)[i].second.bits(), filters[i].second.bits());
+    EXPECT_EQ((*filt)[i].second.words(), filters[i].second.words());
+  }
+
+  std::vector<Binding> matches = {{1, 2, 3, kNullTerm, 5},
+                                  {7, 7, kNullTerm, 9, 0}};
+  auto batch = DecodeMatchBatch(EncodeMatchBatch(lpms.size(), 5, matches));
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(batch->num_lpms, lpms.size());
+  EXPECT_EQ(batch->width, 5u);
+  EXPECT_EQ(batch->matches, matches);
+
+  auto feats = DecodeLecFeatureBatch(EncodeLecFeatureBatch(lec.features));
+  ASSERT_TRUE(feats.ok());
+  EXPECT_EQ(*feats, lec.features);
+
+  auto all = DecodeLpmBatch(EncodeLpmBatch(lpms, 0, lpms.size()));
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(*all, lpms);
+
+  auto sub = DecodeLpmBatch(EncodeLpmBatch(lpms, 1, 2));
+  ASSERT_TRUE(sub.ok());
+  ASSERT_EQ(sub->size(), 2u);
+  EXPECT_EQ((*sub)[0], lpms[1]);
+  EXPECT_EQ((*sub)[1], lpms[2]);
+
+  auto done = DecodeDoneMarker(EncodeDoneMarker(7));
+  ASSERT_TRUE(done.ok());
+  EXPECT_EQ(*done, 7u);
+}
+
+TEST(WireCodecTest, TruncatedAndExtendedPayloadsAreRejected) {
+  Rng rng(99);
+  for (const WirePayload& p : BuildWireCorpus()) {
+    SCOPED_TRACE(p.name);
+    // Every strict prefix must be rejected: the element counts at the front
+    // no longer match the remaining bytes, or AtEnd fails.
+    for (size_t len = 0; len < p.bytes.size(); ++len) {
+      std::vector<uint8_t> prefix(p.bytes.begin(),
+                                  p.bytes.begin() + static_cast<long>(len));
+      EXPECT_FALSE(p.decode(prefix)) << "prefix of length " << len;
+    }
+    // Trailing junk must be rejected too (decoders require AtEnd).
+    for (int extra = 1; extra <= 8; ++extra) {
+      std::vector<uint8_t> extended = p.bytes;
+      for (int i = 0; i < extra; ++i) {
+        extended.push_back(static_cast<uint8_t>(rng.Uniform(256)));
+      }
+      EXPECT_FALSE(p.decode(extended)) << extra << " junk bytes appended";
+    }
+  }
+}
+
+/// Random byte mutations of every valid wire payload. Each mutation must
+/// either decode or return a Status — never crash (the transport feeds
+/// decoder output straight into the coordinator pipeline, so a crashing
+/// decoder would turn a network fault into a process fault).
+class WireFuzzSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(WireFuzzSweep, DecodersNeverCrashOnMutatedPayloads) {
+  std::vector<WirePayload> corpus = BuildWireCorpus();
+  Rng rng(GetParam() ^ 0x5157);
+  for (const WirePayload& p : corpus) {
+    for (int i = 0; i < 300; ++i) {
+      std::vector<uint8_t> mutated = p.bytes;
+      int edits = 1 + static_cast<int>(rng.Uniform(4));
+      for (int e = 0; e < edits; ++e) {
+        if (mutated.empty()) {
+          mutated.push_back(static_cast<uint8_t>(rng.Uniform(256)));
+          continue;
+        }
+        auto pos = static_cast<std::ptrdiff_t>(rng.Uniform(mutated.size()));
+        switch (rng.Uniform(3)) {
+          case 0:
+            mutated[static_cast<size_t>(pos)] =
+                static_cast<uint8_t>(rng.Uniform(256));
+            break;
+          case 1:
+            mutated.erase(mutated.begin() + pos);
+            break;
+          default:
+            mutated.insert(mutated.begin() + pos,
+                           static_cast<uint8_t>(rng.Uniform(256)));
+        }
+      }
+      (void)p.decode(mutated);  // must return, never crash
+    }
+    // Pure garbage of random lengths.
+    for (int i = 0; i < 100; ++i) {
+      std::vector<uint8_t> garbage(rng.Uniform(64));
+      for (uint8_t& b : garbage) b = static_cast<uint8_t>(rng.Uniform(256));
+      (void)p.decode(garbage);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WireFuzzSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u));
 
 TEST(DegenerateDatasetTest, LiteralOnlyObjectsNeverCross) {
   // Semantic hash co-locates literals with subjects; every edge is internal.
