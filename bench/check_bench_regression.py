@@ -1,19 +1,27 @@
 #!/usr/bin/env python3
 """CI smoke gate against benchmark regressions.
 
-Compares a google-benchmark JSON results file against a committed baseline
-and fails (exit 1) when any gated benchmark's cpu_time regresses by more
-than the threshold. The baseline carries absolute nanoseconds from a known
-machine, so the threshold is deliberately loose — the gate exists to catch
+Compares benchmark JSON results against a committed baseline and fails
+(exit 1) when any gated benchmark regresses by more than the threshold.
+Two row kinds are gated:
+
+  * cpu_time rows (lower is better): regression when
+      current > baseline * (1 + threshold)
+  * qps rows (higher is better, emitted by bench_serving_throughput):
+      regression when current < baseline / (1 + threshold)
+
+The baseline carries absolute numbers from a known machine, so the
+threshold is deliberately loose — the gate exists to catch
 order-of-magnitude mistakes (an accidentally quadratic hot path, a debug
 assert left in a loop), not single-digit-percent drift.
 
 Usage:
   check_bench_regression.py --baseline bench/baseline_ci.json \
-      --results results.json [--threshold 0.30]
+      --results results.json [--results serving.json ...] [--threshold 0.30]
 
-Regenerate the baseline by running the bench with --benchmark_format=json
-on a quiet machine and copying each gated benchmark's cpu_time.
+Regenerate the cpu_time baseline rows by running bench_micro_core with
+--benchmark_format=json on a quiet machine and copying each cpu_time into
+cpu_time_ns; regenerate the qps rows from bench_serving_throughput --json.
 """
 
 import argparse
@@ -21,58 +29,83 @@ import json
 import sys
 
 
-def load_times(path):
-    """Returns {benchmark name: cpu nanoseconds}, keeping the best (minimum)
-    observation per name. With --benchmark_repetitions google-benchmark
-    emits one entry per repetition plus aggregates ("name_mean", ...); the
-    minimum over repetitions is the noise-resistant statistic to gate on,
-    and aggregate rows are dropped."""
+def load_metrics(path):
+    """Returns {benchmark name: {"cpu_ns": best, "qps": best}}, keeping the
+    noise-resistant statistic per name (minimum cpu time, maximum qps). With
+    --benchmark_repetitions google-benchmark emits one entry per repetition
+    plus aggregates ("name_mean", ...); aggregate rows are dropped."""
     with open(path) as f:
         doc = json.load(f)
-    times = {}
+    metrics = {}
     for bench in doc["benchmarks"]:
-        # Both google-benchmark output ("cpu_time" + "time_unit") and the
-        # hand-written baseline ("cpu_time_ns") are accepted.
+        # google-benchmark output ("cpu_time" + "time_unit"), the
+        # hand-written baseline ("cpu_time_ns") and serving-bench rows
+        # ("qps") are all accepted.
         if bench.get("run_type") == "aggregate":
             continue
         name = bench.get("run_name", bench["name"])
+        entry = metrics.setdefault(name, {})
+        ns = None
         if "cpu_time_ns" in bench:
             ns = float(bench["cpu_time_ns"])
-        else:
+        elif "cpu_time" in bench:
             unit = bench.get("time_unit", "ns")
             scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[unit]
             ns = float(bench["cpu_time"]) * scale
-        times[name] = min(ns, times.get(name, float("inf")))
-    return times
+        if ns is not None:
+            entry["cpu_ns"] = min(ns, entry.get("cpu_ns", float("inf")))
+        if "qps" in bench:
+            entry["qps"] = max(float(bench["qps"]), entry.get("qps", 0.0))
+    return metrics
 
 
 def main():
     parser = argparse.ArgumentParser()
     parser.add_argument("--baseline", required=True)
-    parser.add_argument("--results", required=True)
+    parser.add_argument("--results", required=True, action="append",
+                        help="results JSON; repeat to merge several files")
     parser.add_argument("--threshold", type=float, default=0.30,
                         help="allowed fractional regression (default 0.30)")
     args = parser.parse_args()
 
-    baseline = load_times(args.baseline)
-    results = load_times(args.results)
+    baseline = load_metrics(args.baseline)
+    results = {}
+    for path in args.results:
+        for name, entry in load_metrics(path).items():
+            merged = results.setdefault(name, {})
+            if "cpu_ns" in entry:
+                merged["cpu_ns"] = min(entry["cpu_ns"],
+                                       merged.get("cpu_ns", float("inf")))
+            if "qps" in entry:
+                merged["qps"] = max(entry["qps"], merged.get("qps", 0.0))
 
     failures = []
-    print(f"{'benchmark':<28} {'baseline':>12} {'current':>12} {'ratio':>8}")
-    for name, base_ns in sorted(baseline.items()):
-        if name not in results:
-            failures.append(f"{name}: missing from results")
-            print(f"{name:<28} {base_ns:>10.0f}ns {'MISSING':>12}")
-            continue
-        cur_ns = results[name]
-        ratio = cur_ns / base_ns
-        verdict = "" if ratio <= 1.0 + args.threshold else "  REGRESSED"
-        print(f"{name:<28} {base_ns:>10.0f}ns {cur_ns:>10.0f}ns "
-              f"{ratio:>8.2f}{verdict}")
-        if ratio > 1.0 + args.threshold:
-            failures.append(
-                f"{name}: {cur_ns:.0f}ns vs baseline {base_ns:.0f}ns "
-                f"({ratio:.2f}x > {1.0 + args.threshold:.2f}x)")
+    limit = 1.0 + args.threshold
+    print(f"{'benchmark':<28} {'metric':>6} {'baseline':>12} {'current':>12} "
+          f"{'ratio':>8}")
+    for name, base in sorted(baseline.items()):
+        # Each baseline row gates the metrics it declares.
+        for metric, unit, better_high in (("cpu_ns", "ns", False),
+                                          ("qps", "q/s", True)):
+            if metric not in base:
+                continue
+            base_v = base[metric]
+            cur = results.get(name, {})
+            if metric not in cur:
+                failures.append(f"{name} [{metric}]: missing from results")
+                print(f"{name:<28} {metric[:6]:>6} {base_v:>10.0f}{unit:<2} "
+                      f"{'MISSING':>12}")
+                continue
+            cur_v = cur[metric]
+            # Normalize so ratio > limit always means "regressed".
+            ratio = (base_v / cur_v) if better_high else (cur_v / base_v)
+            verdict = "" if ratio <= limit else "  REGRESSED"
+            print(f"{name:<28} {metric[:6]:>6} {base_v:>10.0f}{unit:<2} "
+                  f"{cur_v:>10.0f}{unit:<2} {ratio:>8.2f}{verdict}")
+            if ratio > limit:
+                failures.append(
+                    f"{name} [{metric}]: {cur_v:.0f}{unit} vs baseline "
+                    f"{base_v:.0f}{unit} ({ratio:.2f}x > {limit:.2f}x)")
 
     if failures:
         print("\nbenchmark regression gate FAILED:", file=sys.stderr)

@@ -12,18 +12,17 @@ namespace gstored {
 CandidateExchange ExchangeInternalCandidates(
     const Partitioning& partitioning,
     const std::vector<const LocalStore*>& stores, const ResolvedQuery& rq,
-    SimulatedCluster& cluster, const CandidateExchangeOptions& options) {
+    Transport& net, ShipmentLedger& ledger,
+    const CandidateExchangeOptions& options) {
   const QueryGraph& q = *rq.query;
   size_t n = q.num_vertices();
-  int num_sites = cluster.num_sites();
+  int num_sites = net.num_sites();
   GSTORED_CHECK_EQ(static_cast<size_t>(num_sites), stores.size());
   GSTORED_CHECK_EQ(static_cast<size_t>(num_sites),
                    partitioning.num_fragments());
 
-  InProcessTransport& net = cluster.transport();
-  const ShipmentLedger::StageId stage_id =
-      cluster.ledger().Intern(kCandidateStage);
-  const size_t bytes_before = cluster.ledger().StageBytes(stage_id);
+  const ShipmentLedger::StageId stage_id = ledger.Intern(kCandidateStage);
+  const size_t bytes_before = ledger.StageBytes(stage_id);
 
   CandidateExchange result;
   result.exchanged.assign(n, false);
@@ -156,8 +155,7 @@ CandidateExchange ExchangeInternalCandidates(
     result.degraded = true;
     result.exchanged.assign(n, false);
     result.filters = make_filter_row();  // all placeholders now
-    result.shipment_bytes =
-        cluster.ledger().StageBytes(stage_id) - bytes_before;
+    result.shipment_bytes = ledger.StageBytes(stage_id) - bytes_before;
     return result;
   }
 
@@ -177,8 +175,17 @@ CandidateExchange ExchangeInternalCandidates(
         });
   }
 
-  result.shipment_bytes = cluster.ledger().StageBytes(stage_id) - bytes_before;
+  result.shipment_bytes = ledger.StageBytes(stage_id) - bytes_before;
   return result;
+}
+
+CandidateExchange ExchangeInternalCandidates(
+    const Partitioning& partitioning,
+    const std::vector<const LocalStore*>& stores, const ResolvedQuery& rq,
+    SimulatedCluster& cluster, const CandidateExchangeOptions& options) {
+  return ExchangeInternalCandidates(partitioning, stores, rq,
+                                    cluster.transport(), cluster.ledger(),
+                                    options);
 }
 
 CandidateExchange ExchangeInternalCandidates(

@@ -83,6 +83,17 @@ struct CandidateExchange {
 /// misses the union broadcast enumerates unfiltered.
 ///
 /// `stores[i]` must be the LocalStore of fragment i.
+///
+/// This is the per-query form: `transport` and `ledger` come from the
+/// query's own session (core/query_context.h), so concurrent queries never
+/// interleave their exchange traffic or byte accounting.
+CandidateExchange ExchangeInternalCandidates(
+    const Partitioning& partitioning,
+    const std::vector<const LocalStore*>& stores, const ResolvedQuery& rq,
+    Transport& transport, ShipmentLedger& ledger,
+    const CandidateExchangeOptions& options = {});
+
+/// Convenience overload over a SimulatedCluster's transport and ledger.
 CandidateExchange ExchangeInternalCandidates(
     const Partitioning& partitioning,
     const std::vector<const LocalStore*>& stores, const ResolvedQuery& rq,

@@ -1,11 +1,13 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "core/group_schedule.h"
 #include "core/lec_feature.h"
 #include "net/transport.h"
 #include "net/wire.h"
+#include "util/hash.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
@@ -72,16 +74,42 @@ void FoldSiteReport(const SiteStageReport& stage, SiteReport* site) {
 QueryOutcome DistributedEngine::ExecuteQuery(const QueryGraph& query,
                                              EngineMode mode,
                                              QueryStats* stats) {
+  // The single-query form owns the built-in cluster session exclusively, so
+  // resetting its ledger between queries is safe (and preserves the
+  // pre-serving-layer semantics the integration tests assert).
+  cluster_.ledger().Reset();
+  QueryContext ctx;
+  ctx.ledger = &cluster_.ledger();
+  ctx.transport = &cluster_.transport();
+  return ExecuteQuery(query, mode, ctx, stats);
+}
+
+QueryOutcome DistributedEngine::ExecuteQuery(const QueryGraph& query,
+                                             EngineMode mode,
+                                             QueryContext& ctx,
+                                             QueryStats* stats) const {
+  GSTORED_CHECK(ctx.ledger != nullptr && ctx.transport != nullptr);
   QueryStats local_stats;
   if (stats == nullptr) stats = &local_stats;
   *stats = QueryStats();
   stats->selective = query.HasSelectiveTriple();
-  cluster_.ledger().Reset();
+  stats->plan_cache_hit = ctx.has_plan;
 
   Stopwatch total_watch;
   const size_t num_sites = partitioning_->num_fragments();
-  const ResolvedQuery rq = ResolveQuery(query, partitioning_->dataset().dict());
   const size_t n = query.num_vertices();
+
+  // Constant resolution always runs per instance (it depends on the
+  // bindings); the shape-level duplicate-pattern verdict comes from the
+  // plan cache when available.
+  ResolvedQuery rq =
+      ResolveQueryTerms(query, partitioning_->dataset().dict());
+  if (!rq.impossible) {
+    const bool dup_impossible =
+        ctx.has_plan ? ctx.statically_impossible
+                     : HasImpossibleDuplicatePattern(query, rq.edge_pred);
+    if (dup_impossible) rq.impossible = true;
+  }
 
   const bool star = query.IsStar();
   stats->star_shortcut = star;
@@ -89,12 +117,35 @@ QueryOutcome DistributedEngine::ExecuteQuery(const QueryGraph& query,
   QueryOutcome outcome;
   outcome.sites.assign(num_sites, SiteReport{});
 
-  InProcessTransport& net = cluster_.transport();
+  Transport& net = *ctx.transport;
+  ShipmentLedger& ledger = *ctx.ledger;
+  ThreadPool* pool = ctx.pool != nullptr ? ctx.pool : options_.pool;
+  const size_t num_threads =
+      ctx.num_threads != 0 ? ctx.num_threads : options_.num_threads;
   const StagePolicy policy = options_.MakeStagePolicy();
-  const ShipmentLedger::StageId lec_stage_id =
-      cluster_.ledger().Intern(kLecFeatureStage);
-  const ShipmentLedger::StageId lpm_stage_id =
-      cluster_.ledger().Intern(kLpmShipmentStage);
+  const ShipmentLedger::StageId lec_stage_id = ledger.Intern(kLecFeatureStage);
+  const ShipmentLedger::StageId lpm_stage_id = ledger.Intern(kLpmShipmentStage);
+
+  std::vector<Binding> matches;
+  std::atomic<size_t> lpm_cache_hits{0};
+
+  // Cancellation/deadline are polled between stages only: an abort returns
+  // the matches accumulated so far — always a sound subset, because every
+  // stage's output is either complete local matches or inputs to assembly —
+  // flagged non-exact, with the session ledger intact.
+  auto finish_aborted = [&]() {
+    stats->cancelled = true;
+    outcome.exact = false;
+    stats->exact = false;
+    stats->num_matches = matches.size();
+    stats->order_scorings =
+        ctx.order_scorings.load(std::memory_order_relaxed);
+    stats->lpm_cache_hits = lpm_cache_hits.load(std::memory_order_relaxed);
+    stats->total_time_ms = total_watch.ElapsedMillis();
+    outcome.matches = std::move(matches);
+    return outcome;
+  };
+  if (ctx.aborted(total_watch.ElapsedMillis())) return finish_aborted();
 
   // ---- Stage A (kFull, non-star): assemble variables' internal candidates.
   CandidateExchange exchange;
@@ -106,8 +157,8 @@ QueryOutcome DistributedEngine::ExecuteQuery(const QueryGraph& query,
     CandidateExchangeOptions exchange_options;
     exchange_options.use_statistics = options_.use_statistics;
     exchange_options.policy = policy;
-    exchange = ExchangeInternalCandidates(*partitioning_, store_ptrs, rq,
-                                          cluster_, exchange_options);
+    exchange = ExchangeInternalCandidates(*partitioning_, store_ptrs, rq, net,
+                                          ledger, exchange_options);
     stats->candidate_time_ms = exchange.stage_millis;
     stats->candidate_shipment_bytes = exchange.shipment_bytes;
     stats->exchange_degraded = exchange.degraded;
@@ -117,6 +168,26 @@ QueryOutcome DistributedEngine::ExecuteQuery(const QueryGraph& query,
     // no-op; skip the closure entirely to keep enumeration cheap.
     use_filter = !exchange.degraded;
   }
+  if (ctx.aborted(total_watch.ElapsedMillis())) return finish_aborted();
+
+  // The LPM cache key must cover the filters a site enumerated under: the
+  // same template yields different LPM sets under different exchanged
+  // filters. Fingerprint the union filters once; a site that missed the
+  // union broadcast enumerated unfiltered and keys as such.
+  uint64_t filter_fp = 0;
+  if (use_filter) {
+    uint64_t h = 0x9ae16a3b2f90404fULL;
+    for (QVertexId v = 0; v < n; ++v) {
+      if (!exchange.exchanged[v]) continue;
+      h = HashCombine(h, v);
+      const std::vector<uint64_t>& words = exchange.filters[v].words();
+      h = HashCombine(h, HashRange(words.begin(), words.end()));
+    }
+    filter_fp = h | 1;  // never collides with the "unfiltered" sentinel 0
+  }
+  auto site_fingerprint = [&](int site) -> uint64_t {
+    return use_filter && exchange.site_filter_ok[site] ? filter_fp : 0;
+  };
 
   // ---- Stage B: partial evaluation. Every site computes its complete local
   // matches; non-star queries additionally enumerate local partial matches
@@ -127,29 +198,50 @@ QueryOutcome DistributedEngine::ExecuteQuery(const QueryGraph& query,
   std::vector<SiteCache> cache(num_sites);
 
   MatchOptions match_options;
-  match_options.num_threads = options_.num_threads;
-  match_options.pool = &cluster_.intra_site_pool();
+  match_options.num_threads = num_threads;
+  match_options.pool = pool;
   match_options.use_statistics = options_.use_statistics;
+  match_options.order_scorings = &ctx.order_scorings;
 
   EnumerateOptions enum_options;
-  enum_options.num_threads = options_.num_threads;
-  enum_options.pool = &cluster_.intra_site_pool();
+  enum_options.num_threads = num_threads;
+  enum_options.pool = pool;
   enum_options.use_statistics = options_.use_statistics;
+  enum_options.tasks = ctx.island_tasks;
+  enum_options.order_scorings = &ctx.order_scorings;
 
   auto ensure_partial_eval = [&](int site) {
     SiteCache& c = cache[site];
     if (c.computed) return;
+    // Hot (template, fragment) pairs skip the whole local evaluation: the
+    // serving layer's result cache keys on the exact query encoding plus
+    // the filter fingerprint, so a hit is byte-identical to recomputing.
+    const uint64_t fp = site_fingerprint(site);
+    if (ctx.lpm_cache_get != nullptr &&
+        ctx.lpm_cache_get(site, fp, &c.matches, &c.lpms)) {
+      lpm_cache_hits.fetch_add(1, std::memory_order_relaxed);
+      c.computed = true;
+      return;
+    }
     // Per-site thread budget: scale the engine knob to the fragment's size
     // so small sites skip pool coordination entirely (the site-side answer
     // to the dynamic-thread-budget item; assembly and pruning apply the
     // seed-group-sized equivalent via JoinSlotBudget).
     const Fragment& fragment = partitioning_->fragments()[site];
     size_t site_slots =
-        SiteSlotBudget(fragment.graph().num_triples(), options_.num_threads);
+        SiteSlotBudget(fragment.graph().num_triples(), num_threads);
     MatchOptions site_match = match_options;
     site_match.num_threads = site_slots;
+    if (ctx.site_match_orders != nullptr &&
+        !(*ctx.site_match_orders)[site].empty()) {
+      site_match.precomputed_order = &(*ctx.site_match_orders)[site];
+    }
     EnumerateOptions site_enum = enum_options;
     site_enum.num_threads = site_slots;
+    if (ctx.site_unit_orders != nullptr &&
+        !(*ctx.site_unit_orders)[site].empty()) {
+      site_enum.unit_orders = &(*ctx.site_unit_orders)[site];
+    }
     if (use_filter && exchange.site_filter_ok[site]) {
       // Read-only probes of the exchanged bit vectors — safe to call from
       // the intra-site worker slots. Variables skipped by the exchange's
@@ -168,6 +260,9 @@ QueryOutcome DistributedEngine::ExecuteQuery(const QueryGraph& query,
                                             site_enum);
     }
     c.computed = true;
+    if (ctx.lpm_cache_put != nullptr) {
+      ctx.lpm_cache_put(site, fp, c.matches, c.lpms);
+    }
   };
 
   StageResult peval = net.ExecuteStage(
@@ -185,7 +280,6 @@ QueryOutcome DistributedEngine::ExecuteQuery(const QueryGraph& query,
   stats->transport_retries += peval.total_retries();
   stats->hedged_sites += peval.hedged_sites();
 
-  std::vector<Binding> matches;
   for (size_t site = 0; site < num_sites; ++site) {
     SiteReport& report = outcome.sites[site];
     FoldSiteReport(peval.sites[site], &report);
@@ -208,16 +302,24 @@ QueryOutcome DistributedEngine::ExecuteQuery(const QueryGraph& query,
   DedupBindings(&matches);
   stats->num_local_matches = matches.size();
 
+  auto finalize_counters = [&] {
+    stats->order_scorings =
+        ctx.order_scorings.load(std::memory_order_relaxed);
+    stats->lpm_cache_hits = lpm_cache_hits.load(std::memory_order_relaxed);
+  };
+
   if (star) {
     for (const SiteReport& r : outcome.sites) {
       if (!r.complete()) outcome.exact = false;
     }
     stats->num_matches = matches.size();
     stats->exact = outcome.exact;
+    finalize_counters();
     stats->total_time_ms = total_watch.ElapsedMillis();
     outcome.matches = std::move(matches);
     return outcome;
   }
+  if (ctx.aborted(total_watch.ElapsedMillis())) return finish_aborted();
 
   auto ensure_features = [&](int site) {
     ensure_partial_eval(site);
@@ -294,8 +396,8 @@ QueryOutcome DistributedEngine::ExecuteQuery(const QueryGraph& query,
       // the sites are done with it (the stage has drained), so the
       // coordinator gets the full budget.
       PruneOptions prune_options;
-      prune_options.num_threads = options_.num_threads;
-      prune_options.pool = &cluster_.intra_site_pool();
+      prune_options.num_threads = num_threads;
+      prune_options.pool = pool;
       PruneResult prune =
           LecFeaturePruning(all_features, n, prune_options);
       stats->num_surviving_features = prune.surviving_features;
@@ -324,6 +426,7 @@ QueryOutcome DistributedEngine::ExecuteQuery(const QueryGraph& query,
       stats->lec_prune_time_ms = feat.run.max_millis;
     }
   }
+  if (ctx.aborted(total_watch.ElapsedMillis())) return finish_aborted();
 
   // ---- Stage D: ship the surviving LPMs to the coordinator in fixed-size
   // batches and assemble. Per-site survivor filtering preserves the site's
@@ -383,8 +486,9 @@ QueryOutcome DistributedEngine::ExecuteQuery(const QueryGraph& query,
     }
   }
   stats->num_lpms_shipped = surviving.size();
-  stats->lec_shipment_bytes = cluster_.ledger().StageBytes(lec_stage_id);
-  stats->lpm_shipment_bytes = cluster_.ledger().StageBytes(lpm_stage_id);
+  stats->lec_shipment_bytes = ledger.StageBytes(lec_stage_id);
+  stats->lpm_shipment_bytes = ledger.StageBytes(lpm_stage_id);
+  if (ctx.aborted(total_watch.ElapsedMillis())) return finish_aborted();
 
   // LEC assembly joins on the same worker pool the sites borrow from; the
   // sites are done with it by now (the stage has drained), so the
@@ -392,8 +496,8 @@ QueryOutcome DistributedEngine::ExecuteQuery(const QueryGraph& query,
   // — it is the ablation baseline, not a production path.
   Stopwatch assembly_watch;
   AssemblyOptions assembly_options;
-  assembly_options.num_threads = options_.num_threads;
-  assembly_options.pool = &cluster_.intra_site_pool();
+  assembly_options.num_threads = num_threads;
+  assembly_options.pool = pool;
   std::vector<Binding> crossing =
       mode == EngineMode::kBasic
           ? BasicAssembly(surviving, n, &stats->assembly)
@@ -409,6 +513,7 @@ QueryOutcome DistributedEngine::ExecuteQuery(const QueryGraph& query,
     if (!r.complete()) outcome.exact = false;
   }
   stats->exact = outcome.exact;
+  finalize_counters();
   stats->total_time_ms = total_watch.ElapsedMillis();
   outcome.matches = std::move(matches);
   return outcome;

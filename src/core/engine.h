@@ -9,6 +9,7 @@
 #include "core/candidate_exchange.h"
 #include "core/local_partial_match.h"
 #include "core/pruning.h"
+#include "core/query_context.h"
 #include "net/cluster.h"
 #include "net/fault.h"
 #include "partition/partitioning.h"
@@ -45,6 +46,13 @@ struct EngineOptions {
   /// AssemblyOptions/PruneOptions::min_seeds_per_slot), so small inputs
   /// skip pool coordination.
   size_t num_threads = 1;
+
+  /// Worker pool the slots above are borrowed from; nullptr = the
+  /// process-wide ThreadPool::Shared(). Injecting a pool bounds an engine
+  /// instance's total concurrency independently of other engines in the
+  /// process (two engines with separate pools never contend), and a
+  /// QueryContext may override it per query.
+  ThreadPool* pool = nullptr;
 
   /// Drive matching orders, LPM unit orders and the candidate-exchange
   /// skip decision with the per-site GraphStatistics selectivity model.
@@ -132,6 +140,13 @@ struct QueryStats {
   bool pruning_degraded = false;   ///< LEC pruning skipped (still exact)
   bool exact = true;               ///< false when site data was lost
 
+  // ---- Serving-layer columns (zero / false for a standalone query).
+  bool cancelled = false;        ///< stopped at a stage boundary (see ctx)
+  bool plan_cache_hit = false;   ///< executed with plan-cache artifacts
+  bool result_cache_hit = false; ///< whole outcome served from cache
+  size_t lpm_cache_hits = 0;     ///< sites whose stage B came from cache
+  size_t order_scorings = 0;     ///< order scoring passes this query ran
+
   AssemblyStats assembly;
 };
 
@@ -166,10 +181,17 @@ struct QueryOutcome {
 
 /// The distributed SPARQL engine over a simulated cluster: one site per
 /// fragment, a coordinator, and the four optimization levels above. All
-/// coordinator<->site traffic rides the cluster's mailbox transport
-/// (net/transport.h) as typed wire messages; the fault plan in
-/// EngineOptions makes the transport drop, delay, duplicate and reorder
-/// them deterministically.
+/// coordinator<->site traffic rides a mailbox transport (net/transport.h)
+/// as typed wire messages; the fault plan in EngineOptions makes the
+/// transport drop, delay, duplicate and reorder them deterministically.
+///
+/// The engine itself is a stateless facade over shared immutable state —
+/// the partitioning's fragments, one LocalStore (CSR graph + statistics)
+/// per fragment, and the options. All per-query mutable state lives in a
+/// QueryContext, so ExecuteQuery(ctx) is const and any number of queries
+/// can run concurrently over one engine (the serving layer in src/serve/
+/// does exactly that). The legacy ExecuteQuery(query, mode, stats) form
+/// runs one query at a time over the engine's built-in cluster session.
 ///
 /// The partitioning (and the dataset behind it) must outlive the engine.
 class DistributedEngine {
@@ -180,11 +202,22 @@ class DistributedEngine {
   DistributedEngine(const DistributedEngine&) = delete;
   DistributedEngine& operator=(const DistributedEngine&) = delete;
 
-  /// Evaluates a BGP query and returns the full outcome: matches
-  /// (deduplicated full bindings over the query's vertices), the
-  /// exact-vs-partial flag and per-site completeness. Star queries take the
-  /// local-only fast path regardless of mode (Sec. VIII-B). When `stats` is
-  /// non-null it is filled with the per-stage breakdown.
+  /// Evaluates a BGP query over the caller's QueryContext and returns the
+  /// full outcome: matches (deduplicated full bindings over the query's
+  /// vertices), the exact-vs-partial flag and per-site completeness. Star
+  /// queries take the local-only fast path regardless of mode (Sec.
+  /// VIII-B). When `stats` is non-null it is filled with the per-stage
+  /// breakdown. The context supplies the transport session, slot budget,
+  /// deadline/cancellation and optional plan-cache artifacts; the engine
+  /// never resets the context's ledger (a fresh QuerySession starts at
+  /// zero). Thread-safe for concurrent calls with distinct contexts.
+  QueryOutcome ExecuteQuery(const QueryGraph& query, EngineMode mode,
+                            QueryContext& ctx,
+                            QueryStats* stats = nullptr) const;
+
+  /// Single-query convenience form: resets the built-in cluster's ledger,
+  /// builds a context over its transport, and executes. Not safe for
+  /// concurrent calls on one engine — use the QueryContext form for that.
   QueryOutcome ExecuteQuery(const QueryGraph& query, EngineMode mode,
                             QueryStats* stats = nullptr);
 
@@ -194,6 +227,8 @@ class DistributedEngine {
 
   const Partitioning& partitioning() const { return *partitioning_; }
   const LocalStore& store(int site) const { return *stores_[site]; }
+  int num_sites() const { return static_cast<int>(stores_.size()); }
+  const EngineOptions& options() const { return options_; }
   SimulatedCluster& cluster() { return cluster_; }
 
  private:

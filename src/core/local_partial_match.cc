@@ -247,10 +247,12 @@ std::vector<QVertexId> BuildOrderByCost(
 
 /// Runs the backtracking search of one island mask, appending its matches to
 /// `out`. Self-contained (all mutable state is local), so distinct masks can
-/// run concurrently as long as each gets its own `out`.
+/// run concurrently as long as each gets its own `out`. `precomputed_order`
+/// (may be null) replays a plan-cache order instead of scoring one.
 void SearchIslandMask(const Fragment& fragment, const LocalStore& store,
                       const ResolvedQuery& rq, const EnumerateOptions& options,
                       uint32_t island_mask, uint32_t boundary_mask,
+                      const std::vector<QVertexId>* precomputed_order,
                       std::vector<LocalPartialMatch>* out) {
   const QueryGraph& q = *rq.query;
   const size_t n = q.num_vertices();
@@ -267,16 +269,23 @@ void SearchIslandMask(const Fragment& fragment, const LocalStore& store,
     ctx.in_island[v] = (island_mask & bit) != 0;
     ctx.in_matched[v] = ((island_mask | boundary_mask) & bit) != 0;
   }
-  if (options.use_statistics) {
-    // One estimator per mask: it memoizes characteristic-set probes and must
-    // not be shared across the pool's worker slots.
-    SelectivityEstimator estimator(&store.stats(), &rq);
-    ctx.order = BuildOrderByCost(q, island_mask, boundary_mask, estimator,
-                                 [&](QEdgeId eid) {
-                                   return EdgeRelevant(ctx, q.edge(eid));
-                                 });
+  if (precomputed_order != nullptr) {
+    ctx.order = *precomputed_order;
   } else {
-    ctx.order = BuildOrderBfs(q, island_mask, boundary_mask);
+    if (options.order_scorings != nullptr) {
+      options.order_scorings->fetch_add(1, std::memory_order_relaxed);
+    }
+    if (options.use_statistics) {
+      // One estimator per mask: it memoizes characteristic-set probes and
+      // must not be shared across the pool's worker slots.
+      SelectivityEstimator estimator(&store.stats(), &rq);
+      ctx.order = BuildOrderByCost(q, island_mask, boundary_mask, estimator,
+                                   [&](QEdgeId eid) {
+                                     return EdgeRelevant(ctx, q.edge(eid));
+                                   });
+    } else {
+      ctx.order = BuildOrderBfs(q, island_mask, boundary_mask);
+    }
   }
   ctx.island_count = static_cast<size_t>(__builtin_popcount(island_mask));
   ctx.assigned.assign(n, false);
@@ -301,23 +310,11 @@ std::string LocalPartialMatch::ToString(const TermDict& dict) const {
   return out;
 }
 
-std::vector<LocalPartialMatch> EnumerateLocalPartialMatches(
-    const Fragment& fragment, const LocalStore& store, const ResolvedQuery& rq,
-    const EnumerateOptions& options) {
-  std::vector<LocalPartialMatch> results;
-  if (rq.impossible) return results;
-  const QueryGraph& q = *rq.query;
-  size_t n = q.num_vertices();
+std::vector<IslandTask> EnumerateIslandTasks(const QueryGraph& q) {
+  const size_t n = q.num_vertices();
   GSTORED_CHECK_MSG(n >= 1 && n <= 20,
                     "query size outside the supported 1..20 vertex range");
-
-  // Enumerate the valid (island, boundary) mask pairs up front; each pair's
-  // search is independent of the others.
-  struct MaskTask {
-    uint32_t island;
-    uint32_t boundary;
-  };
-  std::vector<MaskTask> tasks;
+  std::vector<IslandTask> tasks;
   for (uint32_t island_mask = 1; island_mask < (uint32_t{1} << n);
        ++island_mask) {
     if (!MaskConnected(q, island_mask)) continue;
@@ -335,6 +332,48 @@ std::vector<LocalPartialMatch> EnumerateLocalPartialMatches(
     if (boundary_mask == 0) continue;
     tasks.push_back({island_mask, boundary_mask});
   }
+  return tasks;
+}
+
+std::vector<QVertexId> BuildIslandUnitOrder(const LocalStore& store,
+                                            const ResolvedQuery& rq,
+                                            const IslandTask& task,
+                                            bool use_statistics) {
+  const QueryGraph& q = *rq.query;
+  if (!use_statistics) {
+    return BuildOrderBfs(q, task.island, task.boundary);
+  }
+  std::vector<bool> in_island(q.num_vertices(), false);
+  for (QVertexId v = 0; v < q.num_vertices(); ++v) {
+    in_island[v] = (task.island & (uint32_t{1} << v)) != 0;
+  }
+  SelectivityEstimator estimator(&store.stats(), &rq);
+  return BuildOrderByCost(q, task.island, task.boundary, estimator,
+                          [&](QEdgeId eid) {
+                            const QueryEdge& e = q.edge(eid);
+                            return in_island[e.from] || in_island[e.to];
+                          });
+}
+
+std::vector<LocalPartialMatch> EnumerateLocalPartialMatches(
+    const Fragment& fragment, const LocalStore& store, const ResolvedQuery& rq,
+    const EnumerateOptions& options) {
+  std::vector<LocalPartialMatch> results;
+  if (rq.impossible) return results;
+  const QueryGraph& q = *rq.query;
+
+  // Each (island, boundary) mask pair's search is independent of the others.
+  // A plan cache can supply the task list (and per-task orders) computed for
+  // an isomorphic template; otherwise enumerate the masks here.
+  std::vector<IslandTask> own_tasks;
+  if (options.tasks == nullptr) own_tasks = EnumerateIslandTasks(q);
+  const std::vector<IslandTask>& tasks =
+      options.tasks != nullptr ? *options.tasks : own_tasks;
+  const std::vector<std::vector<QVertexId>>* unit_orders = options.unit_orders;
+  GSTORED_CHECK(unit_orders == nullptr || unit_orders->size() == tasks.size());
+  auto order_for = [&](size_t i) -> const std::vector<QVertexId>* {
+    return unit_orders != nullptr ? &(*unit_orders)[i] : nullptr;
+  };
 
   // A finite max_results keeps the serial path: splitting an early-exit
   // enumeration across workers would make the result prefix depend on
@@ -342,9 +381,9 @@ std::vector<LocalPartialMatch> EnumerateLocalPartialMatches(
   const bool unlimited = options.max_results == static_cast<size_t>(-1);
   ThreadPool* pool = ResolvePool(options.num_threads, options.pool);
   if (pool == nullptr || !unlimited) {
-    for (const MaskTask& task : tasks) {
-      SearchIslandMask(fragment, store, rq, options, task.island,
-                       task.boundary, &results);
+    for (size_t i = 0; i < tasks.size(); ++i) {
+      SearchIslandMask(fragment, store, rq, options, tasks[i].island,
+                       tasks[i].boundary, order_for(i), &results);
       if (results.size() >= options.max_results) break;
     }
     return results;
@@ -358,7 +397,7 @@ std::vector<LocalPartialMatch> EnumerateLocalPartialMatches(
       *pool, tasks.size(), options.num_threads,
       [&](size_t i, size_t /*slot*/, std::vector<LocalPartialMatch>* out) {
         SearchIslandMask(fragment, store, rq, options, tasks[i].island,
-                         tasks[i].boundary, out);
+                         tasks[i].boundary, order_for(i), out);
       });
 }
 

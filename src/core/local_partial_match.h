@@ -1,6 +1,8 @@
 #ifndef GSTORED_CORE_LOCAL_PARTIAL_MATCH_H_
 #define GSTORED_CORE_LOCAL_PARTIAL_MATCH_H_
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -60,6 +62,33 @@ struct LocalPartialMatch {
 
 class ThreadPool;
 
+/// One unit of partial-match enumeration: a connected island of query
+/// vertices (bitmask over QVertexId) together with its boundary — the
+/// non-island vertices adjacent to it, which must map to extended vertices.
+/// Depends only on the query's shape, so a plan cache can enumerate the
+/// tasks once per template and replay them for every instance.
+struct IslandTask {
+  uint32_t island = 0;
+  uint32_t boundary = 0;
+
+  friend bool operator==(const IslandTask&, const IslandTask&) = default;
+};
+
+/// Enumerates the valid (island, boundary) mask pairs of `q` in ascending
+/// island-mask order — exactly the task list EnumerateLocalPartialMatches
+/// builds internally. Requires 1 <= q.num_vertices() <= 20.
+std::vector<IslandTask> EnumerateIslandTasks(const QueryGraph& q);
+
+/// Computes one island task's backtracking order: by the statistics cost
+/// model when `use_statistics`, else BFS-through-island. Exposed so a plan
+/// cache can precompute and replay unit orders per (template, fragment);
+/// reusing an order from a differently-bound instance of the same template
+/// changes enumeration cost only, never the match set.
+std::vector<QVertexId> BuildIslandUnitOrder(const LocalStore& store,
+                                            const ResolvedQuery& rq,
+                                            const IslandTask& task,
+                                            bool use_statistics);
+
 /// Options for the partial-match enumerator.
 struct EnumerateOptions {
   /// Optional filter on extended-vertex assignments — Algorithm 4's
@@ -90,6 +119,22 @@ struct EnumerateOptions {
   /// set per unit is identical either way; only enumeration cost and the
   /// within-unit emission order change.
   bool use_statistics = true;
+
+  /// Precomputed island tasks (a previous EnumerateIslandTasks result for
+  /// this query's shape, in instance vertex numbering). nullptr = enumerate
+  /// internally.
+  const std::vector<IslandTask>* tasks = nullptr;
+
+  /// Per-task precomputed backtracking orders, aligned with `tasks` (or with
+  /// the internal enumeration order when `tasks` is null). When set, unit
+  /// ordering skips the SelectivityEstimator scoring pass — a plan-cache
+  /// hit. Orders must come from BuildIslandUnitOrder for an isomorphic
+  /// template on the same fragment.
+  const std::vector<std::vector<QVertexId>>* unit_orders = nullptr;
+
+  /// When non-null, incremented once per unit-order scoring pass actually
+  /// performed (i.e. not served from `unit_orders`).
+  std::atomic<size_t>* order_scorings = nullptr;
 };
 
 /// Enumerates every local partial match of the resolved query in `fragment`

@@ -50,8 +50,11 @@ size_t StageResult::hedged_sites() const {
 }
 
 InProcessTransport::InProcessTransport(int num_sites, ShipmentLedger* ledger,
-                                       FaultPlan plan)
-    : num_sites_(num_sites), ledger_(ledger), plan_(std::move(plan)) {
+                                       FaultPlan plan, uint32_t session_id)
+    : num_sites_(num_sites),
+      ledger_(ledger),
+      plan_(std::move(plan)),
+      session_id_(session_id) {
   GSTORED_CHECK_GT(num_sites, 0);
   GSTORED_CHECK(ledger != nullptr);
   site_boxes_.reserve(num_sites_);
@@ -73,6 +76,7 @@ void InProcessTransport::ShipFromSite(int site, uint32_t stage,
   for (uint32_t seq = 0; seq < msgs.size(); ++seq) {
     WireMessage& msg = msgs[seq];
     msg.sender = site;
+    msg.session = session_id_;
     msg.stage = stage;
     msg.attempt = attempt;
     msg.seq = seq;
@@ -143,6 +147,7 @@ StageResult InProcessTransport::ExecuteStage(
     std::vector<std::vector<DeliveredMessage>> by_site(num_sites_);
     for (DeliveredMessage& d : coordinator_box_.Drain()) {
       if (d.msg.sender >= 0 && d.msg.sender < num_sites_ &&
+          d.msg.session == session_id_ &&
           d.msg.attempt == static_cast<uint32_t>(attempt)) {
         by_site[d.msg.sender].push_back(std::move(d));
       }
@@ -233,6 +238,7 @@ StageResult InProcessTransport::ExecuteStage(
       exec_ms[site] += watch.ElapsedMillis();
       for (uint32_t seq = 0; seq < msgs.size(); ++seq) {
         msgs[seq].sender = site;
+        msgs[seq].session = session_id_;
         msgs[seq].stage = stage;
         msgs[seq].seq = seq;
       }
@@ -274,6 +280,7 @@ std::vector<bool> InProcessTransport::BroadcastReliable(
       }
       WireMessage msg = make_msg(site);
       msg.sender = -1;
+      msg.session = session_id_;
       msg.stage = stage;
       msg.attempt = static_cast<uint32_t>(attempt);
       msg.seq = 0;

@@ -129,12 +129,18 @@ class Transport {
 /// ledger byte counts and query outcomes replay byte-identically.
 class InProcessTransport : public Transport {
  public:
-  InProcessTransport(int num_sites, ShipmentLedger* ledger,
-                     FaultPlan plan = {});
+  /// `session_id` stamps every message this transport sends — concurrent
+  /// queries each run over their own transport instance (own mailboxes, own
+  /// ledger), and the session id makes their traffic distinguishable on the
+  /// wire, as a shared socket transport would require. Receivers discard
+  /// messages from foreign sessions.
+  InProcessTransport(int num_sites, ShipmentLedger* ledger, FaultPlan plan = {},
+                     uint32_t session_id = 0);
 
   int num_sites() const override { return num_sites_; }
   const FaultPlan& plan() const { return plan_; }
   ShipmentLedger& ledger() const { return *ledger_; }
+  uint32_t session_id() const { return session_id_; }
 
   Mailbox& coordinator_mailbox() { return coordinator_box_; }
   Mailbox& site_mailbox(int site) { return *site_boxes_[site]; }
@@ -162,6 +168,7 @@ class InProcessTransport : public Transport {
   int num_sites_;
   ShipmentLedger* ledger_;
   FaultPlan plan_;
+  uint32_t session_id_ = 0;
   Mailbox coordinator_box_;
   std::vector<std::unique_ptr<Mailbox>> site_boxes_;
 };

@@ -37,14 +37,15 @@ const char* MessageTypeName(MessageType type);
 struct WireMessage {
   MessageType type = MessageType::kStageDone;
   int32_t sender = -1;   ///< site id, -1 for the coordinator
+  uint32_t session = 0;  ///< query session id (serving layer); 0 = standalone
   uint32_t stage = 0;    ///< stage ordinal (QueryStage)
   uint32_t attempt = 0;  ///< retransmission attempt, 0-based
   uint32_t seq = 0;      ///< per (sender, stage, attempt) sequence number
   std::vector<uint8_t> payload;
 
-  /// Header: type(1) + sender(4) + stage(4) + attempt(4) + seq(4) +
-  /// payload length(4).
-  static constexpr size_t kHeaderBytes = 21;
+  /// Header: type(1) + sender(4) + session(4) + stage(4) + attempt(4) +
+  /// seq(4) + payload length(4).
+  static constexpr size_t kHeaderBytes = 25;
 
   /// Serialized size — the bytes the ledger accounts per send.
   size_t WireSize() const { return kHeaderBytes + payload.size(); }

@@ -84,6 +84,7 @@ void RdfGraph::AddTriple(Triple t) {
 
 void RdfGraph::Finalize() {
   if (finalized_) return;
+  ++finalize_epoch_;
   std::sort(triples_.begin(), triples_.end());
   triples_.erase(std::unique(triples_.begin(), triples_.end()),
                  triples_.end());

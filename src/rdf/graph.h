@@ -78,6 +78,11 @@ class RdfGraph {
 
   bool finalized() const { return finalized_; }
 
+  /// Counts Finalize() calls. A cache keyed on fragment contents records the
+  /// epoch it observed and treats any later epoch as an invalidation signal,
+  /// without hashing the triples.
+  uint64_t finalize_epoch() const { return finalize_epoch_; }
+
   /// All distinct triples in (s,p,o) order.
   const std::vector<Triple>& triples() const { return triples_; }
 
@@ -159,6 +164,7 @@ class RdfGraph {
                                         TermId pred);
 
   bool finalized_ = false;
+  uint64_t finalize_epoch_ = 0;
   std::vector<Triple> triples_;
   std::vector<TermId> vertices_;
   std::vector<TermId> predicates_;

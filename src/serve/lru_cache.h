@@ -1,0 +1,115 @@
+#ifndef GSTORED_SERVE_LRU_CACHE_H_
+#define GSTORED_SERVE_LRU_CACHE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+namespace gstored::serve {
+
+/// A thread-safe string-keyed LRU map shared by the serving-layer caches
+/// (plan, result and LPM caches). Values are returned by copy / shared
+/// ownership so an eviction never invalidates data an in-flight query is
+/// still reading. Keys are *exact* encodings (see plan_cache.h /
+/// result_cache.h) — equality is full-key comparison, so hash collisions
+/// can cost a miss but never return a wrong value.
+template <typename V>
+class LruCache {
+ public:
+  explicit LruCache(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  LruCache(const LruCache&) = delete;
+  LruCache& operator=(const LruCache&) = delete;
+
+  /// Copies the cached value into `*value` and refreshes its recency.
+  bool Get(const std::string& key, V* value) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    lru_.splice(lru_.begin(), lru_, it->second.pos);
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    *value = it->second.value;
+    return true;
+  }
+
+  /// Inserts or overwrites `key`, evicting the least-recently-used entry
+  /// once the capacity is exceeded.
+  void Put(const std::string& key, V value) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      it->second.value = std::move(value);
+      lru_.splice(lru_.begin(), lru_, it->second.pos);
+      return;
+    }
+    lru_.push_front(key);
+    map_.emplace(key, Entry{std::move(value), lru_.begin()});
+    if (map_.size() > capacity_) {
+      map_.erase(lru_.back());
+      lru_.pop_back();
+    }
+  }
+
+  /// Like Get, but inserts `make()`'s result on a miss — the plan cache's
+  /// find-or-create, done under one lock so two concurrent first instances
+  /// of a template share a single entry.
+  template <typename Make>
+  V GetOrCreate(const std::string& key, Make&& make, bool* created) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second.pos);
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      if (created != nullptr) *created = false;
+      return it->second.value;
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    if (created != nullptr) *created = true;
+    V value = make();
+    lru_.push_front(key);
+    map_.emplace(key, Entry{value, lru_.begin()});
+    if (map_.size() > capacity_) {
+      map_.erase(lru_.back());
+      lru_.pop_back();
+    }
+    return value;
+  }
+
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    map_.clear();
+    lru_.clear();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return map_.size();
+  }
+
+  size_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  size_t misses() const { return misses_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Entry {
+    V value;
+    std::list<std::string>::iterator pos;
+  };
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<std::string> lru_;  ///< front = most recently used
+  std::unordered_map<std::string, Entry> map_;
+  std::atomic<size_t> hits_{0};
+  std::atomic<size_t> misses_{0};
+};
+
+}  // namespace gstored::serve
+
+#endif  // GSTORED_SERVE_LRU_CACHE_H_

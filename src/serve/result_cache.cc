@@ -1,0 +1,25 @@
+#include "serve/result_cache.h"
+
+namespace gstored::serve {
+
+std::string ExactQueryKey(const QueryGraph& query) {
+  std::string out;
+  out.reserve(32 + query.num_vertices() * 8 + query.num_edges() * 16);
+  for (const QueryVertex& v : query.vertices()) {
+    out.push_back(v.is_variable ? 'v' : 'c');
+    out += v.label;
+    out.push_back('\n');
+  }
+  out.push_back('\x1e');
+  for (const QueryEdge& e : query.edges()) {
+    out += std::to_string(e.from);
+    out.push_back(',');
+    out += std::to_string(e.to);
+    out.push_back(e.pred_is_variable ? '?' : '!');
+    out += e.pred_label;
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace gstored::serve

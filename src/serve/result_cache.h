@@ -1,0 +1,115 @@
+#ifndef GSTORED_SERVE_RESULT_CACHE_H_
+#define GSTORED_SERVE_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/local_partial_match.h"
+#include "serve/lru_cache.h"
+#include "sparql/query_graph.h"
+
+namespace gstored::serve {
+
+/// Exact, order-sensitive encoding of a query instance: vertex labels
+/// verbatim (constants included) and the edge list in input order. Binding
+/// columns are indexed by the instance's own vertex numbering, so the result
+/// and LPM caches must never canonicalize — two isomorphic instances with
+/// different numbering have differently-ordered binding columns. Equal keys
+/// therefore mean byte-identical queries, and a hit is byte-identical to
+/// recomputing.
+std::string ExactQueryKey(const QueryGraph& query);
+
+/// Whole-outcome cache for hot (query instance, mode) pairs. Only exact,
+/// fault-free, non-cancelled outcomes are admitted (the scheduler checks the
+/// stats), so a hit always replays the one deterministic answer. Invalidated
+/// explicitly or by the scheduler's store-epoch check on Finalize().
+class ResultCache {
+ public:
+  explicit ResultCache(size_t capacity) : cache_(capacity) {}
+
+  bool Get(const std::string& key, EngineMode mode, QueryOutcome* outcome) {
+    return cache_.Get(WithMode(key, mode), outcome);
+  }
+  void Put(const std::string& key, EngineMode mode,
+           const QueryOutcome& outcome) {
+    cache_.Put(WithMode(key, mode), outcome);
+  }
+
+  void Clear() { cache_.Clear(); }
+  size_t size() const { return cache_.size(); }
+  size_t hits() const { return cache_.hits(); }
+  size_t misses() const { return cache_.misses(); }
+
+ private:
+  static std::string WithMode(const std::string& key, EngineMode mode) {
+    std::string out = key;
+    out.push_back('\x1f');
+    out.push_back(static_cast<char>('0' + static_cast<int>(mode)));
+    return out;
+  }
+
+  LruCache<QueryOutcome> cache_;
+};
+
+/// One site's stage-B computation: its complete local matches plus its local
+/// partial matches.
+struct SitePartialEval {
+  std::vector<Binding> matches;
+  std::vector<LocalPartialMatch> lpms;
+};
+
+/// Per-(query instance, site, filter fingerprint) cache of stage-B results,
+/// feeding QueryContext::lpm_cache_get/put. The fingerprint covers the
+/// candidate-exchange filters the site enumerated under (0 = unfiltered), so
+/// the same template keys differently under different exchanged filters; the
+/// mode is deliberately *not* part of the key — given equal filters, matches
+/// and LPM sets are mode-independent, so kBasic..kFull share entries.
+class LpmCache {
+ public:
+  explicit LpmCache(size_t capacity) : cache_(capacity) {}
+
+  bool Get(const std::string& query_key, int site, uint64_t fingerprint,
+           std::vector<Binding>* matches,
+           std::vector<LocalPartialMatch>* lpms) {
+    SitePartialEval value;
+    if (!cache_.Get(SiteKey(query_key, site, fingerprint), &value)) {
+      return false;
+    }
+    *matches = std::move(value.matches);
+    *lpms = std::move(value.lpms);
+    return true;
+  }
+  void Put(const std::string& query_key, int site, uint64_t fingerprint,
+           std::vector<Binding> matches, std::vector<LocalPartialMatch> lpms) {
+    cache_.Put(SiteKey(query_key, site, fingerprint),
+               SitePartialEval{std::move(matches), std::move(lpms)});
+  }
+
+  void Clear() { cache_.Clear(); }
+  size_t size() const { return cache_.size(); }
+  size_t hits() const { return cache_.hits(); }
+  size_t misses() const { return cache_.misses(); }
+
+ private:
+  static std::string SiteKey(const std::string& query_key, int site,
+                             uint64_t fingerprint) {
+    std::string out = query_key;
+    out.push_back('\x1f');
+    for (int shift = 0; shift < 32; shift += 8) {
+      out.push_back(static_cast<char>((static_cast<uint32_t>(site) >> shift) &
+                                      0xff));
+    }
+    for (int shift = 0; shift < 64; shift += 8) {
+      out.push_back(static_cast<char>((fingerprint >> shift) & 0xff));
+    }
+    return out;
+  }
+
+  LruCache<SitePartialEval> cache_;
+};
+
+}  // namespace gstored::serve
+
+#endif  // GSTORED_SERVE_RESULT_CACHE_H_

@@ -1,0 +1,271 @@
+#include "serve/scheduler.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace gstored::serve {
+
+namespace {
+
+double MillisSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// Only exact, fault-free, non-cancelled outcomes are cacheable: a degraded
+/// or aborted run is a sound *subset* of the answer, and replaying a subset
+/// as if it were the answer would silently lose matches.
+bool CleanRun(const QueryOutcome& outcome, const QueryStats& stats) {
+  return outcome.exact && !stats.cancelled && stats.transport_retries == 0 &&
+         stats.hedged_sites == 0 && !stats.exchange_degraded &&
+         !stats.pruning_degraded;
+}
+
+}  // namespace
+
+const QueryOutcome& QueryTicket::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return done_; });
+  return outcome_;
+}
+
+bool QueryTicket::done() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return done_;
+}
+
+ServingEngine::ServingEngine(const DistributedEngine* engine,
+                             ServeOptions options)
+    : engine_(engine),
+      options_(options),
+      total_slots_(options.total_slots != 0
+                       ? options.total_slots
+                       : std::max<size_t>(
+                             1, std::thread::hardware_concurrency())),
+      plan_cache_(options.plan_cache_capacity),
+      result_cache_(options.result_cache_capacity),
+      lpm_cache_(options.lpm_cache_capacity) {
+  GSTORED_CHECK(engine != nullptr);
+  last_epoch_sum_.store(StoreEpochSum(), std::memory_order_relaxed);
+  const size_t dispatchers = std::max<size_t>(1, options_.max_inflight);
+  dispatchers_.reserve(dispatchers);
+  for (size_t i = 0; i < dispatchers; ++i) {
+    dispatchers_.emplace_back([this] { DispatcherLoop(); });
+  }
+}
+
+ServingEngine::~ServingEngine() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : dispatchers_) t.join();
+  // Anything still queued never ran; complete it as cancelled so Wait()
+  // callers are released.
+  std::map<int, std::deque<std::shared_ptr<QueryTicket>>> leftover;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    leftover.swap(lanes_);
+    queued_ = 0;
+  }
+  for (auto& [lane, queue] : leftover) {
+    for (const auto& ticket : queue) {
+      QueryOutcome outcome;
+      outcome.exact = false;
+      QueryStats stats;
+      stats.cancelled = true;
+      stats.exact = false;
+      CompleteTicket(ticket, std::move(outcome), stats);
+    }
+  }
+}
+
+std::shared_ptr<QueryTicket> ServingEngine::Submit(const QueryGraph& query,
+                                                   EngineMode mode, int lane) {
+  return Submit(query, mode, options_.default_deadline_ms, lane);
+}
+
+std::shared_ptr<QueryTicket> ServingEngine::Submit(const QueryGraph& query,
+                                                   EngineMode mode,
+                                                   double deadline_ms,
+                                                   int lane) {
+  auto ticket = std::make_shared<QueryTicket>();
+  ticket->query_ = query;
+  ticket->mode_ = mode;
+  ticket->deadline_ms_ = deadline_ms;
+  ticket->submitted_ = std::chrono::steady_clock::now();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    GSTORED_CHECK(!stop_);
+    lanes_[lane].push_back(ticket);
+    ++queued_;
+  }
+  cv_.notify_one();
+  return ticket;
+}
+
+void ServingEngine::DispatcherLoop() {
+  while (true) {
+    std::shared_ptr<QueryTicket> ticket;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return stop_ || queued_ > 0; });
+      // In-flight queries finish; queued ones are cancelled by the
+      // destructor's drain (see ~ServingEngine).
+      if (stop_) return;
+      // Round-robin across lanes: resume strictly after the last lane
+      // served, wrapping, and take the first non-empty one.
+      auto it = lanes_.upper_bound(last_lane_);
+      for (size_t step = 0; step < lanes_.size(); ++step) {
+        if (it == lanes_.end()) it = lanes_.begin();
+        if (!it->second.empty()) break;
+        ++it;
+      }
+      GSTORED_CHECK(it != lanes_.end() && !it->second.empty());
+      last_lane_ = it->first;
+      ticket = std::move(it->second.front());
+      it->second.pop_front();
+      --queued_;
+    }
+    in_flight_.fetch_add(1, std::memory_order_relaxed);
+    RunTicket(ticket);
+    in_flight_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void ServingEngine::RunTicket(const std::shared_ptr<QueryTicket>& ticket) {
+  MaybeFlushOnEpochChange();
+  const QueryGraph& query = ticket->query_;
+  const EngineMode mode = ticket->mode_;
+  QueryStats stats;
+
+  const std::string exact_key = ExactQueryKey(query);
+  if (options_.use_result_cache) {
+    QueryOutcome cached;
+    if (result_cache_.Get(exact_key, mode, &cached)) {
+      result_hits_.fetch_add(1, std::memory_order_relaxed);
+      stats.result_cache_hit = true;
+      stats.exact = cached.exact;
+      stats.num_matches = cached.matches.size();
+      CompleteTicket(ticket, std::move(cached), stats);
+      return;
+    }
+  }
+
+  // ---- Plan cache: canonicalize the shape, fill the entry on first sight
+  // (scoring orders against the shared stores), then translate the
+  // canonical artifacts into this instance's vertex numbering. The fill
+  // happens outside the engine, so a filled plan executes with
+  // stats.order_scorings == 0 — the "hit skips order scoring" contract.
+  PlanArtifacts plan;
+  if (options_.use_plan_cache) {
+    const CanonicalForm form = CanonicalizeQueryShape(query);
+    bool created = false;
+    std::shared_ptr<CachedPlan> entry =
+        plan_cache_.FindOrCreate(form.key, &created);
+    (created ? plan_misses_ : plan_hits_)
+        .fetch_add(1, std::memory_order_relaxed);
+    if (!entry->ready.load(std::memory_order_acquire)) {
+      const ResolvedQuery rq =
+          ResolveQueryTerms(query, engine_->partitioning().dataset().dict());
+      FillCachedPlan(*engine_, query, rq, form, entry.get());
+    }
+    if (entry->ready.load(std::memory_order_acquire)) {
+      plan = InstantiatePlan(*entry, form);
+    }
+  }
+
+  // ---- Per-query session and context: fresh ledger + transport stamped
+  // with a unique session id, the carved slot budget, and the caller's
+  // deadline/cancellation.
+  QuerySession session(engine_->num_sites(), engine_->options().fault_plan,
+                       next_session_.fetch_add(1, std::memory_order_relaxed));
+  QueryContext ctx;
+  ctx.ledger = &session.ledger;
+  ctx.transport = &session.transport;
+  ctx.pool = options_.pool;
+  const size_t active =
+      std::max<size_t>(1, in_flight_.load(std::memory_order_relaxed));
+  ctx.num_threads = std::max<size_t>(1, total_slots_ / active);
+  ctx.cancel = &ticket->cancel_;
+  ctx.deadline_ms = ticket->deadline_ms_;
+  plan.Bind(&ctx);
+  if (options_.use_lpm_cache) {
+    ctx.lpm_cache_get = [this, &exact_key](
+                            int site, uint64_t fingerprint,
+                            std::vector<Binding>* matches,
+                            std::vector<LocalPartialMatch>* lpms) {
+      return lpm_cache_.Get(exact_key, site, fingerprint, matches, lpms);
+    };
+    ctx.lpm_cache_put = [this, &exact_key](
+                            int site, uint64_t fingerprint,
+                            const std::vector<Binding>& matches,
+                            const std::vector<LocalPartialMatch>& lpms) {
+      lpm_cache_.Put(exact_key, site, fingerprint, matches, lpms);
+    };
+  }
+
+  executed_.fetch_add(1, std::memory_order_relaxed);
+  QueryOutcome outcome = engine_->ExecuteQuery(query, mode, ctx, &stats);
+  lpm_hits_.fetch_add(stats.lpm_cache_hits, std::memory_order_relaxed);
+
+  if (options_.use_result_cache && CleanRun(outcome, stats)) {
+    result_cache_.Put(exact_key, mode, outcome);
+  }
+  CompleteTicket(ticket, std::move(outcome), stats);
+}
+
+void ServingEngine::CompleteTicket(const std::shared_ptr<QueryTicket>& ticket,
+                                   QueryOutcome outcome,
+                                   const QueryStats& stats) {
+  {
+    std::lock_guard<std::mutex> lock(ticket->mu_);
+    ticket->outcome_ = std::move(outcome);
+    ticket->stats_ = stats;
+    ticket->latency_ms_ = MillisSince(ticket->submitted_);
+    ticket->done_ = true;
+  }
+  ticket->cv_.notify_all();
+}
+
+uint64_t ServingEngine::StoreEpochSum() const {
+  uint64_t sum = 0;
+  for (const Fragment& fragment : engine_->partitioning().fragments()) {
+    sum += fragment.graph().finalize_epoch();
+  }
+  return sum;
+}
+
+void ServingEngine::MaybeFlushOnEpochChange() {
+  const uint64_t sum = StoreEpochSum();
+  uint64_t last = last_epoch_sum_.load(std::memory_order_relaxed);
+  if (sum == last) return;
+  if (last_epoch_sum_.compare_exchange_strong(last, sum,
+                                              std::memory_order_relaxed)) {
+    epoch_flushes_.fetch_add(1, std::memory_order_relaxed);
+    InvalidateCaches();
+  }
+}
+
+void ServingEngine::InvalidateCaches() {
+  plan_cache_.Clear();
+  result_cache_.Clear();
+  lpm_cache_.Clear();
+}
+
+ServingEngine::Counters ServingEngine::counters() const {
+  Counters c;
+  c.executed = executed_.load(std::memory_order_relaxed);
+  c.result_hits = result_hits_.load(std::memory_order_relaxed);
+  c.plan_hits = plan_hits_.load(std::memory_order_relaxed);
+  c.plan_misses = plan_misses_.load(std::memory_order_relaxed);
+  c.lpm_hits = lpm_hits_.load(std::memory_order_relaxed);
+  c.epoch_flushes = epoch_flushes_.load(std::memory_order_relaxed);
+  return c;
+}
+
+}  // namespace gstored::serve

@@ -1,0 +1,188 @@
+#ifndef GSTORED_SERVE_SCHEDULER_H_
+#define GSTORED_SERVE_SCHEDULER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/query_context.h"
+#include "serve/plan_cache.h"
+#include "serve/result_cache.h"
+
+namespace gstored::serve {
+
+/// Knobs of the serving layer.
+struct ServeOptions {
+  /// Dispatcher threads = maximum queries in flight at once. Queued queries
+  /// beyond this wait for a free dispatcher.
+  size_t max_inflight = 4;
+
+  /// Total intra-query worker slots divided among the queries in flight:
+  /// each admitted query gets max(1, total_slots / in_flight) as its
+  /// QueryContext::num_threads, which the engine further scales per site
+  /// (SiteSlotBudget) and per join (JoinSlotBudget). 0 = the hardware
+  /// concurrency. Results are byte-identical across slot budgets.
+  size_t total_slots = 0;
+
+  /// Default per-query wall-clock budget in milliseconds; negative = none.
+  /// Expiry behaves like cancellation: the query stops at its next stage
+  /// boundary and returns its accumulated matches flagged non-exact.
+  double default_deadline_ms = -1.0;
+
+  bool use_plan_cache = true;
+  bool use_result_cache = true;
+  bool use_lpm_cache = true;
+  size_t plan_cache_capacity = 256;
+  size_t result_cache_capacity = 512;
+  size_t lpm_cache_capacity = 4096;
+
+  /// Worker pool the per-query slots are borrowed from; nullptr falls back
+  /// to the engine's EngineOptions::pool, then to ThreadPool::Shared().
+  /// Giving each ServingEngine its own pool bounds its total concurrency
+  /// independently of other engines in the process.
+  ThreadPool* pool = nullptr;
+};
+
+/// Handle to one submitted query. Wait() blocks until completion; Cancel()
+/// requests a stop at the query's next stage boundary (the outcome is then
+/// the accumulated matches, flagged non-exact — never a crash or a torn
+/// ledger). Tickets are shared_ptrs, so they outlive the ServingEngine if
+/// the caller keeps them.
+class QueryTicket {
+ public:
+  void Cancel() { cancel_.Cancel(); }
+
+  /// Blocks until the query completes (or is drained at shutdown) and
+  /// returns the outcome. The reference stays valid for the ticket's life.
+  const QueryOutcome& Wait();
+
+  bool done() const;
+  /// Valid after Wait().
+  const QueryStats& stats() const { return stats_; }
+  /// Submit-to-completion wall time in milliseconds; valid after Wait().
+  double latency_ms() const { return latency_ms_; }
+
+ private:
+  friend class ServingEngine;
+
+  QueryGraph query_;
+  EngineMode mode_ = EngineMode::kFull;
+  double deadline_ms_ = -1.0;
+  CancelToken cancel_;
+  std::chrono::steady_clock::time_point submitted_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  QueryOutcome outcome_;
+  QueryStats stats_;
+  double latency_ms_ = 0.0;
+};
+
+/// The serving layer: keeps many queries in flight over one (const)
+/// DistributedEngine — shared immutable fragments, per-query everything
+/// else. Each admitted query runs over its own QuerySession (fresh ledger +
+/// transport stamped with a unique session id) and a slot budget carved from
+/// `total_slots`, so concurrent queries never interleave traffic, tear byte
+/// accounting, or oversubscribe the pool.
+///
+/// Admission is round-robin across submission lanes (one lane per client,
+/// chosen by the caller): each free dispatcher pops the next non-empty lane
+/// after the last one served, so a burst on one lane cannot starve the
+/// others. Within a lane, queries run FIFO.
+///
+/// Three caches sit in front of execution (see README.md for the key
+/// derivations and invalidation rules): the plan cache (canonical template
+/// shape -> orders/islands/static verdict), the LPM cache (exact instance x
+/// site x filter fingerprint -> stage-B results) and the result cache
+/// (exact instance x mode -> whole outcome). All three are invalidated when
+/// any fragment graph's finalize_epoch() changes, checked before every
+/// query; the epoch check assumes stores are only mutated while the engine
+/// is otherwise quiescent (fragments are immutable during normal serving).
+class ServingEngine {
+ public:
+  /// `engine` (and the partitioning behind it) must outlive the server.
+  explicit ServingEngine(const DistributedEngine* engine,
+                         ServeOptions options = {});
+
+  /// Drains: joins the dispatchers after finishing in-flight queries;
+  /// still-queued tickets complete as cancelled (empty, non-exact).
+  ~ServingEngine();
+
+  ServingEngine(const ServingEngine&) = delete;
+  ServingEngine& operator=(const ServingEngine&) = delete;
+
+  /// Enqueues a query on `lane` with the default deadline.
+  std::shared_ptr<QueryTicket> Submit(const QueryGraph& query, EngineMode mode,
+                                      int lane = 0);
+  /// Enqueues with an explicit per-query deadline (negative = none).
+  std::shared_ptr<QueryTicket> Submit(const QueryGraph& query, EngineMode mode,
+                                      double deadline_ms, int lane);
+
+  /// Drops every cached plan, outcome and stage-B entry. Also triggered
+  /// automatically when a fragment's finalize epoch changes.
+  void InvalidateCaches();
+
+  /// Monotonic cache / admission counters (relaxed reads; exact once idle).
+  struct Counters {
+    size_t executed = 0;       ///< queries that reached the engine
+    size_t result_hits = 0;    ///< whole outcomes served from cache
+    size_t plan_hits = 0;      ///< template shapes seen before
+    size_t plan_misses = 0;    ///< first instances of a template
+    size_t lpm_hits = 0;       ///< per-site stage-B cache hits
+    size_t epoch_flushes = 0;  ///< invalidations from finalize_epoch changes
+  };
+  Counters counters() const;
+
+  const DistributedEngine& engine() const { return *engine_; }
+  const ServeOptions& options() const { return options_; }
+
+ private:
+  void DispatcherLoop();
+  void RunTicket(const std::shared_ptr<QueryTicket>& ticket);
+  void CompleteTicket(const std::shared_ptr<QueryTicket>& ticket,
+                      QueryOutcome outcome, const QueryStats& stats);
+  uint64_t StoreEpochSum() const;
+  void MaybeFlushOnEpochChange();
+
+  const DistributedEngine* engine_;
+  ServeOptions options_;
+  size_t total_slots_;
+
+  PlanCache plan_cache_;
+  ResultCache result_cache_;
+  LpmCache lpm_cache_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::map<int, std::deque<std::shared_ptr<QueryTicket>>> lanes_;
+  size_t queued_ = 0;
+  int last_lane_ = 0;  ///< round-robin cursor: next pick starts after this
+
+  std::atomic<size_t> in_flight_{0};
+  std::atomic<uint32_t> next_session_{1};
+  std::atomic<uint64_t> last_epoch_sum_{0};
+
+  std::atomic<size_t> executed_{0};
+  std::atomic<size_t> result_hits_{0};
+  std::atomic<size_t> plan_hits_{0};
+  std::atomic<size_t> plan_misses_{0};
+  std::atomic<size_t> lpm_hits_{0};
+  std::atomic<size_t> epoch_flushes_{0};
+
+  std::vector<std::thread> dispatchers_;
+};
+
+}  // namespace gstored::serve
+
+#endif  // GSTORED_SERVE_SCHEDULER_H_

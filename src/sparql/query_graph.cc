@@ -117,7 +117,7 @@ std::string QueryGraph::ToString() const {
   return out;
 }
 
-ResolvedQuery ResolveQuery(const QueryGraph& query, const TermDict& dict) {
+ResolvedQuery ResolveQueryTerms(const QueryGraph& query, const TermDict& dict) {
   ResolvedQuery resolved;
   resolved.query = &query;
   resolved.vertex_term.assign(query.num_vertices(), kNullTerm);
@@ -142,20 +142,33 @@ ResolvedQuery ResolveQuery(const QueryGraph& query, const TermDict& dict) {
       resolved.edge_pred[e] = id;
     }
   }
+  return resolved;
+}
+
+bool HasImpossibleDuplicatePattern(const QueryGraph& query,
+                                   const std::vector<TermId>& edge_pred) {
   // Two parallel patterns on the same directed pair with the same constant
   // predicate can never map onto distinct data edge labels (Def. 3's
   // injectivity), so the query is statically unsatisfiable.
-  for (QEdgeId a = 0; a < query.num_edges() && !resolved.impossible; ++a) {
-    if (resolved.edge_pred[a] == kNullTerm) continue;
+  for (QEdgeId a = 0; a < query.num_edges(); ++a) {
+    if (edge_pred[a] == kNullTerm) continue;
     const QueryEdge& ea = query.edge(a);
     for (QEdgeId b = a + 1; b < query.num_edges(); ++b) {
       const QueryEdge& eb = query.edge(b);
       if (ea.from == eb.from && ea.to == eb.to &&
-          resolved.edge_pred[a] == resolved.edge_pred[b]) {
-        resolved.impossible = true;
-        break;
+          edge_pred[a] == edge_pred[b]) {
+        return true;
       }
     }
+  }
+  return false;
+}
+
+ResolvedQuery ResolveQuery(const QueryGraph& query, const TermDict& dict) {
+  ResolvedQuery resolved = ResolveQueryTerms(query, dict);
+  if (!resolved.impossible &&
+      HasImpossibleDuplicatePattern(query, resolved.edge_pred)) {
+    resolved.impossible = true;
   }
   return resolved;
 }

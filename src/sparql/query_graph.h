@@ -105,7 +105,22 @@ struct ResolvedQuery {
 };
 
 /// Resolves constant labels to ids in `dict`. Never interns new terms.
+/// Composes ResolveQueryTerms with the duplicate-pattern injectivity check.
 ResolvedQuery ResolveQuery(const QueryGraph& query, const TermDict& dict);
+
+/// Dictionary-lookup half of ResolveQuery: resolves constants and sets
+/// `impossible` only for constants missing from the dictionary. Skips the
+/// static duplicate-pattern analysis, so a plan cache can supply that verdict
+/// from a previous instance of the same template.
+ResolvedQuery ResolveQueryTerms(const QueryGraph& query, const TermDict& dict);
+
+/// True when two parallel patterns on the same directed vertex pair carry the
+/// same constant predicate — Def. 3's injectivity makes such a query
+/// statically unsatisfiable. Depends only on the query shape and predicate
+/// ids, never on vertex constants, so the verdict is shared by every instance
+/// of a canonicalized template.
+bool HasImpossibleDuplicatePattern(const QueryGraph& query,
+                                   const std::vector<TermId>& edge_pred);
 
 }  // namespace gstored
 

@@ -411,8 +411,16 @@ std::vector<Binding> MatchQuery(const LocalStore& store,
   if (rq.impossible || rq.query->num_vertices() == 0) return results;
 
   const size_t n = rq.query->num_vertices();
-  const std::vector<QVertexId> order =
-      MatchingOrder(store, rq, options.use_statistics);
+  std::vector<QVertexId> scored_order;
+  if (options.precomputed_order == nullptr) {
+    scored_order = MatchingOrder(store, rq, options.use_statistics);
+    if (options.order_scorings != nullptr) {
+      options.order_scorings->fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  const std::vector<QVertexId>& order = options.precomputed_order != nullptr
+                                            ? *options.precomputed_order
+                                            : scored_order;
   const std::vector<std::vector<ParallelEdgeGroup>> groups =
       BuildIncidentEdgeGroups(*rq.query);
 

@@ -122,8 +122,9 @@ TEST(InProcessTransportTest, NoFaultStageDeliversEverythingFirstAttempt) {
     EXPECT_EQ((*est)[0], static_cast<double>(site));
   }
   // Every send is accounted at wire size: per site two estimate payloads
-  // (header 21 + count 4 + 8 per double) plus the 25-byte done marker.
-  size_t per_site = (21 + 4 + 16) + (21 + 4 + 8) + 25;
+  // (header + count 4 + 8 per double) plus the done marker (header + 4).
+  const size_t h = WireMessage::kHeaderBytes;
+  size_t per_site = (h + 4 + 16) + (h + 4 + 8) + (h + 4);
   EXPECT_EQ(ledger.StageBytes(stage_id), 3 * per_site);
 }
 
