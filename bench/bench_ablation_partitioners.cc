@@ -38,7 +38,7 @@ int main() {
     Stopwatch query_watch;
     for (const BenchmarkQuery& bq : w.queries) {
       if (bq.query.IsStar()) continue;
-      engine.Execute(bq.query, EngineMode::kFull);
+      engine.Run({bq.query, EngineMode::kFull});
     }
     std::printf("%-14s | %10zu | %12.3e | %12.1f | %16.1f\n",
                 partitioner->name().c_str(), p.num_crossing_edges(),

@@ -20,10 +20,10 @@ int main() {
   for (int sites : {2, 4, 6, 8, 12, 16}) {
     Partitioning p = HashPartitioner().Partition(*w.dataset, sites);
     DistributedEngine engine(&p);
-    QueryStats lq7;
-    engine.Execute(w.queries[6].query, EngineMode::kFull, &lq7);
-    QueryStats lq2;
-    engine.Execute(w.queries[1].query, EngineMode::kFull, &lq2);
+    const QueryStats lq7 =
+        engine.Run({w.queries[6].query, EngineMode::kFull}).stats;
+    const QueryStats lq2 =
+        engine.Run({w.queries[1].query, EngineMode::kFull}).stats;
     std::printf("%-6d | %12zu | %10zu | %12.1f | %12.1f\n", sites,
                 p.num_crossing_edges(), lq7.num_lpms, lq7.total_time_ms,
                 lq2.total_time_ms);

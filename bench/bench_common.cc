@@ -28,8 +28,7 @@ void RunPerStageTable(const std::string& title, const Workload& workload,
       "query", "sel", "cand(ms)", "cand(KB)", "lpm(ms)", "lec(ms)", "lec(KB)",
       "asm(ms)", "total(ms)", "#lpm", "#cross", "#match");
   for (const BenchmarkQuery& bq : workload.queries) {
-    QueryStats stats;
-    engine.Execute(bq.query, EngineMode::kFull, &stats);
+    const QueryStats stats = engine.Run({bq.query, EngineMode::kFull}).stats;
     std::printf(
         "%-5s %-4s | %9.1f %9s | %9.1f | %9.1f %9s | %9.1f | %9.1f | %8zu "
         "%8zu %8zu\n",
@@ -59,9 +58,8 @@ void RunOptimizationAblation(const std::string& title,
     EngineMode modes[4] = {EngineMode::kBasic, EngineMode::kLecAssembly,
                            EngineMode::kLecPruning, EngineMode::kFull};
     for (int m = 0; m < 4; ++m) {
-      QueryStats stats;
       Stopwatch watch;
-      engine.Execute(bq.query, modes[m], &stats);
+      const QueryStats stats = engine.Run({bq.query, modes[m]}).stats;
       times[m] = watch.ElapsedMillis();
       joins[m] = stats.assembly.join_attempts;
     }
@@ -86,7 +84,7 @@ double MedianQueryMillis(DistributedEngine& engine, const QueryGraph& query,
   times.reserve(iters);
   for (int i = 0; i < iters; ++i) {
     Stopwatch watch;
-    engine.Execute(query, mode);
+    engine.Run({query, mode});
     times.push_back(watch.ElapsedMillis());
   }
   std::sort(times.begin(), times.end());

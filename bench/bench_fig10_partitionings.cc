@@ -29,8 +29,8 @@ void RunStrategies(const char* title, const gstored::Workload& workload,
     std::printf("%-5s", bq.name.c_str());
     for (const auto& p : partitionings) {
       gstored::DistributedEngine engine(&p);
-      gstored::QueryStats stats;
-      engine.Execute(bq.query, gstored::EngineMode::kFull, &stats);
+      const gstored::QueryStats stats =
+          engine.Run({bq.query, gstored::EngineMode::kFull}).stats;
       std::printf(" | %13.1f    %13s   ", stats.total_time_ms,
                   gstored::bench::Kb(stats.lec_shipment_bytes).c_str());
     }

@@ -56,8 +56,8 @@ void Compare(const char* title, const Workload& workload, int num_sites,
     }
     for (const auto& p : partitionings) {
       gstored::DistributedEngine engine(&p);
-      gstored::QueryStats stats;
-      engine.Execute(bq.query, gstored::EngineMode::kFull, &stats);
+      const gstored::QueryStats stats =
+          engine.Run({bq.query, gstored::EngineMode::kFull}).stats;
       std::printf(" | %18.1f", stats.total_time_ms);
     }
     std::printf("\n");

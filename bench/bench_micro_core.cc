@@ -251,7 +251,7 @@ void BM_FullEngineExecute(benchmark::State& state) {
   MicroFixture& f = Fixture();
   DistributedEngine engine(&f.partitioning);
   for (auto _ : state) {
-    auto matches = engine.Execute(f.query, EngineMode::kFull);
+    auto matches = engine.Run({f.query, EngineMode::kFull}).matches;
     benchmark::DoNotOptimize(matches);
   }
 }

@@ -254,7 +254,7 @@ void BM_FullEngineExecuteThreads(benchmark::State& state) {
   options.num_threads = static_cast<size_t>(state.range(0));
   DistributedEngine engine(&f.partitioning, options);
   for (auto _ : state) {
-    auto matches = engine.Execute(f.query, EngineMode::kFull);
+    auto matches = engine.Run({f.query, EngineMode::kFull}).matches;
     benchmark::DoNotOptimize(matches);
   }
 }
@@ -288,13 +288,12 @@ void BM_FullEngineFaultyLatency(benchmark::State& state) {
   size_t hedged = 0;
   bool exact = true;
   for (auto _ : state) {
-    QueryStats stats;
-    auto outcome = engine.ExecuteQuery(f.query, EngineMode::kFull, &stats);
+    auto outcome = engine.Run({f.query, EngineMode::kFull});
     benchmark::DoNotOptimize(outcome);
-    retries += stats.transport_retries;
-    hedged += stats.hedged_sites;
+    retries += outcome.stats.transport_retries;
+    hedged += outcome.stats.hedged_sites;
     exact = exact && outcome.exact;
-    for (double w : stats.partial_eval_run.queue_wait_millis) {
+    for (double w : outcome.stats.partial_eval_run.queue_wait_millis) {
       waits.push_back(w);
     }
   }
@@ -308,6 +307,57 @@ void BM_FullEngineFaultyLatency(benchmark::State& state) {
   state.counters["exact"] = exact ? 1.0 : 0.0;
 }
 BENCHMARK(BM_FullEngineFaultyLatency)->Arg(5)->Arg(50);
+
+/// Streaming-vs-drained end-to-end rows (PR 8). Args are {latency_mean_ms,
+/// streaming}: the no-fault streaming row must sit within noise of the
+/// drained BM_FullEngineExecuteThreads row (pipelining costs nothing when
+/// nothing straggles), while under 50ms injected latency with a straggler
+/// site and a stage deadline below the latency mean, the streaming row must
+/// beat the drained row — the drained path re-invokes every site's work per
+/// retry and per hedge, where StageStream re-ships its buffered bytes. The
+/// {50, 0} drained row is the comparison denominator; CI gates the ratio
+/// (see bench/check_bench_regression.py).
+void BM_FullEnginePipelined(benchmark::State& state) {
+  ScalingFixture& f = Fixture();
+  const double latency = static_cast<double>(state.range(0));
+  const bool streaming = state.range(1) != 0;
+  EngineOptions options;
+  if (latency > 0.0) {
+    options.fault_plan.seed = 20260808;
+    options.fault_plan.reorder = true;
+    options.fault_plan.default_fault.latency_mean_ms = latency;
+    options.fault_plan.default_fault.latency_jitter_ms = latency / 2.0;
+    options.fault_plan.default_fault.drop_prob = 0.05;
+    options.fault_plan.default_fault.duplicate_prob = 0.05;
+    options.fault_plan.site_overrides[1].straggler = true;
+    // Deadline below the latency mean: most sites blow at least one
+    // deadline, so the retry path dominates and the re-ship-vs-recompute
+    // difference is what the row measures.
+    options.stage_deadline_ms = latency * 0.4;
+    options.max_attempts = 8;
+  }
+  DistributedEngine engine(&f.partitioning, options);
+  size_t retries = 0;
+  size_t hedged = 0;
+  bool exact = true;
+  for (auto _ : state) {
+    QueryRequest request(f.query, EngineMode::kFull);
+    request.streaming = streaming;
+    auto outcome = engine.Run(request);
+    benchmark::DoNotOptimize(outcome);
+    retries += outcome.stats.transport_retries;
+    hedged += outcome.stats.hedged_sites;
+    exact = exact && outcome.exact;
+  }
+  state.counters["retries"] = static_cast<double>(retries);
+  state.counters["hedged"] = static_cast<double>(hedged);
+  state.counters["exact"] = exact ? 1.0 : 0.0;
+  state.counters["streaming"] = streaming ? 1.0 : 0.0;
+}
+BENCHMARK(BM_FullEnginePipelined)
+    ->Args({0, 1})    // no faults, streaming: must match the drained row
+    ->Args({50, 1})   // straggler + tight deadlines, streaming
+    ->Args({50, 0});  // same plan, drained: the speedup denominator
 
 }  // namespace
 }  // namespace gstored

@@ -88,7 +88,7 @@ RunReport RunSerial(DistributedEngine& engine,
   const auto wall0 = std::chrono::steady_clock::now();
   for (const StreamItem& item : stream) {
     const auto t0 = std::chrono::steady_clock::now();
-    QueryOutcome outcome = engine.ExecuteQuery(*item.query, EngineMode::kFull);
+    QueryOutcome outcome = engine.Run({*item.query, EngineMode::kFull});
     latencies.push_back(
         std::chrono::duration<double, std::milli>(
             std::chrono::steady_clock::now() - t0)
@@ -126,8 +126,8 @@ RunReport RunServed(const DistributedEngine& engine,
   const double cpu0 = ProcessCpuSeconds();
   const auto wall0 = std::chrono::steady_clock::now();
   for (size_t i = 0; i < stream.size(); ++i) {
-    tickets.push_back(server.Submit(*stream[i].query, EngineMode::kFull,
-                                    static_cast<int>(i % kLanes)));
+    tickets.push_back(server.Submit(*stream[i].query,
+                                    {.lane = static_cast<int>(i % kLanes)}));
     // Open loop: the next arrival happens on schedule whether or not the
     // previous query finished. Sleeping burns no CPU time, so the CPU-QPS
     // numerator is unaffected by the pacing.
@@ -174,7 +174,7 @@ int main(int argc, char** argv) {
   std::vector<std::vector<Binding>> expected;
   expected.reserve(w.queries.size());
   for (const BenchmarkQuery& bq : w.queries) {
-    expected.push_back(engine.ExecuteQuery(bq.query, EngineMode::kFull).matches);
+    expected.push_back(engine.Run({bq.query, EngineMode::kFull}).matches);
   }
   std::vector<StreamItem> stream;
   stream.reserve(w.queries.size() * kRounds);

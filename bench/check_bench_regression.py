@@ -3,12 +3,18 @@
 
 Compares benchmark JSON results against a committed baseline and fails
 (exit 1) when any gated benchmark regresses by more than the threshold.
-Two row kinds are gated:
+Three row kinds are gated:
 
   * cpu_time rows (lower is better): regression when
       current > baseline * (1 + threshold)
   * qps rows (higher is better, emitted by bench_serving_throughput):
       regression when current < baseline / (1 + threshold)
+  * ratio rows ({"numerator", "denominator", "min_ratio"}): regression
+      when numerator/denominator (wall time by default, cpu with
+      "metric": "cpu") falls below min_ratio. These gate a *relative*
+      property — e.g. "the drained engine must stay >= 1.1x slower than
+      the pipelined engine under injected faults" — so they are immune
+      to machine-speed drift and take no threshold slack.
 
 The baseline carries absolute numbers from a known machine, so the
 threshold is deliberately loose — the gate exists to catch
@@ -54,9 +60,27 @@ def load_metrics(path):
             ns = float(bench["cpu_time"]) * scale
         if ns is not None:
             entry["cpu_ns"] = min(ns, entry.get("cpu_ns", float("inf")))
+        real_ns = None
+        if "real_time_ns" in bench:
+            real_ns = float(bench["real_time_ns"])
+        elif "real_time" in bench:
+            unit = bench.get("time_unit", "ns")
+            scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[unit]
+            real_ns = float(bench["real_time"]) * scale
+        if real_ns is not None:
+            entry["real_ns"] = min(real_ns, entry.get("real_ns", float("inf")))
         if "qps" in bench:
             entry["qps"] = max(float(bench["qps"]), entry.get("qps", 0.0))
     return metrics
+
+
+def load_ratio_rows(path):
+    """Returns the baseline's ratio rows ({"numerator", "denominator",
+    "min_ratio", optional "metric"}), which gate one benchmark's time
+    against another's instead of against an absolute number."""
+    with open(path) as f:
+        doc = json.load(f)
+    return [b for b in doc["benchmarks"] if "min_ratio" in b]
 
 
 def main():
@@ -76,6 +100,9 @@ def main():
             if "cpu_ns" in entry:
                 merged["cpu_ns"] = min(entry["cpu_ns"],
                                        merged.get("cpu_ns", float("inf")))
+            if "real_ns" in entry:
+                merged["real_ns"] = min(entry["real_ns"],
+                                        merged.get("real_ns", float("inf")))
             if "qps" in entry:
                 merged["qps"] = max(entry["qps"], merged.get("qps", 0.0))
 
@@ -106,6 +133,26 @@ def main():
                 failures.append(
                     f"{name} [{metric}]: {cur_v:.0f}{unit} vs baseline "
                     f"{base_v:.0f}{unit} ({ratio:.2f}x > {limit:.2f}x)")
+
+    for row in load_ratio_rows(args.baseline):
+        metric = "cpu_ns" if row.get("metric") == "cpu" else "real_ns"
+        name = row.get("name", f"{row['numerator']}/{row['denominator']}")
+        num = results.get(row["numerator"], {}).get(metric)
+        den = results.get(row["denominator"], {}).get(metric)
+        if num is None or den is None:
+            missing = row["numerator"] if num is None else row["denominator"]
+            failures.append(f"{name} [ratio]: {missing} missing from results")
+            print(f"{name:<28} {'ratio':>6} {row['min_ratio']:>10.2f}x  "
+                  f"{'MISSING':>12}")
+            continue
+        ratio = num / den
+        verdict = "" if ratio >= row["min_ratio"] else "  REGRESSED"
+        print(f"{name:<28} {'ratio':>6} {row['min_ratio']:>10.2f}x  "
+              f"{ratio:>10.2f}x {verdict}")
+        if ratio < row["min_ratio"]:
+            failures.append(
+                f"{name} [ratio]: {row['numerator']} / {row['denominator']} "
+                f"= {ratio:.2f}x < required {row['min_ratio']:.2f}x")
 
     if failures:
         print("\nbenchmark regression gate FAILED:", file=sys.stderr)

@@ -104,9 +104,9 @@ int main() {
       " ?gene <http://bio.org/associatedWith> ?disease . }");
 
   DistributedEngine engine(&federation);
-  QueryStats stats;
-  std::vector<Binding> matches =
-      engine.Execute(*query, EngineMode::kFull, &stats);
+  QueryOutcome outcome = engine.Run({*query, EngineMode::kFull});
+  const QueryStats& stats = outcome.stats;
+  const std::vector<Binding>& matches = outcome.matches;
 
   std::printf("\ncross-publisher query: %zu matches, %zu LPMs, "
               "%zu crossing matches, %.1f ms\n",

@@ -48,7 +48,7 @@ int main() {
     Stopwatch watch;
     for (const BenchmarkQuery& bq : workload.queries) {
       if (bq.query.IsStar()) continue;
-      engine.Execute(bq.query, EngineMode::kFull);
+      engine.Run({bq.query, EngineMode::kFull});
     }
     std::printf("  %-14s %8.1f ms%s\n", p.strategy_name().c_str(),
                 watch.ElapsedMillis(),

@@ -78,10 +78,8 @@ int main() {
 
   // The engine wraps all of the above (plus local matches and Alg. 4).
   DistributedEngine engine(&partitioning);
-  QueryStats stats;
-  std::vector<Binding> matches = engine.Execute(query, EngineMode::kFull,
-                                                &stats);
-  std::printf("\nfull engine: %zu matches in %.2f ms\n", matches.size(),
-              stats.total_time_ms);
+  QueryOutcome outcome = engine.Run({query, EngineMode::kFull});
+  std::printf("\nfull engine: %zu matches in %.2f ms\n",
+              outcome.matches.size(), outcome.stats.total_time_ms);
   return 0;
 }

@@ -55,9 +55,9 @@ int main() {
   // 4. Execute with the full engine (LEC pruning + LEC assembly + candidate
   //    exchange) and inspect the per-stage statistics.
   DistributedEngine engine(&partitioning);
-  QueryStats stats;
-  std::vector<Binding> matches =
-      engine.Execute(*query, EngineMode::kFull, &stats);
+  QueryOutcome outcome = engine.Run({*query, EngineMode::kFull});
+  const QueryStats& stats = outcome.stats;
+  const std::vector<Binding>& matches = outcome.matches;
 
   std::printf("\n%zu match(es); %zu local partial matches; %zu bytes of LEC "
               "features shipped\n",

@@ -5,7 +5,8 @@
 namespace gstored {
 
 CompoundResult ExecuteCompound(DistributedEngine& engine,
-                               const CompoundQuery& query, EngineMode mode) {
+                               const CompoundQuery& query, EngineMode mode,
+                               bool streaming) {
   CompoundResult result;
 
   // Projection columns: declared vars, or the union of all branch variables
@@ -37,7 +38,9 @@ CompoundResult ExecuteCompound(DistributedEngine& engine,
         }
       }
     }
-    for (const Binding& match : engine.Execute(branch, mode)) {
+    QueryRequest request(branch, mode);
+    request.streaming = streaming;
+    for (const Binding& match : engine.Run(request).matches) {
       std::vector<TermId> row(result.columns.size(), kNullTerm);
       for (size_t c = 0; c < result.columns.size(); ++c) {
         if (column_vertex[c] != static_cast<QVertexId>(-1)) {

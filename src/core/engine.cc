@@ -42,11 +42,37 @@ DistributedEngine::DistributedEngine(const Partitioning* partitioning,
   }
 }
 
+// The deprecated shims forward to Run(); they are compiled here, where the
+// deprecation warnings they would trigger on themselves are silenced.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 std::vector<Binding> DistributedEngine::Execute(const QueryGraph& query,
                                                 EngineMode mode,
                                                 QueryStats* stats) {
-  return ExecuteQuery(query, mode, stats).matches;
+  QueryOutcome outcome = Run(QueryRequest(query, mode));
+  if (stats != nullptr) *stats = outcome.stats;
+  return std::move(outcome.matches);
 }
+
+QueryOutcome DistributedEngine::ExecuteQuery(const QueryGraph& query,
+                                             EngineMode mode,
+                                             QueryStats* stats) {
+  QueryOutcome outcome = Run(QueryRequest(query, mode));
+  if (stats != nullptr) *stats = outcome.stats;
+  return outcome;
+}
+
+QueryOutcome DistributedEngine::ExecuteQuery(const QueryGraph& query,
+                                             EngineMode mode,
+                                             QueryContext& ctx,
+                                             QueryStats* stats) const {
+  QueryOutcome outcome = Run(QueryRequest(query, mode, ctx));
+  if (stats != nullptr) *stats = outcome.stats;
+  return outcome;
+}
+
+#pragma GCC diagnostic pop
 
 namespace {
 
@@ -71,27 +97,32 @@ void FoldSiteReport(const SiteStageReport& stage, SiteReport* site) {
 
 }  // namespace
 
-QueryOutcome DistributedEngine::ExecuteQuery(const QueryGraph& query,
-                                             EngineMode mode,
-                                             QueryStats* stats) {
-  // The single-query form owns the built-in cluster session exclusively, so
+QueryOutcome DistributedEngine::Run(const QueryRequest& request) const {
+  GSTORED_CHECK(request.query != nullptr);
+  if (request.context != nullptr) {
+    return RunInternal(request, *request.context);
+  }
+  // The context-free form owns the built-in cluster session exclusively, so
   // resetting its ledger between queries is safe (and preserves the
-  // pre-serving-layer semantics the integration tests assert).
+  // pre-serving-layer semantics the integration tests assert). This path is
+  // documented single-query-at-a-time; concurrent callers bring their own
+  // QueryContext.
   cluster_.ledger().Reset();
   QueryContext ctx;
   ctx.ledger = &cluster_.ledger();
   ctx.transport = &cluster_.transport();
-  return ExecuteQuery(query, mode, ctx, stats);
+  return RunInternal(request, ctx);
 }
 
-QueryOutcome DistributedEngine::ExecuteQuery(const QueryGraph& query,
-                                             EngineMode mode,
-                                             QueryContext& ctx,
-                                             QueryStats* stats) const {
+QueryOutcome DistributedEngine::RunInternal(const QueryRequest& request,
+                                            QueryContext& ctx) const {
   GSTORED_CHECK(ctx.ledger != nullptr && ctx.transport != nullptr);
-  QueryStats local_stats;
-  if (stats == nullptr) stats = &local_stats;
-  *stats = QueryStats();
+  const QueryGraph& query = *request.query;
+  const EngineMode mode = request.mode;
+  const bool streaming = request.streaming;
+
+  QueryOutcome outcome;
+  QueryStats* stats = &outcome.stats;
   stats->selective = query.HasSelectiveTriple();
   stats->plan_cache_hit = ctx.has_plan;
 
@@ -114,7 +145,6 @@ QueryOutcome DistributedEngine::ExecuteQuery(const QueryGraph& query,
   const bool star = query.IsStar();
   stats->star_shortcut = star;
 
-  QueryOutcome outcome;
   outcome.sites.assign(num_sites, SiteReport{});
 
   Transport& net = *ctx.transport;
@@ -132,7 +162,15 @@ QueryOutcome DistributedEngine::ExecuteQuery(const QueryGraph& query,
   // Cancellation/deadline are polled between stages only: an abort returns
   // the matches accumulated so far — always a sound subset, because every
   // stage's output is either complete local matches or inputs to assembly —
-  // flagged non-exact, with the session ledger intact.
+  // flagged non-exact, with the session ledger intact. The request-level
+  // cancel/deadline compose (OR) with the context's own admission fields.
+  auto aborted = [&](double elapsed_ms) {
+    if (request.cancel != nullptr && request.cancel->cancelled()) return true;
+    if (request.deadline_ms >= 0.0 && elapsed_ms > request.deadline_ms) {
+      return true;
+    }
+    return ctx.aborted(elapsed_ms);
+  };
   auto finish_aborted = [&]() {
     stats->cancelled = true;
     outcome.exact = false;
@@ -145,7 +183,7 @@ QueryOutcome DistributedEngine::ExecuteQuery(const QueryGraph& query,
     outcome.matches = std::move(matches);
     return outcome;
   };
-  if (ctx.aborted(total_watch.ElapsedMillis())) return finish_aborted();
+  if (aborted(total_watch.ElapsedMillis())) return finish_aborted();
 
   // ---- Stage A (kFull, non-star): assemble variables' internal candidates.
   CandidateExchange exchange;
@@ -157,6 +195,7 @@ QueryOutcome DistributedEngine::ExecuteQuery(const QueryGraph& query,
     CandidateExchangeOptions exchange_options;
     exchange_options.use_statistics = options_.use_statistics;
     exchange_options.policy = policy;
+    exchange_options.streaming = streaming;
     exchange = ExchangeInternalCandidates(*partitioning_, store_ptrs, rq, net,
                                           ledger, exchange_options);
     stats->candidate_time_ms = exchange.stage_millis;
@@ -168,7 +207,7 @@ QueryOutcome DistributedEngine::ExecuteQuery(const QueryGraph& query,
     // no-op; skip the closure entirely to keep enumeration cheap.
     use_filter = !exchange.degraded;
   }
-  if (ctx.aborted(total_watch.ElapsedMillis())) return finish_aborted();
+  if (aborted(total_watch.ElapsedMillis())) return finish_aborted();
 
   // The LPM cache key must cover the filters a site enumerated under: the
   // same template yields different LPM sets under different exchanged
@@ -265,15 +304,42 @@ QueryOutcome DistributedEngine::ExecuteQuery(const QueryGraph& query,
     }
   };
 
-  StageResult peval = net.ExecuteStage(
-      StageOrdinal(QueryStage::kPartialEval), ShipmentLedger::kUnaccounted,
-      policy, [&](int site) {
+  // Per-site staging slot for stage B: the consumer decodes each site's
+  // batches the moment that site lands (under streaming, while other sites
+  // are still enumerating) and the slots are merged in site order after the
+  // stage returns — so the merged matches are byte-identical whichever
+  // delivery mode ran.
+  struct SiteStageB {
+    std::vector<Binding> matches;
+    size_t num_lpms = 0;
+    bool decode_ok = true;
+  };
+  std::vector<SiteStageB> stage_b(num_sites);
+
+  StageResult peval = RunStageConsuming(
+      net, streaming, StageOrdinal(QueryStage::kPartialEval),
+      ShipmentLedger::kUnaccounted, policy,
+      [&](int site) {
         ensure_partial_eval(site);
         const SiteCache& c = cache[site];
         return std::vector<WireMessage>{MakeMessage(
             MessageType::kMatchBatch,
             EncodeMatchBatch(c.lpms.size(), static_cast<uint32_t>(n),
                              c.matches))};
+      },
+      [&](int site, std::vector<WireMessage> msgs) {
+        SiteStageB& sb = stage_b[site];
+        for (const WireMessage& msg : msgs) {
+          if (msg.type != MessageType::kMatchBatch) continue;
+          Result<MatchBatch> batch = DecodeMatchBatch(msg.payload);
+          if (!batch.ok() || batch.value().width != n) {
+            sb.decode_ok = false;
+            break;
+          }
+          sb.num_lpms += batch.value().num_lpms;
+          sb.matches.insert(sb.matches.end(), batch.value().matches.begin(),
+                            batch.value().matches.end());
+        }
       });
   stats->partial_eval_time_ms = peval.run.max_millis;
   stats->partial_eval_run = peval.run;
@@ -287,17 +353,15 @@ QueryOutcome DistributedEngine::ExecuteQuery(const QueryGraph& query,
       report.partial_eval_complete = false;
       continue;
     }
-    for (const WireMessage& msg : peval.messages[site]) {
-      if (msg.type != MessageType::kMatchBatch) continue;
-      Result<MatchBatch> batch = DecodeMatchBatch(msg.payload);
-      if (!batch.ok() || batch.value().width != n) {
-        report.partial_eval_complete = false;
-        break;
-      }
-      stats->num_lpms += batch.value().num_lpms;
-      matches.insert(matches.end(), batch.value().matches.begin(),
-                     batch.value().matches.end());
-    }
+    SiteStageB& sb = stage_b[site];
+    // A torn batch flags the site incomplete but keeps the batches decoded
+    // before it — a sound subset, same as the drained path always did.
+    if (!sb.decode_ok) report.partial_eval_complete = false;
+    stats->num_lpms += sb.num_lpms;
+    matches.insert(matches.end(),
+                   std::make_move_iterator(sb.matches.begin()),
+                   std::make_move_iterator(sb.matches.end()));
+    sb.matches.clear();
   }
   DedupBindings(&matches);
   stats->num_local_matches = matches.size();
@@ -319,7 +383,7 @@ QueryOutcome DistributedEngine::ExecuteQuery(const QueryGraph& query,
     outcome.matches = std::move(matches);
     return outcome;
   }
-  if (ctx.aborted(total_watch.ElapsedMillis())) return finish_aborted();
+  if (aborted(total_watch.ElapsedMillis())) return finish_aborted();
 
   auto ensure_features = [&](int site) {
     ensure_partial_eval(site);
@@ -339,13 +403,37 @@ QueryOutcome DistributedEngine::ExecuteQuery(const QueryGraph& query,
   std::vector<std::vector<bool>> site_survivors(num_sites);
   std::vector<bool> survivors_delivered(num_sites, false);
   if (mode == EngineMode::kLecPruning || mode == EngineMode::kFull) {
-    StageResult feat = net.ExecuteStage(
-        StageOrdinal(QueryStage::kLecFeatures), lec_stage_id, policy,
+    // Per-site staging for the feature batches, merged in site order below
+    // (pruning input must equal the old global Alg. 1 scan byte-for-byte).
+    struct SiteStageC {
+      std::vector<LecFeature> features;
+      bool decode_ok = true;
+    };
+    std::vector<SiteStageC> stage_c(num_sites);
+
+    StageResult feat = RunStageConsuming(
+        net, streaming, StageOrdinal(QueryStage::kLecFeatures), lec_stage_id,
+        policy,
         [&](int site) {
           ensure_features(site);
           return std::vector<WireMessage>{
               MakeMessage(MessageType::kLecFeatureBatch,
                           EncodeLecFeatureBatch(cache[site].features.features))};
+        },
+        [&](int site, std::vector<WireMessage> msgs) {
+          SiteStageC& sc = stage_c[site];
+          for (const WireMessage& msg : msgs) {
+            if (msg.type != MessageType::kLecFeatureBatch) continue;
+            Result<std::vector<LecFeature>> decoded =
+                DecodeLecFeatureBatch(msg.payload);
+            if (!decoded.ok()) {
+              sc.decode_ok = false;
+              break;
+            }
+            sc.features.insert(sc.features.end(),
+                               std::make_move_iterator(decoded.value().begin()),
+                               std::make_move_iterator(decoded.value().end()));
+          }
         });
     stats->transport_retries += feat.total_retries();
     stats->hedged_sites += feat.hedged_sites();
@@ -364,19 +452,8 @@ QueryOutcome DistributedEngine::ExecuteQuery(const QueryGraph& query,
         if (!feat.sites[site].crashed) features_lost = true;
         continue;
       }
-      for (const WireMessage& msg : feat.messages[site]) {
-        if (msg.type != MessageType::kLecFeatureBatch) continue;
-        Result<std::vector<LecFeature>> decoded =
-            DecodeLecFeatureBatch(msg.payload);
-        if (!decoded.ok()) {
-          features_lost = true;
-          break;
-        }
-        std::vector<LecFeature>& dst = site_features[site];
-        dst.insert(dst.end(),
-                   std::make_move_iterator(decoded.value().begin()),
-                   std::make_move_iterator(decoded.value().end()));
-      }
+      if (!stage_c[site].decode_ok) features_lost = true;
+      site_features[site] = std::move(stage_c[site].features);
     }
     stats->pruning_degraded = features_lost;
 
@@ -426,15 +503,27 @@ QueryOutcome DistributedEngine::ExecuteQuery(const QueryGraph& query,
       stats->lec_prune_time_ms = feat.run.max_millis;
     }
   }
-  if (ctx.aborted(total_watch.ElapsedMillis())) return finish_aborted();
+  if (aborted(total_watch.ElapsedMillis())) return finish_aborted();
 
   // ---- Stage D: ship the surviving LPMs to the coordinator in fixed-size
   // batches and assemble. Per-site survivor filtering preserves the site's
   // enumeration order and sites are concatenated in site order, matching
   // the old global filter exactly.
   const size_t batch_size = std::max<size_t>(1, options_.lpm_batch_size);
-  StageResult ship = net.ExecuteStage(
-      StageOrdinal(QueryStage::kLpmShipment), lpm_stage_id, policy,
+
+  // Assembly-input staging: under streaming, each site's LPM batches are
+  // decoded into its slot while slower sites are still filtering and
+  // shipping; the site-order concatenation below reproduces the drained
+  // path's `surviving` vector exactly.
+  struct SiteStageD {
+    std::vector<LocalPartialMatch> lpms;
+    bool decode_ok = true;
+  };
+  std::vector<SiteStageD> stage_d(num_sites);
+
+  StageResult ship = RunStageConsuming(
+      net, streaming, StageOrdinal(QueryStage::kLpmShipment), lpm_stage_id,
+      policy,
       [&](int site) {
         ensure_partial_eval(site);
         const SiteCache& c = cache[site];
@@ -460,6 +549,21 @@ QueryOutcome DistributedEngine::ExecuteQuery(const QueryGraph& query,
                                      EncodeLpmBatch(to_ship, first, count)));
         }
         return msgs;
+      },
+      [&](int site, std::vector<WireMessage> msgs) {
+        SiteStageD& sd = stage_d[site];
+        for (const WireMessage& msg : msgs) {
+          if (msg.type != MessageType::kLpmBatch) continue;
+          Result<std::vector<LocalPartialMatch>> decoded =
+              DecodeLpmBatch(msg.payload);
+          if (!decoded.ok()) {
+            sd.decode_ok = false;
+            break;
+          }
+          sd.lpms.insert(sd.lpms.end(),
+                         std::make_move_iterator(decoded.value().begin()),
+                         std::make_move_iterator(decoded.value().end()));
+        }
       });
   stats->transport_retries += ship.total_retries();
   stats->hedged_sites += ship.hedged_sites();
@@ -472,23 +576,17 @@ QueryOutcome DistributedEngine::ExecuteQuery(const QueryGraph& query,
       report.lpms_complete = false;
       continue;
     }
-    for (const WireMessage& msg : ship.messages[site]) {
-      if (msg.type != MessageType::kLpmBatch) continue;
-      Result<std::vector<LocalPartialMatch>> decoded =
-          DecodeLpmBatch(msg.payload);
-      if (!decoded.ok()) {
-        report.lpms_complete = false;
-        break;
-      }
-      surviving.insert(surviving.end(),
-                       std::make_move_iterator(decoded.value().begin()),
-                       std::make_move_iterator(decoded.value().end()));
-    }
+    SiteStageD& sd = stage_d[site];
+    if (!sd.decode_ok) report.lpms_complete = false;
+    surviving.insert(surviving.end(),
+                     std::make_move_iterator(sd.lpms.begin()),
+                     std::make_move_iterator(sd.lpms.end()));
+    sd.lpms.clear();
   }
   stats->num_lpms_shipped = surviving.size();
   stats->lec_shipment_bytes = ledger.StageBytes(lec_stage_id);
   stats->lpm_shipment_bytes = ledger.StageBytes(lpm_stage_id);
-  if (ctx.aborted(total_watch.ElapsedMillis())) return finish_aborted();
+  if (aborted(total_watch.ElapsedMillis())) return finish_aborted();
 
   // LEC assembly joins on the same worker pool the sites borrow from; the
   // sites are done with it by now (the stage has drained), so the

@@ -177,6 +177,49 @@ struct QueryOutcome {
   std::vector<Binding> matches;
   bool exact = true;
   std::vector<SiteReport> sites;  ///< per-site completeness, one per fragment
+  /// Per-stage breakdown of this run (Tables I-III columns). Always filled:
+  /// the outcome is the complete record of the query, so callers no longer
+  /// thread a QueryStats out-parameter through the API.
+  QueryStats stats;
+};
+
+/// One query, fully described: what to evaluate, at which optimization
+/// level, over whose session, and under which lifetime/delivery knobs. This
+/// is the single entry into DistributedEngine::Run — it replaces the old
+/// ExecuteQuery/Execute overload set (still present as deprecated shims).
+///
+/// `context == nullptr` runs over the engine's built-in cluster session
+/// (single query at a time, ledger reset on entry — the old
+/// ExecuteQuery(query, mode, stats) behavior); a non-null context supplies
+/// the transport session, slot budget, plan artifacts and cache hooks, and
+/// any number of such requests may run concurrently over one engine.
+///
+/// `cancel` / `deadline_ms` are request-scoped and combined (OR) with the
+/// context's own admission fields, so a caller can bound a query without
+/// mutating a shared context.
+struct QueryRequest {
+  const QueryGraph* query = nullptr;
+  EngineMode mode = EngineMode::kFull;
+  QueryContext* context = nullptr;
+
+  /// Optional request-level cancellation, polled at stage boundaries.
+  const CancelToken* cancel = nullptr;
+  /// Optional request-level wall-clock budget (ms); negative = none.
+  double deadline_ms = -1.0;
+
+  /// Deliver stage batches through Transport::StageStream: per-site
+  /// deadlines/retries/hedging fire as each site finishes, and the
+  /// coordinator folds candidate bit-vectors and stages LPM batches while
+  /// slower sites are still executing. Byte-identical outcome (matches,
+  /// stats counters, ledger) to the drained default, which remains the
+  /// reference ablation.
+  bool streaming = false;
+
+  QueryRequest() = default;
+  QueryRequest(const QueryGraph& q, EngineMode m = EngineMode::kFull)
+      : query(&q), mode(m) {}
+  QueryRequest(const QueryGraph& q, EngineMode m, QueryContext& ctx)
+      : query(&q), mode(m), context(&ctx) {}
 };
 
 /// The distributed SPARQL engine over a simulated cluster: one site per
@@ -188,10 +231,10 @@ struct QueryOutcome {
 /// The engine itself is a stateless facade over shared immutable state —
 /// the partitioning's fragments, one LocalStore (CSR graph + statistics)
 /// per fragment, and the options. All per-query mutable state lives in a
-/// QueryContext, so ExecuteQuery(ctx) is const and any number of queries
-/// can run concurrently over one engine (the serving layer in src/serve/
-/// does exactly that). The legacy ExecuteQuery(query, mode, stats) form
-/// runs one query at a time over the engine's built-in cluster session.
+/// QueryContext, so Run() is const and any number of context-carrying
+/// requests can run concurrently over one engine (the serving layer in
+/// src/serve/ does exactly that). A request without a context runs one
+/// query at a time over the engine's built-in cluster session.
 ///
 /// The partitioning (and the dataset behind it) must outlive the engine.
 class DistributedEngine {
@@ -202,26 +245,30 @@ class DistributedEngine {
   DistributedEngine(const DistributedEngine&) = delete;
   DistributedEngine& operator=(const DistributedEngine&) = delete;
 
-  /// Evaluates a BGP query over the caller's QueryContext and returns the
-  /// full outcome: matches (deduplicated full bindings over the query's
-  /// vertices), the exact-vs-partial flag and per-site completeness. Star
-  /// queries take the local-only fast path regardless of mode (Sec.
-  /// VIII-B). When `stats` is non-null it is filled with the per-stage
-  /// breakdown. The context supplies the transport session, slot budget,
-  /// deadline/cancellation and optional plan-cache artifacts; the engine
-  /// never resets the context's ledger (a fresh QuerySession starts at
-  /// zero). Thread-safe for concurrent calls with distinct contexts.
+  /// Evaluates one QueryRequest and returns the full outcome: matches
+  /// (deduplicated full bindings over the query's vertices), the
+  /// exact-vs-partial flag, per-site completeness and the per-stage stats.
+  /// Star queries take the local-only fast path regardless of mode (Sec.
+  /// VIII-B). With a context, the engine never resets the context's ledger
+  /// (a fresh QuerySession starts at zero) and concurrent calls with
+  /// distinct contexts are thread-safe; without one, the built-in cluster's
+  /// ledger is reset on entry and calls must not overlap.
+  QueryOutcome Run(const QueryRequest& request) const;
+
+  /// Deprecated pre-QueryRequest surface, kept as thin shims for one PR.
+  /// Migrations: ExecuteQuery(q, mode, ctx, &stats) -> Run({q, mode, ctx})
+  /// reading outcome.stats; ExecuteQuery(q, mode, &stats) -> Run({q, mode});
+  /// Execute(q, mode, &stats) -> Run({q, mode}).matches.
+  [[deprecated("use Run(QueryRequest) and read outcome.stats")]]
   QueryOutcome ExecuteQuery(const QueryGraph& query, EngineMode mode,
                             QueryContext& ctx,
                             QueryStats* stats = nullptr) const;
 
-  /// Single-query convenience form: resets the built-in cluster's ledger,
-  /// builds a context over its transport, and executes. Not safe for
-  /// concurrent calls on one engine — use the QueryContext form for that.
+  [[deprecated("use Run(QueryRequest) and read outcome.stats")]]
   QueryOutcome ExecuteQuery(const QueryGraph& query, EngineMode mode,
                             QueryStats* stats = nullptr);
 
-  /// Convenience wrapper returning the matches only.
+  [[deprecated("use Run(QueryRequest).matches")]]
   std::vector<Binding> Execute(const QueryGraph& query, EngineMode mode,
                                QueryStats* stats = nullptr);
 
@@ -229,13 +276,19 @@ class DistributedEngine {
   const LocalStore& store(int site) const { return *stores_[site]; }
   int num_sites() const { return static_cast<int>(stores_.size()); }
   const EngineOptions& options() const { return options_; }
-  SimulatedCluster& cluster() { return cluster_; }
+  SimulatedCluster& cluster() const { return cluster_; }
 
  private:
+  QueryOutcome RunInternal(const QueryRequest& request,
+                           QueryContext& ctx) const;
+
   const Partitioning* partitioning_;
   EngineOptions options_;
   std::vector<std::unique_ptr<LocalStore>> stores_;
-  SimulatedCluster cluster_;
+  /// Built-in single-query session for context-free requests. Mutable so
+  /// the const Run() facade can reset its ledger for that (documented
+  /// one-at-a-time) convenience path.
+  mutable SimulatedCluster cluster_;
 };
 
 /// Deduplicates a set of bindings in place (sort + unique).

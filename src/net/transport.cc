@@ -49,6 +49,88 @@ size_t StageResult::hedged_sites() const {
   return n;
 }
 
+namespace {
+
+/// One site's reassembled view of a single attempt: the inbox deduplicated
+/// by sequence number and restored to sequence order (the done marker still
+/// in place), with the done-marker completeness check applied.
+struct ReassembledAttempt {
+  bool all_arrived = false;
+  double last_arrival = 0.0;
+  std::vector<DeliveredMessage> inbox;
+};
+
+ReassembledAttempt ReassembleSiteAttempt(const FaultPlan& plan, int site,
+                                         uint32_t stage,
+                                         std::vector<DeliveredMessage> inbox) {
+  ReassembledAttempt out;
+  if (plan.reorder) {
+    std::sort(inbox.begin(), inbox.end(),
+              [&](const DeliveredMessage& a, const DeliveredMessage& b) {
+                return plan.ReorderKey(site, stage, a.msg.attempt, a.msg.seq) <
+                       plan.ReorderKey(site, stage, b.msg.attempt, b.msg.seq);
+              });
+  }
+  // Deduplicate by sequence number and restore sequence order — this is
+  // what makes duplication and reordering invisible to the pipeline.
+  std::sort(inbox.begin(), inbox.end(),
+            [](const DeliveredMessage& a, const DeliveredMessage& b) {
+              return a.msg.seq < b.msg.seq;
+            });
+  inbox.erase(std::unique(inbox.begin(), inbox.end(),
+                          [](const DeliveredMessage& a,
+                             const DeliveredMessage& b) {
+                            return a.msg.seq == b.msg.seq;
+                          }),
+              inbox.end());
+
+  uint32_t expected = 0;
+  bool have_done = false;
+  for (const DeliveredMessage& d : inbox) {
+    out.last_arrival = std::max(out.last_arrival, d.arrival_ms);
+    if (d.msg.type == MessageType::kStageDone) {
+      auto count = DecodeDoneMarker(d.msg.payload);
+      if (count.ok()) {
+        have_done = true;
+        expected = count.value();
+      }
+    }
+  }
+  out.all_arrived = have_done;
+  if (have_done) {
+    // Payload seqs must be exactly 0..expected-1 (the done marker itself
+    // is seq == expected).
+    uint32_t payload_count = 0;
+    for (const DeliveredMessage& d : inbox) {
+      if (d.msg.type != MessageType::kStageDone && d.msg.seq < expected) {
+        ++payload_count;
+      }
+    }
+    out.all_arrived = payload_count == expected;
+  }
+  out.inbox = std::move(inbox);
+  return out;
+}
+
+}  // namespace
+
+StageResult Transport::StageStream(
+    uint32_t stage, ShipmentLedger::StageId ledger_stage,
+    const StagePolicy& policy,
+    const std::function<std::vector<WireMessage>(int site)>& site_fn,
+    const SiteBatchConsumer& on_site) {
+  // Reference implementation without overlap: drain the whole stage, then
+  // replay completed sites in index order. Semantically equivalent to real
+  // streaming for any consumer that merges deterministically.
+  StageResult result = ExecuteStage(stage, ledger_stage, policy, site_fn);
+  for (size_t site = 0; site < result.messages.size(); ++site) {
+    if (!result.sites[site].ok) continue;
+    on_site(static_cast<int>(site), std::move(result.messages[site]));
+    result.messages[site].clear();
+  }
+  return result;
+}
+
 InProcessTransport::InProcessTransport(int num_sites, ShipmentLedger* ledger,
                                        FaultPlan plan, uint32_t session_id)
     : num_sites_(num_sites),
@@ -92,6 +174,29 @@ void InProcessTransport::ShipFromSite(int site, uint32_t stage,
     delivered.msg = msg;
     if (dup) coordinator_box_.Push(delivered);
     coordinator_box_.Push(std::move(delivered));
+  }
+}
+
+void InProcessTransport::ShipBuffered(int site, uint32_t stage,
+                                      uint32_t attempt,
+                                      const std::vector<WireMessage>& buffer,
+                                      ShipmentLedger::StageId ledger_stage,
+                                      double base_offset_ms, Mailbox* dest) {
+  for (const WireMessage& stamped : buffer) {
+    WireMessage msg = stamped;
+    msg.attempt = attempt;
+    // Same draw keys and ledger accounting as ShipFromSite: a retry that
+    // re-ships the buffer is indistinguishable on the wire from one that
+    // recomputed and re-encoded the identical bytes.
+    const bool dup = plan_.Duplicate(site, stage, attempt, msg.seq, false);
+    ledger_->Add(ledger_stage, msg.WireSize() * (dup ? 2 : 1));
+    if (plan_.Drop(site, stage, attempt, msg.seq, false)) continue;
+    DeliveredMessage delivered;
+    delivered.arrival_ms =
+        base_offset_ms + plan_.LatencyMs(site, stage, attempt, msg.seq, false);
+    delivered.msg = std::move(msg);
+    if (dup) dest->Push(delivered);
+    dest->Push(std::move(delivered));
   }
 }
 
@@ -157,60 +262,14 @@ StageResult InProcessTransport::ExecuteStage(
     for (int site : pending) {
       SiteStageReport& report = result.sites[site];
       report.attempts = attempt + 1;
-      std::vector<DeliveredMessage>& inbox = by_site[site];
-      if (plan_.reorder) {
-        std::sort(inbox.begin(), inbox.end(),
-                  [&](const DeliveredMessage& a, const DeliveredMessage& b) {
-                    return plan_.ReorderKey(site, stage, a.msg.attempt,
-                                            a.msg.seq) <
-                           plan_.ReorderKey(site, stage, b.msg.attempt,
-                                            b.msg.seq);
-                  });
-      }
-      // Deduplicate by sequence number and restore sequence order — this is
-      // what makes duplication and reordering invisible to the pipeline.
-      std::sort(inbox.begin(), inbox.end(),
-                [](const DeliveredMessage& a, const DeliveredMessage& b) {
-                  return a.msg.seq < b.msg.seq;
-                });
-      inbox.erase(std::unique(inbox.begin(), inbox.end(),
-                              [](const DeliveredMessage& a,
-                                 const DeliveredMessage& b) {
-                                return a.msg.seq == b.msg.seq;
-                              }),
-                  inbox.end());
-
-      uint32_t expected = 0;
-      bool have_done = false;
-      double last_arrival = 0.0;
-      for (const DeliveredMessage& d : inbox) {
-        last_arrival = std::max(last_arrival, d.arrival_ms);
-        if (d.msg.type == MessageType::kStageDone) {
-          auto count = DecodeDoneMarker(d.msg.payload);
-          if (count.ok()) {
-            have_done = true;
-            expected = count.value();
-          }
-        }
-      }
-      bool all_arrived = have_done;
-      if (have_done) {
-        // Payload seqs must be exactly 0..expected-1 (the done marker itself
-        // is seq == expected).
-        uint32_t payload_count = 0;
-        for (const DeliveredMessage& d : inbox) {
-          if (d.msg.type != MessageType::kStageDone && d.msg.seq < expected) {
-            ++payload_count;
-          }
-        }
-        all_arrived = payload_count == expected;
-      }
-
-      if (all_arrived && last_arrival <= policy.deadline_ms + backoff[site]) {
+      ReassembledAttempt r =
+          ReassembleSiteAttempt(plan_, site, stage, std::move(by_site[site]));
+      if (r.all_arrived &&
+          r.last_arrival <= policy.deadline_ms + backoff[site]) {
         report.ok = true;
-        report.queue_wait_ms += last_arrival;
+        report.queue_wait_ms += r.last_arrival;
         result.messages[site].clear();
-        for (DeliveredMessage& d : inbox) {
+        for (DeliveredMessage& d : r.inbox) {
           if (d.msg.type != MessageType::kStageDone) {
             result.messages[site].push_back(std::move(d.msg));
           }
@@ -248,6 +307,135 @@ StageResult InProcessTransport::ExecuteStage(
       if (report.attempts == 0) report.attempts = 1;
     }
   }
+
+  result.run.site_millis.assign(num_sites_, 0.0);
+  result.run.queue_wait_millis.assign(num_sites_, 0.0);
+  result.run.exec_millis.assign(num_sites_, 0.0);
+  for (int site = 0; site < num_sites_; ++site) {
+    result.run.queue_wait_millis[site] = result.sites[site].queue_wait_ms;
+    result.run.exec_millis[site] = exec_ms[site];
+    result.sites[site].exec_ms = exec_ms[site];
+    result.run.site_millis[site] =
+        result.sites[site].queue_wait_ms + exec_ms[site];
+  }
+  result.run.max_millis = *std::max_element(result.run.site_millis.begin(),
+                                            result.run.site_millis.end());
+  return result;
+}
+
+StageResult InProcessTransport::StageStream(
+    uint32_t stage, ShipmentLedger::StageId ledger_stage,
+    const StagePolicy& policy,
+    const std::function<std::vector<WireMessage>(int site)>& site_fn,
+    const SiteBatchConsumer& on_site) {
+  GSTORED_CHECK_GE(policy.max_attempts, 1);
+  StageResult result;
+  result.sites.assign(num_sites_, SiteStageReport{});
+  result.messages.assign(num_sites_, {});
+  std::vector<double> exec_ms(num_sites_, 0.0);
+  std::mutex consume_mu;
+
+  // One thread per site runs that site's entire attempt loop against a
+  // private inbox — deadlines, backoff and hedging fire per site instead of
+  // at a whole-stage drain, so a straggler no longer stalls delivery of the
+  // sites that already finished. All deadline math is virtual and keyed off
+  // the plan exactly as in ExecuteStage, hence byte-identical replay.
+  auto run_site = [&](int site) {
+    SiteStageReport& report = result.sites[site];
+    if (plan_.SiteDead(site, stage)) {
+      report.crashed = true;
+      report.attempts = 1;
+    }
+    Mailbox inbox;
+    std::vector<WireMessage> buffer;  // stamped payloads + done marker
+    bool have_buffer = false;
+    double backoff = 0.0;
+    std::vector<WireMessage> delivered;
+
+    if (!report.crashed) {
+      for (int attempt = 0; attempt < policy.max_attempts && !report.ok;
+           ++attempt) {
+        report.attempts = attempt + 1;
+        if (!have_buffer) {
+          // The site function runs once; retries re-ship these exact bytes.
+          Stopwatch watch;
+          std::vector<WireMessage> msgs = site_fn(site);
+          exec_ms[site] += watch.ElapsedMillis();
+          msgs.push_back(MakeMessage(
+              MessageType::kStageDone,
+              EncodeDoneMarker(static_cast<uint32_t>(msgs.size()))));
+          for (uint32_t seq = 0; seq < msgs.size(); ++seq) {
+            msgs[seq].sender = site;
+            msgs[seq].session = session_id_;
+            msgs[seq].stage = stage;
+            msgs[seq].seq = seq;
+          }
+          buffer = std::move(msgs);
+          have_buffer = true;
+        }
+        ShipBuffered(site, stage, static_cast<uint32_t>(attempt), buffer,
+                     ledger_stage, backoff, &inbox);
+        std::vector<DeliveredMessage> arrived;
+        for (DeliveredMessage& d : inbox.Drain()) {
+          if (d.msg.attempt == static_cast<uint32_t>(attempt)) {
+            arrived.push_back(std::move(d));
+          }
+        }
+        ReassembledAttempt r =
+            ReassembleSiteAttempt(plan_, site, stage, std::move(arrived));
+        if (r.all_arrived &&
+            r.last_arrival <= policy.deadline_ms + backoff) {
+          report.ok = true;
+          report.queue_wait_ms += r.last_arrival;
+          delivered.clear();
+          for (DeliveredMessage& d : r.inbox) {
+            if (d.msg.type != MessageType::kStageDone) {
+              delivered.push_back(std::move(d.msg));
+            }
+          }
+        } else {
+          double next_backoff = policy.backoff_ms * std::ldexp(1.0, attempt);
+          report.queue_wait_ms += policy.deadline_ms + next_backoff;
+          backoff += policy.deadline_ms + next_backoff;
+        }
+      }
+    }
+
+    if (!report.ok && policy.hedge_local) {
+      if (have_buffer) {
+        // The drained hedge re-runs site_fn and delivers the fresh messages;
+        // re-delivering the buffered payloads (done marker stripped) is the
+        // same bytes without the recompute.
+        delivered.assign(buffer.begin(), buffer.end() - 1);
+      } else {
+        Stopwatch watch;
+        std::vector<WireMessage> msgs = site_fn(site);
+        exec_ms[site] += watch.ElapsedMillis();
+        for (uint32_t seq = 0; seq < msgs.size(); ++seq) {
+          msgs[seq].sender = site;
+          msgs[seq].session = session_id_;
+          msgs[seq].stage = stage;
+          msgs[seq].seq = seq;
+        }
+        delivered = std::move(msgs);
+      }
+      report.ok = true;
+      report.hedged = true;
+      if (report.attempts == 0) report.attempts = 1;
+    }
+
+    if (report.ok) {
+      std::lock_guard<std::mutex> lock(consume_mu);
+      on_site(site, std::move(delivered));
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(num_sites_);
+  for (int site = 0; site < num_sites_; ++site) {
+    threads.emplace_back(run_site, site);
+  }
+  for (std::thread& t : threads) t.join();
 
   result.run.site_millis.assign(num_sites_, 0.0);
   result.run.queue_wait_millis.assign(num_sites_, 0.0);
@@ -309,6 +497,23 @@ std::vector<bool> InProcessTransport::BroadcastReliable(
     if (all) break;
   }
   return delivered;
+}
+
+StageResult RunStageConsuming(
+    Transport& net, bool streaming, uint32_t stage,
+    ShipmentLedger::StageId ledger_stage, const StagePolicy& policy,
+    const std::function<std::vector<WireMessage>(int site)>& site_fn,
+    const SiteBatchConsumer& consume) {
+  if (streaming) {
+    return net.StageStream(stage, ledger_stage, policy, site_fn, consume);
+  }
+  StageResult result = net.ExecuteStage(stage, ledger_stage, policy, site_fn);
+  for (int site = 0; site < net.num_sites(); ++site) {
+    if (!result.sites[site].ok) continue;
+    consume(site, std::move(result.messages[site]));
+    result.messages[site].clear();
+  }
+  return result;
 }
 
 }  // namespace gstored

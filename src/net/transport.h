@@ -87,6 +87,14 @@ struct StageResult {
   size_t hedged_sites() const;
 };
 
+/// Receives one completed site's deduplicated, sequence-ordered payload
+/// messages from StageStream. Invocations are serialized (never concurrent)
+/// but their cross-site order follows completion time, which is
+/// scheduling-dependent: consumers must either fold commutatively (bitmap
+/// ORs) or stage per site and merge in site order after the stage returns.
+using SiteBatchConsumer =
+    std::function<void(int site, std::vector<WireMessage> msgs)>;
+
 /// The async cluster transport: per-site mailboxes carrying typed serialized
 /// messages whose wire sizes feed the ShipmentLedger. Implementations must
 /// be deterministic under a seeded FaultPlan.
@@ -109,6 +117,24 @@ class Transport {
       uint32_t stage, ShipmentLedger::StageId ledger_stage,
       const StagePolicy& policy,
       const std::function<std::vector<WireMessage>(int site)>& site_fn) = 0;
+
+  /// Streaming variant of ExecuteStage: each site's batches are handed to
+  /// `on_site` the moment that site completes — while slower sites are still
+  /// executing — instead of after a whole-stage drain. Per-site semantics
+  /// are unchanged: the same deadline/retry/backoff/hedging state machine
+  /// runs per site (now independently rather than in attempt lockstep), the
+  /// delivered payloads are deduplicated and sequence-ordered, and the fault
+  /// draws are keyed identically to ExecuteStage, so the per-site reports,
+  /// ledger bytes and delivered payloads are byte-identical to the drained
+  /// path. Only `on_site` sees the messages; the returned
+  /// StageResult::messages stay empty. The base implementation drains via
+  /// ExecuteStage and replays the sites in index order — correct but without
+  /// overlap — so transports only override it for real pipelining.
+  virtual StageResult StageStream(
+      uint32_t stage, ShipmentLedger::StageId ledger_stage,
+      const StagePolicy& policy,
+      const std::function<std::vector<WireMessage>(int site)>& site_fn,
+      const SiteBatchConsumer& on_site);
 
   /// Reliable coordinator -> sites broadcast: sends `make_msg(site)` to each
   /// site's mailbox, retrying undelivered sites up to policy.max_attempts.
@@ -151,6 +177,20 @@ class InProcessTransport : public Transport {
       const std::function<std::vector<WireMessage>(int site)>& site_fn)
       override;
 
+  /// True pipelining: one thread per site runs the site's whole
+  /// attempt/retry/hedge loop against a private inbox, and `on_site` fires
+  /// as each site lands. `site_fn` is invoked once per site (sites cache
+  /// their per-query computation, so the drained path's per-attempt
+  /// re-invocation recomputes identical bytes anyway); retries re-ship the
+  /// buffered wire bytes with only the attempt header restamped, which keeps
+  /// the ledger byte-identical to ExecuteStage while skipping the redundant
+  /// re-encode.
+  StageResult StageStream(
+      uint32_t stage, ShipmentLedger::StageId ledger_stage,
+      const StagePolicy& policy,
+      const std::function<std::vector<WireMessage>(int site)>& site_fn,
+      const SiteBatchConsumer& on_site) override;
+
   std::vector<bool> BroadcastReliable(
       uint32_t stage, ShipmentLedger::StageId ledger_stage,
       const StagePolicy& policy,
@@ -165,6 +205,14 @@ class InProcessTransport : public Transport {
                     ShipmentLedger::StageId ledger_stage,
                     double base_offset_ms);
 
+  /// Re-ships an already-stamped send buffer (payloads + done marker) for a
+  /// retry attempt into `dest`, restamping only the attempt header. Fault
+  /// draws and ledger accounting are keyed exactly as ShipFromSite's.
+  void ShipBuffered(int site, uint32_t stage, uint32_t attempt,
+                    const std::vector<WireMessage>& buffer,
+                    ShipmentLedger::StageId ledger_stage,
+                    double base_offset_ms, Mailbox* dest);
+
   int num_sites_;
   ShipmentLedger* ledger_;
   FaultPlan plan_;
@@ -172,6 +220,19 @@ class InProcessTransport : public Transport {
   Mailbox coordinator_box_;
   std::vector<std::unique_ptr<Mailbox>> site_boxes_;
 };
+
+/// Runs one stage over whichever delivery mode the caller selected:
+/// `streaming == false` executes the drained barrier (ExecuteStage) and then
+/// feeds each ok site's messages to `consume` in ascending site order;
+/// `streaming == true` delegates to StageStream so `consume` fires per site
+/// on arrival. Consumers that stage per site and merge in site order after
+/// this returns produce byte-identical results under both modes — the
+/// pipelined engine path is built entirely from this discipline.
+StageResult RunStageConsuming(
+    Transport& net, bool streaming, uint32_t stage,
+    ShipmentLedger::StageId ledger_stage, const StagePolicy& policy,
+    const std::function<std::vector<WireMessage>(int site)>& site_fn,
+    const SiteBatchConsumer& consume);
 
 }  // namespace gstored
 

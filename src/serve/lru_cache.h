@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <functional>
 #include <list>
 #include <mutex>
 #include <string>
@@ -17,10 +18,30 @@ namespace gstored::serve {
 /// still reading. Keys are *exact* encodings (see plan_cache.h /
 /// result_cache.h) — equality is full-key comparison, so hash collisions
 /// can cost a miss but never return a wrong value.
+///
+/// Two bounds compose: the entry-count capacity always applies, and the
+/// byte-bounded constructor additionally weighs every value (via the
+/// caller's weigher) and evicts the LRU tail while the resident total
+/// exceeds `max_bytes`. Entries vary by orders of magnitude in some caches
+/// (a site's LPM set for an unselective template dwarfs a selective one's),
+/// so the byte bound is what actually caps memory.
 template <typename V>
 class LruCache {
  public:
+  /// Bytes one value keeps resident. Consulted once per insert/overwrite.
+  using Weigher = std::function<size_t(const V&)>;
+
   explicit LruCache(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// Byte-bounded form. `max_bytes == 0` disables the byte bound (weights
+  /// are then never computed, so `weigher` may be empty). A single entry
+  /// heavier than the whole budget stays resident until displaced — evicting
+  /// it immediately would make every oversized value thrash the cache into
+  /// permanent emptiness.
+  LruCache(size_t capacity, size_t max_bytes, Weigher weigher)
+      : capacity_(capacity == 0 ? 1 : capacity),
+        max_bytes_(max_bytes),
+        weigher_(std::move(weigher)) {}
 
   LruCache(const LruCache&) = delete;
   LruCache& operator=(const LruCache&) = delete;
@@ -39,22 +60,24 @@ class LruCache {
     return true;
   }
 
-  /// Inserts or overwrites `key`, evicting the least-recently-used entry
-  /// once the capacity is exceeded.
+  /// Inserts or overwrites `key`, evicting least-recently-used entries while
+  /// either bound (entry count, resident bytes) is exceeded.
   void Put(const std::string& key, V value) {
     std::lock_guard<std::mutex> lock(mu_);
+    const size_t weight = WeightOf(value);
     auto it = map_.find(key);
     if (it != map_.end()) {
+      total_bytes_ += weight - it->second.weight;
+      it->second.weight = weight;
       it->second.value = std::move(value);
       lru_.splice(lru_.begin(), lru_, it->second.pos);
+      EvictWhileOverLocked();
       return;
     }
     lru_.push_front(key);
-    map_.emplace(key, Entry{std::move(value), lru_.begin()});
-    if (map_.size() > capacity_) {
-      map_.erase(lru_.back());
-      lru_.pop_back();
-    }
+    map_.emplace(key, Entry{std::move(value), weight, lru_.begin()});
+    total_bytes_ += weight;
+    EvictWhileOverLocked();
   }
 
   /// Like Get, but inserts `make()`'s result on a miss — the plan cache's
@@ -73,12 +96,11 @@ class LruCache {
     misses_.fetch_add(1, std::memory_order_relaxed);
     if (created != nullptr) *created = true;
     V value = make();
+    const size_t weight = WeightOf(value);
     lru_.push_front(key);
-    map_.emplace(key, Entry{value, lru_.begin()});
-    if (map_.size() > capacity_) {
-      map_.erase(lru_.back());
-      lru_.pop_back();
-    }
+    map_.emplace(key, Entry{value, weight, lru_.begin()});
+    total_bytes_ += weight;
+    EvictWhileOverLocked();
     return value;
   }
 
@@ -86,11 +108,18 @@ class LruCache {
     std::lock_guard<std::mutex> lock(mu_);
     map_.clear();
     lru_.clear();
+    total_bytes_ = 0;
   }
 
   size_t size() const {
     std::lock_guard<std::mutex> lock(mu_);
     return map_.size();
+  }
+
+  /// Resident bytes as measured by the weigher (0 without a byte bound).
+  size_t bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_bytes_;
   }
 
   size_t hits() const { return hits_.load(std::memory_order_relaxed); }
@@ -99,13 +128,32 @@ class LruCache {
  private:
   struct Entry {
     V value;
+    size_t weight = 0;
     std::list<std::string>::iterator pos;
   };
 
+  size_t WeightOf(const V& value) const {
+    return max_bytes_ != 0 && weigher_ ? weigher_(value) : 0;
+  }
+
+  void EvictWhileOverLocked() {
+    while (map_.size() > capacity_ ||
+           (max_bytes_ != 0 && total_bytes_ > max_bytes_ &&
+            map_.size() > 1)) {
+      auto it = map_.find(lru_.back());
+      total_bytes_ -= it->second.weight;
+      map_.erase(it);
+      lru_.pop_back();
+    }
+  }
+
   const size_t capacity_;
+  const size_t max_bytes_ = 0;  ///< 0 = entry-count bound only
+  const Weigher weigher_;
   mutable std::mutex mu_;
   std::list<std::string> lru_;  ///< front = most recently used
   std::unordered_map<std::string, Entry> map_;
+  size_t total_bytes_ = 0;
   std::atomic<size_t> hits_{0};
   std::atomic<size_t> misses_{0};
 };

@@ -66,9 +66,15 @@ struct SitePartialEval {
 /// the same template keys differently under different exchanged filters; the
 /// mode is deliberately *not* part of the key — given equal filters, matches
 /// and LPM sets are mode-independent, so kBasic..kFull share entries.
+///
+/// Bounded by bytes when `capacity_bytes != 0`: entries are weighed by their
+/// resident binding/LPM payload, so one unselective template's huge stage-B
+/// sets cannot squeeze out thousands of small ones the way a pure entry
+/// count lets it. The entry-count capacity remains a second ceiling.
 class LpmCache {
  public:
-  explicit LpmCache(size_t capacity) : cache_(capacity) {}
+  explicit LpmCache(size_t capacity, size_t capacity_bytes = 0)
+      : cache_(capacity, capacity_bytes, &WeighEntry) {}
 
   bool Get(const std::string& query_key, int site, uint64_t fingerprint,
            std::vector<Binding>* matches,
@@ -89,10 +95,26 @@ class LpmCache {
 
   void Clear() { cache_.Clear(); }
   size_t size() const { return cache_.size(); }
+  /// Resident payload bytes (0 unless byte-bounded).
+  size_t bytes() const { return cache_.bytes(); }
   size_t hits() const { return cache_.hits(); }
   size_t misses() const { return cache_.misses(); }
 
  private:
+  /// Resident bytes of one stage-B entry: binding rows plus each LPM's
+  /// serialized payload (LocalPartialMatch::ByteSize covers binding,
+  /// crossing mappings and signature words).
+  static size_t WeighEntry(const SitePartialEval& value) {
+    size_t bytes = sizeof(SitePartialEval);
+    for (const Binding& binding : value.matches) {
+      bytes += sizeof(Binding) + binding.capacity() * sizeof(TermId);
+    }
+    for (const LocalPartialMatch& lpm : value.lpms) {
+      bytes += sizeof(LocalPartialMatch) + lpm.ByteSize();
+    }
+    return bytes;
+  }
+
   static std::string SiteKey(const std::string& query_key, int site,
                              uint64_t fingerprint) {
     std::string out = query_key;

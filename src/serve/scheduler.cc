@@ -18,7 +18,8 @@ double MillisSince(std::chrono::steady_clock::time_point start) {
 /// Only exact, fault-free, non-cancelled outcomes are cacheable: a degraded
 /// or aborted run is a sound *subset* of the answer, and replaying a subset
 /// as if it were the answer would silently lose matches.
-bool CleanRun(const QueryOutcome& outcome, const QueryStats& stats) {
+bool CleanRun(const QueryOutcome& outcome) {
+  const QueryStats& stats = outcome.stats;
   return outcome.exact && !stats.cancelled && stats.transport_retries == 0 &&
          stats.hedged_sites == 0 && !stats.exchange_degraded &&
          !stats.pruning_degraded;
@@ -47,7 +48,8 @@ ServingEngine::ServingEngine(const DistributedEngine* engine,
                              1, std::thread::hardware_concurrency())),
       plan_cache_(options.plan_cache_capacity),
       result_cache_(options.result_cache_capacity),
-      lpm_cache_(options.lpm_cache_capacity) {
+      lpm_cache_(options.lpm_cache_capacity,
+                 options.lpm_cache_capacity_bytes) {
   GSTORED_CHECK(engine != nullptr);
   last_epoch_sum_.store(StoreEpochSum(), std::memory_order_relaxed);
   const size_t dispatchers = std::max<size_t>(1, options_.max_inflight);
@@ -76,37 +78,57 @@ ServingEngine::~ServingEngine() {
     for (const auto& ticket : queue) {
       QueryOutcome outcome;
       outcome.exact = false;
-      QueryStats stats;
-      stats.cancelled = true;
-      stats.exact = false;
-      CompleteTicket(ticket, std::move(outcome), stats);
+      outcome.stats.cancelled = true;
+      outcome.stats.exact = false;
+      CompleteTicket(ticket, std::move(outcome));
     }
   }
 }
 
 std::shared_ptr<QueryTicket> ServingEngine::Submit(const QueryGraph& query,
+                                                   SubmitOptions opts) {
+  auto ticket = std::make_shared<QueryTicket>();
+  ticket->query_ = query;
+  ticket->mode_ = opts.mode;
+  ticket->deadline_ms_ =
+      opts.deadline_ms.value_or(options_.default_deadline_ms);
+  ticket->streaming_ = opts.streaming;
+  ticket->submitted_ = std::chrono::steady_clock::now();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    GSTORED_CHECK(!stop_);
+    lanes_[opts.lane].push_back(ticket);
+    ++queued_;
+  }
+  cv_.notify_one();
+  return ticket;
+}
+
+// The deprecated shims forward to the SubmitOptions form; compiled here with
+// their own deprecation warnings silenced.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+std::shared_ptr<QueryTicket> ServingEngine::Submit(const QueryGraph& query,
                                                    EngineMode mode, int lane) {
-  return Submit(query, mode, options_.default_deadline_ms, lane);
+  SubmitOptions opts;
+  opts.mode = mode;
+  opts.lane = lane;
+  return Submit(query, opts);
 }
 
 std::shared_ptr<QueryTicket> ServingEngine::Submit(const QueryGraph& query,
                                                    EngineMode mode,
                                                    double deadline_ms,
                                                    int lane) {
-  auto ticket = std::make_shared<QueryTicket>();
-  ticket->query_ = query;
-  ticket->mode_ = mode;
-  ticket->deadline_ms_ = deadline_ms;
-  ticket->submitted_ = std::chrono::steady_clock::now();
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    GSTORED_CHECK(!stop_);
-    lanes_[lane].push_back(ticket);
-    ++queued_;
-  }
-  cv_.notify_one();
-  return ticket;
+  SubmitOptions opts;
+  opts.mode = mode;
+  opts.lane = lane;
+  opts.deadline_ms = deadline_ms;
+  return Submit(query, opts);
 }
+
+#pragma GCC diagnostic pop
 
 void ServingEngine::DispatcherLoop() {
   while (true) {
@@ -141,17 +163,19 @@ void ServingEngine::RunTicket(const std::shared_ptr<QueryTicket>& ticket) {
   MaybeFlushOnEpochChange();
   const QueryGraph& query = ticket->query_;
   const EngineMode mode = ticket->mode_;
-  QueryStats stats;
 
   const std::string exact_key = ExactQueryKey(query);
   if (options_.use_result_cache) {
     QueryOutcome cached;
     if (result_cache_.Get(exact_key, mode, &cached)) {
       result_hits_.fetch_add(1, std::memory_order_relaxed);
-      stats.result_cache_hit = true;
-      stats.exact = cached.exact;
-      stats.num_matches = cached.matches.size();
-      CompleteTicket(ticket, std::move(cached), stats);
+      // A hit is not the original run: present hit-scoped stats (the cached
+      // timings/counters describe the miss that filled the entry).
+      cached.stats = QueryStats();
+      cached.stats.result_cache_hit = true;
+      cached.stats.exact = cached.exact;
+      cached.stats.num_matches = cached.matches.size();
+      CompleteTicket(ticket, std::move(cached));
       return;
     }
   }
@@ -210,22 +234,25 @@ void ServingEngine::RunTicket(const std::shared_ptr<QueryTicket>& ticket) {
   }
 
   executed_.fetch_add(1, std::memory_order_relaxed);
-  QueryOutcome outcome = engine_->ExecuteQuery(query, mode, ctx, &stats);
-  lpm_hits_.fetch_add(stats.lpm_cache_hits, std::memory_order_relaxed);
+  QueryRequest req(query, mode, ctx);
+  req.streaming = ticket->streaming_;
+  QueryOutcome outcome = engine_->Run(req);
+  lpm_hits_.fetch_add(outcome.stats.lpm_cache_hits,
+                      std::memory_order_relaxed);
 
-  if (options_.use_result_cache && CleanRun(outcome, stats)) {
+  // Streamed and drained runs are byte-identical, so the result cache is
+  // shared across the flag: either may fill it, either may hit it.
+  if (options_.use_result_cache && CleanRun(outcome)) {
     result_cache_.Put(exact_key, mode, outcome);
   }
-  CompleteTicket(ticket, std::move(outcome), stats);
+  CompleteTicket(ticket, std::move(outcome));
 }
 
 void ServingEngine::CompleteTicket(const std::shared_ptr<QueryTicket>& ticket,
-                                   QueryOutcome outcome,
-                                   const QueryStats& stats) {
+                                   QueryOutcome outcome) {
   {
     std::lock_guard<std::mutex> lock(ticket->mu_);
     ticket->outcome_ = std::move(outcome);
-    ticket->stats_ = stats;
     ticket->latency_ms_ = MillisSince(ticket->submitted_);
     ticket->done_ = true;
   }

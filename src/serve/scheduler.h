@@ -9,6 +9,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -45,11 +46,36 @@ struct ServeOptions {
   size_t result_cache_capacity = 512;
   size_t lpm_cache_capacity = 4096;
 
+  /// Byte budget for the LPM cache (0 = entry-count bound only). Stage-B
+  /// entries vary by orders of magnitude — a site's LPM set for an
+  /// unselective template dwarfs a selective one's — so bounding bytes keeps
+  /// the cache's memory footprint flat where an entry count cannot. The
+  /// entry-count capacity above still applies as a second ceiling.
+  size_t lpm_cache_capacity_bytes = 0;
+
   /// Worker pool the per-query slots are borrowed from; nullptr falls back
   /// to the engine's EngineOptions::pool, then to ThreadPool::Shared().
   /// Giving each ServingEngine its own pool bounds its total concurrency
   /// independently of other engines in the process.
   ThreadPool* pool = nullptr;
+};
+
+/// Per-submission knobs, all defaulted — `Submit(query)` runs kFull on lane
+/// 0 with the server's default deadline. An aggregate, so call sites can
+/// name exactly what they override: `Submit(q, {.lane = 3})`,
+/// `Submit(q, {.mode = EngineMode::kBasic, .deadline_ms = 50.0}))`.
+struct SubmitOptions {
+  EngineMode mode = EngineMode::kFull;
+  /// Submission lane (one per client) for round-robin admission.
+  int lane = 0;
+  /// Per-query wall-clock budget in ms; unset falls back to
+  /// ServeOptions::default_deadline_ms, negative = none.
+  std::optional<double> deadline_ms;
+  /// Execute over the streaming stage pipeline (QueryRequest::streaming):
+  /// per-site retries/hedging fire as sites finish instead of at per-stage
+  /// drains. Byte-identical outcome — cached results are shared across the
+  /// flag.
+  bool streaming = false;
 };
 
 /// Handle to one submitted query. Wait() blocks until completion; Cancel()
@@ -62,12 +88,14 @@ class QueryTicket {
   void Cancel() { cancel_.Cancel(); }
 
   /// Blocks until the query completes (or is drained at shutdown) and
-  /// returns the outcome. The reference stays valid for the ticket's life.
+  /// returns the full outcome — matches, exactness, per-site completeness
+  /// and the per-stage stats. The reference stays valid for the ticket's
+  /// life.
   const QueryOutcome& Wait();
 
   bool done() const;
-  /// Valid after Wait().
-  const QueryStats& stats() const { return stats_; }
+  /// Shorthand for Wait()'s `.stats`; valid after Wait().
+  const QueryStats& stats() const { return outcome_.stats; }
   /// Submit-to-completion wall time in milliseconds; valid after Wait().
   double latency_ms() const { return latency_ms_; }
 
@@ -77,6 +105,7 @@ class QueryTicket {
   QueryGraph query_;
   EngineMode mode_ = EngineMode::kFull;
   double deadline_ms_ = -1.0;
+  bool streaming_ = false;
   CancelToken cancel_;
   std::chrono::steady_clock::time_point submitted_;
 
@@ -84,7 +113,6 @@ class QueryTicket {
   std::condition_variable cv_;
   bool done_ = false;
   QueryOutcome outcome_;
-  QueryStats stats_;
   double latency_ms_ = 0.0;
 };
 
@@ -121,10 +149,20 @@ class ServingEngine {
   ServingEngine(const ServingEngine&) = delete;
   ServingEngine& operator=(const ServingEngine&) = delete;
 
-  /// Enqueues a query on `lane` with the default deadline.
+  /// Enqueues a query. All knobs (mode, lane, deadline, streaming) ride in
+  /// SubmitOptions; the completed ticket's Wait() returns the full
+  /// QueryOutcome. See README.md for the mapping from the old overloads.
+  std::shared_ptr<QueryTicket> Submit(const QueryGraph& query,
+                                      SubmitOptions opts = {});
+
+  /// Deprecated pre-SubmitOptions surface, kept as thin shims for one PR.
+  /// Migrations: Submit(q, mode, lane) -> Submit(q, {.mode = mode, .lane =
+  /// lane}); Submit(q, mode, deadline, lane) -> Submit(q, {.mode = mode,
+  /// .lane = lane, .deadline_ms = deadline}).
+  [[deprecated("use Submit(query, SubmitOptions)")]]
   std::shared_ptr<QueryTicket> Submit(const QueryGraph& query, EngineMode mode,
                                       int lane = 0);
-  /// Enqueues with an explicit per-query deadline (negative = none).
+  [[deprecated("use Submit(query, SubmitOptions)")]]
   std::shared_ptr<QueryTicket> Submit(const QueryGraph& query, EngineMode mode,
                                       double deadline_ms, int lane);
 
@@ -150,7 +188,7 @@ class ServingEngine {
   void DispatcherLoop();
   void RunTicket(const std::shared_ptr<QueryTicket>& ticket);
   void CompleteTicket(const std::shared_ptr<QueryTicket>& ticket,
-                      QueryOutcome outcome, const QueryStats& stats);
+                      QueryOutcome outcome);
   uint64_t StoreEpochSum() const;
   void MaybeFlushOnEpochChange();
 

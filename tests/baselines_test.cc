@@ -135,7 +135,8 @@ TEST(BaselinesTest, AgreeWithEngineOnLubmQueries) {
   DistributedEngine engine(&p);
   auto systems = AllBaselines(w.dataset.get());
   for (const auto& bq : w.queries) {
-    std::vector<Binding> expected = engine.Execute(bq.query, EngineMode::kFull);
+    std::vector<Binding> expected =
+        engine.Run({bq.query, EngineMode::kFull}).matches;
     for (auto& system : systems) {
       EXPECT_EQ(system->Execute(bq.query, nullptr), expected)
           << system->name() << " on " << bq.name;

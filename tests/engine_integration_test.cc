@@ -37,10 +37,10 @@ TEST(EngineIntegrationTest, LubmAllQueriesAllModes) {
   for (const BenchmarkQuery& bq : w.queries) {
     std::vector<Binding> expected = Oracle(*w.dataset, bq.query);
     for (EngineMode mode : kAllModes) {
-      QueryStats stats;
-      EXPECT_EQ(engine.Execute(bq.query, mode, &stats), expected)
+      QueryOutcome outcome = engine.Run({bq.query, mode});
+      EXPECT_EQ(outcome.matches, expected)
           << bq.name << " " << EngineModeName(mode);
-      EXPECT_EQ(stats.num_matches, expected.size());
+      EXPECT_EQ(outcome.stats.num_matches, expected.size());
     }
   }
 }
@@ -53,7 +53,7 @@ TEST(EngineIntegrationTest, YagoAndBtcFullMode) {
     Partitioning p = SemanticHashPartitioner().Partition(*w.dataset, 3);
     DistributedEngine engine(&p);
     for (const BenchmarkQuery& bq : w.queries) {
-      EXPECT_EQ(engine.Execute(bq.query, EngineMode::kFull),
+      EXPECT_EQ(engine.Run({bq.query, EngineMode::kFull}).matches,
                 Oracle(*w.dataset, bq.query))
           << bq.name;
     }
@@ -65,7 +65,7 @@ TEST(EngineIntegrationTest, YagoAndBtcFullMode) {
     Partitioning p = HashPartitioner().Partition(*w.dataset, 5);
     DistributedEngine engine(&p);
     for (const BenchmarkQuery& bq : w.queries) {
-      EXPECT_EQ(engine.Execute(bq.query, EngineMode::kFull),
+      EXPECT_EQ(engine.Run({bq.query, EngineMode::kFull}).matches,
                 Oracle(*w.dataset, bq.query))
           << bq.name;
     }
@@ -78,8 +78,7 @@ TEST(EngineIntegrationTest, StatsInvariants) {
   DistributedEngine engine(&p);
   QueryGraph query = testing::BuildPaperQuery();
 
-  QueryStats stats;
-  engine.Execute(query, EngineMode::kFull, &stats);
+  const QueryStats& stats = engine.Run({query, EngineMode::kFull}).stats;
   EXPECT_FALSE(stats.star_shortcut);
   EXPECT_TRUE(stats.selective);
   EXPECT_GE(stats.num_lpms, stats.num_lpms_shipped);
@@ -104,15 +103,13 @@ TEST(EngineIntegrationTest, BasicAndLaShipEverything) {
   DistributedEngine engine(&p);
   QueryGraph query = testing::BuildPaperQuery();
 
-  QueryStats basic;
-  engine.Execute(query, EngineMode::kBasic, &basic);
+  const QueryStats basic = engine.Run({query, EngineMode::kBasic}).stats;
   EXPECT_EQ(basic.num_lpms_shipped, basic.num_lpms);
   EXPECT_EQ(basic.num_features, 0u);            // no Alg. 1/2 in basic mode
   EXPECT_EQ(basic.lec_shipment_bytes, 0u);
   EXPECT_EQ(basic.candidate_shipment_bytes, 0u);
 
-  QueryStats lo;
-  engine.Execute(query, EngineMode::kLecPruning, &lo);
+  const QueryStats lo = engine.Run({query, EngineMode::kLecPruning}).stats;
   EXPECT_LT(lo.num_lpms_shipped, lo.num_lpms);  // PM23 pruned
   EXPECT_LT(lo.lpm_shipment_bytes, basic.lpm_shipment_bytes);
 }
@@ -125,13 +122,11 @@ TEST(EngineIntegrationTest, StarShortcutSkipsAllShipment) {
   DistributedEngine engine(&p);
   for (const BenchmarkQuery& bq : w.queries) {
     if (!bq.query.IsStar()) continue;
-    QueryStats stats;
-    std::vector<Binding> result =
-        engine.Execute(bq.query, EngineMode::kFull, &stats);
-    EXPECT_TRUE(stats.star_shortcut) << bq.name;
-    EXPECT_EQ(stats.num_lpms, 0u);
+    QueryOutcome outcome = engine.Run({bq.query, EngineMode::kFull});
+    EXPECT_TRUE(outcome.stats.star_shortcut) << bq.name;
+    EXPECT_EQ(outcome.stats.num_lpms, 0u);
     EXPECT_EQ(engine.cluster().ledger().TotalBytes(), 0u);
-    EXPECT_EQ(result, Oracle(*w.dataset, bq.query)) << bq.name;
+    EXPECT_EQ(outcome.matches, Oracle(*w.dataset, bq.query)) << bq.name;
   }
 }
 
@@ -143,9 +138,9 @@ TEST(EngineIntegrationTest, ImpossibleQueryReturnsEmpty) {
   q.AddEdge("?x", "<http://nowhere/p>", "?y");
   q.AddEdge("?z", "<http://nowhere/q>", "?y");
   for (EngineMode mode : kAllModes) {
-    QueryStats stats;
-    EXPECT_TRUE(engine.Execute(q, mode, &stats).empty());
-    EXPECT_EQ(stats.num_matches, 0u);
+    QueryOutcome outcome = engine.Run({q, mode});
+    EXPECT_TRUE(outcome.matches.empty());
+    EXPECT_EQ(outcome.stats.num_matches, 0u);
   }
 }
 
@@ -154,12 +149,10 @@ TEST(EngineIntegrationTest, SingleFragmentDegeneratesToLocal) {
   Partitioning p = HashPartitioner().Partition(*dataset, 1);
   DistributedEngine engine(&p);
   QueryGraph query = testing::BuildPaperQuery();
-  QueryStats stats;
-  std::vector<Binding> result =
-      engine.Execute(query, EngineMode::kFull, &stats);
-  EXPECT_EQ(result, Oracle(*dataset, query));
-  EXPECT_EQ(stats.num_lpms, 0u);  // no crossing edges => no LPMs
-  EXPECT_EQ(stats.num_local_matches, result.size());
+  QueryOutcome outcome = engine.Run({query, EngineMode::kFull});
+  EXPECT_EQ(outcome.matches, Oracle(*dataset, query));
+  EXPECT_EQ(outcome.stats.num_lpms, 0u);  // no crossing edges => no LPMs
+  EXPECT_EQ(outcome.stats.num_local_matches, outcome.matches.size());
 }
 
 TEST(EngineIntegrationTest, ManyTinyFragments) {
@@ -168,7 +161,7 @@ TEST(EngineIntegrationTest, ManyTinyFragments) {
   Partitioning p = HashPartitioner().Partition(*dataset, 10);
   DistributedEngine engine(&p);
   QueryGraph query = testing::BuildPaperQuery();
-  EXPECT_EQ(engine.Execute(query, EngineMode::kFull),
+  EXPECT_EQ(engine.Run({query, EngineMode::kFull}).matches,
             Oracle(*dataset, query));
 }
 
@@ -177,9 +170,9 @@ TEST(EngineIntegrationTest, RepeatedExecutionIsDeterministic) {
   Partitioning p = testing::BuildPaperPartitioning(*dataset);
   DistributedEngine engine(&p);
   QueryGraph query = testing::BuildPaperQuery();
-  auto first = engine.Execute(query, EngineMode::kFull);
+  auto first = engine.Run({query, EngineMode::kFull}).matches;
   for (int i = 0; i < 5; ++i) {
-    EXPECT_EQ(engine.Execute(query, EngineMode::kFull), first);
+    EXPECT_EQ(engine.Run({query, EngineMode::kFull}).matches, first);
   }
 }
 
@@ -194,10 +187,9 @@ TEST(EngineIntegrationTest, AblationJoinSpaceIsMonotone) {
   DistributedEngine engine(&p);
   for (const BenchmarkQuery& bq : w.queries) {
     if (bq.query.IsStar()) continue;
-    QueryStats basic, la, lo;
-    engine.Execute(bq.query, EngineMode::kBasic, &basic);
-    engine.Execute(bq.query, EngineMode::kLecAssembly, &la);
-    engine.Execute(bq.query, EngineMode::kLecPruning, &lo);
+    const QueryStats basic = engine.Run({bq.query, EngineMode::kBasic}).stats;
+    const QueryStats la = engine.Run({bq.query, EngineMode::kLecAssembly}).stats;
+    const QueryStats lo = engine.Run({bq.query, EngineMode::kLecPruning}).stats;
     EXPECT_GE(basic.assembly.join_attempts, la.assembly.join_attempts)
         << bq.name;
     EXPECT_GE(la.assembly.join_attempts, lo.assembly.join_attempts)
@@ -218,12 +210,47 @@ TEST(EngineIntegrationTest, SelectiveQueriesShipFewerLpms) {
   DistributedEngine engine(&p);
   for (const BenchmarkQuery& bq : w.queries) {
     if (bq.query.IsStar()) continue;
-    QueryStats lo, full;
-    engine.Execute(bq.query, EngineMode::kLecPruning, &lo);
-    engine.Execute(bq.query, EngineMode::kFull, &full);
+    const QueryStats lo = engine.Run({bq.query, EngineMode::kLecPruning}).stats;
+    const QueryStats full = engine.Run({bq.query, EngineMode::kFull}).stats;
     EXPECT_LE(full.num_lpms, lo.num_lpms) << bq.name;
   }
 }
+
+// ---------------------------------------------------------------------------
+// Deprecated-shim compatibility (the only sanctioned callers of the old
+// Execute/ExecuteQuery overloads; delete together with the shims next PR).
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+TEST(DeprecatedShims, ExecuteAndExecuteQueryForwardToRun) {
+  auto dataset = testing::BuildPaperDataset();
+  Partitioning p = testing::BuildPaperPartitioning(*dataset);
+  DistributedEngine engine(&p);
+  QueryGraph query = testing::BuildPaperQuery();
+  QueryOutcome expected = engine.Run({query, EngineMode::kFull});
+
+  QueryStats stats;
+  EXPECT_EQ(engine.Execute(query, EngineMode::kFull, &stats),
+            expected.matches);
+  EXPECT_EQ(stats.num_matches, expected.stats.num_matches);
+
+  QueryOutcome via_shim = engine.ExecuteQuery(query, EngineMode::kFull);
+  EXPECT_EQ(via_shim.matches, expected.matches);
+  EXPECT_EQ(via_shim.stats.num_matches, expected.stats.num_matches);
+
+  QuerySession session(engine.num_sites());
+  QueryContext ctx;
+  ctx.ledger = &session.ledger;
+  ctx.transport = &session.transport;
+  QueryStats ctx_stats;
+  QueryOutcome via_ctx =
+      engine.ExecuteQuery(query, EngineMode::kFull, ctx, &ctx_stats);
+  EXPECT_EQ(via_ctx.matches, expected.matches);
+  EXPECT_EQ(ctx_stats.num_matches, expected.stats.num_matches);
+}
+
+#pragma GCC diagnostic pop
 
 }  // namespace
 }  // namespace gstored

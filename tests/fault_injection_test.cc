@@ -81,8 +81,7 @@ TEST(FaultInjectionTest, CrashAtEveryStageHedgingRecoversExactly) {
       plan.site_overrides[victim].crash_at_stage = static_cast<int>(stage);
       DistributedEngine engine(&p, WithPlan(plan, /*hedge=*/true));
       for (EngineMode mode : kAllModes) {
-        QueryStats stats;
-        QueryOutcome outcome = engine.ExecuteQuery(query, mode, &stats);
+        QueryOutcome outcome = engine.Run({query, mode});
         EXPECT_TRUE(outcome.exact)
             << "stage=" << stage << " victim=" << victim;
         EXPECT_EQ(outcome.matches, expected)
@@ -107,7 +106,7 @@ TEST(FaultInjectionTest, CrashWithoutHedgingIsFlaggedPartialSubset) {
       plan.site_overrides[victim].crash_at_stage = static_cast<int>(stage);
       DistributedEngine engine(&p, WithPlan(plan, /*hedge=*/false));
       for (EngineMode mode : kAllModes) {
-        QueryOutcome outcome = engine.ExecuteQuery(query, mode);
+        QueryOutcome outcome = engine.Run({query, mode});
         std::string context = "stage=" + std::to_string(stage) + " victim=" +
                               std::to_string(victim) + " mode=" +
                               EngineModeName(mode);
@@ -142,11 +141,10 @@ TEST(FaultInjectionTest, DroppedMessagesRecoverViaRetry) {
     DistributedEngine engine(&p, WithPlan(plan, /*hedge=*/false, 1,
                                           /*max_attempts=*/8));
     for (EngineMode mode : kAllModes) {
-      QueryStats stats;
-      QueryOutcome outcome = engine.ExecuteQuery(query, mode, &stats);
+      QueryOutcome outcome = engine.Run({query, mode});
       ExpectExactOrFlaggedSubset(outcome, expected,
                                  "seed=" + std::to_string(seed));
-      total_retries += stats.transport_retries;
+      total_retries += outcome.stats.transport_retries;
     }
   }
   // 30% drop over 8 seeds x 4 modes cannot leave the retry path untouched.
@@ -167,9 +165,8 @@ TEST(FaultInjectionTest, LostFilterExchangeFallsBackToUnfiltered) {
   plan.site_overrides[1].drop_message_stages = {
       StageOrdinal(QueryStage::kCandidateFilters)};
   DistributedEngine engine(&p, WithPlan(plan, /*hedge=*/false));
-  QueryStats stats;
-  QueryOutcome outcome = engine.ExecuteQuery(query, EngineMode::kFull, &stats);
-  EXPECT_TRUE(stats.exchange_degraded);
+  QueryOutcome outcome = engine.Run({query, EngineMode::kFull});
+  EXPECT_TRUE(outcome.stats.exchange_degraded);
   EXPECT_TRUE(outcome.exact);
   EXPECT_EQ(outcome.matches, expected);
 }
@@ -185,14 +182,12 @@ TEST(FaultInjectionTest, LostFeatureBatchSkipsPruningButStaysExact) {
   plan.site_overrides[2].drop_message_stages = {
       StageOrdinal(QueryStage::kLecFeatures)};
   DistributedEngine engine(&p, WithPlan(plan, /*hedge=*/false));
-  QueryStats stats;
-  QueryOutcome outcome =
-      engine.ExecuteQuery(query, EngineMode::kLecPruning, &stats);
-  EXPECT_TRUE(stats.pruning_degraded);
+  QueryOutcome outcome = engine.Run({query, EngineMode::kLecPruning});
+  EXPECT_TRUE(outcome.stats.pruning_degraded);
   EXPECT_TRUE(outcome.exact);
   EXPECT_EQ(outcome.matches, expected);
   // Pruning skipped => everything ships, like basic mode.
-  EXPECT_EQ(stats.num_lpms_shipped, stats.num_lpms);
+  EXPECT_EQ(outcome.stats.num_lpms_shipped, outcome.stats.num_lpms);
 }
 
 TEST(FaultInjectionTest, DuplicationReorderAndLatencyAreInvisible) {
@@ -209,11 +204,10 @@ TEST(FaultInjectionTest, DuplicationReorderAndLatencyAreInvisible) {
   plan.default_fault.latency_jitter_ms = 2.0;
   DistributedEngine engine(&p, WithPlan(plan, /*hedge=*/false));
   for (EngineMode mode : kAllModes) {
-    QueryStats stats;
-    QueryOutcome outcome = engine.ExecuteQuery(query, mode, &stats);
+    QueryOutcome outcome = engine.Run({query, mode});
     EXPECT_TRUE(outcome.exact) << EngineModeName(mode);
     EXPECT_EQ(outcome.matches, expected) << EngineModeName(mode);
-    EXPECT_EQ(stats.transport_retries, 0u) << EngineModeName(mode);
+    EXPECT_EQ(outcome.stats.transport_retries, 0u) << EngineModeName(mode);
   }
 }
 
@@ -229,20 +223,18 @@ TEST(FaultInjectionTest, StragglerIsRecoveredByHedging) {
   {
     DistributedEngine engine(&p, WithPlan(plan, /*hedge=*/true, 1,
                                           /*max_attempts=*/2));
-    QueryStats stats;
-    QueryOutcome outcome =
-        engine.ExecuteQuery(query, EngineMode::kFull, &stats);
+    QueryOutcome outcome = engine.Run({query, EngineMode::kFull});
     EXPECT_TRUE(outcome.exact);
     EXPECT_EQ(outcome.matches, expected);
     EXPECT_TRUE(outcome.sites[0].hedged);
-    EXPECT_GT(stats.hedged_sites, 0u);
-    EXPECT_GT(stats.transport_retries, 0u);
+    EXPECT_GT(outcome.stats.hedged_sites, 0u);
+    EXPECT_GT(outcome.stats.transport_retries, 0u);
   }
   {
     // Without hedging the straggler's data never arrives: flagged partial.
     DistributedEngine engine(&p, WithPlan(plan, /*hedge=*/false, 1,
                                           /*max_attempts=*/2));
-    QueryOutcome outcome = engine.ExecuteQuery(query, EngineMode::kFull);
+    QueryOutcome outcome = engine.Run({query, EngineMode::kFull});
     EXPECT_FALSE(outcome.exact);
     EXPECT_FALSE(outcome.sites[0].complete());
     ExpectExactOrFlaggedSubset(outcome, expected, "straggler-no-hedge");
@@ -269,18 +261,14 @@ TEST(FaultInjectionTest, FaultReplayDeterminism) {
   for (bool hedge : {true, false}) {
     std::vector<std::pair<std::string, size_t>> first_ledger;
     QueryOutcome first_outcome;
-    QueryStats first_stats;
     for (int run = 0; run < 3; ++run) {
       size_t threads = run == 2 ? 8 : 1;  // replay must survive parallelism
       DistributedEngine engine(&p, WithPlan(plan, hedge, threads));
-      QueryStats stats;
-      QueryOutcome outcome =
-          engine.ExecuteQuery(query, EngineMode::kFull, &stats);
+      QueryOutcome outcome = engine.Run({query, EngineMode::kFull});
       auto ledger = engine.cluster().ledger().Breakdown();
       if (run == 0) {
         first_ledger = ledger;
         first_outcome = outcome;
-        first_stats = stats;
         continue;
       }
       EXPECT_EQ(ledger, first_ledger) << "hedge=" << hedge << " run=" << run;
@@ -288,9 +276,11 @@ TEST(FaultInjectionTest, FaultReplayDeterminism) {
           << "hedge=" << hedge << " run=" << run;
       EXPECT_EQ(outcome.exact, first_outcome.exact)
           << "hedge=" << hedge << " run=" << run;
-      EXPECT_EQ(stats.transport_retries, first_stats.transport_retries)
+      EXPECT_EQ(outcome.stats.transport_retries,
+                first_outcome.stats.transport_retries)
           << "hedge=" << hedge << " run=" << run;
-      EXPECT_EQ(stats.num_lpms_shipped, first_stats.num_lpms_shipped)
+      EXPECT_EQ(outcome.stats.num_lpms_shipped,
+                first_outcome.stats.num_lpms_shipped)
           << "hedge=" << hedge << " run=" << run;
       for (size_t s = 0; s < outcome.sites.size(); ++s) {
         EXPECT_EQ(outcome.sites[s].complete(),
@@ -327,7 +317,7 @@ TEST(FaultInjectionTest, ReferenceScenariosUnderMixedFaults) {
       DistributedEngine engine(&partitioning,
                                WithPlan(plan, hedge, 1, /*max_attempts=*/8));
       for (EngineMode mode : {EngineMode::kBasic, EngineMode::kFull}) {
-        QueryOutcome outcome = engine.ExecuteQuery(query, mode);
+        QueryOutcome outcome = engine.Run({query, mode});
         std::string context = "seed=" + std::to_string(s.seed) + " hedge=" +
                               std::to_string(hedge) + " mode=" +
                               EngineModeName(mode);
@@ -337,6 +327,132 @@ TEST(FaultInjectionTest, ReferenceScenariosUnderMixedFaults) {
         } else {
           ExpectExactOrFlaggedSubset(outcome, expected, context);
         }
+      }
+    }
+  }
+}
+
+/// Drains one request both ways and demands byte-identical outcomes: the
+/// streaming stage pipeline must be an execution-strategy change only.
+void ExpectStreamingMatchesDrained(DistributedEngine& drained_engine,
+                                   DistributedEngine& streaming_engine,
+                                   const QueryGraph& query, EngineMode mode,
+                                   const std::string& context) {
+  QueryRequest drained(query, mode);
+  QueryOutcome reference = drained_engine.Run(drained);
+  auto reference_ledger = drained_engine.cluster().ledger().Breakdown();
+
+  QueryRequest pipelined(query, mode);
+  pipelined.streaming = true;
+  QueryOutcome outcome = streaming_engine.Run(pipelined);
+  auto ledger = streaming_engine.cluster().ledger().Breakdown();
+
+  EXPECT_EQ(outcome.matches, reference.matches) << context;
+  EXPECT_EQ(outcome.exact, reference.exact) << context;
+  EXPECT_EQ(ledger, reference_ledger) << context;
+  EXPECT_EQ(outcome.stats.transport_retries,
+            reference.stats.transport_retries)
+      << context;
+  EXPECT_EQ(outcome.stats.hedged_sites, reference.stats.hedged_sites)
+      << context;
+  EXPECT_EQ(outcome.stats.num_lpms_shipped, reference.stats.num_lpms_shipped)
+      << context;
+  EXPECT_EQ(outcome.stats.exchange_degraded, reference.stats.exchange_degraded)
+      << context;
+  EXPECT_EQ(outcome.stats.pruning_degraded, reference.stats.pruning_degraded)
+      << context;
+  ASSERT_EQ(outcome.sites.size(), reference.sites.size()) << context;
+  for (size_t s = 0; s < outcome.sites.size(); ++s) {
+    EXPECT_EQ(outcome.sites[s].complete(), reference.sites[s].complete())
+        << context << " site=" << s;
+    EXPECT_EQ(outcome.sites[s].crashed, reference.sites[s].crashed)
+        << context << " site=" << s;
+  }
+}
+
+TEST(FaultInjectionTest, StreamingIsByteIdenticalUnderFaultMatrix) {
+  // The pipelined delivery path must replay the drained path's fault draws,
+  // retries, hedges and wire bytes exactly — across a crash plan, a drop
+  // plan, a reorder+duplication plan and a latency/straggler plan, each
+  // under several seeds, with and without hedging, at 1 and 8 threads.
+  auto dataset = testing::BuildPaperDataset();
+  Partitioning p = testing::BuildPaperPartitioning(*dataset);
+  QueryGraph query = testing::BuildPaperQuery();
+
+  struct NamedPlan {
+    const char* name;
+    FaultPlan plan;
+  };
+  std::vector<NamedPlan> plans;
+  {
+    FaultPlan crash;
+    crash.site_overrides[1].crash_at_stage =
+        static_cast<int>(StageOrdinal(QueryStage::kPartialEval));
+    plans.push_back({"crash", crash});
+    FaultPlan drop;
+    drop.default_fault.drop_prob = 0.3;
+    plans.push_back({"drop", drop});
+    FaultPlan reorder;
+    reorder.reorder = true;
+    reorder.default_fault.duplicate_prob = 0.4;
+    plans.push_back({"reorder+dup", reorder});
+    FaultPlan latency;
+    latency.default_fault.latency_mean_ms = 2.0;
+    latency.default_fault.latency_jitter_ms = 1.5;
+    latency.site_overrides[0].straggler = true;
+    plans.push_back({"latency+straggler", latency});
+  }
+
+  for (const NamedPlan& np : plans) {
+    for (uint64_t seed : {uint64_t{3}, uint64_t{17}, uint64_t{8191}}) {
+      FaultPlan plan = np.plan;
+      plan.seed = seed;
+      for (bool hedge : {true, false}) {
+        for (size_t threads : {size_t{1}, size_t{8}}) {
+          DistributedEngine drained(
+              &p, WithPlan(plan, hedge, threads, /*max_attempts=*/4));
+          DistributedEngine streaming(
+              &p, WithPlan(plan, hedge, threads, /*max_attempts=*/4));
+          for (EngineMode mode : {EngineMode::kBasic, EngineMode::kFull}) {
+            ExpectStreamingMatchesDrained(
+                drained, streaming, query, mode,
+                std::string(np.name) + " seed=" + std::to_string(seed) +
+                    " hedge=" + std::to_string(hedge) +
+                    " threads=" + std::to_string(threads) + " mode=" +
+                    EngineModeName(mode));
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(FaultInjectionTest, StreamingLubmByteIdenticalUnderMixedFaults) {
+  // Same contract on a real workload: every LUBM-3 query, mixed fault plan,
+  // three seeds, both thread counts.
+  LubmConfig config;
+  config.universities = 3;
+  Workload w = MakeLubmWorkload(config);
+  Partitioning p = HashPartitioner().Partition(*w.dataset, 4);
+
+  for (uint64_t seed : {uint64_t{101}, uint64_t{202}, uint64_t{303}}) {
+    FaultPlan plan;
+    plan.seed = seed;
+    plan.reorder = true;
+    plan.default_fault.drop_prob = 0.2;
+    plan.default_fault.duplicate_prob = 0.1;
+    plan.default_fault.latency_mean_ms = 1.5;
+    plan.site_overrides[2].straggler = true;
+    for (size_t threads : {size_t{1}, size_t{8}}) {
+      DistributedEngine drained(
+          &p, WithPlan(plan, /*hedge=*/true, threads, /*max_attempts=*/6));
+      DistributedEngine streaming(
+          &p, WithPlan(plan, /*hedge=*/true, threads, /*max_attempts=*/6));
+      for (const BenchmarkQuery& bq : w.queries) {
+        ExpectStreamingMatchesDrained(
+            drained, streaming, bq.query, EngineMode::kFull,
+            bq.name + " seed=" + std::to_string(seed) + " threads=" +
+                std::to_string(threads));
       }
     }
   }
@@ -364,8 +480,7 @@ TEST(FaultInjectionTest, LubmUnderFaultsAtBothThreadCounts) {
       {
         DistributedEngine engine(&p, WithPlan(plan, /*hedge=*/true, threads,
                                               /*max_attempts=*/8));
-        QueryOutcome outcome =
-            engine.ExecuteQuery(bq.query, EngineMode::kFull);
+        QueryOutcome outcome = engine.Run({bq.query, EngineMode::kFull});
         EXPECT_TRUE(outcome.exact) << bq.name << " threads=" << threads;
         EXPECT_EQ(outcome.matches, expected)
             << bq.name << " threads=" << threads;
@@ -379,8 +494,7 @@ TEST(FaultInjectionTest, LubmUnderFaultsAtBothThreadCounts) {
       {
         DistributedEngine engine(&p, WithPlan(plan, /*hedge=*/false, threads,
                                               /*max_attempts=*/8));
-        QueryOutcome outcome =
-            engine.ExecuteQuery(bq.query, EngineMode::kFull);
+        QueryOutcome outcome = engine.Run({bq.query, EngineMode::kFull});
         ExpectExactOrFlaggedSubset(
             outcome, expected,
             bq.name + " threads=" + std::to_string(threads));

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -277,6 +278,184 @@ TEST(InProcessTransportTest, DropsAreRecoveredByRetryDeterministically) {
   // The fault pattern is a pure function of the plan: fresh transports and
   // different thread interleavings replay the same outcome and retry count.
   for (int i = 0; i < 3; ++i) EXPECT_EQ(run_once(), first);
+}
+
+// ---------------------------------------------------------------------------
+// StageStream: pipelined per-site delivery.
+
+/// Collects StageStream callbacks and verifies each site's batch equals the
+/// drained path's result.messages[site] under the same fault plan.
+struct StreamCollector {
+  std::vector<std::vector<WireMessage>> batches;
+  std::vector<int> arrival_order;
+
+  SiteBatchConsumer Consumer(int num_sites) {
+    batches.assign(num_sites, {});
+    arrival_order.clear();
+    return [this](int site, std::vector<WireMessage> msgs) {
+      arrival_order.push_back(site);
+      batches[site] = std::move(msgs);
+    };
+  }
+};
+
+TEST(StageStreamTest, DeliversPerSiteBatchesInSeqOrder) {
+  ShipmentLedger ledger;
+  InProcessTransport transport(3, &ledger);
+  StreamCollector collector;
+  StageResult result = transport.StageStream(
+      0, ShipmentLedger::kUnaccounted, StagePolicy{},
+      [](int site) {
+        std::vector<WireMessage> msgs;
+        msgs.push_back(MakeMessage(
+            MessageType::kCandidateEstimates,
+            EncodeEstimates({static_cast<double>(site), 1.0})));
+        msgs.push_back(MakeMessage(MessageType::kCandidateEstimates,
+                                   EncodeEstimates({2.0})));
+        return msgs;
+      },
+      collector.Consumer(3));
+  EXPECT_TRUE(result.complete());
+  ASSERT_EQ(collector.arrival_order.size(), 3u);
+  for (int site = 0; site < 3; ++site) {
+    ASSERT_EQ(collector.batches[site].size(), 2u);
+    EXPECT_EQ(collector.batches[site][0].seq, 0u);
+    EXPECT_EQ(collector.batches[site][1].seq, 1u);
+    auto est = DecodeEstimates(collector.batches[site][0].payload);
+    ASSERT_TRUE(est.ok());
+    EXPECT_EQ((*est)[0], static_cast<double>(site));
+    // StageStream moves batches to the consumer; result.messages stays empty.
+    EXPECT_TRUE(result.messages[site].empty());
+  }
+}
+
+TEST(StageStreamTest, MatchesExecuteStageUnderEveryFaultFamily) {
+  // The contract the engine's streaming mode rests on: under an identical
+  // FaultPlan, StageStream delivers exactly the batches ExecuteStage drains
+  // — same payloads, same per-site reports, same ledger bytes — for drops,
+  // duplication+reorder, a straggler (hedged and unhedged) and a crash.
+  auto site_fn = [](int site) {
+    std::vector<WireMessage> msgs;
+    for (uint32_t i = 0; i < 3; ++i) {
+      msgs.push_back(MakeMessage(
+          MessageType::kCandidateEstimates,
+          EncodeEstimates({static_cast<double>(site), static_cast<double>(i)})));
+    }
+    return msgs;
+  };
+
+  std::vector<FaultPlan> plans(5);
+  plans[0].default_fault.drop_prob = 0.3;
+  plans[1].reorder = true;
+  plans[1].default_fault.duplicate_prob = 0.5;
+  plans[1].default_fault.latency_mean_ms = 1.0;
+  plans[2].site_overrides[1].straggler = true;
+  plans[3].site_overrides[1].straggler = true;  // run unhedged below
+  plans[4].site_overrides[0].crash_at_stage = 2;
+
+  for (size_t which = 0; which < plans.size(); ++which) {
+    for (uint64_t seed : {uint64_t{5}, uint64_t{23}, uint64_t{4099}}) {
+      FaultPlan plan = plans[which];
+      plan.seed = seed;
+      StagePolicy policy;
+      policy.max_attempts = 4;
+      policy.hedge_local = which != 3;
+
+      ShipmentLedger drained_ledger;
+      InProcessTransport drained(3, &drained_ledger, plan);
+      ShipmentLedger::StageId drained_stage = drained_ledger.Intern("s");
+      StageResult expected =
+          drained.ExecuteStage(2, drained_stage, policy, site_fn);
+
+      ShipmentLedger streamed_ledger;
+      InProcessTransport streamed(3, &streamed_ledger, plan);
+      ShipmentLedger::StageId streamed_stage = streamed_ledger.Intern("s");
+      StreamCollector collector;
+      StageResult result = streamed.StageStream(
+          2, streamed_stage, policy, site_fn, collector.Consumer(3));
+
+      const std::string context =
+          "plan=" + std::to_string(which) + " seed=" + std::to_string(seed);
+      EXPECT_EQ(result.complete(), expected.complete()) << context;
+      EXPECT_EQ(result.total_retries(), expected.total_retries()) << context;
+      EXPECT_EQ(result.hedged_sites(), expected.hedged_sites()) << context;
+      EXPECT_EQ(streamed_ledger.Breakdown(), drained_ledger.Breakdown())
+          << context;
+      for (int site = 0; site < 3; ++site) {
+        EXPECT_EQ(result.sites[site].ok, expected.sites[site].ok) << context;
+        EXPECT_EQ(result.sites[site].crashed, expected.sites[site].crashed)
+            << context;
+        EXPECT_EQ(result.sites[site].attempts, expected.sites[site].attempts)
+            << context;
+        EXPECT_EQ(result.sites[site].hedged, expected.sites[site].hedged)
+            << context;
+        if (!expected.sites[site].ok) {
+          EXPECT_TRUE(collector.batches[site].empty()) << context;
+          continue;
+        }
+        ASSERT_EQ(collector.batches[site].size(),
+                  expected.messages[site].size())
+            << context << " site=" << site;
+        for (size_t i = 0; i < collector.batches[site].size(); ++i) {
+          EXPECT_EQ(collector.batches[site][i].seq,
+                    expected.messages[site][i].seq)
+              << context;
+          EXPECT_EQ(collector.batches[site][i].payload,
+                    expected.messages[site][i].payload)
+              << context;
+        }
+      }
+    }
+  }
+}
+
+TEST(StageStreamTest, OnlyRecoveredSitesReachTheConsumer) {
+  // A failed site (straggler, no hedging) must never invoke the consumer —
+  // a partial attempt's bytes leaking through would tear the fold.
+  FaultPlan plan;
+  plan.site_overrides[1].straggler = true;
+  ShipmentLedger ledger;
+  InProcessTransport transport(2, &ledger, plan);
+  StagePolicy policy;
+  policy.max_attempts = 2;
+  policy.hedge_local = false;
+  StreamCollector collector;
+  StageResult result = transport.StageStream(
+      0, ShipmentLedger::kUnaccounted, policy,
+      [](int site) {
+        return std::vector<WireMessage>{
+            MakeMessage(MessageType::kCandidateEstimates,
+                        EncodeEstimates({static_cast<double>(site)}))};
+      },
+      collector.Consumer(2));
+  EXPECT_FALSE(result.complete());
+  EXPECT_FALSE(result.sites[1].ok);
+  ASSERT_EQ(collector.arrival_order.size(), 1u);
+  EXPECT_EQ(collector.arrival_order[0], 0);
+  EXPECT_TRUE(collector.batches[1].empty());
+}
+
+TEST(StageStreamTest, BaseTransportDefaultDrainsThenReplaysInSiteOrder) {
+  // RunStageConsuming with streaming=false must feed the consumer from the
+  // drained result in ascending site order — the reference semantics the
+  // pipelined path is measured against.
+  ShipmentLedger ledger;
+  InProcessTransport transport(4, &ledger);
+  StreamCollector collector;
+  StageResult result = RunStageConsuming(
+      transport, /*streaming=*/false, 0, ShipmentLedger::kUnaccounted,
+      StagePolicy{},
+      [](int site) {
+        return std::vector<WireMessage>{
+            MakeMessage(MessageType::kCandidateEstimates,
+                        EncodeEstimates({static_cast<double>(site)}))};
+      },
+      collector.Consumer(4));
+  EXPECT_TRUE(result.complete());
+  EXPECT_EQ(collector.arrival_order, (std::vector<int>{0, 1, 2, 3}));
+  for (int site = 0; site < 4; ++site) {
+    ASSERT_EQ(collector.batches[site].size(), 1u);
+  }
 }
 
 TEST(SimulatedClusterTest, RunsEverySiteExactlyOnce) {

@@ -219,9 +219,9 @@ TEST_F(PaperExampleTest, EngineAgreesWithCentralizedOracleInAllModes) {
   for (EngineMode mode :
        {EngineMode::kBasic, EngineMode::kLecAssembly, EngineMode::kLecPruning,
         EngineMode::kFull}) {
-    QueryStats stats;
-    std::vector<Binding> result = engine.Execute(query_, mode, &stats);
-    EXPECT_EQ(result, oracle) << EngineModeName(mode);
+    QueryOutcome outcome = engine.Run({query_, mode});
+    const QueryStats& stats = outcome.stats;
+    EXPECT_EQ(outcome.matches, oracle) << EngineModeName(mode);
     EXPECT_EQ(stats.num_matches, 4u) << EngineModeName(mode);
     EXPECT_EQ(stats.assembly.binding_conflicts, 0u) << EngineModeName(mode);
     if (mode == EngineMode::kFull) {
@@ -248,8 +248,9 @@ TEST_F(PaperExampleTest, StarQueryTakesTheLocalFastPath) {
   ASSERT_TRUE(star.IsStar());
 
   DistributedEngine engine(&partitioning_);
-  QueryStats stats;
-  std::vector<Binding> result = engine.Execute(star, EngineMode::kFull, &stats);
+  QueryOutcome star_outcome = engine.Run({star, EngineMode::kFull});
+  const QueryStats& stats = star_outcome.stats;
+  const std::vector<Binding>& result = star_outcome.matches;
   EXPECT_TRUE(stats.star_shortcut);
   EXPECT_EQ(stats.num_lpms, 0u);
   EXPECT_EQ(stats.lec_shipment_bytes, 0u);

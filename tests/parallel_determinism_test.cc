@@ -197,13 +197,41 @@ TEST_P(ParallelDeterminism, EngineResultsByteIdenticalAcrossThreadCounts) {
       EngineOptions options;
       options.num_threads = threads;
       DistributedEngine engine(&partitioning, options);
-      std::vector<Binding> result = engine.Execute(query, mode);
+      std::vector<Binding> result = engine.Run({query, mode}).matches;
       if (threads == 1) {
         baseline = std::move(result);
       } else {
         EXPECT_EQ(result, baseline)
             << "threads=" << threads << " mode=" << EngineModeName(mode);
       }
+    }
+  }
+}
+
+TEST_P(ParallelDeterminism, StreamingByteIdenticalAcrossThreadCounts) {
+  // The pipelined transport path under the same sweep: streaming at any
+  // thread count must equal the drained single-thread baseline — arrival
+  // order may differ run to run, the folded outcome may not.
+  const DetScenario& s = GetParam();
+  Rng rng(s.seed);
+  auto dataset = RandomDataset(rng, s.vertices, s.edges, s.predicates);
+  QueryGraph query = RandomConnectedQuery(rng, *dataset, s.query_vertices,
+                                          s.query_edges);
+  Partitioning partitioning = HashPartitioner().Partition(*dataset, 3);
+
+  for (EngineMode mode : {EngineMode::kLecAssembly, EngineMode::kFull}) {
+    std::vector<Binding> baseline;
+    for (size_t threads : {size_t{1}, size_t{8}}) {
+      EngineOptions options;
+      options.num_threads = threads;
+      DistributedEngine engine(&partitioning, options);
+      if (threads == 1) {
+        baseline = engine.Run({query, mode}).matches;
+      }
+      QueryRequest request(query, mode);
+      request.streaming = true;
+      EXPECT_EQ(engine.Run(request).matches, baseline)
+          << "threads=" << threads << " mode=" << EngineModeName(mode);
     }
   }
 }

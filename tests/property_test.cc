@@ -70,15 +70,14 @@ TEST_P(DistributedEqualsCentralized, AllModesAllPartitioners) {
     for (EngineMode mode :
          {EngineMode::kBasic, EngineMode::kLecAssembly,
           EngineMode::kLecPruning, EngineMode::kFull}) {
-      QueryStats stats;
-      std::vector<Binding> result = engine.Execute(query, mode, &stats);
-      EXPECT_EQ(result, oracle)
+      QueryOutcome outcome = engine.Run({query, mode});
+      EXPECT_EQ(outcome.matches, oracle)
           << "strategy=" << partitioning.strategy_name()
           << " mode=" << EngineModeName(mode) << " seed=" << s.seed
           << " query=" << query.ToString();
       // Thm. 3 corollary: feature-level joinability never produced a
       // binding conflict during assembly.
-      EXPECT_EQ(stats.assembly.binding_conflicts, 0u)
+      EXPECT_EQ(outcome.stats.assembly.binding_conflicts, 0u)
           << "seed=" << s.seed << " mode=" << EngineModeName(mode);
     }
   }

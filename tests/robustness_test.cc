@@ -142,7 +142,7 @@ TEST(DegenerateDatasetTest, EmptyDatasetQueries) {
   DistributedEngine engine(&p);
   QueryGraph q;
   q.AddEdge("?a", "<http://x/p>", "?b");
-  EXPECT_TRUE(engine.Execute(q, EngineMode::kFull).empty());
+  EXPECT_TRUE(engine.Run({q, EngineMode::kFull}).matches.empty());
 }
 
 TEST(DegenerateDatasetTest, SingleTripleAcrossFragments) {
@@ -159,10 +159,9 @@ TEST(DegenerateDatasetTest, SingleTripleAcrossFragments) {
   QueryGraph q;
   q.AddEdge("?a", "<http://x/p>", "?b");
   // One edge query is a star: answered locally via the replica.
-  QueryStats stats;
-  auto result = engine.Execute(q, EngineMode::kFull, &stats);
-  ASSERT_EQ(result.size(), 1u);
-  EXPECT_TRUE(stats.star_shortcut);
+  QueryOutcome outcome = engine.Run({q, EngineMode::kFull});
+  ASSERT_EQ(outcome.matches.size(), 1u);
+  EXPECT_TRUE(outcome.stats.star_shortcut);
 }
 
 // ---------------------------------------------------------------------------

@@ -51,7 +51,7 @@ const EngineMode kAllModes[] = {EngineMode::kBasic, EngineMode::kLecAssembly,
 /// Serial ground truth through the legacy single-query path.
 std::vector<Binding> Serial(DistributedEngine& engine, const QueryGraph& q,
                             EngineMode mode) {
-  return engine.Execute(q, mode);
+  return engine.Run({q, mode}).matches;
 }
 
 // ---------------------------------------------------------------------------
@@ -94,8 +94,8 @@ TEST(ServingConcurrency, MixedLubmStreamByteIdenticalToSerial) {
       clients.emplace_back([&, c] {
         for (int round = 0; round < kRounds; ++round) {
           for (size_t i = c % 3; i < stream.size(); i += 3) {
-            tickets[c].push_back(
-                server.Submit(*stream[i].query, stream[i].mode, c));
+            tickets[c].push_back(server.Submit(
+                *stream[i].query, {.mode = stream[i].mode, .lane = c}));
           }
         }
       });
@@ -132,7 +132,7 @@ TEST(ServingConcurrency, RandomizedScenariosMatchSerial) {
     ServingEngine server(&engine, options);
     std::vector<std::shared_ptr<QueryTicket>> tickets;
     for (int i = 0; i < 6; ++i) {
-      tickets.push_back(server.Submit(query, EngineMode::kFull, i % 3));
+      tickets.push_back(server.Submit(query, {.lane = i % 3}));
     }
     for (const auto& ticket : tickets) {
       EXPECT_EQ(ticket->Wait().matches, expected) << "seed=" << s.seed;
@@ -175,8 +175,8 @@ TEST(ServingConcurrency, TwoEnginesWithSeparatePools) {
   ServingEngine server2(&engine2, so2);
   std::vector<std::shared_ptr<QueryTicket>> t1, t2;
   for (const BenchmarkQuery& bq : w.queries) {
-    t1.push_back(server1.Submit(bq.query, EngineMode::kFull));
-    t2.push_back(server2.Submit(bq.query, EngineMode::kFull));
+    t1.push_back(server1.Submit(bq.query));
+    t2.push_back(server2.Submit(bq.query));
   }
   for (size_t i = 0; i < t1.size(); ++i) {
     EXPECT_EQ(t1[i]->Wait().matches, expected[i]);
@@ -199,10 +199,9 @@ TEST(ServingCancellation, PreCancelledContextReturnsFlaggedEmpty) {
   ctx.ledger = &session.ledger;
   ctx.transport = &session.transport;
   ctx.cancel = &cancel;
-  QueryStats stats;
-  QueryOutcome outcome =
-      engine.ExecuteQuery(w.queries[0].query, EngineMode::kFull, ctx, &stats);
-  EXPECT_TRUE(stats.cancelled);
+  QueryRequest request(w.queries[0].query, EngineMode::kFull, ctx);
+  QueryOutcome outcome = engine.Run(request);
+  EXPECT_TRUE(outcome.stats.cancelled);
   EXPECT_FALSE(outcome.exact);
   EXPECT_TRUE(outcome.matches.empty());
   // Aborting between stages never tears the session ledger.
@@ -215,9 +214,7 @@ TEST(ServingCancellation, ZeroDeadlineTimesOutAsFlaggedPartial) {
   DistributedEngine engine(&p);
   ServingEngine server(&engine);
 
-  auto ticket =
-      server.Submit(w.queries[0].query, EngineMode::kFull, /*deadline_ms=*/0.0,
-                    /*lane=*/0);
+  auto ticket = server.Submit(w.queries[0].query, {.deadline_ms = 0.0});
   const QueryOutcome& outcome = ticket->Wait();
   EXPECT_TRUE(ticket->stats().cancelled);
   EXPECT_FALSE(outcome.exact);
@@ -238,7 +235,7 @@ TEST(ServingCancellation, CancelledStreamYieldsExactPrefixOrFlaggedSubset) {
   ServingEngine server(&engine, options);
   std::vector<std::shared_ptr<QueryTicket>> tickets;
   for (const BenchmarkQuery& bq : w.queries) {
-    tickets.push_back(server.Submit(bq.query, EngineMode::kFull));
+    tickets.push_back(server.Submit(bq.query));
   }
   for (size_t i = 1; i < tickets.size(); i += 2) tickets[i]->Cancel();
 
@@ -333,9 +330,9 @@ TEST(PlanCache, SecondInstanceHitsAndSkipsOrderScoring) {
 
   for (const BenchmarkQuery& bq : w.queries) {
     std::vector<Binding> expected = Serial(engine, bq.query, EngineMode::kFull);
-    auto first = server.Submit(bq.query, EngineMode::kFull);
+    auto first = server.Submit(bq.query);
     EXPECT_EQ(first->Wait().matches, expected) << bq.name;
-    auto second = server.Submit(bq.query, EngineMode::kFull);
+    auto second = server.Submit(bq.query);
     EXPECT_EQ(second->Wait().matches, expected) << bq.name;
     // Both executions ran with plan artifacts (the first filled the entry
     // before executing), so neither scored a matching order inside the
@@ -351,7 +348,7 @@ TEST(PlanCache, SecondInstanceHitsAndSkipsOrderScoring) {
   ServeOptions off = options;
   off.use_plan_cache = false;
   ServingEngine unplanned(&engine, off);
-  auto ticket = unplanned.Submit(w.queries[0].query, EngineMode::kFull);
+  auto ticket = unplanned.Submit(w.queries[0].query);
   ticket->Wait();
   EXPECT_FALSE(ticket->stats().plan_cache_hit);
   EXPECT_GT(ticket->stats().order_scorings, 0u);
@@ -378,9 +375,9 @@ TEST(PlanCache, IsomorphicInstancesShareOneEntry) {
     q.AddEdge("?x", "<http://lubm.org/ont#worksFor>", "?d");
     return q;
   };
-  auto t1 = server.Submit(instance(unis[0]), EngineMode::kFull);
+  auto t1 = server.Submit(instance(unis[0]));
   t1->Wait();
-  auto t2 = server.Submit(instance(unis[1]), EngineMode::kFull);
+  auto t2 = server.Submit(instance(unis[1]));
   t2->Wait();
   ServingEngine::Counters counters = server.counters();
   EXPECT_EQ(counters.plan_misses, 1u);
@@ -408,10 +405,10 @@ TEST(ResultCache, HitEqualsMissAcrossAllLubmQueriesAndModes) {
   for (const BenchmarkQuery& bq : w.queries) {
     for (EngineMode mode : kAllModes) {
       std::vector<Binding> expected = Serial(engine, bq.query, mode);
-      auto miss = server.Submit(bq.query, mode);
+      auto miss = server.Submit(bq.query, {.mode = mode});
       EXPECT_EQ(miss->Wait().matches, expected) << bq.name;
       EXPECT_FALSE(miss->stats().result_cache_hit);
-      auto hit = server.Submit(bq.query, mode);
+      auto hit = server.Submit(bq.query, {.mode = mode});
       EXPECT_EQ(hit->Wait().matches, expected) << bq.name;
       EXPECT_TRUE(hit->stats().result_cache_hit)
           << bq.name << " " << EngineModeName(mode);
@@ -430,15 +427,15 @@ TEST(ResultCache, FinalizeEpochChangeFlushesAllCaches) {
   ServingEngine server(&engine);
   const QueryGraph& q = w.queries[1].query;
 
-  server.Submit(q, EngineMode::kFull)->Wait();
-  server.Submit(q, EngineMode::kFull)->Wait();
+  server.Submit(q)->Wait();
+  server.Submit(q)->Wait();
   EXPECT_EQ(server.counters().executed, 1u);
   EXPECT_EQ(server.counters().result_hits, 1u);
 
   // Re-finalizing without changes must NOT flush (epoch only bumps on a
   // genuine content change).
   const_cast<RdfGraph&>(p.fragments()[0].graph()).Finalize();
-  server.Submit(q, EngineMode::kFull)->Wait();
+  server.Submit(q)->Wait();
   EXPECT_EQ(server.counters().epoch_flushes, 0u);
   EXPECT_EQ(server.counters().result_hits, 2u);
 
@@ -450,16 +447,16 @@ TEST(ResultCache, FinalizeEpochChangeFlushesAllCaches) {
   g.AddTriple(g.triples()[0]);
   g.Finalize();
 
-  auto after = server.Submit(q, EngineMode::kFull);
+  auto after = server.Submit(q);
   EXPECT_EQ(after->Wait().matches, Serial(engine, q, EngineMode::kFull));
   EXPECT_FALSE(after->stats().result_cache_hit);
   EXPECT_EQ(server.counters().epoch_flushes, 1u);
   EXPECT_EQ(server.counters().executed, 2u);
 
   // Explicit invalidation also forces re-execution.
-  server.Submit(q, EngineMode::kFull)->Wait();
+  server.Submit(q)->Wait();
   server.InvalidateCaches();
-  server.Submit(q, EngineMode::kFull)->Wait();
+  server.Submit(q)->Wait();
   EXPECT_EQ(server.counters().executed, 3u);
 }
 
@@ -477,13 +474,77 @@ TEST(LpmCache, CrossModeReuseOfStageB) {
   const QueryGraph& q = w.queries[0].query;
   std::vector<Binding> basic = Serial(engine, q, EngineMode::kBasic);
 
-  auto first = server.Submit(q, EngineMode::kBasic);
+  auto first = server.Submit(q, {.mode = EngineMode::kBasic});
   EXPECT_EQ(first->Wait().matches, basic);
   EXPECT_EQ(first->stats().lpm_cache_hits, 0u);
-  auto second = server.Submit(q, EngineMode::kLecPruning);
+  auto second = server.Submit(q, {.mode = EngineMode::kLecPruning});
   EXPECT_EQ(second->Wait().matches, basic);
   EXPECT_EQ(second->stats().lpm_cache_hits,
             static_cast<size_t>(engine.num_sites()));
+}
+
+// ---------------------------------------------------------------------------
+// Streaming submissions.
+
+TEST(ServingStreaming, StreamingSubmitByteIdenticalToDrained) {
+  // SubmitOptions::streaming routes through the pipelined transport; results
+  // must match the drained serial answer for every query and mode, and the
+  // result cache must be shared across the flag (a drained fill serves a
+  // streaming hit and vice versa).
+  Workload w = SmallLubm();
+  Partitioning p = HashPartitioner().Partition(*w.dataset, 4);
+  DistributedEngine engine(&p);
+  ServeOptions options;
+  options.max_inflight = 2;
+  ServingEngine server(&engine, options);
+
+  size_t pair_index = 0;
+  for (const BenchmarkQuery& bq : w.queries) {
+    for (EngineMode mode : kAllModes) {
+      std::vector<Binding> expected = Serial(engine, bq.query, mode);
+      // Alternate which flavor fills the cache; the Wait() between the two
+      // guarantees the second submission finds the entry.
+      const bool streaming_first = (pair_index++ % 2) == 0;
+      auto first = server.Submit(bq.query,
+                                 {.mode = mode, .streaming = streaming_first});
+      EXPECT_EQ(first->Wait().matches, expected) << bq.name;
+      auto second = server.Submit(bq.query,
+                                  {.mode = mode, .streaming = !streaming_first});
+      EXPECT_EQ(second->Wait().matches, expected) << bq.name;
+      EXPECT_TRUE(second->stats().result_cache_hit)
+          << bq.name << " " << EngineModeName(mode);
+    }
+  }
+  // The second submission of each pair hit the shared result cache.
+  EXPECT_EQ(server.counters().result_hits, w.queries.size() * 4);
+}
+
+TEST(ServingStreaming, ConcurrentStreamingClientsMatchSerial) {
+  Workload w = SmallLubm();
+  Partitioning p = HashPartitioner().Partition(*w.dataset, 3);
+  DistributedEngine engine(&p);
+  std::vector<std::vector<Binding>> expected;
+  for (const BenchmarkQuery& bq : w.queries) {
+    expected.push_back(Serial(engine, bq.query, EngineMode::kFull));
+  }
+
+  ServeOptions options;
+  options.max_inflight = 3;
+  options.use_result_cache = false;  // every submission executes
+  ServingEngine server(&engine, options);
+  std::vector<std::shared_ptr<QueryTicket>> tickets;
+  for (int round = 0; round < 3; ++round) {
+    for (size_t i = 0; i < w.queries.size(); ++i) {
+      tickets.push_back(server.Submit(
+          w.queries[i].query,
+          {.lane = static_cast<int>(i % 2), .streaming = true}));
+    }
+  }
+  for (size_t t = 0; t < tickets.size(); ++t) {
+    const QueryOutcome& outcome = tickets[t]->Wait();
+    EXPECT_TRUE(outcome.exact);
+    EXPECT_EQ(outcome.matches, expected[t % w.queries.size()]);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -505,6 +566,114 @@ TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
   EXPECT_EQ(cache.size(), 0u);
   EXPECT_FALSE(cache.Get("a", &v));
 }
+
+TEST(LruCacheTest, ByteBoundEvictsTailUntilUnderBudget) {
+  // Weigher = the value itself, so weights are explicit. Budget 100 bytes,
+  // generous entry capacity: the byte bound is the active constraint.
+  LruCache<int> cache(64, 100, [](const int& v) {
+    return static_cast<size_t>(v);
+  });
+  cache.Put("a", 40);
+  cache.Put("b", 40);
+  EXPECT_EQ(cache.bytes(), 80u);
+  EXPECT_EQ(cache.size(), 2u);
+
+  cache.Put("c", 40);  // 120 > 100: evict the oldest ("a")
+  int v = 0;
+  EXPECT_FALSE(cache.Get("a", &v));
+  EXPECT_TRUE(cache.Get("b", &v));
+  EXPECT_TRUE(cache.Get("c", &v));
+  EXPECT_EQ(cache.bytes(), 80u);
+
+  // Overwriting re-weighs: growing "b" to 70 pushes the total to 110 and
+  // evicts "c" (the older of the two after b's refresh).
+  cache.Put("b", 70);
+  EXPECT_FALSE(cache.Get("c", &v));
+  EXPECT_EQ(cache.bytes(), 70u);
+
+  // A single entry above the whole budget stays resident (never thrash to
+  // empty), and displaces everything else.
+  cache.Put("huge", 500);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_TRUE(cache.Get("huge", &v));
+  EXPECT_EQ(cache.bytes(), 500u);
+
+  cache.Clear();
+  EXPECT_EQ(cache.bytes(), 0u);
+}
+
+TEST(LpmCacheTest, ByteBoundedEvictionTracksPayloadBytes) {
+  // Two sites' stage-B entries under a budget sized for roughly one of them:
+  // inserting the second evicts the first, and bytes() stays under control.
+  serve::LpmCache cache(/*capacity=*/1024, /*capacity_bytes=*/4096);
+
+  auto make_matches = [](size_t rows, size_t width) {
+    std::vector<Binding> matches(rows, Binding(width, TermId{7}));
+    return matches;
+  };
+  cache.Put("q", /*site=*/0, /*fingerprint=*/1, make_matches(40, 8), {});
+  const size_t one_entry = cache.bytes();
+  EXPECT_GT(one_entry, 40 * 8 * sizeof(TermId));
+  EXPECT_LE(one_entry, 4096u);
+
+  cache.Put("q", /*site=*/1, /*fingerprint=*/1, make_matches(40, 8), {});
+  EXPECT_EQ(cache.size(), 1u);  // site 0's entry was evicted
+  EXPECT_LE(cache.bytes(), 4096u);
+
+  std::vector<Binding> matches;
+  std::vector<LocalPartialMatch> lpms;
+  EXPECT_FALSE(cache.Get("q", 0, 1, &matches, &lpms));
+  EXPECT_TRUE(cache.Get("q", 1, 1, &matches, &lpms));
+  EXPECT_EQ(matches.size(), 40u);
+
+  cache.Clear();
+  EXPECT_EQ(cache.bytes(), 0u);
+}
+
+TEST(ServingStreaming, ByteBoundedLpmCacheStaysCorrectUnderServing) {
+  // A tiny byte budget forces constant LPM-cache eviction; answers must stay
+  // byte-identical (a miss just recomputes stage B).
+  Workload w = SmallLubm();
+  Partitioning p = HashPartitioner().Partition(*w.dataset, 3);
+  DistributedEngine engine(&p);
+  ServeOptions options;
+  options.max_inflight = 1;
+  options.use_result_cache = false;
+  options.lpm_cache_capacity_bytes = 2048;
+  ServingEngine server(&engine, options);
+  for (const BenchmarkQuery& bq : w.queries) {
+    std::vector<Binding> expected = Serial(engine, bq.query, EngineMode::kFull);
+    EXPECT_EQ(server.Submit(bq.query)->Wait().matches, expected) << bq.name;
+    EXPECT_EQ(server.Submit(bq.query)->Wait().matches, expected) << bq.name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Deprecated-shim compatibility (the only sanctioned callers of the old
+// Submit overloads; delete together with the shims next PR).
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+TEST(DeprecatedShims, OldSubmitOverloadsForwardToSubmitOptions) {
+  Workload w = SmallLubm();
+  Partitioning p = HashPartitioner().Partition(*w.dataset, 3);
+  DistributedEngine engine(&p);
+  ServeOptions options;
+  options.use_result_cache = false;  // the zero-deadline run must execute
+  ServingEngine server(&engine, options);
+  const QueryGraph& q = w.queries[0].query;
+  std::vector<Binding> expected = Serial(engine, q, EngineMode::kFull);
+
+  EXPECT_EQ(server.Submit(q, EngineMode::kFull, /*lane=*/1)->Wait().matches,
+            expected);
+  auto timed = server.Submit(q, EngineMode::kFull, /*deadline_ms=*/0.0,
+                             /*lane=*/0);
+  timed->Wait();
+  EXPECT_TRUE(timed->stats().cancelled);
+}
+
+#pragma GCC diagnostic pop
 
 }  // namespace
 }  // namespace gstored
