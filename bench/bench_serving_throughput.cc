@@ -9,9 +9,17 @@
 // of process CPU burned, the machine-budget metric the acceptance gate
 // uses), wall QPS, and p50/p99 submit-to-completion latency.
 //
+// A second, dup-heavy section models the cold-cache dogpile: every arrival
+// is a back-to-back burst of 8 identical submissions, with the result and
+// LPM caches disabled so in-flight request coalescing is the only dedup
+// mechanism. It runs once with coalescing on (one leader per burst
+// executes, the rest receive copies) and once with it off (every duplicate
+// executes), and reports the CPU-QPS ratio between the two.
+//
 // Acceptance (exit code): every served outcome byte-identical to the serial
-// answer, the plan cache observed hits, and CPU-time QPS at 8 in flight at
-// least 2x the serial baseline.
+// answer, the plan cache observed hits, CPU-time QPS at 8 in flight at
+// least 2x the serial baseline, and the dup-heavy coalescing on/off ratio
+// at least 1.5x with strictly fewer engine executions.
 //
 // --json <path> additionally writes the measurements in the hand-written
 // baseline format bench/check_bench_regression.py accepts (cpu_time_ns per
@@ -156,6 +164,61 @@ RunReport RunServed(const DistributedEngine& engine,
   return r;
 }
 
+/// Dup-heavy open-loop run: the stream arrives as back-to-back bursts of
+/// identical submissions (kDupBurst copies of one query, then the next
+/// query's burst) — the cold-cache dogpile shape. Result and LPM caches are
+/// OFF so the only dedup mechanism in play is in-flight coalescing: with it
+/// on, one leader per burst executes and the rest fan out; with it off,
+/// every duplicate burns a full execution. The CPU-QPS ratio between the
+/// two is the coalescing win the acceptance gate checks.
+RunReport RunDupHeavy(const DistributedEngine& engine,
+                      const std::vector<StreamItem>& stream,
+                      size_t dup_burst, bool coalesce) {
+  ServeOptions options;
+  options.max_inflight = 8;
+  options.total_slots = kTotalSlots;
+  options.use_result_cache = false;
+  options.use_lpm_cache = false;
+  options.coalesce_inflight = coalesce;
+  ServingEngine server(&engine, options);
+
+  RunReport r;
+  std::vector<std::shared_ptr<QueryTicket>> tickets;
+  tickets.reserve(stream.size() * dup_burst);
+  const double cpu0 = ProcessCpuSeconds();
+  const auto wall0 = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < stream.size(); ++i) {
+    for (size_t d = 0; d < dup_burst; ++d) {
+      tickets.push_back(server.Submit(
+          *stream[i].query, {.lane = static_cast<int>(d % kLanes)}));
+    }
+    // Open loop between bursts; the burst itself arrives back-to-back.
+    std::this_thread::sleep_for(std::chrono::microseconds(kArrivalGapUs));
+  }
+  std::vector<double> latencies;
+  latencies.reserve(tickets.size());
+  for (size_t i = 0; i < tickets.size(); ++i) {
+    const QueryOutcome& outcome = tickets[i]->Wait();
+    latencies.push_back(tickets[i]->latency_ms());
+    if (!outcome.exact ||
+        outcome.matches != *stream[i / dup_burst].expected) {
+      ++r.mismatches;
+    }
+  }
+  const double cpu = ProcessCpuSeconds() - cpu0;
+  const double wall = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - wall0)
+                          .count();
+  const double n = static_cast<double>(tickets.size());
+  r.cpu_qps = n / cpu;
+  r.wall_qps = n / wall;
+  r.cpu_per_query_ns = cpu * 1e9 / n;
+  r.p50_ms = Percentile(latencies, 0.50);
+  r.p99_ms = Percentile(latencies, 0.99);
+  r.counters = server.counters();
+  return r;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -211,17 +274,59 @@ int main(int argc, char** argv) {
         served[i].counters.lpm_hits, served[i].counters.result_hits);
   }
 
+  // Dup-heavy bursts: 8 identical arrivals at a time, coalescing on vs off
+  // (result/LPM caches disabled on both sides, so the delta is coalescing
+  // alone). One pass over LQ1-LQ7 per round keeps the runtime CI-sized.
+  constexpr size_t kDupBurst = 8;
+  constexpr int kDupRounds = 4;
+  std::vector<StreamItem> dup_stream;
+  dup_stream.reserve(w.queries.size() * kDupRounds);
+  for (int round = 0; round < kDupRounds; ++round) {
+    for (size_t q = 0; q < w.queries.size(); ++q) {
+      dup_stream.push_back(
+          {&w.queries[q].query, &expected[q], w.queries[q].name.c_str()});
+    }
+  }
+  std::printf(
+      "--- dup-heavy: bursts of %zu identical arrivals, result/LPM caches "
+      "off ---\n",
+      kDupBurst);
+  const RunReport coalesce_on =
+      RunDupHeavy(engine, dup_stream, kDupBurst, /*coalesce=*/true);
+  const RunReport coalesce_off =
+      RunDupHeavy(engine, dup_stream, kDupBurst, /*coalesce=*/false);
+  std::printf(
+      "%-10s | %10.1f | %10.1f | %9.3f | %9.3f | exec=%zu coal=%zu\n",
+      "dup/on", coalesce_on.cpu_qps, coalesce_on.wall_qps, coalesce_on.p50_ms,
+      coalesce_on.p99_ms, coalesce_on.counters.executed,
+      coalesce_on.counters.coalesced);
+  std::printf(
+      "%-10s | %10.1f | %10.1f | %9.3f | %9.3f | exec=%zu coal=%zu\n",
+      "dup/off", coalesce_off.cpu_qps, coalesce_off.wall_qps,
+      coalesce_off.p50_ms, coalesce_off.p99_ms,
+      coalesce_off.counters.executed, coalesce_off.counters.coalesced);
+
   const double speedup = served[2].cpu_qps / serial.cpu_qps;
-  size_t mismatches = serial.mismatches;
-  size_t plan_hits = 0;
+  const double coalesce_ratio = coalesce_on.cpu_qps / coalesce_off.cpu_qps;
+  size_t mismatches =
+      serial.mismatches + coalesce_on.mismatches + coalesce_off.mismatches;
+  // Plan-cache hits are counted across every run. In the mixed stream the
+  // serving layer now dedups so well (result cache + coalescing) that each
+  // template executes exactly once and never re-reaches the plan lookup;
+  // the dup-heavy runs execute repeats with the result cache off, so they
+  // are where the plan cache shows its hits.
+  size_t plan_hits = coalesce_on.counters.plan_hits +
+                     coalesce_off.counters.plan_hits;
   for (const RunReport& r : served) {
     mismatches += r.mismatches;
     plan_hits += r.counters.plan_hits;
   }
   std::printf(
       "summary: cpu-QPS speedup at 8 in flight = %.2fx (gate: >= 2.0x), "
-      "mismatched outcomes = %zu, plan-cache hits = %zu\n",
-      speedup, mismatches, plan_hits);
+      "dup-heavy coalescing ratio = %.2fx (gate: >= 1.5x, executed %zu vs "
+      "%zu), mismatched outcomes = %zu, plan-cache hits = %zu\n",
+      speedup, coalesce_ratio, coalesce_on.counters.executed,
+      coalesce_off.counters.executed, mismatches, plan_hits);
 
   if (!json_path.empty()) {
     std::FILE* f = std::fopen(json_path.c_str(), "w");
@@ -236,14 +341,30 @@ int main(int argc, char** argv) {
     for (int i = 0; i < 3; ++i) {
       std::fprintf(f,
                    "    { \"name\": \"BM_ServingThroughput/%zu\", "
-                   "\"cpu_time_ns\": %.0f, \"qps\": %.1f }%s\n",
+                   "\"cpu_time_ns\": %.0f, \"qps\": %.1f },\n",
                    kInflightLevels[i], served[i].cpu_per_query_ns,
-                   served[i].cpu_qps, i + 1 < 3 ? "," : "");
+                   served[i].cpu_qps);
     }
+    std::fprintf(f,
+                 "    { \"name\": \"BM_ServingDupHeavy/coalesce_on\", "
+                 "\"cpu_time_ns\": %.0f, \"qps\": %.1f },\n",
+                 coalesce_on.cpu_per_query_ns, coalesce_on.cpu_qps);
+    std::fprintf(f,
+                 "    { \"name\": \"BM_ServingDupHeavy/coalesce_off\", "
+                 "\"cpu_time_ns\": %.0f, \"qps\": %.1f }\n",
+                 coalesce_off.cpu_per_query_ns, coalesce_off.cpu_qps);
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);
     std::printf("wrote %s\n", json_path.c_str());
   }
 
-  return (mismatches == 0 && plan_hits > 0 && speedup >= 2.0) ? 0 : 1;
+  // Coalescing must both save CPU (>= 1.5x QPS per CPU-second) and visibly
+  // dedup (fewer engine executions than the ablation ran).
+  const bool coalescing_ok =
+      coalesce_ratio >= 1.5 &&
+      coalesce_on.counters.executed < coalesce_off.counters.executed;
+  return (mismatches == 0 && plan_hits > 0 && speedup >= 2.0 &&
+          coalescing_ok)
+             ? 0
+             : 1;
 }

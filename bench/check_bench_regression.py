@@ -10,11 +10,13 @@ Three row kinds are gated:
   * qps rows (higher is better, emitted by bench_serving_throughput):
       regression when current < baseline / (1 + threshold)
   * ratio rows ({"numerator", "denominator", "min_ratio"}): regression
-      when numerator/denominator (wall time by default, cpu with
-      "metric": "cpu") falls below min_ratio. These gate a *relative*
-      property — e.g. "the drained engine must stay >= 1.1x slower than
-      the pipelined engine under injected faults" — so they are immune
-      to machine-speed drift and take no threshold slack.
+      when numerator/denominator (wall time by default, cpu time with
+      "metric": "cpu", CPU-time QPS with "metric": "qps") falls below
+      min_ratio. These gate a *relative* property — e.g. "the drained
+      engine must stay >= 1.1x slower than the pipelined engine under
+      injected faults", or "coalescing must keep >= 1.5x the CPU-QPS of
+      its ablation on a dup-heavy stream" — so they are immune to
+      machine-speed drift and take no threshold slack.
 
 The baseline carries absolute numbers from a known machine, so the
 threshold is deliberately loose — the gate exists to catch
@@ -135,7 +137,8 @@ def main():
                     f"{base_v:.0f}{unit} ({ratio:.2f}x > {limit:.2f}x)")
 
     for row in load_ratio_rows(args.baseline):
-        metric = "cpu_ns" if row.get("metric") == "cpu" else "real_ns"
+        metric = {"cpu": "cpu_ns", "qps": "qps"}.get(row.get("metric"),
+                                                     "real_ns")
         name = row.get("name", f"{row['numerator']}/{row['denominator']}")
         num = results.get(row["numerator"], {}).get(metric)
         den = results.get(row["denominator"], {}).get(metric)

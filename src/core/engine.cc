@@ -42,38 +42,6 @@ DistributedEngine::DistributedEngine(const Partitioning* partitioning,
   }
 }
 
-// The deprecated shims forward to Run(); they are compiled here, where the
-// deprecation warnings they would trigger on themselves are silenced.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
-std::vector<Binding> DistributedEngine::Execute(const QueryGraph& query,
-                                                EngineMode mode,
-                                                QueryStats* stats) {
-  QueryOutcome outcome = Run(QueryRequest(query, mode));
-  if (stats != nullptr) *stats = outcome.stats;
-  return std::move(outcome.matches);
-}
-
-QueryOutcome DistributedEngine::ExecuteQuery(const QueryGraph& query,
-                                             EngineMode mode,
-                                             QueryStats* stats) {
-  QueryOutcome outcome = Run(QueryRequest(query, mode));
-  if (stats != nullptr) *stats = outcome.stats;
-  return outcome;
-}
-
-QueryOutcome DistributedEngine::ExecuteQuery(const QueryGraph& query,
-                                             EngineMode mode,
-                                             QueryContext& ctx,
-                                             QueryStats* stats) const {
-  QueryOutcome outcome = Run(QueryRequest(query, mode, ctx));
-  if (stats != nullptr) *stats = outcome.stats;
-  return outcome;
-}
-
-#pragma GCC diagnostic pop
-
 namespace {
 
 /// Per-site computation cache: stage re-execution (retries, hedging) must be

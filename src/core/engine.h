@@ -144,6 +144,7 @@ struct QueryStats {
   bool cancelled = false;        ///< stopped at a stage boundary (see ctx)
   bool plan_cache_hit = false;   ///< executed with plan-cache artifacts
   bool result_cache_hit = false; ///< whole outcome served from cache
+  bool coalesced_hit = false;    ///< outcome copied from an in-flight twin
   size_t lpm_cache_hits = 0;     ///< sites whose stage B came from cache
   size_t order_scorings = 0;     ///< order scoring passes this query ran
 
@@ -185,8 +186,8 @@ struct QueryOutcome {
 
 /// One query, fully described: what to evaluate, at which optimization
 /// level, over whose session, and under which lifetime/delivery knobs. This
-/// is the single entry into DistributedEngine::Run — it replaces the old
-/// ExecuteQuery/Execute overload set (still present as deprecated shims).
+/// is the single entry into DistributedEngine::Run (the pre-PR-8
+/// ExecuteQuery/Execute overload set is gone).
 ///
 /// `context == nullptr` runs over the engine's built-in cluster session
 /// (single query at a time, ledger reset on entry — the old
@@ -254,23 +255,6 @@ class DistributedEngine {
   /// distinct contexts are thread-safe; without one, the built-in cluster's
   /// ledger is reset on entry and calls must not overlap.
   QueryOutcome Run(const QueryRequest& request) const;
-
-  /// Deprecated pre-QueryRequest surface, kept as thin shims for one PR.
-  /// Migrations: ExecuteQuery(q, mode, ctx, &stats) -> Run({q, mode, ctx})
-  /// reading outcome.stats; ExecuteQuery(q, mode, &stats) -> Run({q, mode});
-  /// Execute(q, mode, &stats) -> Run({q, mode}).matches.
-  [[deprecated("use Run(QueryRequest) and read outcome.stats")]]
-  QueryOutcome ExecuteQuery(const QueryGraph& query, EngineMode mode,
-                            QueryContext& ctx,
-                            QueryStats* stats = nullptr) const;
-
-  [[deprecated("use Run(QueryRequest) and read outcome.stats")]]
-  QueryOutcome ExecuteQuery(const QueryGraph& query, EngineMode mode,
-                            QueryStats* stats = nullptr);
-
-  [[deprecated("use Run(QueryRequest).matches")]]
-  std::vector<Binding> Execute(const QueryGraph& query, EngineMode mode,
-                               QueryStats* stats = nullptr);
 
   const Partitioning& partitioning() const { return *partitioning_; }
   const LocalStore& store(int site) const { return *stores_[site]; }

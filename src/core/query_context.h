@@ -36,10 +36,9 @@ class CancelToken {
 /// Everything one in-flight query needs that is not shared immutable state:
 /// its transport session (ledger + mailboxes), its slot budget, its
 /// deadline/cancellation, and the plan artifacts a plan cache may have
-/// precomputed for its template. DistributedEngine::ExecuteQuery(ctx) is
-/// const — all per-query mutable state lives here, so any number of
-/// contexts can run concurrently over one engine's shared LocalStores and
-/// GraphStatistics.
+/// precomputed for its template. DistributedEngine::Run is const — all
+/// per-query mutable state lives here, so any number of contexts can run
+/// concurrently over one engine's shared LocalStores and GraphStatistics.
 ///
 /// Plan artifacts are expressed in the *instance's* vertex numbering (the
 /// serving layer translates from the plan cache's canonical numbering) and
@@ -61,7 +60,7 @@ struct QueryContext {
 
   // ---- Admission / lifetime.
   CancelToken* cancel = nullptr;  ///< optional; polled at stage boundaries
-  /// Wall-clock budget in milliseconds, measured from ExecuteQuery entry;
+  /// Wall-clock budget in milliseconds, measured from Run entry;
   /// negative = no deadline. Expiry behaves exactly like cancellation.
   double deadline_ms = -1.0;
 

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <list>
 #include <mutex>
@@ -25,6 +26,13 @@ namespace gstored::serve {
 /// exceeds `max_bytes`. Entries vary by orders of magnitude in some caches
 /// (a site's LPM set for an unselective template dwarfs a selective one's),
 /// so the byte bound is what actually caps memory.
+///
+/// Every Clear() bumps a generation counter. A writer whose value was
+/// computed before a flush can make its insert conditional on the
+/// generation it observed at read time (PutIfGeneration): the insert and
+/// the generation check happen under one lock, so an entry computed
+/// against pre-flush state can never survive the flush — the guard behind
+/// the serving layer's epoch-stamped cache admission.
 template <typename V>
 class LruCache {
  public:
@@ -64,20 +72,36 @@ class LruCache {
   /// either bound (entry count, resident bytes) is exceeded.
   void Put(const std::string& key, V value) {
     std::lock_guard<std::mutex> lock(mu_);
-    const size_t weight = WeightOf(value);
+    PutLocked(key, std::move(value));
+  }
+
+  /// Put, but only when the cache's generation still equals `generation`
+  /// (as previously returned by generation()). Checked under the same lock
+  /// as the insert, so a value computed before a Clear() can never be
+  /// re-inserted after it. Returns whether the insert happened.
+  bool PutIfGeneration(const std::string& key, V value, uint64_t generation) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (generation != gen_) return false;
+    PutLocked(key, std::move(value));
+    return true;
+  }
+
+  /// Reads without refreshing recency or touching the hit/miss counters —
+  /// for advisory probes (e.g. admission cost estimates) that must not
+  /// perturb eviction order or cache statistics.
+  bool Peek(const std::string& key, V* value) const {
+    std::lock_guard<std::mutex> lock(mu_);
     auto it = map_.find(key);
-    if (it != map_.end()) {
-      total_bytes_ += weight - it->second.weight;
-      it->second.weight = weight;
-      it->second.value = std::move(value);
-      lru_.splice(lru_.begin(), lru_, it->second.pos);
-      EvictWhileOverLocked();
-      return;
-    }
-    lru_.push_front(key);
-    map_.emplace(key, Entry{std::move(value), weight, lru_.begin()});
-    total_bytes_ += weight;
-    EvictWhileOverLocked();
+    if (it == map_.end()) return false;
+    *value = it->second.value;
+    return true;
+  }
+
+  /// Monotonic flush counter; bumped by every Clear(). Pair with
+  /// PutIfGeneration to reject writes computed against pre-flush state.
+  uint64_t generation() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return gen_;
   }
 
   /// Like Get, but inserts `make()`'s result on a miss — the plan cache's
@@ -109,6 +133,7 @@ class LruCache {
     map_.clear();
     lru_.clear();
     total_bytes_ = 0;
+    ++gen_;
   }
 
   size_t size() const {
@@ -136,6 +161,23 @@ class LruCache {
     return max_bytes_ != 0 && weigher_ ? weigher_(value) : 0;
   }
 
+  void PutLocked(const std::string& key, V value) {
+    const size_t weight = WeightOf(value);
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      total_bytes_ += weight - it->second.weight;
+      it->second.weight = weight;
+      it->second.value = std::move(value);
+      lru_.splice(lru_.begin(), lru_, it->second.pos);
+      EvictWhileOverLocked();
+      return;
+    }
+    lru_.push_front(key);
+    map_.emplace(key, Entry{std::move(value), weight, lru_.begin()});
+    total_bytes_ += weight;
+    EvictWhileOverLocked();
+  }
+
   void EvictWhileOverLocked() {
     while (map_.size() > capacity_ ||
            (max_bytes_ != 0 && total_bytes_ > max_bytes_ &&
@@ -154,6 +196,7 @@ class LruCache {
   std::list<std::string> lru_;  ///< front = most recently used
   std::unordered_map<std::string, Entry> map_;
   size_t total_bytes_ = 0;
+  uint64_t gen_ = 0;  ///< bumped by Clear(); guards PutIfGeneration
   std::atomic<size_t> hits_{0};
   std::atomic<size_t> misses_{0};
 };

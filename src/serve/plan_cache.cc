@@ -193,11 +193,42 @@ CanonicalForm CanonicalizeQueryShape(const QueryGraph& query) {
   return form;
 }
 
+namespace {
+
+/// Estimated search-tree size of running `order` over one site: the running
+/// intermediate-result cardinality along the prefix, accumulated. The same
+/// quantity MatchingOrder greedily minimizes, so cheap templates (selective
+/// starts, small fan-outs) score low and unselective ones high — a
+/// per-template admission priority, not a latency prediction.
+double EstimateOrderCost(const LocalStore& store, const ResolvedQuery& rq,
+                         const std::vector<QVertexId>& order) {
+  if (order.empty()) return 0.0;
+  const SelectivityEstimator estimator(&store.stats(), &rq);
+  std::vector<bool> placed(rq.query->num_vertices(), false);
+  double rows = std::max(1.0, estimator.VertexCardinality(order[0]));
+  double cost = rows;
+  placed[order[0]] = true;
+  for (size_t i = 1; i < order.size(); ++i) {
+    const double fanout =
+        estimator.ExtensionCost(order[i], placed, nullptr, order[0]);
+    rows *= std::max(fanout, 1e-6);  // floor: selective edges shrink rows
+    cost += rows;
+    placed[order[i]] = true;
+  }
+  return cost;
+}
+
+}  // namespace
+
 void FillCachedPlan(const DistributedEngine& engine, const QueryGraph& query,
-                    const ResolvedQuery& rq, const CanonicalForm& form,
-                    CachedPlan* plan) {
+                    const CanonicalForm& form, CachedPlan* plan) {
+  // Single-filler: every concurrent first instance serializes here, and all
+  // the fill work (resolution included) happens after the ready re-check, so
+  // losers of the race do nothing at all.
   std::lock_guard<std::mutex> lock(plan->mu);
   if (plan->ready.load(std::memory_order_acquire)) return;
+  const ResolvedQuery rq =
+      ResolveQueryTerms(query, engine.partitioning().dataset().dict());
   const size_t n = query.num_vertices();
   const int num_sites = engine.num_sites();
   const bool use_statistics = engine.options().use_statistics;
@@ -227,9 +258,12 @@ void FillCachedPlan(const DistributedEngine& engine, const QueryGraph& query,
 
   plan->site_match_orders.assign(num_sites, {});
   plan->site_unit_orders.assign(num_sites, {});
+  plan->cost = 0.0;
   for (int site = 0; site < num_sites; ++site) {
-    plan->site_match_orders[site] = TranslateOrder(
-        MatchingOrder(engine.store(site), rq, use_statistics), form.canon_of);
+    const std::vector<QVertexId> order =
+        MatchingOrder(engine.store(site), rq, use_statistics);
+    plan->cost += EstimateOrderCost(engine.store(site), rq, order);
+    plan->site_match_orders[site] = TranslateOrder(order, form.canon_of);
     auto& unit_orders = plan->site_unit_orders[site];
     unit_orders.reserve(instance_tasks.size());
     for (const IslandTask& task : instance_tasks) {

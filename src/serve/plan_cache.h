@@ -63,6 +63,13 @@ struct CachedPlan {
   /// Per-site per-task unit orders, aligned with `island_tasks`.
   std::vector<std::vector<std::vector<QVertexId>>> site_unit_orders;
 
+  /// Estimated execution cost of the template: the SelectivityEstimator's
+  /// running intermediate-result size along each site's matching order,
+  /// summed over sites. A per-template priority for cost-aware admission
+  /// (ServeOptions::admission) — comparable between templates over the same
+  /// stores, meaningless in absolute terms. Valid once `ready` is true.
+  double cost = 0.0;
+
   std::mutex mu;
   std::atomic<bool> ready{false};
 };
@@ -85,15 +92,16 @@ struct PlanArtifacts {
 };
 
 /// Computes the template plan for `query` (first instance of its shape) and
-/// publishes it into `*plan` in canonical space. Thread-safe and idempotent:
-/// concurrent first instances serialize on plan->mu and later callers return
-/// immediately. Orders are only filled when the instance resolved (an
-/// impossible instance has no meaningful statistics); the verdict and island
-/// tasks are filled either way, and the entry stays not-ready until some
-/// instance fills the orders.
+/// publishes it into `*plan` in canonical space. Thread-safe and
+/// single-filler: all work — term resolution included — happens under
+/// plan->mu after re-checking `ready`, so of N dispatchers racing on a
+/// template's first sight exactly one resolves and scores; the others block
+/// on the mutex and return without redoing any of it. Orders are only
+/// filled when the instance resolved (an impossible instance has no
+/// meaningful statistics); the verdict and island tasks are filled either
+/// way, and the entry stays not-ready until some instance fills the orders.
 void FillCachedPlan(const DistributedEngine& engine, const QueryGraph& query,
-                    const ResolvedQuery& rq, const CanonicalForm& form,
-                    CachedPlan* plan);
+                    const CanonicalForm& form, CachedPlan* plan);
 
 /// Translates a ready plan into `form`'s instance vertex space.
 PlanArtifacts InstantiatePlan(const CachedPlan& plan,
@@ -112,6 +120,20 @@ class PlanCache {
                                            bool* created) {
     return cache_.GetOrCreate(
         key, [] { return std::make_shared<CachedPlan>(); }, created);
+  }
+
+  /// Advisory probe for cost-aware admission: writes the template's stored
+  /// cost and returns true when `key` maps to a ready entry. Touches neither
+  /// recency nor the hit/miss counters, so scheduling probes never perturb
+  /// eviction order or cache statistics.
+  bool PeekCost(const std::string& key, double* cost) const {
+    std::shared_ptr<CachedPlan> entry;
+    if (!cache_.Peek(key, &entry) ||
+        !entry->ready.load(std::memory_order_acquire)) {
+      return false;
+    }
+    *cost = entry->cost;
+    return true;
   }
 
   void Clear() { cache_.Clear(); }

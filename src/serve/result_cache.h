@@ -25,6 +25,12 @@ std::string ExactQueryKey(const QueryGraph& query);
 /// fault-free, non-cancelled outcomes are admitted (the scheduler checks the
 /// stats), so a hit always replays the one deterministic answer. Invalidated
 /// explicitly or by the scheduler's store-epoch check on Finalize().
+///
+/// Admission is generation-stamped: the scheduler reads generation() at
+/// dispatch and hands it back to Put. A query that started before a
+/// Finalize() computed its answer on the old store; if the epoch flush ran
+/// while it executed, the stamped generation no longer matches and the
+/// stale Put is dropped instead of poisoning the flushed cache.
 class ResultCache {
  public:
   explicit ResultCache(size_t capacity) : cache_(capacity) {}
@@ -32,10 +38,15 @@ class ResultCache {
   bool Get(const std::string& key, EngineMode mode, QueryOutcome* outcome) {
     return cache_.Get(WithMode(key, mode), outcome);
   }
-  void Put(const std::string& key, EngineMode mode,
-           const QueryOutcome& outcome) {
-    cache_.Put(WithMode(key, mode), outcome);
+  /// Inserts only when the cache has not been flushed since `generation`
+  /// was read (see class comment). Returns whether the insert happened.
+  bool Put(const std::string& key, EngineMode mode,
+           const QueryOutcome& outcome, uint64_t generation) {
+    return cache_.PutIfGeneration(WithMode(key, mode), outcome, generation);
   }
+
+  /// Flush counter to stamp into Put; bumped by every Clear().
+  uint64_t generation() const { return cache_.generation(); }
 
   void Clear() { cache_.Clear(); }
   size_t size() const { return cache_.size(); }
@@ -87,11 +98,19 @@ class LpmCache {
     *lpms = std::move(value.lpms);
     return true;
   }
-  void Put(const std::string& query_key, int site, uint64_t fingerprint,
-           std::vector<Binding> matches, std::vector<LocalPartialMatch> lpms) {
-    cache_.Put(SiteKey(query_key, site, fingerprint),
-               SitePartialEval{std::move(matches), std::move(lpms)});
+  /// Generation-stamped like ResultCache::Put: a stage-B result computed
+  /// before an epoch flush must not re-enter the flushed cache. Returns
+  /// whether the insert happened.
+  bool Put(const std::string& query_key, int site, uint64_t fingerprint,
+           std::vector<Binding> matches, std::vector<LocalPartialMatch> lpms,
+           uint64_t generation) {
+    return cache_.PutIfGeneration(
+        SiteKey(query_key, site, fingerprint),
+        SitePartialEval{std::move(matches), std::move(lpms)}, generation);
   }
+
+  /// Flush counter to stamp into Put; bumped by every Clear().
+  uint64_t generation() const { return cache_.generation(); }
 
   void Clear() { cache_.Clear(); }
   size_t size() const { return cache_.size(); }

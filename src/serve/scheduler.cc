@@ -1,6 +1,7 @@
 #include "serve/scheduler.h"
 
 #include <algorithm>
+#include <tuple>
 #include <utility>
 
 #include "util/logging.h"
@@ -17,12 +18,31 @@ double MillisSince(std::chrono::steady_clock::time_point start) {
 
 /// Only exact, fault-free, non-cancelled outcomes are cacheable: a degraded
 /// or aborted run is a sound *subset* of the answer, and replaying a subset
-/// as if it were the answer would silently lose matches.
+/// as if it were the answer would silently lose matches. The same rule gates
+/// coalescing fan-out — followers of an unclean leader execute themselves.
 bool CleanRun(const QueryOutcome& outcome) {
   const QueryStats& stats = outcome.stats;
   return outcome.exact && !stats.cancelled && stats.transport_retries == 0 &&
          stats.hedged_sites == 0 && !stats.exchange_degraded &&
          !stats.pruning_degraded;
+}
+
+/// Coalescing identity: same exact instance (constants included) *and* same
+/// mode. Modes differ in pruning/exchange strategy, so their stats — and
+/// under faults their degradation behavior — are not interchangeable.
+std::string CoalesceKey(const std::string& exact_key, EngineMode mode) {
+  std::string key = exact_key;
+  key.push_back('\x1f');
+  key.push_back(static_cast<char>('0' + static_cast<int>(mode)));
+  return key;
+}
+
+QueryOutcome CancelledOutcome() {
+  QueryOutcome outcome;
+  outcome.exact = false;
+  outcome.stats.cancelled = true;
+  outcome.stats.exact = false;
+  return outcome;
 }
 
 }  // namespace
@@ -67,20 +87,27 @@ ServingEngine::~ServingEngine() {
   cv_.notify_all();
   for (std::thread& t : dispatchers_) t.join();
   // Anything still queued never ran; complete it as cancelled so Wait()
-  // callers are released.
+  // callers are released. Coalescing followers were resolved by their
+  // leaders before the dispatchers exited (a leader always drains its
+  // in-flight entry), so inflight_ is empty here; the drain below is a
+  // defensive backstop against a Wait() hang if that invariant ever broke.
   std::map<int, std::deque<std::shared_ptr<QueryTicket>>> leftover;
+  std::unordered_map<std::string, std::vector<std::shared_ptr<QueryTicket>>>
+      orphans;
   {
     std::lock_guard<std::mutex> lock(mu_);
     leftover.swap(lanes_);
+    orphans.swap(inflight_);
     queued_ = 0;
   }
   for (auto& [lane, queue] : leftover) {
     for (const auto& ticket : queue) {
-      QueryOutcome outcome;
-      outcome.exact = false;
-      outcome.stats.cancelled = true;
-      outcome.stats.exact = false;
-      CompleteTicket(ticket, std::move(outcome));
+      CompleteTicket(ticket, CancelledOutcome());
+    }
+  }
+  for (auto& [key, followers] : orphans) {
+    for (const auto& ticket : followers) {
+      CompleteTicket(ticket, CancelledOutcome());
     }
   }
 }
@@ -90,10 +117,34 @@ std::shared_ptr<QueryTicket> ServingEngine::Submit(const QueryGraph& query,
   auto ticket = std::make_shared<QueryTicket>();
   ticket->query_ = query;
   ticket->mode_ = opts.mode;
+  ticket->lane_ = opts.lane;
   ticket->deadline_ms_ =
       opts.deadline_ms.value_or(options_.default_deadline_ms);
   ticket->streaming_ = opts.streaming;
   ticket->submitted_ = std::chrono::steady_clock::now();
+  ticket->deadline_at_ =
+      ticket->deadline_ms_ < 0.0
+          ? std::chrono::steady_clock::time_point::max()
+          : ticket->submitted_ +
+                std::chrono::duration_cast<
+                    std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double, std::milli>(
+                        ticket->deadline_ms_));
+  ticket->submit_seq_ =
+      next_submit_seq_.fetch_add(1, std::memory_order_relaxed);
+  // Cost-aware admission prices a query by its *template*: the cost the plan
+  // cache recorded when it filled the shape's entry (the estimator's
+  // intermediate-result size along the chosen orders). An unseen template
+  // stays at 0 and is admitted promptly — running it is how the cache learns
+  // its cost.
+  if (options_.admission == AdmissionPolicy::kCostAware &&
+      options_.use_plan_cache) {
+    const CanonicalForm form = CanonicalizeQueryShape(query);
+    double cost = 0.0;
+    if (plan_cache_.PeekCost(form.key, &cost)) {
+      ticket->cost_estimate_ = cost;
+    }
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     GSTORED_CHECK(!stop_);
@@ -104,32 +155,6 @@ std::shared_ptr<QueryTicket> ServingEngine::Submit(const QueryGraph& query,
   return ticket;
 }
 
-// The deprecated shims forward to the SubmitOptions form; compiled here with
-// their own deprecation warnings silenced.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
-std::shared_ptr<QueryTicket> ServingEngine::Submit(const QueryGraph& query,
-                                                   EngineMode mode, int lane) {
-  SubmitOptions opts;
-  opts.mode = mode;
-  opts.lane = lane;
-  return Submit(query, opts);
-}
-
-std::shared_ptr<QueryTicket> ServingEngine::Submit(const QueryGraph& query,
-                                                   EngineMode mode,
-                                                   double deadline_ms,
-                                                   int lane) {
-  SubmitOptions opts;
-  opts.mode = mode;
-  opts.lane = lane;
-  opts.deadline_ms = deadline_ms;
-  return Submit(query, opts);
-}
-
-#pragma GCC diagnostic pop
-
 void ServingEngine::DispatcherLoop() {
   while (true) {
     std::shared_ptr<QueryTicket> ticket;
@@ -139,24 +164,44 @@ void ServingEngine::DispatcherLoop() {
       // In-flight queries finish; queued ones are cancelled by the
       // destructor's drain (see ~ServingEngine).
       if (stop_) return;
-      // Round-robin across lanes: resume strictly after the last lane
-      // served, wrapping, and take the first non-empty one.
-      auto it = lanes_.upper_bound(last_lane_);
-      for (size_t step = 0; step < lanes_.size(); ++step) {
-        if (it == lanes_.end()) it = lanes_.begin();
-        if (!it->second.empty()) break;
-        ++it;
-      }
-      GSTORED_CHECK(it != lanes_.end() && !it->second.empty());
-      last_lane_ = it->first;
-      ticket = std::move(it->second.front());
-      it->second.pop_front();
-      --queued_;
+      ticket = PickNextLocked();
     }
+    ticket->dispatch_seq_ =
+        next_dispatch_seq_.fetch_add(1, std::memory_order_relaxed);
     in_flight_.fetch_add(1, std::memory_order_relaxed);
     RunTicket(ticket);
     in_flight_.fetch_sub(1, std::memory_order_relaxed);
   }
+}
+
+std::shared_ptr<QueryTicket> ServingEngine::PickNextLocked() {
+  // Lane-fair under every policy: resume strictly after the last lane
+  // served, wrapping. Drained lanes are erased eagerly (below), so every
+  // mapped lane is non-empty and the first step lands on a servable lane.
+  auto it = lanes_.upper_bound(last_lane_);
+  if (it == lanes_.end()) it = lanes_.begin();
+  GSTORED_CHECK(it != lanes_.end() && !it->second.empty());
+  std::deque<std::shared_ptr<QueryTicket>>& queue = it->second;
+  auto chosen = queue.begin();
+  if (options_.admission == AdmissionPolicy::kCostAware) {
+    // Within the lane: cheapest estimated template first, then earliest
+    // deadline, then submission order — a total order, so the pick is
+    // deterministic for any queue contents.
+    for (auto cand = std::next(queue.begin()); cand != queue.end(); ++cand) {
+      const QueryTicket& a = **cand;
+      const QueryTicket& b = **chosen;
+      if (std::tie(a.cost_estimate_, a.deadline_at_, a.submit_seq_) <
+          std::tie(b.cost_estimate_, b.deadline_at_, b.submit_seq_)) {
+        chosen = cand;
+      }
+    }
+  }
+  std::shared_ptr<QueryTicket> ticket = std::move(*chosen);
+  queue.erase(chosen);
+  --queued_;
+  last_lane_ = it->first;
+  if (queue.empty()) lanes_.erase(it);
+  return ticket;
 }
 
 void ServingEngine::RunTicket(const std::shared_ptr<QueryTicket>& ticket) {
@@ -165,6 +210,34 @@ void ServingEngine::RunTicket(const std::shared_ptr<QueryTicket>& ticket) {
   const EngineMode mode = ticket->mode_;
 
   const std::string exact_key = ExactQueryKey(query);
+  // Admission generations, read at dispatch: a Put carrying them is dropped
+  // if an epoch flush cleared the cache while this query was executing —
+  // the answer it computed describes the pre-flush store.
+  const uint64_t result_generation = result_cache_.generation();
+  const uint64_t lpm_generation = lpm_cache_.generation();
+
+  // ---- Coalescing: if an identical (exact key, mode) query is already in
+  // flight, park this ticket on its leader and free the dispatcher — the
+  // leader's ResolveFollowers delivers a copy of its clean outcome (or
+  // re-enqueues us if the leader degraded). Otherwise register as the
+  // leader for the key. Registration comes BEFORE the result-cache probe:
+  // a finishing leader admits its outcome to the cache before erasing its
+  // in-flight entry, so a duplicate that finds the entry gone is guaranteed
+  // to find the cache filled — probing first would leave a window where the
+  // duplicate misses both and re-executes.
+  const std::string coalesce_key = CoalesceKey(exact_key, mode);
+  if (options_.coalesce_inflight) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = inflight_.find(coalesce_key);
+    if (it != inflight_.end()) {
+      it->second.push_back(ticket);
+      coalesce_attached_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    inflight_.emplace(coalesce_key,
+                      std::vector<std::shared_ptr<QueryTicket>>());
+  }
+
   if (options_.use_result_cache) {
     QueryOutcome cached;
     if (result_cache_.Get(exact_key, mode, &cached)) {
@@ -175,6 +248,11 @@ void ServingEngine::RunTicket(const std::shared_ptr<QueryTicket>& ticket) {
       cached.stats.result_cache_hit = true;
       cached.stats.exact = cached.exact;
       cached.stats.num_matches = cached.matches.size();
+      // Duplicates may have attached while this leader was being dispatched;
+      // the cached outcome is clean, so they fan out from it.
+      if (options_.coalesce_inflight) {
+        ResolveFollowers(coalesce_key, cached);
+      }
       CompleteTicket(ticket, std::move(cached));
       return;
     }
@@ -194,9 +272,7 @@ void ServingEngine::RunTicket(const std::shared_ptr<QueryTicket>& ticket) {
     (created ? plan_misses_ : plan_hits_)
         .fetch_add(1, std::memory_order_relaxed);
     if (!entry->ready.load(std::memory_order_acquire)) {
-      const ResolvedQuery rq =
-          ResolveQueryTerms(query, engine_->partitioning().dataset().dict());
-      FillCachedPlan(*engine_, query, rq, form, entry.get());
+      FillCachedPlan(*engine_, query, form, entry.get());
     }
     if (entry->ready.load(std::memory_order_acquire)) {
       plan = InstantiatePlan(*entry, form);
@@ -225,11 +301,12 @@ void ServingEngine::RunTicket(const std::shared_ptr<QueryTicket>& ticket) {
                             std::vector<LocalPartialMatch>* lpms) {
       return lpm_cache_.Get(exact_key, site, fingerprint, matches, lpms);
     };
-    ctx.lpm_cache_put = [this, &exact_key](
+    ctx.lpm_cache_put = [this, &exact_key, lpm_generation](
                             int site, uint64_t fingerprint,
                             const std::vector<Binding>& matches,
                             const std::vector<LocalPartialMatch>& lpms) {
-      lpm_cache_.Put(exact_key, site, fingerprint, matches, lpms);
+      lpm_cache_.Put(exact_key, site, fingerprint, matches, lpms,
+                     lpm_generation);
     };
   }
 
@@ -239,13 +316,69 @@ void ServingEngine::RunTicket(const std::shared_ptr<QueryTicket>& ticket) {
   QueryOutcome outcome = engine_->Run(req);
   lpm_hits_.fetch_add(outcome.stats.lpm_cache_hits,
                       std::memory_order_relaxed);
+  if (options_.post_execute_hook) options_.post_execute_hook();
 
   // Streamed and drained runs are byte-identical, so the result cache is
   // shared across the flag: either may fill it, either may hit it.
   if (options_.use_result_cache && CleanRun(outcome)) {
-    result_cache_.Put(exact_key, mode, outcome);
+    result_cache_.Put(exact_key, mode, outcome, result_generation);
+  }
+  if (options_.coalesce_inflight) {
+    ResolveFollowers(coalesce_key, outcome);
   }
   CompleteTicket(ticket, std::move(outcome));
+}
+
+void ServingEngine::ResolveFollowers(const std::string& key,
+                                     const QueryOutcome& outcome) {
+  std::vector<std::shared_ptr<QueryTicket>> followers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = inflight_.find(key);
+    GSTORED_CHECK(it != inflight_.end());
+    followers.swap(it->second);
+    inflight_.erase(it);
+  }
+  if (followers.empty()) return;
+
+  if (CleanRun(outcome)) {
+    // Fan out: each follower gets a copy of the leader's answer with fresh,
+    // hit-scoped stats (mirroring a result-cache hit — the leader's timings
+    // describe its run, not the follower's). A follower cancelled while
+    // parked detaches with a cancelled outcome; its cancellation never
+    // propagated to the leader.
+    for (const auto& follower : followers) {
+      if (follower->cancel_.cancelled()) {
+        CompleteTicket(follower, CancelledOutcome());
+        continue;
+      }
+      QueryOutcome copy = outcome;
+      copy.stats = QueryStats();
+      copy.stats.coalesced_hit = true;
+      copy.stats.exact = copy.exact;
+      copy.stats.num_matches = copy.matches.size();
+      coalesced_.fetch_add(1, std::memory_order_relaxed);
+      CompleteTicket(follower, std::move(copy));
+    }
+    return;
+  }
+
+  // Unclean leader (degraded, hedged, retried, or cancelled): its outcome is
+  // a sound subset at best, and sharing a subset would silently lose
+  // matches for callers who never opted into the leader's fate. Release the
+  // followers to execute themselves — front of their lanes, so they don't
+  // requeue behind traffic that arrived after them. (The leader's entry is
+  // already erased, so one of them may become the key's next leader.)
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto follower = followers.rbegin(); follower != followers.rend();
+         ++follower) {
+      lanes_[(*follower)->lane_].push_front(*follower);
+      ++queued_;
+      coalesce_released_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  cv_.notify_all();
 }
 
 void ServingEngine::CompleteTicket(const std::shared_ptr<QueryTicket>& ticket,
@@ -292,7 +425,15 @@ ServingEngine::Counters ServingEngine::counters() const {
   c.plan_misses = plan_misses_.load(std::memory_order_relaxed);
   c.lpm_hits = lpm_hits_.load(std::memory_order_relaxed);
   c.epoch_flushes = epoch_flushes_.load(std::memory_order_relaxed);
+  c.coalesce_attached = coalesce_attached_.load(std::memory_order_relaxed);
+  c.coalesced = coalesced_.load(std::memory_order_relaxed);
+  c.coalesce_released = coalesce_released_.load(std::memory_order_relaxed);
   return c;
+}
+
+size_t ServingEngine::active_lanes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lanes_.size();
 }
 
 }  // namespace gstored::serve

@@ -6,12 +6,14 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "core/engine.h"
@@ -20,6 +22,24 @@
 #include "serve/result_cache.h"
 
 namespace gstored::serve {
+
+/// How a free dispatcher picks the next query. Both policies are lane-fair:
+/// the lane is always chosen round-robin (first non-empty lane strictly
+/// after the last one served, wrapping), so a burst on one lane can never
+/// starve another. The policy only decides the order *within* the chosen
+/// lane:
+///  * kRoundRobin — FIFO within the lane (the PR-7 behavior, kept as the
+///    default and as the ablation baseline).
+///  * kCostAware  — cheapest estimated cost first, so cheap queries stop
+///    convoying behind expensive ones that arrived earlier on the same
+///    lane. The estimate is the template cost the plan cache stored at fill
+///    time (CachedPlan::cost, the SelectivityEstimator's intermediate-result
+///    size along the matching orders); an unseen template costs 0 and runs
+///    promptly, which is what teaches the cache its real cost. Ties (same
+///    template, or two unseen ones) break earliest-deadline-first, then by
+///    submission order, so the policy is deterministic and deadline-bound
+///    queries are not starved behind equal-cost no-deadline ones.
+enum class AdmissionPolicy { kRoundRobin, kCostAware };
 
 /// Knobs of the serving layer.
 struct ServeOptions {
@@ -38,6 +58,19 @@ struct ServeOptions {
   /// Expiry behaves like cancellation: the query stops at its next stage
   /// boundary and returns its accumulated matches flagged non-exact.
   double default_deadline_ms = -1.0;
+
+  /// Order within a lane (see AdmissionPolicy). Lane selection itself stays
+  /// round-robin under every policy.
+  AdmissionPolicy admission = AdmissionPolicy::kRoundRobin;
+
+  /// Coalesce identical in-flight queries: the first cold (exact_key, mode)
+  /// miss executes as the *leader*; identical submissions dispatched while
+  /// it runs park as *followers* and receive a copy of its outcome instead
+  /// of executing — the cold-cache dogpile closer. Only clean outcomes fan
+  /// out (same admission rule as the result cache); a degraded or cancelled
+  /// leader re-enqueues its followers to execute themselves. false is the
+  /// ablation baseline.
+  bool coalesce_inflight = true;
 
   bool use_plan_cache = true;
   bool use_result_cache = true;
@@ -58,6 +91,13 @@ struct ServeOptions {
   /// Giving each ServingEngine its own pool bounds its total concurrency
   /// independently of other engines in the process.
   ThreadPool* pool = nullptr;
+
+  /// Test seam: when set, invoked on the dispatcher thread after the engine
+  /// executed a query and before its outcome reaches cache admission and
+  /// coalescing fan-out. Lets tests deterministically interleave an epoch
+  /// flush (or hold a coalescing leader open while followers attach) at the
+  /// one point those races are decided. Never set in production.
+  std::function<void()> post_execute_hook;
 };
 
 /// Per-submission knobs, all defaulted — `Submit(query)` runs kFull on lane
@@ -66,7 +106,7 @@ struct ServeOptions {
 /// `Submit(q, {.mode = EngineMode::kBasic, .deadline_ms = 50.0}))`.
 struct SubmitOptions {
   EngineMode mode = EngineMode::kFull;
-  /// Submission lane (one per client) for round-robin admission.
+  /// Submission lane (one per client) for lane-fair admission.
   int lane = 0;
   /// Per-query wall-clock budget in ms; unset falls back to
   /// ServeOptions::default_deadline_ms, negative = none.
@@ -81,8 +121,10 @@ struct SubmitOptions {
 /// Handle to one submitted query. Wait() blocks until completion; Cancel()
 /// requests a stop at the query's next stage boundary (the outcome is then
 /// the accumulated matches, flagged non-exact — never a crash or a torn
-/// ledger). Tickets are shared_ptrs, so they outlive the ServingEngine if
-/// the caller keeps them.
+/// ledger). Cancelling a coalescing *follower* detaches it from its leader
+/// (the follower completes cancelled at fan-out) without cancelling the
+/// leader's execution. Tickets are shared_ptrs, so they outlive the
+/// ServingEngine if the caller keeps them.
 class QueryTicket {
  public:
   void Cancel() { cancel_.Cancel(); }
@@ -98,16 +140,30 @@ class QueryTicket {
   const QueryStats& stats() const { return outcome_.stats; }
   /// Submit-to-completion wall time in milliseconds; valid after Wait().
   double latency_ms() const { return latency_ms_; }
+  /// Global order in which dispatchers started serving tickets (1, 2, ...;
+  /// 0 = never dispatched, i.e. drained from the queue at shutdown). A
+  /// coalesced follower keeps the sequence of its own dispatch, not its
+  /// leader's. Valid after Wait(); lets tests pin admission ordering.
+  uint64_t dispatch_sequence() const { return dispatch_seq_; }
 
  private:
   friend class ServingEngine;
 
   QueryGraph query_;
   EngineMode mode_ = EngineMode::kFull;
+  int lane_ = 0;
   double deadline_ms_ = -1.0;
   bool streaming_ = false;
   CancelToken cancel_;
   std::chrono::steady_clock::time_point submitted_;
+  /// Absolute deadline instant (submitted_ + deadline_ms_); time_point::max()
+  /// when the query has no deadline. The EDF tie-break key.
+  std::chrono::steady_clock::time_point deadline_at_;
+  /// Estimated template cost at submission (kCostAware only; 0 = unknown).
+  double cost_estimate_ = 0.0;
+  /// Submission order, the final FIFO tie-break under every policy.
+  uint64_t submit_seq_ = 0;
+  uint64_t dispatch_seq_ = 0;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
@@ -123,19 +179,29 @@ class QueryTicket {
 /// `total_slots`, so concurrent queries never interleave traffic, tear byte
 /// accounting, or oversubscribe the pool.
 ///
-/// Admission is round-robin across submission lanes (one lane per client,
-/// chosen by the caller): each free dispatcher pops the next non-empty lane
-/// after the last one served, so a burst on one lane cannot starve the
-/// others. Within a lane, queries run FIFO.
+/// Admission is lane-fair (one lane per client, chosen by the caller): each
+/// free dispatcher pops from the next non-empty lane after the last one
+/// served. Within a lane the order is the AdmissionPolicy's: FIFO
+/// (kRoundRobin) or cheapest-first with EDF tie-breaking (kCostAware). A
+/// lane's deque is erased the moment it drains, so clients churning lane
+/// ids never grow the lane map (or the round-robin scan) without bound.
+///
+/// Identical in-flight queries coalesce (ServeOptions::coalesce_inflight):
+/// one leader executes, followers wait on its ticket and receive a copy of
+/// a clean outcome — see README.md for the full protocol, including the
+/// degraded-leader release and follower-cancel detach rules.
 ///
 /// Three caches sit in front of execution (see README.md for the key
 /// derivations and invalidation rules): the plan cache (canonical template
-/// shape -> orders/islands/static verdict), the LPM cache (exact instance x
-/// site x filter fingerprint -> stage-B results) and the result cache
-/// (exact instance x mode -> whole outcome). All three are invalidated when
-/// any fragment graph's finalize_epoch() changes, checked before every
-/// query; the epoch check assumes stores are only mutated while the engine
-/// is otherwise quiescent (fragments are immutable during normal serving).
+/// shape -> orders/islands/static verdict + template cost), the LPM cache
+/// (exact instance x site x filter fingerprint -> stage-B results) and the
+/// result cache (exact instance x mode -> whole outcome). All three are
+/// invalidated when any fragment graph's finalize_epoch() changes, checked
+/// before every query, and result/LPM admission is generation-stamped at
+/// dispatch so a query that raced with the flush cannot re-insert an answer
+/// computed on the old store. The epoch check assumes stores are only
+/// mutated while the engine is otherwise quiescent (fragments are immutable
+/// during normal serving).
 class ServingEngine {
  public:
   /// `engine` (and the partitioning behind it) must outlive the server.
@@ -151,20 +217,9 @@ class ServingEngine {
 
   /// Enqueues a query. All knobs (mode, lane, deadline, streaming) ride in
   /// SubmitOptions; the completed ticket's Wait() returns the full
-  /// QueryOutcome. See README.md for the mapping from the old overloads.
+  /// QueryOutcome.
   std::shared_ptr<QueryTicket> Submit(const QueryGraph& query,
                                       SubmitOptions opts = {});
-
-  /// Deprecated pre-SubmitOptions surface, kept as thin shims for one PR.
-  /// Migrations: Submit(q, mode, lane) -> Submit(q, {.mode = mode, .lane =
-  /// lane}); Submit(q, mode, deadline, lane) -> Submit(q, {.mode = mode,
-  /// .lane = lane, .deadline_ms = deadline}).
-  [[deprecated("use Submit(query, SubmitOptions)")]]
-  std::shared_ptr<QueryTicket> Submit(const QueryGraph& query, EngineMode mode,
-                                      int lane = 0);
-  [[deprecated("use Submit(query, SubmitOptions)")]]
-  std::shared_ptr<QueryTicket> Submit(const QueryGraph& query, EngineMode mode,
-                                      double deadline_ms, int lane);
 
   /// Drops every cached plan, outcome and stage-B entry. Also triggered
   /// automatically when a fragment's finalize epoch changes.
@@ -178,17 +233,31 @@ class ServingEngine {
     size_t plan_misses = 0;    ///< first instances of a template
     size_t lpm_hits = 0;       ///< per-site stage-B cache hits
     size_t epoch_flushes = 0;  ///< invalidations from finalize_epoch changes
+    size_t coalesce_attached = 0;  ///< followers parked on an in-flight twin
+    size_t coalesced = 0;      ///< followers completed from a leader's outcome
+    size_t coalesce_released = 0;  ///< followers re-enqueued (unclean leader)
   };
   Counters counters() const;
+
+  /// Lanes currently holding queued tickets (drained lanes are erased).
+  /// Test/introspection hook for the lane-churn bound.
+  size_t active_lanes() const;
 
   const DistributedEngine& engine() const { return *engine_; }
   const ServeOptions& options() const { return options_; }
 
  private:
   void DispatcherLoop();
+  /// Picks the next ticket per the admission policy; requires queued_ > 0
+  /// and mu_ held. Erases the chosen lane when this pop drains it.
+  std::shared_ptr<QueryTicket> PickNextLocked();
   void RunTicket(const std::shared_ptr<QueryTicket>& ticket);
   void CompleteTicket(const std::shared_ptr<QueryTicket>& ticket,
                       QueryOutcome outcome);
+  /// Drains the in-flight entry for `key` after its leader finished with
+  /// `outcome`: clean outcomes fan out to the followers, anything else
+  /// re-enqueues them (front of their lanes) to execute themselves.
+  void ResolveFollowers(const std::string& key, const QueryOutcome& outcome);
   uint64_t StoreEpochSum() const;
   void MaybeFlushOnEpochChange();
 
@@ -200,16 +269,24 @@ class ServingEngine {
   ResultCache result_cache_;
   LpmCache lpm_cache_;
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   bool stop_ = false;
   std::map<int, std::deque<std::shared_ptr<QueryTicket>>> lanes_;
   size_t queued_ = 0;
   int last_lane_ = 0;  ///< round-robin cursor: next pick starts after this
+  /// In-flight coalescing table, guarded by mu_: (exact key + mode) of every
+  /// executing leader -> the followers parked on it. The leader inserts its
+  /// (empty) entry before executing and drains it in ResolveFollowers.
+  std::unordered_map<std::string,
+                     std::vector<std::shared_ptr<QueryTicket>>>
+      inflight_;
 
   std::atomic<size_t> in_flight_{0};
   std::atomic<uint32_t> next_session_{1};
   std::atomic<uint64_t> last_epoch_sum_{0};
+  std::atomic<uint64_t> next_submit_seq_{1};
+  std::atomic<uint64_t> next_dispatch_seq_{1};
 
   std::atomic<size_t> executed_{0};
   std::atomic<size_t> result_hits_{0};
@@ -217,6 +294,9 @@ class ServingEngine {
   std::atomic<size_t> plan_misses_{0};
   std::atomic<size_t> lpm_hits_{0};
   std::atomic<size_t> epoch_flushes_{0};
+  std::atomic<size_t> coalesce_attached_{0};
+  std::atomic<size_t> coalesced_{0};
+  std::atomic<size_t> coalesce_released_{0};
 
   std::vector<std::thread> dispatchers_;
 };

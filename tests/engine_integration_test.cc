@@ -216,41 +216,5 @@ TEST(EngineIntegrationTest, SelectiveQueriesShipFewerLpms) {
   }
 }
 
-// ---------------------------------------------------------------------------
-// Deprecated-shim compatibility (the only sanctioned callers of the old
-// Execute/ExecuteQuery overloads; delete together with the shims next PR).
-
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
-TEST(DeprecatedShims, ExecuteAndExecuteQueryForwardToRun) {
-  auto dataset = testing::BuildPaperDataset();
-  Partitioning p = testing::BuildPaperPartitioning(*dataset);
-  DistributedEngine engine(&p);
-  QueryGraph query = testing::BuildPaperQuery();
-  QueryOutcome expected = engine.Run({query, EngineMode::kFull});
-
-  QueryStats stats;
-  EXPECT_EQ(engine.Execute(query, EngineMode::kFull, &stats),
-            expected.matches);
-  EXPECT_EQ(stats.num_matches, expected.stats.num_matches);
-
-  QueryOutcome via_shim = engine.ExecuteQuery(query, EngineMode::kFull);
-  EXPECT_EQ(via_shim.matches, expected.matches);
-  EXPECT_EQ(via_shim.stats.num_matches, expected.stats.num_matches);
-
-  QuerySession session(engine.num_sites());
-  QueryContext ctx;
-  ctx.ledger = &session.ledger;
-  ctx.transport = &session.transport;
-  QueryStats ctx_stats;
-  QueryOutcome via_ctx =
-      engine.ExecuteQuery(query, EngineMode::kFull, ctx, &ctx_stats);
-  EXPECT_EQ(via_ctx.matches, expected.matches);
-  EXPECT_EQ(ctx_stats.num_matches, expected.stats.num_matches);
-}
-
-#pragma GCC diagnostic pop
-
 }  // namespace
 }  // namespace gstored

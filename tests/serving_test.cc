@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <string>
 #include <thread>
@@ -611,12 +612,14 @@ TEST(LpmCacheTest, ByteBoundedEvictionTracksPayloadBytes) {
     std::vector<Binding> matches(rows, Binding(width, TermId{7}));
     return matches;
   };
-  cache.Put("q", /*site=*/0, /*fingerprint=*/1, make_matches(40, 8), {});
+  cache.Put("q", /*site=*/0, /*fingerprint=*/1, make_matches(40, 8), {},
+            cache.generation());
   const size_t one_entry = cache.bytes();
   EXPECT_GT(one_entry, 40 * 8 * sizeof(TermId));
   EXPECT_LE(one_entry, 4096u);
 
-  cache.Put("q", /*site=*/1, /*fingerprint=*/1, make_matches(40, 8), {});
+  cache.Put("q", /*site=*/1, /*fingerprint=*/1, make_matches(40, 8), {},
+            cache.generation());
   EXPECT_EQ(cache.size(), 1u);  // site 0's entry was evicted
   EXPECT_LE(cache.bytes(), 4096u);
 
@@ -649,31 +652,498 @@ TEST(ServingStreaming, ByteBoundedLpmCacheStaysCorrectUnderServing) {
 }
 
 // ---------------------------------------------------------------------------
-// Deprecated-shim compatibility (the only sanctioned callers of the old
-// Submit overloads; delete together with the shims next PR).
+// In-flight coalescing: one leader executes a cold burst of identical
+// queries, followers receive byte-identical copies; unclean leaders release
+// their followers; follower cancellation never propagates to the leader.
 
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+/// Two-edge template anchored at one department constant; 8 distinct
+/// isomorphic instances exist in SmallLubm (2 universities x 4 departments).
+QueryGraph DeptQuery(int univ, int dept) {
+  const std::string d = "<http://www.univ" + std::to_string(univ) +
+                        ".edu/dept" + std::to_string(dept) + "#dept>";
+  QueryGraph q;
+  q.AddEdge("?x", "<http://lubm.org/ont#worksFor>", d);
+  q.AddEdge(d, "<http://lubm.org/ont#subOrganizationOf>", "?u");
+  return q;
+}
 
-TEST(DeprecatedShims, OldSubmitOverloadsForwardToSubmitOptions) {
+template <typename Pred>
+void SpinUntil(Pred pred) {
+  while (!pred()) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+}
+
+TEST(Coalescing, IdenticalColdBurstExecutesOnceByteIdentical) {
   Workload w = SmallLubm();
   Partitioning p = HashPartitioner().Partition(*w.dataset, 3);
   DistributedEngine engine(&p);
-  ServeOptions options;
-  options.use_result_cache = false;  // the zero-deadline run must execute
-  ServingEngine server(&engine, options);
-  const QueryGraph& q = w.queries[0].query;
+  const QueryGraph& q = w.queries[1].query;
   std::vector<Binding> expected = Serial(engine, q, EngineMode::kFull);
 
-  EXPECT_EQ(server.Submit(q, EngineMode::kFull, /*lane=*/1)->Wait().matches,
-            expected);
-  auto timed = server.Submit(q, EngineMode::kFull, /*deadline_ms=*/0.0,
-                             /*lane=*/0);
-  timed->Wait();
-  EXPECT_TRUE(timed->stats().cancelled);
+  // The hook parks the first (and only) leader after it executed, so the
+  // rest of the burst provably arrives while the leader is in flight.
+  std::atomic<bool> gate_closed{true};
+  std::atomic<int> in_hook{0};
+  ServeOptions options;
+  options.max_inflight = 4;
+  options.use_result_cache = false;  // only coalescing can dedup the burst
+  options.use_lpm_cache = false;
+  options.post_execute_hook = [&] {
+    if (in_hook.fetch_add(1) == 0) {
+      SpinUntil([&] { return !gate_closed.load(); });
+    }
+  };
+  ServingEngine server(&engine, options);
+
+  constexpr size_t kBurst = 6;
+  auto leader = server.Submit(q);
+  SpinUntil([&] { return in_hook.load() >= 1; });
+  std::vector<std::shared_ptr<QueryTicket>> followers;
+  for (size_t i = 1; i < kBurst; ++i) followers.push_back(server.Submit(q));
+  SpinUntil(
+      [&] { return server.counters().coalesce_attached == kBurst - 1; });
+  gate_closed.store(false);
+
+  EXPECT_EQ(leader->Wait().matches, expected);
+  EXPECT_TRUE(leader->Wait().exact);
+  EXPECT_FALSE(leader->stats().coalesced_hit);
+  for (const auto& f : followers) {
+    EXPECT_EQ(f->Wait().matches, expected);
+    EXPECT_TRUE(f->Wait().exact);
+    EXPECT_TRUE(f->stats().coalesced_hit);
+    EXPECT_EQ(f->stats().num_matches, expected.size());
+  }
+  ServingEngine::Counters c = server.counters();
+  EXPECT_EQ(c.executed, 1u);
+  EXPECT_EQ(c.coalesce_attached, kBurst - 1);
+  EXPECT_EQ(c.coalesced, kBurst - 1);
+  EXPECT_EQ(c.coalesce_released, 0u);
+
+  // Ablation: the same burst with coalescing off executes every duplicate —
+  // the dogpile this feature closes.
+  ServeOptions off = options;
+  off.coalesce_inflight = false;
+  off.post_execute_hook = nullptr;
+  ServingEngine dogpiled(&engine, off);
+  std::vector<std::shared_ptr<QueryTicket>> dup;
+  for (size_t i = 0; i < kBurst; ++i) dup.push_back(dogpiled.Submit(q));
+  for (const auto& t : dup) EXPECT_EQ(t->Wait().matches, expected);
+  EXPECT_EQ(dogpiled.counters().executed, kBurst);
 }
 
-#pragma GCC diagnostic pop
+TEST(Coalescing, MixedStreamExecutesEachDistinctQueryOnce) {
+  Workload w = SmallLubm();
+  Partitioning p = HashPartitioner().Partition(*w.dataset, 3);
+  DistributedEngine engine(&p);
+
+  std::vector<std::vector<Binding>> expected;
+  for (const BenchmarkQuery& bq : w.queries) {
+    expected.push_back(Serial(engine, bq.query, EngineMode::kFull));
+  }
+
+  ServeOptions options;
+  options.max_inflight = 4;
+  ServingEngine server(&engine, options);
+
+  // 4 duplicates of each query, interleaved across 4 client threads. Every
+  // duplicate is served by exactly one of: its own execution (the first
+  // leader), coalescing onto an in-flight leader, or a result-cache hit —
+  // so the engine runs each distinct query exactly once, no matter how the
+  // dispatch interleaves.
+  constexpr int kClients = 4;
+  std::vector<std::vector<std::shared_ptr<QueryTicket>>> tickets(kClients);
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (size_t i = 0; i < w.queries.size(); ++i) {
+        tickets[c].push_back(server.Submit(w.queries[i].query, {.lane = c}));
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  for (int c = 0; c < kClients; ++c) {
+    for (size_t i = 0; i < w.queries.size(); ++i) {
+      const QueryOutcome& outcome = tickets[c][i]->Wait();
+      EXPECT_TRUE(outcome.exact) << "client=" << c << " query=" << i;
+      EXPECT_EQ(outcome.matches, expected[i])
+          << "client=" << c << " query=" << i;
+    }
+  }
+  ServingEngine::Counters c = server.counters();
+  EXPECT_EQ(c.executed, w.queries.size());
+  EXPECT_EQ(c.executed + c.result_hits + c.coalesced,
+            w.queries.size() * kClients);
+}
+
+TEST(Coalescing, FollowerCancelDetachesWithoutCancellingLeader) {
+  Workload w = SmallLubm();
+  Partitioning p = HashPartitioner().Partition(*w.dataset, 3);
+  DistributedEngine engine(&p);
+  const QueryGraph& q = w.queries[1].query;
+  std::vector<Binding> expected = Serial(engine, q, EngineMode::kFull);
+
+  std::atomic<bool> gate_closed{true};
+  std::atomic<int> in_hook{0};
+  ServeOptions options;
+  options.max_inflight = 2;
+  options.use_result_cache = false;
+  options.use_lpm_cache = false;
+  options.post_execute_hook = [&] {
+    if (in_hook.fetch_add(1) == 0) {
+      SpinUntil([&] { return !gate_closed.load(); });
+    }
+  };
+  ServingEngine server(&engine, options);
+
+  auto leader = server.Submit(q);
+  SpinUntil([&] { return in_hook.load() >= 1; });
+  auto follower = server.Submit(q);
+  SpinUntil([&] { return server.counters().coalesce_attached == 1; });
+  follower->Cancel();  // must detach the follower, not kill the leader
+  gate_closed.store(false);
+
+  EXPECT_EQ(leader->Wait().matches, expected);
+  EXPECT_TRUE(leader->Wait().exact);
+  EXPECT_FALSE(leader->stats().cancelled);
+
+  follower->Wait();
+  EXPECT_TRUE(follower->stats().cancelled);
+  EXPECT_FALSE(follower->Wait().exact);
+  EXPECT_TRUE(follower->Wait().matches.empty());
+
+  ServingEngine::Counters c = server.counters();
+  EXPECT_EQ(c.executed, 1u);
+  EXPECT_EQ(c.coalesce_attached, 1u);
+  EXPECT_EQ(c.coalesced, 0u);  // a cancelled follower is not a served copy
+}
+
+TEST(Coalescing, DegradedLeaderReleasesFollowersToExecute) {
+  Workload w = SmallLubm();
+  Partitioning p = HashPartitioner().Partition(*w.dataset, 3);
+
+  // Site 0 is dead from the first stage and there are no replicas to hedge
+  // from: every run of this query is a flagged partial — never clean, so
+  // nothing may fan out.
+  EngineOptions eopts;
+  eopts.hedge_local = false;
+  eopts.fault_plan.site_overrides[0].crash_at_stage = 0;
+  DistributedEngine engine(&p, eopts);
+  // A non-star query, so the crashed site's stage data is actually needed
+  // (stars are answered locally and would stay exact).
+  const QueryGraph& q = w.queries[0].query;
+  ASSERT_FALSE(engine.Run({q, EngineMode::kFull}).exact);
+
+  std::atomic<bool> gate_closed{true};
+  std::atomic<int> in_hook{0};
+  ServeOptions options;
+  options.max_inflight = 2;
+  options.use_result_cache = false;
+  options.use_lpm_cache = false;
+  options.post_execute_hook = [&] {
+    if (in_hook.fetch_add(1) == 0) {
+      SpinUntil([&] { return !gate_closed.load(); });
+    }
+  };
+  ServingEngine server(&engine, options);
+
+  auto leader = server.Submit(q);
+  SpinUntil([&] { return in_hook.load() >= 1; });
+  auto f1 = server.Submit(q);
+  auto f2 = server.Submit(q);
+  SpinUntil([&] { return server.counters().coalesce_attached >= 2; });
+  gate_closed.store(false);
+
+  // The leader's partial outcome must not be shared: every follower is
+  // released and executes (and degrades) on its own.
+  EXPECT_FALSE(leader->Wait().exact);
+  EXPECT_FALSE(f1->Wait().exact);
+  EXPECT_FALSE(f2->Wait().exact);
+  EXPECT_FALSE(f1->stats().coalesced_hit);
+  EXPECT_FALSE(f2->stats().coalesced_hit);
+
+  ServingEngine::Counters c = server.counters();
+  EXPECT_EQ(c.executed, 3u);
+  EXPECT_EQ(c.coalesced, 0u);
+  // A released follower may transiently re-attach to another released
+  // follower's execution, so released/attached are lower bounds.
+  EXPECT_GE(c.coalesce_released, 2u);
+  EXPECT_GE(c.coalesce_attached, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Generation-stamped cache admission: an epoch flush between a query's
+// dispatch and its cache put must drop the put — the computed answer
+// describes the pre-flush store.
+
+TEST(CacheInvalidation, StalePutAfterEpochFlushIsDropped) {
+  Workload w = SmallLubm();
+  Partitioning p = HashPartitioner().Partition(*w.dataset, 3);
+  DistributedEngine engine(&p);
+  const QueryGraph& qa = w.queries[0].query;
+  const QueryGraph& qb = w.queries[2].query;
+  std::vector<Binding> expected_a = Serial(engine, qa, EngineMode::kFull);
+
+  // While query A is mid-flight (executed, outcome not yet admitted), bump
+  // a fragment's finalize epoch and push query B through a second
+  // dispatcher. B's dispatch consumes the epoch change and flushes all
+  // caches — so when A's put finally lands, nothing else will flush again:
+  // without the generation stamp, A's stale outcome would survive in the
+  // cache and be replayed. (Re-adding an existing triple keeps the graph
+  // byte-identical, so "stale" is observable purely through the counters.)
+  std::atomic<int> in_hook{0};
+  ServingEngine* srv = nullptr;
+  ServeOptions options;
+  options.max_inflight = 2;
+  options.post_execute_hook = [&] {
+    if (in_hook.fetch_add(1) == 0) {
+      RdfGraph& g = const_cast<RdfGraph&>(p.fragments()[0].graph());
+      g.AddTriple(g.triples()[0]);
+      g.Finalize();
+      srv->Submit(qb)->Wait();
+    }
+  };
+  ServingEngine server(&engine, options);
+  srv = &server;
+
+  auto a = server.Submit(qa);
+  EXPECT_EQ(a->Wait().matches, expected_a);
+
+  ServingEngine::Counters mid = server.counters();
+  EXPECT_EQ(mid.executed, 2u);       // A and B
+  EXPECT_EQ(mid.epoch_flushes, 1u);  // consumed by B's dispatch
+
+  // A again: its stale put was dropped, so this is a miss that re-executes.
+  auto again = server.Submit(qa);
+  EXPECT_EQ(again->Wait().matches, expected_a);
+  EXPECT_FALSE(again->stats().result_cache_hit);
+  ServingEngine::Counters c = server.counters();
+  EXPECT_EQ(c.executed, 3u);
+  EXPECT_EQ(c.result_hits, 0u);
+
+  // Control: the re-execution's put carried the current generation, so the
+  // cache works again.
+  auto hit = server.Submit(qa);
+  EXPECT_EQ(hit->Wait().matches, expected_a);
+  EXPECT_TRUE(hit->stats().result_cache_hit);
+}
+
+// ---------------------------------------------------------------------------
+// Admission: drained lanes are erased (no unbounded growth under lane
+// churn), round-robin rotation survives erasure, and the cost-aware policy
+// orders within a lane by (template cost, deadline, submission).
+
+TEST(Admission, DrainedLanesAreErasedAndRotationHolds) {
+  Workload w = SmallLubm();
+  Partitioning p = HashPartitioner().Partition(*w.dataset, 3);
+  DistributedEngine engine(&p);
+
+  std::atomic<bool> gate_closed{true};
+  std::atomic<int> in_hook{0};
+  ServeOptions options;
+  options.max_inflight = 1;
+  options.post_execute_hook = [&] {
+    if (in_hook.fetch_add(1) == 0) {
+      SpinUntil([&] { return !gate_closed.load(); });
+    }
+  };
+  ServingEngine server(&engine, options);
+
+  // Hold the single dispatcher on a blocker (lane 0), queue on lanes 3, 1,
+  // 2, then release: round-robin resumes after lane 0 and serves 1, 2, 3.
+  auto blocker = server.Submit(w.queries[0].query);
+  SpinUntil([&] { return in_hook.load() >= 1; });
+  auto on3 = server.Submit(DeptQuery(0, 0), {.lane = 3});
+  auto on1 = server.Submit(DeptQuery(0, 1), {.lane = 1});
+  auto on2 = server.Submit(DeptQuery(0, 2), {.lane = 2});
+  EXPECT_EQ(server.active_lanes(), 3u);
+  gate_closed.store(false);
+
+  blocker->Wait();
+  on1->Wait();
+  on2->Wait();
+  on3->Wait();
+  EXPECT_LT(on1->dispatch_sequence(), on2->dispatch_sequence());
+  EXPECT_LT(on2->dispatch_sequence(), on3->dispatch_sequence());
+  EXPECT_EQ(server.active_lanes(), 0u);
+
+  // Churning lane ids never accumulates lane state: each drained lane's
+  // entry is erased, so the map is empty again after every wait.
+  for (int lane : {7, 12345, 7, 890, 2000000}) {
+    server.Submit(DeptQuery(1, 0), {.lane = lane})->Wait();
+    EXPECT_EQ(server.active_lanes(), 0u) << "lane=" << lane;
+  }
+}
+
+TEST(PlanCache, ConcurrentFirstSightFillsOnce) {
+  Workload w = SmallLubm();
+  Partitioning p = HashPartitioner().Partition(*w.dataset, 3);
+  DistributedEngine engine(&p);
+
+  ServeOptions options;
+  options.max_inflight = 8;
+  options.use_result_cache = false;
+  options.use_lpm_cache = false;
+  ServingEngine server(&engine, options);
+
+  // All 8 isomorphic instances of one never-seen template at once: exactly
+  // one dispatcher fills the shared entry (under the entry's fill mutex),
+  // the other 7 wait for it and replay — one miss, seven hits, zero
+  // duplicate fill work, and every run skips in-engine order scoring.
+  std::vector<std::pair<QueryGraph, std::vector<Binding>>> instances;
+  for (int u = 0; u < 2; ++u) {
+    for (int d = 0; d < 4; ++d) {
+      QueryGraph q = DeptQuery(u, d);
+      instances.emplace_back(q, Serial(engine, q, EngineMode::kFull));
+    }
+  }
+  std::vector<std::shared_ptr<QueryTicket>> tickets;
+  for (const auto& instance : instances) {
+    tickets.push_back(server.Submit(instance.first));
+  }
+  for (size_t i = 0; i < tickets.size(); ++i) {
+    const QueryOutcome& outcome = tickets[i]->Wait();
+    EXPECT_TRUE(outcome.exact) << "instance=" << i;
+    EXPECT_EQ(outcome.matches, instances[i].second) << "instance=" << i;
+    EXPECT_EQ(outcome.stats.order_scorings, 0u) << "instance=" << i;
+  }
+  ServingEngine::Counters c = server.counters();
+  EXPECT_EQ(c.plan_misses, 1u);
+  EXPECT_EQ(c.plan_hits, instances.size() - 1);
+  EXPECT_EQ(c.executed, instances.size());
+}
+
+TEST(Admission, CostAwareRunsCheapTemplatesFirstWithinLane) {
+  Workload w = SmallLubm();
+  Partitioning p = HashPartitioner().Partition(*w.dataset, 3);
+  DistributedEngine engine(&p);
+
+  // Same shape, very different estimated cost: the dept-anchored template
+  // starts from one constant; the all-variable template starts from every
+  // employment edge in the dataset.
+  QueryGraph expensive;
+  expensive.AddEdge("?x", "<http://lubm.org/ont#worksFor>", "?d");
+  expensive.AddEdge("?d", "<http://lubm.org/ont#subOrganizationOf>", "?u");
+  const QueryGraph cheap = DeptQuery(0, 0);
+
+  for (serve::AdmissionPolicy policy :
+       {serve::AdmissionPolicy::kCostAware,
+        serve::AdmissionPolicy::kRoundRobin}) {
+    std::atomic<bool> gate_closed{false};
+    std::atomic<int> in_hook{0};
+    ServeOptions options;
+    options.max_inflight = 1;
+    options.admission = policy;
+    options.post_execute_hook = [&] {
+      in_hook.fetch_add(1);
+      SpinUntil([&] { return !gate_closed.load(); });
+    };
+    ServingEngine server(&engine, options);
+
+    // Warm both templates so their costs are in the plan cache, then hold
+    // the dispatcher on a cold blocker and queue expensive-then-cheap on
+    // one lane.
+    server.Submit(expensive)->Wait();
+    server.Submit(cheap)->Wait();
+    gate_closed.store(true);
+    auto blocker = server.Submit(w.queries[0].query);
+    SpinUntil([&] { return in_hook.load() >= 3; });
+    auto exp2 = server.Submit(expensive);
+    auto chp2 = server.Submit(DeptQuery(0, 1));
+    gate_closed.store(false);
+
+    blocker->Wait();
+    exp2->Wait();
+    chp2->Wait();
+    if (policy == serve::AdmissionPolicy::kCostAware) {
+      // The cheap template overtakes the earlier-submitted expensive one.
+      EXPECT_LT(chp2->dispatch_sequence(), exp2->dispatch_sequence());
+    } else {
+      // Ablation: round-robin keeps FIFO order within the lane.
+      EXPECT_LT(exp2->dispatch_sequence(), chp2->dispatch_sequence());
+    }
+  }
+}
+
+TEST(Admission, EqualCostTiesBreakEarliestDeadlineFirstThenFifo) {
+  Workload w = SmallLubm();
+  Partitioning p = HashPartitioner().Partition(*w.dataset, 3);
+  DistributedEngine engine(&p);
+
+  std::atomic<bool> gate_closed{false};
+  std::atomic<int> in_hook{0};
+  ServeOptions options;
+  options.max_inflight = 1;
+  options.admission = serve::AdmissionPolicy::kCostAware;
+  options.post_execute_hook = [&] {
+    in_hook.fetch_add(1);
+    SpinUntil([&] { return !gate_closed.load(); });
+  };
+  ServingEngine server(&engine, options);
+
+  // Three instances of one warmed template (equal cost). The only one with
+  // a deadline runs first; the other two keep submission order.
+  server.Submit(DeptQuery(0, 0))->Wait();
+  gate_closed.store(true);
+  auto blocker = server.Submit(w.queries[0].query);
+  SpinUntil([&] { return in_hook.load() >= 2; });
+  auto no_ddl_1 = server.Submit(DeptQuery(0, 1));
+  auto with_ddl = server.Submit(DeptQuery(0, 2), {.deadline_ms = 60000.0});
+  auto no_ddl_2 = server.Submit(DeptQuery(0, 3));
+  gate_closed.store(false);
+
+  blocker->Wait();
+  no_ddl_1->Wait();
+  with_ddl->Wait();
+  no_ddl_2->Wait();
+  EXPECT_LT(with_ddl->dispatch_sequence(), no_ddl_1->dispatch_sequence());
+  EXPECT_LT(no_ddl_1->dispatch_sequence(), no_ddl_2->dispatch_sequence());
+  EXPECT_TRUE(with_ddl->Wait().exact);  // 60s never expires in-test
+}
+
+TEST(Admission, CostAwareStaysLaneFair) {
+  Workload w = SmallLubm();
+  Partitioning p = HashPartitioner().Partition(*w.dataset, 3);
+  DistributedEngine engine(&p);
+
+  auto suborg = [](int univ, int dept) {
+    QueryGraph q;
+    q.AddEdge("<http://www.univ" + std::to_string(univ) + ".edu/dept" +
+                  std::to_string(dept) + "#dept>",
+              "<http://lubm.org/ont#subOrganizationOf>", "?u");
+    return q;
+  };
+
+  std::atomic<bool> gate_closed{false};
+  std::atomic<int> in_hook{0};
+  ServeOptions options;
+  options.max_inflight = 1;
+  options.admission = serve::AdmissionPolicy::kCostAware;
+  options.post_execute_hook = [&] {
+    in_hook.fetch_add(1);
+    SpinUntil([&] { return !gate_closed.load(); });
+  };
+  ServingEngine server(&engine, options);
+
+  // Warm both templates, then queue two (pricier) dept queries on lane 1
+  // and one (cheap) single-edge query on lane 2. Lane selection must stay
+  // round-robin — the cheap lane-2 query runs between the lane-1 ones, not
+  // first: cost ordering applies within a lane, never across lanes.
+  server.Submit(DeptQuery(0, 0))->Wait();
+  server.Submit(suborg(0, 0))->Wait();
+  gate_closed.store(true);
+  auto blocker = server.Submit(w.queries[0].query);  // lane 0
+  SpinUntil([&] { return in_hook.load() >= 3; });
+  auto lane1_a = server.Submit(DeptQuery(0, 1), {.lane = 1});
+  auto lane1_b = server.Submit(DeptQuery(0, 2), {.lane = 1});
+  auto lane2 = server.Submit(suborg(0, 1), {.lane = 2});
+  gate_closed.store(false);
+
+  blocker->Wait();
+  lane1_a->Wait();
+  lane1_b->Wait();
+  lane2->Wait();
+  EXPECT_LT(lane1_a->dispatch_sequence(), lane2->dispatch_sequence());
+  EXPECT_LT(lane2->dispatch_sequence(), lane1_b->dispatch_sequence());
+}
 
 }  // namespace
 }  // namespace gstored
