@@ -11,8 +11,8 @@ Three row kinds are gated:
       regression when current < baseline / (1 + threshold)
   * ratio rows ({"numerator", "denominator", "min_ratio"}): regression
       when numerator/denominator (wall time by default, cpu time with
-      "metric": "cpu", CPU-time QPS with "metric": "qps") falls below
-      min_ratio. These gate a *relative* property — e.g. "the drained
+      "metric": "cpu", CPU-time QPS with "metric": "qps", search-tree
+      node counts with "metric": "nodes") falls below min_ratio. These gate a *relative* property — e.g. "the drained
       engine must stay >= 1.1x slower than the pipelined engine under
       injected faults", or "coalescing must keep >= 1.5x the CPU-QPS of
       its ablation on a dup-heavy stream" — so they are immune to
@@ -73,6 +73,12 @@ def load_metrics(path):
             entry["real_ns"] = min(real_ns, entry.get("real_ns", float("inf")))
         if "qps" in bench:
             entry["qps"] = max(float(bench["qps"]), entry.get("qps", 0.0))
+        if "nodes" in bench:
+            # Search-tree node counts (bench_ablation_ordering): exact and
+            # deterministic, so min/max merging is moot; min keeps the shape
+            # of the other lower-is-better metrics.
+            entry["nodes"] = min(float(bench["nodes"]),
+                                 entry.get("nodes", float("inf")))
     return metrics
 
 
@@ -107,6 +113,9 @@ def main():
                                         merged.get("real_ns", float("inf")))
             if "qps" in entry:
                 merged["qps"] = max(entry["qps"], merged.get("qps", 0.0))
+            if "nodes" in entry:
+                merged["nodes"] = min(entry["nodes"],
+                                      merged.get("nodes", float("inf")))
 
     failures = []
     limit = 1.0 + args.threshold
@@ -137,8 +146,8 @@ def main():
                     f"{base_v:.0f}{unit} ({ratio:.2f}x > {limit:.2f}x)")
 
     for row in load_ratio_rows(args.baseline):
-        metric = {"cpu": "cpu_ns", "qps": "qps"}.get(row.get("metric"),
-                                                     "real_ns")
+        metric = {"cpu": "cpu_ns", "qps": "qps",
+                  "nodes": "nodes"}.get(row.get("metric"), "real_ns")
         name = row.get("name", f"{row['numerator']}/{row['denominator']}")
         num = results.get(row["numerator"], {}).get(metric)
         den = results.get(row["denominator"], {}).get(metric)

@@ -217,6 +217,11 @@ QueryOutcome DistributedEngine::RunInternal(const QueryRequest& request,
   enum_options.tasks = ctx.island_tasks;
   enum_options.order_scorings = &ctx.order_scorings;
 
+  // Per-site slots for orders planned inside ensure_partial_eval (pre-sized:
+  // concurrent site calls each write their own slot, and the MatchOptions
+  // pointer into a slot must stay stable for the call's duration).
+  std::vector<std::vector<QVertexId>> planned_match_orders(num_sites);
+
   auto ensure_partial_eval = [&](int site) {
     SiteCache& c = cache[site];
     if (c.computed) return;
@@ -230,24 +235,54 @@ QueryOutcome DistributedEngine::RunInternal(const QueryRequest& request,
       c.computed = true;
       return;
     }
-    // Per-site thread budget: scale the engine knob to the fragment's size
-    // so small sites skip pool coordination entirely (the site-side answer
-    // to the dynamic-thread-budget item; assembly and pruning apply the
-    // seed-group-sized equivalent via JoinSlotBudget).
     const Fragment& fragment = partitioning_->fragments()[site];
-    size_t site_slots =
-        SiteSlotBudget(fragment.graph().num_triples(), num_threads);
     MatchOptions site_match = match_options;
-    site_match.num_threads = site_slots;
     if (ctx.site_match_orders != nullptr &&
         !(*ctx.site_match_orders)[site].empty()) {
       site_match.precomputed_order = &(*ctx.site_match_orders)[site];
+    } else if (!rq.impossible && n > 0) {
+      // No plan-cache order: plan the site's matching order here (the
+      // src/plan/ enumerator — DP when enabled and in range, PR-3 greedy
+      // otherwise) instead of inside MatchQuery, so the slot budget below
+      // can see the chosen start vertex. One scoring pass either way; keep
+      // the counter semantics MatchQuery's internal scoring had.
+      SitePlan sp = PlanSiteMatchOrder(*stores_[site], rq,
+                                       options_.use_statistics, options_.plan);
+      ctx.order_scorings.fetch_add(1, std::memory_order_relaxed);
+      planned_match_orders[site] = std::move(sp.match_order);
+      site_match.precomputed_order = &planned_match_orders[site];
     }
+    // Per-site thread budget: scale the engine knob to the fragment's size
+    // so small sites skip pool coordination entirely (the site-side answer
+    // to the dynamic-thread-budget item; assembly and pruning apply the
+    // seed-group-sized equivalent via JoinSlotBudget), and cap it by the
+    // start vertex's estimated candidate domain — the parallel matcher
+    // partitions across that domain, so a selective start can never feed
+    // more slots than it has candidates.
+    size_t site_slots;
+    if (!rq.impossible && site_match.precomputed_order != nullptr &&
+        !site_match.precomputed_order->empty()) {
+      site_slots = SiteSlotBudget(
+          fragment.graph().num_triples(), num_threads,
+          stores_[site]->EstimateCandidates(
+              rq, site_match.precomputed_order->front()));
+    } else {
+      site_slots =
+          SiteSlotBudget(fragment.graph().num_triples(), num_threads);
+    }
+    site_match.num_threads = site_slots;
     EnumerateOptions site_enum = enum_options;
     site_enum.num_threads = site_slots;
     if (ctx.site_unit_orders != nullptr &&
         !(*ctx.site_unit_orders)[site].empty()) {
       site_enum.unit_orders = &(*ctx.site_unit_orders)[site];
+    } else {
+      // No plan-cache unit orders: let the enumerator consult the planner
+      // per island task (thread-safe — each call builds its own estimator).
+      site_enum.unit_order_fn = [this, site, &rq](const IslandTask& task) {
+        return PlanIslandUnitOrder(*stores_[site], rq, task,
+                                   options_.use_statistics, options_.plan);
+      };
     }
     if (use_filter && exchange.site_filter_ok[site]) {
       // Read-only probes of the exchanged bit vectors — safe to call from

@@ -13,6 +13,7 @@
 #include "net/cluster.h"
 #include "net/fault.h"
 #include "partition/partitioning.h"
+#include "plan/planner.h"
 #include "sparql/query_graph.h"
 #include "store/local_store.h"
 #include "store/matcher.h"
@@ -87,6 +88,13 @@ struct EngineOptions {
   /// LPMs per kLpmBatch wire message in stage D, so drop/duplicate faults
   /// hit individual batches instead of a site's whole shipment.
   size_t lpm_batch_size = 256;
+
+  /// Plan-enumerator knobs (src/plan/): which enumerator scores matching
+  /// and unit orders (`enumerator = kDp | kGreedy`), the DP's query-size
+  /// gate and its acceptance margin. Only meaningful with use_statistics;
+  /// results are byte-identical for any setting (orders change enumeration
+  /// cost, never the answer set).
+  PlanOptions plan;
 
   StagePolicy MakeStagePolicy() const {
     StagePolicy policy;

@@ -58,4 +58,14 @@ size_t SiteSlotBudget(size_t fragment_triples, size_t num_threads) {
   return JoinSlotBudget(fragment_triples, num_threads, kSiteTriplesPerSlot);
 }
 
+size_t SiteSlotBudget(size_t fragment_triples, size_t num_threads,
+                      size_t est_start_candidates) {
+  // The parallel matcher partitions work across the start vertex's candidate
+  // domain, so slots beyond that domain's size can never be fed; a selective
+  // start (a few candidates in a large fragment) caps the budget well below
+  // what the fragment size alone suggests.
+  return std::min(SiteSlotBudget(fragment_triples, num_threads),
+                  std::max<size_t>(1, est_start_candidates));
+}
+
 }  // namespace gstored

@@ -52,6 +52,14 @@ inline constexpr size_t kSiteTriplesPerSlot = 2048;
 /// overhead changes.
 size_t SiteSlotBudget(size_t fragment_triples, size_t num_threads);
 
+/// Query-shape-aware variant: additionally caps the budget by the planner's
+/// estimated candidate count for the chosen start vertex, since the parallel
+/// matcher partitions across the start's candidate domain — a selective star
+/// gets fewer slots than its fragment size alone suggests. Returns a value
+/// in [1, num_threads].
+size_t SiteSlotBudget(size_t fragment_triples, size_t num_threads,
+                      size_t est_start_candidates);
+
 }  // namespace gstored
 
 #endif  // GSTORED_CORE_GROUP_SCHEDULE_H_

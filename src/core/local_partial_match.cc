@@ -275,7 +275,9 @@ void SearchIslandMask(const Fragment& fragment, const LocalStore& store,
     if (options.order_scorings != nullptr) {
       options.order_scorings->fetch_add(1, std::memory_order_relaxed);
     }
-    if (options.use_statistics) {
+    if (options.unit_order_fn) {
+      ctx.order = options.unit_order_fn({island_mask, boundary_mask});
+    } else if (options.use_statistics) {
       // One estimator per mask: it memoizes characteristic-set probes and
       // must not be shared across the pool's worker slots.
       SelectivityEstimator estimator(&store.stats(), &rq);

@@ -132,6 +132,15 @@ struct EnumerateOptions {
   /// template on the same fragment.
   const std::vector<std::vector<QVertexId>>* unit_orders = nullptr;
 
+  /// Optional external unit-order planner, consulted per island task when
+  /// `unit_orders` is not set: the enumerator calls it instead of its
+  /// built-in BuildOrderByCost/BFS scoring (each call still counts one
+  /// order_scorings pass). Must return a valid unit order (island first,
+  /// connected, then boundary) and be thread-safe — with num_threads > 1
+  /// island masks score concurrently. The engine wires the src/plan/
+  /// enumerator through this hook.
+  std::function<std::vector<QVertexId>(const IslandTask&)> unit_order_fn;
+
   /// When non-null, incremented once per unit-order scoring pass actually
   /// performed (i.e. not served from `unit_orders`).
   std::atomic<size_t>* order_scorings = nullptr;

@@ -1,0 +1,101 @@
+#ifndef GSTORED_PLAN_PLANNER_H_
+#define GSTORED_PLAN_PLANNER_H_
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "core/local_partial_match.h"
+#include "store/local_store.h"
+#include "store/matcher.h"
+
+namespace gstored {
+
+/// Which plan enumerator scores matching and unit orders.
+///  * kDp     — dynamic programming over connected subgraphs of the query
+///              (DPccp-style: connected subsets plus linearized connected-
+///              complement combinations, cheapest entry per subset), costed
+///              by the SelectivityEstimator. Falls back to kGreedy above the
+///              size threshold and whenever its estimate is not strictly
+///              better, so a DP plan is never estimated worse than greedy.
+///  * kGreedy — the PR-3 path verbatim: MatchingOrder (one greedy order per
+///              candidate start) and BuildIslandUnitOrder. The large-query
+///              fallback and the ablation baseline.
+enum class PlanEnumerator { kDp, kGreedy };
+
+/// Knobs of the plan enumerator, carried by EngineOptions::plan.
+struct PlanOptions {
+  PlanEnumerator enumerator = PlanEnumerator::kDp;
+
+  /// DP size gate: queries with more vertices than this fall back to the
+  /// greedy enumerator (the subset table is exponential in the vertex
+  /// count). Clamped to 16 internally (subset masks stay table-sized).
+  /// The default comfortably covers the <= 8-vertex LUBM templates.
+  size_t dp_max_vertices = 10;
+
+  /// Estimated-cost factor a DP order must beat the greedy order by before
+  /// it replaces it: accept DP when cost_dp < cost_greedy * this. Slightly
+  /// below 1.0 so float-noise near-ties keep the greedy order verbatim —
+  /// ties can then never regress the enumerated search tree.
+  double dp_min_improvement = 0.98;
+
+  /// Unit orders cheaper than this estimated search-tree size keep the
+  /// greedy order without running the DP: an island whose whole unit
+  /// enumerates a few hundred nodes cannot repay a per-mask subset DP.
+  double dp_unit_cost_floor = 256.0;
+
+  /// Safety valve: abort a DP run (falling back to greedy) after this many
+  /// candidate-plan evaluations. Only adversarially dense shapes near the
+  /// vertex cap approach it.
+  size_t dp_max_candidates = 200000;
+};
+
+/// One site's planned matching order plus its estimated cost — the running
+/// intermediate-result size along the order (EstimateOrderCost), i.e. the
+/// per-template admission priority stored in CachedPlan::cost.
+struct SitePlan {
+  std::vector<QVertexId> match_order;
+  double cost = 0.0;
+};
+
+/// Estimated search-tree size of running `order` over one store: the running
+/// intermediate-result cardinality along the prefix, accumulated, with the
+/// store's SelectivityEstimator pricing each extension (conditioned on
+/// order[0], whose candidate domain pre-enforces its incident constraints).
+/// Edges rejected by `relevant` (when set) are ignored — the LPM unit
+/// metric. This is the single metric every enumerator's orders are selected
+/// and compared under (the DP recurrence accumulates it incrementally, so a
+/// DP entry's cost equals this function's replay of its order exactly).
+double EstimateOrderCost(const LocalStore& store, const ResolvedQuery& rq,
+                         std::span<const QVertexId> order,
+                         const std::function<bool(QEdgeId)>& relevant = nullptr);
+
+/// Plans one site's matching order. Dispatch: `use_statistics == false`
+/// degrades to MatchingOrderGreedy (the pre-statistics ablation baseline),
+/// kGreedy and oversized queries to MatchingOrder (PR-3), otherwise the DP
+/// enumerator runs and its order is kept only when its estimated cost is
+/// strictly better (PlanOptions::dp_min_improvement) than the greedy
+/// order's — so the returned order is never estimated worse than PR-3's.
+/// The returned cost is EstimateOrderCost of the chosen order either way.
+/// Orders change enumeration cost and emission order only, never the match
+/// set (final matches are sorted + deduplicated downstream).
+SitePlan PlanSiteMatchOrder(const LocalStore& store, const ResolvedQuery& rq,
+                            bool use_statistics,
+                            const PlanOptions& options = {});
+
+/// Plans one island task's unit order (island vertices first, each adjacent
+/// to a placed island vertex; then the boundary). Same dispatch as
+/// PlanSiteMatchOrder, with the DP restricted to the island's subgraph
+/// (relevant-edge semantics of BuildIslandUnitOrder) and the boundary
+/// appended by the shared cheapest-extension step; units whose greedy
+/// estimate is below PlanOptions::dp_unit_cost_floor skip the DP outright.
+std::vector<QVertexId> PlanIslandUnitOrder(const LocalStore& store,
+                                           const ResolvedQuery& rq,
+                                           const IslandTask& task,
+                                           bool use_statistics,
+                                           const PlanOptions& options = {});
+
+}  // namespace gstored
+
+#endif  // GSTORED_PLAN_PLANNER_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdint>
 
+#include "plan/planner.h"
 #include "store/matcher.h"
 #include "util/hash.h"
 #include "util/logging.h"
@@ -193,33 +194,6 @@ CanonicalForm CanonicalizeQueryShape(const QueryGraph& query) {
   return form;
 }
 
-namespace {
-
-/// Estimated search-tree size of running `order` over one site: the running
-/// intermediate-result cardinality along the prefix, accumulated. The same
-/// quantity MatchingOrder greedily minimizes, so cheap templates (selective
-/// starts, small fan-outs) score low and unselective ones high — a
-/// per-template admission priority, not a latency prediction.
-double EstimateOrderCost(const LocalStore& store, const ResolvedQuery& rq,
-                         const std::vector<QVertexId>& order) {
-  if (order.empty()) return 0.0;
-  const SelectivityEstimator estimator(&store.stats(), &rq);
-  std::vector<bool> placed(rq.query->num_vertices(), false);
-  double rows = std::max(1.0, estimator.VertexCardinality(order[0]));
-  double cost = rows;
-  placed[order[0]] = true;
-  for (size_t i = 1; i < order.size(); ++i) {
-    const double fanout =
-        estimator.ExtensionCost(order[i], placed, nullptr, order[0]);
-    rows *= std::max(fanout, 1e-6);  // floor: selective edges shrink rows
-    cost += rows;
-    placed[order[i]] = true;
-  }
-  return cost;
-}
-
-}  // namespace
-
 void FillCachedPlan(const DistributedEngine& engine, const QueryGraph& query,
                     const CanonicalForm& form, CachedPlan* plan) {
   // Single-filler: every concurrent first instance serializes here, and all
@@ -259,16 +233,23 @@ void FillCachedPlan(const DistributedEngine& engine, const QueryGraph& query,
   plan->site_match_orders.assign(num_sites, {});
   plan->site_unit_orders.assign(num_sites, {});
   plan->cost = 0.0;
+  const PlanOptions& plan_options = engine.options().plan;
   for (int site = 0; site < num_sites; ++site) {
-    const std::vector<QVertexId> order =
-        MatchingOrder(engine.store(site), rq, use_statistics);
-    plan->cost += EstimateOrderCost(engine.store(site), rq, order);
-    plan->site_match_orders[site] = TranslateOrder(order, form.canon_of);
+    // The plan enumerator picks each order and prices it under
+    // EstimateOrderCost (the DP's estimate when it wins, the greedy
+    // order's otherwise), so kCostAware admission prices templates from
+    // the chosen plan's estimate.
+    SitePlan sp = PlanSiteMatchOrder(engine.store(site), rq, use_statistics,
+                                     plan_options);
+    plan->cost += sp.cost;
+    plan->site_match_orders[site] =
+        TranslateOrder(sp.match_order, form.canon_of);
     auto& unit_orders = plan->site_unit_orders[site];
     unit_orders.reserve(instance_tasks.size());
     for (const IslandTask& task : instance_tasks) {
       unit_orders.push_back(TranslateOrder(
-          BuildIslandUnitOrder(engine.store(site), rq, task, use_statistics),
+          PlanIslandUnitOrder(engine.store(site), rq, task, use_statistics,
+                              plan_options),
           form.canon_of));
     }
   }

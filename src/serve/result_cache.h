@@ -31,9 +31,16 @@ std::string ExactQueryKey(const QueryGraph& query);
 /// Finalize() computed its answer on the old store; if the epoch flush ran
 /// while it executed, the stamped generation no longer matches and the
 /// stale Put is dropped instead of poisoning the flushed cache.
+///
+/// Bounded by bytes when `capacity_bytes != 0` (the same weigher-backed
+/// bound the LPM cache got): entries are weighed by their resident match
+/// payload plus the per-site reports, so one unselective template's huge
+/// answer cannot squeeze out thousands of small ones the way a pure entry
+/// count lets it. The entry-count capacity remains a second ceiling.
 class ResultCache {
  public:
-  explicit ResultCache(size_t capacity) : cache_(capacity) {}
+  explicit ResultCache(size_t capacity, size_t capacity_bytes = 0)
+      : cache_(capacity, capacity_bytes, &WeighOutcome) {}
 
   bool Get(const std::string& key, EngineMode mode, QueryOutcome* outcome) {
     return cache_.Get(WithMode(key, mode), outcome);
@@ -50,10 +57,24 @@ class ResultCache {
 
   void Clear() { cache_.Clear(); }
   size_t size() const { return cache_.size(); }
+  /// Resident payload bytes (0 unless byte-bounded).
+  size_t bytes() const { return cache_.bytes(); }
   size_t hits() const { return cache_.hits(); }
   size_t misses() const { return cache_.misses(); }
 
  private:
+  /// Resident bytes of one cached outcome: the match rows (dominant for
+  /// unselective templates) plus the per-site report vector; the stats
+  /// struct rides in sizeof(QueryOutcome).
+  static size_t WeighOutcome(const QueryOutcome& outcome) {
+    size_t bytes = sizeof(QueryOutcome);
+    for (const Binding& binding : outcome.matches) {
+      bytes += sizeof(Binding) + binding.capacity() * sizeof(TermId);
+    }
+    bytes += outcome.sites.capacity() * sizeof(SiteReport);
+    return bytes;
+  }
+
   static std::string WithMode(const std::string& key, EngineMode mode) {
     std::string out = key;
     out.push_back('\x1f');

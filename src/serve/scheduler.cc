@@ -67,7 +67,8 @@ ServingEngine::ServingEngine(const DistributedEngine* engine,
                        : std::max<size_t>(
                              1, std::thread::hardware_concurrency())),
       plan_cache_(options.plan_cache_capacity),
-      result_cache_(options.result_cache_capacity),
+      result_cache_(options.result_cache_capacity,
+                    options.result_cache_capacity_bytes),
       lpm_cache_(options.lpm_cache_capacity,
                  options.lpm_cache_capacity_bytes) {
   GSTORED_CHECK(engine != nullptr);

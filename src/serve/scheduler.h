@@ -86,6 +86,12 @@ struct ServeOptions {
   /// entry-count capacity above still applies as a second ceiling.
   size_t lpm_cache_capacity_bytes = 0;
 
+  /// Byte budget for the result cache (0 = entry-count bound only), same
+  /// rationale: whole outcomes vary by orders of magnitude with the
+  /// template's selectivity, so bounding bytes keeps the footprint flat
+  /// where an entry count cannot. The entry-count capacity still applies.
+  size_t result_cache_capacity_bytes = 0;
+
   /// Worker pool the per-query slots are borrowed from; nullptr falls back
   /// to the engine's EngineOptions::pool, then to ThreadPool::Shared().
   /// Giving each ServingEngine its own pool bounds its total concurrency

@@ -7,7 +7,8 @@
 
 namespace gstored {
 
-LocalStore::LocalStore(const RdfGraph* graph) : graph_(graph) {
+LocalStore::LocalStore(const RdfGraph* graph, size_t max_char_sets)
+    : graph_(graph) {
   GSTORED_CHECK(graph != nullptr);
   GSTORED_CHECK(graph->finalized());
 
@@ -35,7 +36,7 @@ LocalStore::LocalStore(const RdfGraph* graph) : graph_(graph) {
               pred_os_.begin() + pred_offsets_[p + 1]);
   }
 
-  stats_ = std::make_unique<GraphStatistics>(graph_);
+  stats_ = std::make_unique<GraphStatistics>(graph_, max_char_sets);
 
   signatures_.assign(graph_->vertex_id_bound(), 0);
   for (TermId v : graph_->vertices()) {

@@ -28,7 +28,9 @@ namespace gstored {
 /// be finalized.
 class LocalStore {
  public:
-  explicit LocalStore(const RdfGraph* graph);
+  /// `max_char_sets` caps the statistics' distinct characteristic sets
+  /// (0 = unlimited); see GraphStatistics.
+  explicit LocalStore(const RdfGraph* graph, size_t max_char_sets = 0);
 
   LocalStore(const LocalStore&) = delete;
   LocalStore& operator=(const LocalStore&) = delete;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iterator>
 #include <map>
 
 #include "util/logging.h"
@@ -32,7 +33,8 @@ double FanoutHistogram::Quantile(double q) const {
   return static_cast<double>(max_fanout);
 }
 
-GraphStatistics::GraphStatistics(const RdfGraph* graph) : graph_(graph) {
+GraphStatistics::GraphStatistics(const RdfGraph* graph, size_t max_char_sets)
+    : graph_(graph) {
   GSTORED_CHECK(graph != nullptr);
   GSTORED_CHECK(graph->finalized());
 
@@ -87,6 +89,8 @@ GraphStatistics::GraphStatistics(const RdfGraph* graph) : graph_(graph) {
   }
   char_sets_ = std::move(ordered);
 
+  MergeCharacteristicSets(max_char_sets);
+
   // Predicate -> containing characteristic sets, so the superset probes can
   // walk only the rarest queried predicate's list instead of every distinct
   // set. Built over the ordered layout, so each list is ascending.
@@ -94,6 +98,118 @@ GraphStatistics::GraphStatistics(const RdfGraph* graph) : graph_(graph) {
   for (uint32_t i = 0; i < char_sets_.size(); ++i) {
     for (TermId p : char_sets_[i].predicates) {
       charset_index_[p].push_back(i);
+    }
+  }
+}
+
+void GraphStatistics::MergeCharacteristicSets(size_t max_char_sets) {
+  if (max_char_sets == 0) return;
+  // Every round retires the rarest set (fewest subjects; lowest index on
+  // ties — deterministic, and low-count sets are the ones whose loss of
+  // precision matters least). Preferred absorber: the strict superset with
+  // the fewest extra predicates (the "closest" superset; larger count then
+  // lower index on ties), into which the victim folds exactly — a subject
+  // of the victim's set behaves like a superset subject that simply has a
+  // few more predicates, so superset probes for the victim's predicates
+  // still find every one of its subjects. Without any superset, the victim
+  // union-merges with the sibling sharing the most predicates: both are
+  // replaced by their predicate union with counts and occurrences summed.
+  // Either way sets only ever widen, so total subject count is preserved
+  // and SubjectsWithAllOut can only over-count, never miss.
+  while (char_sets_.size() > max_char_sets) {
+    size_t victim = 0;
+    for (size_t i = 1; i < char_sets_.size(); ++i) {
+      if (char_sets_[i].count < char_sets_[victim].count) victim = i;
+    }
+    const CharacteristicSet& vs = char_sets_[victim];
+
+    size_t best_super = char_sets_.size();
+    size_t best_extra = static_cast<size_t>(-1);
+    size_t best_overlap_idx = char_sets_.size();
+    size_t best_overlap = 0;
+    for (size_t i = 0; i < char_sets_.size(); ++i) {
+      if (i == victim) continue;
+      const CharacteristicSet& cs = char_sets_[i];
+      if (cs.predicates.size() > vs.predicates.size() &&
+          std::includes(cs.predicates.begin(), cs.predicates.end(),
+                        vs.predicates.begin(), vs.predicates.end())) {
+        const size_t extra = cs.predicates.size() - vs.predicates.size();
+        if (best_super == char_sets_.size() || extra < best_extra ||
+            (extra == best_extra &&
+             cs.count > char_sets_[best_super].count)) {
+          best_super = i;
+          best_extra = extra;
+        }
+      }
+      std::vector<TermId> shared;
+      std::set_intersection(cs.predicates.begin(), cs.predicates.end(),
+                            vs.predicates.begin(), vs.predicates.end(),
+                            std::back_inserter(shared));
+      if (best_overlap_idx == char_sets_.size() ||
+          shared.size() > best_overlap ||
+          (shared.size() == best_overlap &&
+           cs.count > char_sets_[best_overlap_idx].count)) {
+        best_overlap_idx = i;
+        best_overlap = shared.size();
+      }
+    }
+
+    if (best_super != char_sets_.size()) {
+      CharacteristicSet& target = char_sets_[best_super];
+      target.count += vs.count;
+      for (size_t i = 0; i < vs.predicates.size(); ++i) {
+        const auto pos = std::lower_bound(target.predicates.begin(),
+                                          target.predicates.end(),
+                                          vs.predicates[i]);
+        target.occurrences[static_cast<size_t>(
+            pos - target.predicates.begin())] += vs.occurrences[i];
+      }
+      char_sets_.erase(char_sets_.begin() + static_cast<ptrdiff_t>(victim));
+      continue;
+    }
+    if (best_overlap_idx == char_sets_.size()) break;  // single set left
+
+    const CharacteristicSet& os = char_sets_[best_overlap_idx];
+    CharacteristicSet merged;
+    merged.count = vs.count + os.count;
+    size_t a = 0;
+    size_t b = 0;
+    while (a < vs.predicates.size() || b < os.predicates.size()) {
+      if (b == os.predicates.size() ||
+          (a < vs.predicates.size() && vs.predicates[a] < os.predicates[b])) {
+        merged.predicates.push_back(vs.predicates[a]);
+        merged.occurrences.push_back(vs.occurrences[a]);
+        ++a;
+      } else if (a == vs.predicates.size() ||
+                 os.predicates[b] < vs.predicates[a]) {
+        merged.predicates.push_back(os.predicates[b]);
+        merged.occurrences.push_back(os.occurrences[b]);
+        ++b;
+      } else {
+        merged.predicates.push_back(vs.predicates[a]);
+        merged.occurrences.push_back(vs.occurrences[a] + os.occurrences[b]);
+        ++a;
+        ++b;
+      }
+    }
+    const size_t hi = std::max(victim, best_overlap_idx);
+    const size_t lo = std::min(victim, best_overlap_idx);
+    char_sets_.erase(char_sets_.begin() + static_cast<ptrdiff_t>(hi));
+    char_sets_.erase(char_sets_.begin() + static_cast<ptrdiff_t>(lo));
+    // Re-insert at the predicate-set lexicographic position (folding into an
+    // existing equal set if one emerged), preserving the ordering invariant.
+    auto ins = std::lower_bound(
+        char_sets_.begin(), char_sets_.end(), merged,
+        [](const CharacteristicSet& x, const CharacteristicSet& y) {
+          return x.predicates < y.predicates;
+        });
+    if (ins != char_sets_.end() && ins->predicates == merged.predicates) {
+      ins->count += merged.count;
+      for (size_t i = 0; i < merged.occurrences.size(); ++i) {
+        ins->occurrences[i] += merged.occurrences[i];
+      }
+    } else {
+      char_sets_.insert(ins, std::move(merged));
     }
   }
 }
@@ -278,7 +394,7 @@ QVertexId SelectivityEstimator::PickCheapestExtension(
     const std::vector<bool>& placed,
     const std::function<bool(QVertexId)>& eligible,
     const std::function<bool(QEdgeId)>& relevant, QVertexId conditioned,
-    double* ext_out) const {
+    double* ext_out, bool pair_anchor) const {
   const QueryGraph& q = *rq_->query;
   QVertexId next = kNoVertex;
   double next_ext = 0.0;
@@ -292,7 +408,7 @@ QVertexId SelectivityEstimator::PickCheapestExtension(
       }
     }
     if (!adjacent) continue;
-    double ext = ExtensionCost(v, placed, relevant, conditioned);
+    double ext = ExtensionCost(v, placed, relevant, conditioned, pair_anchor);
     if (next == kNoVertex || ext < next_ext ||
         (ext == next_ext && VertexCardinality(v) < VertexCardinality(next))) {
       next = v;
@@ -313,8 +429,8 @@ double SelectivityEstimator::JointSubjects(std::vector<TermId> preds) const {
 
 double SelectivityEstimator::ExtensionCost(
     QVertexId v, const std::vector<bool>& placed,
-    const std::function<bool(QEdgeId)>& relevant,
-    QVertexId conditioned) const {
+    const std::function<bool(QEdgeId)>& relevant, QVertexId conditioned,
+    bool pair_anchor) const {
   const GraphStatistics& st = *stats_;
   const QueryGraph& q = *rq_->query;
   const double num_vertices =
@@ -402,6 +518,21 @@ double SelectivityEstimator::ExtensionCost(
   size_t driver = 0;
   for (size_t i = 1; i < conn.size(); ++i) {
     if (conn[i].fanout < conn[driver].fanout) driver = i;
+  }
+
+  if (pair_anchor) {
+    // Anchored membership: the driver's candidates survive a non-driver edge
+    // only when they are among the *specific* anchor's ~fanout neighbours
+    // out of all graph vertices — not merely an endpoint of the predicate
+    // somewhere, which is what the membership product below prices. The
+    // difference is decisive for triangle-closing extensions, where the
+    // second edge is a near-exact filter.
+    double ext = conn[driver].fanout;
+    for (size_t i = 0; i < conn.size(); ++i) {
+      if (i == driver) continue;
+      ext *= std::min(1.0, conn[i].fanout / num_vertices);
+    }
+    return ext;
   }
 
   // Constrained out-predicates of v across the connecting edges: with >= 2,

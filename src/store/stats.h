@@ -63,7 +63,15 @@ struct CharacteristicSet {
 /// The graph is borrowed and must outlive the statistics.
 class GraphStatistics {
  public:
-  explicit GraphStatistics(const RdfGraph* graph);
+  /// `max_char_sets` bounds the number of distinct characteristic sets kept
+  /// (0 = unlimited). Graphs with very many distinct sets get low-occurrence
+  /// sets merged into their closest strict superset (fewest extra
+  /// predicates, occurrence-weighted fold), or union-merged with their
+  /// largest-overlap sibling when no superset exists — so superset probes
+  /// (SubjectsWithAllOut / EstimateStarRows) stay fast and bounded. Merging
+  /// only ever widens sets: total subject count is preserved and merged
+  /// estimates over-count relative to unmerged ones, never miss.
+  explicit GraphStatistics(const RdfGraph* graph, size_t max_char_sets = 0);
 
   GraphStatistics(const GraphStatistics&) = delete;
   GraphStatistics& operator=(const GraphStatistics&) = delete;
@@ -121,6 +129,11 @@ class GraphStatistics {
   double EstimateStarRows(std::span<const TermId> preds) const;
 
  private:
+  /// Implements the constructor's `max_char_sets` cap over the
+  /// lexicographically-ordered `char_sets_` (run before charset_index_ is
+  /// built; keeps the ordering invariant).
+  void MergeCharacteristicSets(size_t max_char_sets);
+
   /// Applies `fn` to every characteristic set whose predicate set is a
   /// superset of `sorted` (canonical: sorted, distinct). Instead of the old
   /// linear scan over all distinct sets, the probe walks only the inverted
@@ -194,9 +207,17 @@ class SelectivityEstimator {
   /// (LocalStore::CandidatesInto): when v is a constant, the edge
   /// start -> v is already guaranteed on every surviving row and must not
   /// be priced as an independent filter again.
+  ///
+  /// `pair_anchor` switches the non-driver membership factors to anchored
+  /// pair probabilities (~fanout/|V| — the chance the candidate is a
+  /// neighbour of the *specific* placed anchor, not merely an endpoint of
+  /// the predicate somewhere). Sharper on triangle-closing extensions and
+  /// used by the src/plan/ DP enumerator; the default keeps the original
+  /// membership product that MatchingOrder's greedy was tuned against.
   double ExtensionCost(QVertexId v, const std::vector<bool>& placed,
                        const std::function<bool(QEdgeId)>& relevant = nullptr,
-                       QVertexId conditioned = kNoVertex) const;
+                       QVertexId conditioned = kNoVertex,
+                       bool pair_anchor = false) const;
 
   /// The greedy order-building step shared by MatchingOrder and the LPM
   /// enumerator's unit ordering: among the unplaced vertices accepted by
@@ -209,7 +230,8 @@ class SelectivityEstimator {
       const std::vector<bool>& placed,
       const std::function<bool(QVertexId)>& eligible = nullptr,
       const std::function<bool(QEdgeId)>& relevant = nullptr,
-      QVertexId conditioned = kNoVertex, double* ext_out = nullptr) const;
+      QVertexId conditioned = kNoVertex, double* ext_out = nullptr,
+      bool pair_anchor = false) const;
 
  private:
   /// SubjectsWithAllOut with memoization — the same predicate combinations

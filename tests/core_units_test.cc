@@ -322,6 +322,22 @@ TEST(GroupScheduleTest, SiteSlotBudgetScalesWithFragmentSize) {
   EXPECT_EQ(SiteSlotBudget(kSiteTriplesPerSlot * 100, 1), 1u);  // knob off
 }
 
+TEST(GroupScheduleTest, SiteSlotBudgetCappedByStartCandidateEstimate) {
+  // Query-shape-aware variant: the parallel matcher partitions across the
+  // start vertex's candidate domain, so the planner's candidate estimate
+  // caps the budget — a selective star in a huge fragment runs serially.
+  const size_t big = kSiteTriplesPerSlot * 100;
+  EXPECT_EQ(SiteSlotBudget(big, 8, 1), 1u);    // one candidate: serial
+  EXPECT_EQ(SiteSlotBudget(big, 8, 0), 1u);    // degenerate estimate: serial
+  EXPECT_EQ(SiteSlotBudget(big, 8, 3), 3u);    // three candidates: three slots
+  EXPECT_EQ(SiteSlotBudget(big, 8, 500), 8u);  // plenty: fragment budget wins
+  // The fragment-size ceiling still binds first on small fragments.
+  EXPECT_EQ(SiteSlotBudget(100, 8, 500), 1u);
+  EXPECT_EQ(SiteSlotBudget(kSiteTriplesPerSlot * 2, 8, 500), 2u);
+  // A serial engine knob stays serial regardless of the estimate.
+  EXPECT_EQ(SiteSlotBudget(big, 1, 500), 1u);
+}
+
 TEST(SeenSetTest, ShardedSeenSetMatchesSingleShardReference) {
   // Random (sign, binding) streams with forced duplicates: every shard
   // count must agree with the single-shard reference on each CheckAndInsert

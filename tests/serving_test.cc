@@ -633,6 +633,70 @@ TEST(LpmCacheTest, ByteBoundedEvictionTracksPayloadBytes) {
   EXPECT_EQ(cache.bytes(), 0u);
 }
 
+TEST(ResultCacheTest, ByteBoundedEvictionTracksOutcomeBytes) {
+  // Two outcomes under a byte budget sized for roughly one of them:
+  // inserting the second evicts the first (LRU), and bytes() tracks the
+  // resident match payload.
+  serve::ResultCache cache(/*capacity=*/1024, /*capacity_bytes=*/4096);
+
+  auto make_outcome = [](size_t rows, size_t width) {
+    QueryOutcome outcome;
+    outcome.matches.assign(rows, Binding(width, TermId{7}));
+    outcome.sites.resize(3);
+    return outcome;
+  };
+  ASSERT_TRUE(cache.Put("q1", EngineMode::kFull, make_outcome(60, 8),
+                        cache.generation()));
+  const size_t one_entry = cache.bytes();
+  EXPECT_GT(one_entry, 60 * 8 * sizeof(TermId));
+  EXPECT_LE(one_entry, 4096u);
+
+  ASSERT_TRUE(cache.Put("q2", EngineMode::kFull, make_outcome(60, 8),
+                        cache.generation()));
+  EXPECT_EQ(cache.size(), 1u);  // q1 was evicted to stay under budget
+  EXPECT_LE(cache.bytes(), 4096u);
+
+  QueryOutcome out;
+  EXPECT_FALSE(cache.Get("q1", EngineMode::kFull, &out));
+  EXPECT_TRUE(cache.Get("q2", EngineMode::kFull, &out));
+  EXPECT_EQ(out.matches.size(), 60u);
+
+  // Small outcomes coexist under the same budget (weights are per-entry).
+  cache.Clear();
+  EXPECT_EQ(cache.bytes(), 0u);
+  ASSERT_TRUE(cache.Put("a", EngineMode::kFull, make_outcome(4, 4),
+                        cache.generation()));
+  ASSERT_TRUE(cache.Put("b", EngineMode::kFull, make_outcome(4, 4),
+                        cache.generation()));
+  EXPECT_EQ(cache.size(), 2u);
+
+  // The mode is part of the key: one instance cached under two modes weighs
+  // (and evicts) as two entries.
+  ASSERT_TRUE(cache.Put("a", EngineMode::kBasic, make_outcome(4, 4),
+                        cache.generation()));
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_TRUE(cache.Get("a", EngineMode::kFull, &out));
+  EXPECT_TRUE(cache.Get("a", EngineMode::kBasic, &out));
+}
+
+TEST(ResultCacheTest, ByteBoundedResultCacheStaysCorrectUnderServing) {
+  // A tiny byte budget forces constant result-cache eviction; answers must
+  // stay byte-identical (a miss just re-executes).
+  Workload w = SmallLubm();
+  Partitioning p = HashPartitioner().Partition(*w.dataset, 3);
+  DistributedEngine engine(&p);
+  ServeOptions options;
+  options.max_inflight = 1;
+  options.use_lpm_cache = false;
+  options.result_cache_capacity_bytes = 1024;
+  ServingEngine server(&engine, options);
+  for (const BenchmarkQuery& bq : w.queries) {
+    std::vector<Binding> expected = Serial(engine, bq.query, EngineMode::kFull);
+    EXPECT_EQ(server.Submit(bq.query)->Wait().matches, expected) << bq.name;
+    EXPECT_EQ(server.Submit(bq.query)->Wait().matches, expected) << bq.name;
+  }
+}
+
 TEST(ServingStreaming, ByteBoundedLpmCacheStaysCorrectUnderServing) {
   // A tiny byte budget forces constant LPM-cache eviction; answers must stay
   // byte-identical (a miss just recomputes stage B).
